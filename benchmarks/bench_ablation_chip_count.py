@@ -1,0 +1,67 @@
+"""Ablation — scaling the chip count N.
+
+The worst-case floor t = (N−1)h + 1 predicts how speedup scales with N;
+this bench sweeps N ∈ {2, 4, 8} under the adversarial mapping and checks
+both the floor and the diminishing distance to the ideal t = N.
+"""
+
+from repro.analysis.speedup import required_hit_rate, worst_case_speedup
+from repro.analysis.summarize import format_table
+from repro.engine.builders import build_clue_engine, measure_partition_load
+from repro.engine.simulator import EngineConfig
+from repro.workload.trafficgen import TrafficGenerator
+
+PACKETS = 30_000
+
+
+def test_ablation_chip_count(record, benchmark, bench_rib):
+    rows = []
+    results = {}
+    for chip_count in (2, 4, 8):
+        # Offered load must scale with capacity (N chips / 4 cycles each),
+        # otherwise the arrival link caps the measurable speedup at 4.
+        config = EngineConfig(
+            chip_count=chip_count,
+            dred_capacity=1024,
+            arrivals_per_cycle=chip_count / 4,
+        )
+        probe = build_clue_engine(bench_rib, config)
+        sample = TrafficGenerator(bench_rib, seed=95).take(PACKETS)
+        loads = measure_partition_load(
+            probe.index, sample, probe.partition_result.count
+        )
+        built = build_clue_engine(bench_rib, config, partition_loads=loads)
+        stats = built.engine.run(
+            TrafficGenerator(bench_rib, seed=95), PACKETS
+        )
+        results[chip_count] = stats
+        rows.append(
+            (
+                chip_count,
+                f"{stats.dred_hit_rate:.3f}",
+                f"{stats.speedup(4):.3f}",
+                f"{worst_case_speedup(chip_count, stats.dred_hit_rate):.3f}",
+                chip_count,
+            )
+        )
+    record(
+        "ablation_chip_count",
+        format_table(
+            ["chips N", "hit rate h", "speedup t", "floor", "ideal"], rows
+        ),
+    )
+
+    def one_run():
+        config = EngineConfig(chip_count=2, dred_capacity=1024)
+        built = build_clue_engine(bench_rib, config)
+        built.engine.run(TrafficGenerator(bench_rib, seed=96), 5_000)
+
+    benchmark.pedantic(one_run, rounds=3, iterations=1)
+
+    for chip_count, stats in results.items():
+        speedup = stats.speedup(4)
+        assert speedup <= chip_count + 0.01
+        if stats.dred_hit_rate >= required_hit_rate(chip_count):
+            floor = worst_case_speedup(chip_count, stats.dred_hit_rate)
+            assert speedup >= floor - 0.05
+    assert results[8].speedup(4) > results[4].speedup(4) > results[2].speedup(4)

@@ -1,0 +1,51 @@
+"""Ablation — compression strategies on the same table.
+
+Quantifies the design space around ONRTC: classical leaf-pushing (total
+overlap elimination, but expansion), strict-mode ONRTC (misses preserved
+exactly), don't-care ONRTC (the paper's operating point) and ORTC (optimal
+but overlapping, so it forfeits every TCAM benefit CLUE builds on).
+"""
+
+from repro.analysis.summarize import format_percent, format_table
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import compress
+from repro.compress.ortc import compress_ortc
+from repro.trie.leafpush import leaf_push
+from repro.trie.trie import BinaryTrie
+
+
+def test_ablation_compression_modes(record, benchmark, bench_rib):
+    trie = BinaryTrie.from_routes(bench_rib)
+    original = len(bench_rib)
+
+    sizes = {
+        "original": original,
+        "leaf-push (disjoint)": len(leaf_push(trie)),
+        "ONRTC strict (disjoint)": len(
+            compress(trie, CompressionMode.STRICT)
+        ),
+        "ONRTC dont-care (disjoint)": len(
+            compress(trie, CompressionMode.DONT_CARE)
+        ),
+        "ORTC (overlapping)": len(compress_ortc(trie)),
+    }
+    rows = [
+        (name, size, format_percent(size / original))
+        for name, size in sizes.items()
+    ]
+    record(
+        "ablation_compression",
+        format_table(["strategy", "entries", "vs original"], rows),
+    )
+
+    benchmark(compress, trie, CompressionMode.STRICT)
+
+    # Orderings that define the design space:
+    assert sizes["ONRTC strict (disjoint)"] <= sizes["leaf-push (disjoint)"]
+    assert (
+        sizes["ONRTC dont-care (disjoint)"]
+        <= sizes["ONRTC strict (disjoint)"]
+    )
+    assert sizes["ONRTC dont-care (disjoint)"] < original
+    # ORTC may exploit overlap to go below any disjoint representation.
+    assert sizes["ORTC (overlapping)"] <= sizes["ONRTC strict (disjoint)"] + 1

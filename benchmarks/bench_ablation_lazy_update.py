@@ -1,0 +1,102 @@
+"""Ablation — minimal vs lazy ONRTC maintenance.
+
+The paper asserts "each routing update only causes one shift" for CLUE,
+which holds for a maintenance discipline that repairs locally and lets the
+table drift from minimal (``repro.compress.lazy``).  Exact minimal
+maintenance (the default) occasionally re-emits wide regions.  This bench
+quantifies the trade on a realistic update storm:
+
+* TCAM slot operations per update (TTF2) and control-plane work (TTF1);
+* table-size drift, and what one recompression costs to shed it.
+"""
+
+from statistics import mean
+
+from repro.analysis.summarize import format_table
+from repro.update.pipeline import ClueUpdatePipeline, default_dred_banks
+from repro.workload.updategen import UpdateGenerator, UpdateParameters
+
+MIX = UpdateParameters(
+    modify_fraction=0.0, new_prefix_fraction=0.5, withdraw_fraction=0.5
+)
+UPDATES = 2_000
+
+
+def test_ablation_lazy_update(record, benchmark, bench_rib):
+    messages = UpdateGenerator(bench_rib, seed=99, parameters=MIX).take(
+        UPDATES
+    )
+
+    pipelines = {
+        "minimal (default)": ClueUpdatePipeline(
+            bench_rib,
+            dred_banks=default_dred_banks(4, 512, True),
+            tcam_capacity=200_000,
+        ),
+        "lazy (bounded work)": ClueUpdatePipeline(
+            bench_rib,
+            dred_banks=default_dred_banks(4, 512, True),
+            tcam_capacity=200_000,
+            lazy=True,
+        ),
+    }
+    rows = []
+    reports = {}
+    for name, pipeline in pipelines.items():
+        report = pipeline.run(messages)
+        reports[name] = (report, pipeline)
+        slot_ops = (
+            pipeline.totals.tcam_moves + pipeline.totals.tcam_writes
+        ) / UPDATES
+        rows.append(
+            (
+                name,
+                f"{slot_ops:.2f}",
+                f"{report.ttf2().mean_us:.4f}",
+                f"{report.ttf2().max_us:.4f}",
+                f"{report.ttf1().mean_us:.4f}",
+                len(pipeline.trie_stage.table),
+            )
+        )
+
+    lazy_table = pipelines["lazy (bounded work)"].trie_stage.table
+    gap_before = lazy_table.minimality_gap()
+    recompress_diff = lazy_table.recompress()
+    text = format_table(
+        [
+            "maintenance",
+            "slot ops/update",
+            "TTF2 mean us",
+            "TTF2 max us",
+            "TTF1 mean us",
+            "entries after storm",
+        ],
+        rows,
+    )
+    text += (
+        f"\nlazy drift after {UPDATES} updates: {gap_before:.3f}x minimal; "
+        f"one recompression = {recompress_diff.entry_changes} entry changes"
+    )
+    record("ablation_lazy_update", text)
+
+    # Benchmark: the lazy update kernel.
+    from repro.compress.lazy import LazyOnrtcTable
+
+    table = LazyOnrtcTable(bench_rib)
+    stream = UpdateGenerator(bench_rib, seed=100, parameters=MIX)
+
+    def one_update():
+        message = stream.next_message()
+        table.apply(message.prefix, message.next_hop)
+
+    benchmark(one_update)
+
+    minimal_report, minimal_pipeline = reports["minimal (default)"]
+    lazy_report, lazy_pipeline = reports["lazy (bounded work)"]
+    # Lazy spends fewer TCAM ops per update and shows no tail blowup...
+    assert lazy_report.ttf2().mean_us <= minimal_report.ttf2().mean_us
+    # ...while the minimal pipeline's table stays smallest.
+    assert len(minimal_pipeline.trie_stage.table) <= len(
+        lazy_pipeline.trie_stage.table
+    )
+    assert gap_before >= 1.0

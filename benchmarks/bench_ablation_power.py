@@ -1,0 +1,80 @@
+"""Ablation — search energy per lookup across schemes.
+
+TCAM power scales with the slots activated per search (the CoolCAMs
+argument the partitioning literature is built on).  The cycle simulator
+records how many MAIN and DRed searches each chip served; combining those
+with each chip's table size and the DRed capacity gives energy per lookup:
+
+* full duplication activates the whole table on every search;
+* CLUE activates one compressed partition-set (≈71%/4 of the table) or one
+  DRed region;
+* CLPL activates an uncompressed chip table, plus its RRC-ME control-plane
+  traffic is reported for context.
+"""
+
+from repro.analysis.summarize import format_table
+from repro.engine.builders import (
+    build_clpl_engine,
+    build_clue_engine,
+    build_round_robin_engine,
+)
+from repro.engine.simulator import EngineConfig
+from repro.tcam.power import PowerModel
+from repro.workload.trafficgen import TrafficGenerator
+
+PACKETS = 25_000
+
+
+def _energy_per_lookup(built, stats, dred_capacity, model):
+    activated = 0
+    for chip_index, table_slots in enumerate(built.tcam_entries_per_chip):
+        activated += stats.per_chip_main[chip_index] * table_slots
+        activated += stats.per_chip_dred[chip_index] * dred_capacity
+    lookups = sum(stats.per_chip_lookups)
+    return model.search_energy_pj(activated) / max(1, lookups)
+
+
+def test_ablation_power(record, benchmark, bench_rib):
+    config = EngineConfig(chip_count=4, dred_capacity=1024)
+    model = PowerModel()
+
+    builds = {
+        "CLUE": build_clue_engine(bench_rib, config),
+        "CLPL": build_clpl_engine(bench_rib, config),
+        "duplicate+RR": build_round_robin_engine(bench_rib, config),
+    }
+    rows = []
+    energies = {}
+    for name, built in builds.items():
+        stats = built.engine.run(TrafficGenerator(bench_rib, seed=85), PACKETS)
+        energy = _energy_per_lookup(built, stats, config.dred_capacity, model)
+        energies[name] = energy
+        rows.append(
+            (
+                name,
+                built.total_tcam_entries,
+                f"{energy:.0f}",
+                f"{stats.speedup(4):.2f}",
+            )
+        )
+    baseline = energies["duplicate+RR"]
+    text = format_table(
+        ["scheme", "TCAM entries", "energy/lookup (pJ)", "speedup"], rows
+    )
+    text += "\nrelative to full duplication: " + ", ".join(
+        f"{name} {energy / baseline:.1%}" for name, energy in energies.items()
+    )
+    record("ablation_power", text)
+
+    # Benchmark: the energy aggregation itself is trivial; measure one
+    # engine run at this configuration instead.
+    def one_run():
+        built = build_clue_engine(bench_rib, config)
+        built.engine.run(TrafficGenerator(bench_rib, seed=86), 4_000)
+
+    benchmark.pedantic(one_run, rounds=3, iterations=1)
+
+    # Shape: duplication burns the most; CLUE burns the least (compressed
+    # table, smallest activated regions).
+    assert energies["CLUE"] < energies["CLPL"] < energies["duplicate+RR"]
+    assert energies["CLUE"] / baseline < 0.40

@@ -1,0 +1,105 @@
+"""Ablation — lookup technologies: TCAM vs DIR-24-8 vs multibit trie.
+
+The paper's introduction motivates TCAMs with "software-based solutions
+might need multiple memory accesses".  This bench quantifies that trade on
+the same table and traffic: accesses per lookup, memory slots, and the
+update cost profile (DIR-24-8's /8-repaint pathology vs CLUE's O(1)).
+"""
+
+from statistics import mean
+
+from repro.analysis.summarize import format_table
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import compress
+from repro.net.prefix import Prefix
+from repro.swlookup.dir248 import Dir248Table
+from repro.swlookup.multibit import MultibitTrie
+from repro.trie.trie import BinaryTrie
+from repro.workload.trafficgen import TrafficGenerator
+from repro.workload.updategen import UpdateGenerator, UpdateParameters
+
+PACKETS = 10_000
+UPDATES = 300
+MIX = UpdateParameters(
+    modify_fraction=0.0, new_prefix_fraction=0.5, withdraw_fraction=0.5
+)
+
+
+def test_ablation_sw_lookup(record, benchmark, bench_rib):
+    routes = bench_rib[:4_000]
+    addresses = TrafficGenerator(routes, seed=77).take(PACKETS)
+    messages = UpdateGenerator(routes, seed=78, parameters=MIX).take(UPDATES)
+
+    dir248 = Dir248Table(routes)
+    multibit = MultibitTrie(routes)
+    compressed = compress(BinaryTrie.from_routes(routes), CompressionMode.DONT_CARE)
+
+    for address in addresses:
+        dir248.lookup(address)
+        multibit.lookup(address)
+
+    dir248_writes = []
+    multibit_writes = []
+    for message in messages:
+        if message.next_hop is None:
+            dir248_writes.append(dir248.delete(message.prefix))
+            multibit_writes.append(multibit.delete(message.prefix))
+        else:
+            dir248_writes.append(dir248.insert(message.prefix, message.next_hop))
+            multibit_writes.append(
+                multibit.insert(message.prefix, message.next_hop)
+            )
+
+    rows = [
+        (
+            "TCAM + ONRTC (CLUE)",
+            "1.00",
+            len(compressed),
+            "<= 1 move",
+            "1",
+        ),
+        (
+            "DIR-24-8",
+            f"{dir248.accesses_per_lookup():.2f}",
+            dir248.memory_slots(),
+            f"{mean(dir248_writes):.1f}",
+            max(dir248_writes),
+        ),
+        (
+            "multibit 8-8-8-8",
+            f"{multibit.accesses_per_lookup():.2f}",
+            multibit.memory_slots(),
+            f"{mean(multibit_writes):.1f}",
+            max(multibit_writes),
+        ),
+    ]
+    record(
+        "ablation_sw_lookup",
+        format_table(
+            [
+                "technology",
+                "accesses/lookup",
+                "memory slots",
+                "mean writes/update",
+                "max writes/update",
+            ],
+            rows,
+        ),
+    )
+
+    # Benchmark: the multibit lookup kernel.
+    index = {"i": 0}
+
+    def one_lookup():
+        index["i"] = (index["i"] + 1) % PACKETS
+        multibit.lookup(addresses[index["i"]])
+
+    benchmark(one_lookup)
+
+    # Shape: software needs >1 access on average; DIR-24-8 buys low access
+    # counts with enormous memory; CLUE's TCAM table is the smallest.
+    assert dir248.accesses_per_lookup() >= 1.0
+    assert multibit.accesses_per_lookup() > 1.0
+    assert dir248.memory_slots() > multibit.memory_slots() > len(compressed)
+    # The DIR-24-8 short-prefix pathology shows up as a large max.
+    assert max(dir248_writes) >= 256 or max(dir248_writes) >= max(multibit_writes)

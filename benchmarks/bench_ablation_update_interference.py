@@ -1,0 +1,102 @@
+"""Ablation — update/lookup interference (the paper's premise 1, stressed).
+
+TTF2 and TTF3 matter because TCAM writes occupy the same access port as
+searches.  The paper's proof *assumes* update cost is negligible (premise
+1: "only one cache-missed element updated within 5000 clock cycles"); this
+bench measures what happens when it is not: traffic runs at saturation
+while BGP updates stall the owning chip for (slot ops × lookup cycles)
+each, at increasing update rates.
+
+CLUE's ~1-op updates barely dent throughput; CLPL's ~15-shift updates plus
+RRC-ME cache maintenance carve into it visibly as the rate approaches
+storm levels.  Only the *timing* side is modelled here (tables stay
+static so both engines serve identical traffic); the correctness side of
+live updates is ClueSystem's job and is tested separately.
+"""
+
+from repro.analysis.summarize import format_table
+from repro.engine.builders import build_clpl_engine, build_clue_engine
+from repro.engine.simulator import EngineConfig
+from repro.update.pipeline import (
+    ClplUpdatePipeline,
+    ClueUpdatePipeline,
+    default_dred_banks,
+)
+from repro.workload.trafficgen import TrafficGenerator
+from repro.workload.updategen import UpdateGenerator, UpdateParameters
+
+MIX = UpdateParameters(
+    modify_fraction=0.0, new_prefix_fraction=0.5, withdraw_fraction=0.5
+)
+CHUNK_PACKETS = 2_000
+CHUNKS = 10
+#: Updates injected per chunk (≈ per 2k packets ≈ per 2k cycles).
+UPDATE_RATES = (0, 20, 100, 400)
+
+
+def _ops_of(sample) -> int:
+    """Slot operations implied by one update's data-plane latency."""
+    return max(0, round((sample.ttf2_us + sample.ttf3_us) * 1_000 / 24))
+
+
+def _run(name, builder, pipeline, bench_rib, rate):
+    built = builder(bench_rib, EngineConfig(chip_count=4))
+    traffic = TrafficGenerator(bench_rib, seed=88)
+    updates = UpdateGenerator(bench_rib, seed=89, parameters=MIX)
+    engine = built.engine
+    for _ in range(CHUNKS):
+        engine.run(traffic, CHUNK_PACKETS)
+        for _ in range(rate):
+            message = updates.next_message()
+            sample = pipeline.apply(message)
+            chip = engine.home_of(message.prefix.network)
+            engine.inject_stall(
+                chip, _ops_of(sample) * engine.config.lookup_cycles
+            )
+    return engine.stats.speedup(engine.config.lookup_cycles)
+
+
+def test_ablation_update_interference(record, benchmark, bench_rib):
+    rows = []
+    curves = {"CLUE": [], "CLPL": []}
+    for rate in UPDATE_RATES:
+        clue_pipeline = ClueUpdatePipeline(
+            bench_rib,
+            dred_banks=default_dred_banks(4, 512, True),
+            tcam_capacity=200_000,
+            lazy=True,
+        )
+        clpl_pipeline = ClplUpdatePipeline(
+            bench_rib,
+            dred_banks=default_dred_banks(4, 512, False),
+            tcam_capacity=200_000,
+        )
+        clue_speedup = _run(
+            "clue", build_clue_engine, clue_pipeline, bench_rib, rate
+        )
+        clpl_speedup = _run(
+            "clpl", build_clpl_engine, clpl_pipeline, bench_rib, rate
+        )
+        curves["CLUE"].append(clue_speedup)
+        curves["CLPL"].append(clpl_speedup)
+        rows.append(
+            (rate, f"{clue_speedup:.3f}", f"{clpl_speedup:.3f}")
+        )
+    record(
+        "ablation_update_interference",
+        format_table(
+            ["updates per 2k packets", "CLUE speedup", "CLPL speedup"], rows
+        ),
+    )
+
+    def one_chunk():
+        built = build_clue_engine(bench_rib, EngineConfig(chip_count=4))
+        built.engine.run(TrafficGenerator(bench_rib, seed=90), 2_000)
+
+    benchmark.pedantic(one_chunk, rounds=3, iterations=1)
+
+    # Shape: at storm rates CLUE retains clearly more throughput.
+    assert curves["CLUE"][-1] > curves["CLPL"][-1]
+    # Both schemes degrade monotonically-ish from their no-update baseline.
+    assert curves["CLUE"][0] >= curves["CLUE"][-1] - 0.02
+    assert curves["CLPL"][0] > curves["CLPL"][-1]

@@ -1,0 +1,58 @@
+"""Figure 10 — TTF1 (trie update time): CLUE (ONRTC) vs CLPL (plain trie).
+
+Paper: TTF1-CLUE ranges 0.1924–0.3574 µs, mean 0.2210 µs — 'a little bit
+longer' than the uncompressed ground truth, and harmless because trie
+update never interrupts lookups.
+"""
+
+from repro.analysis.summarize import format_series, format_table
+from repro.update.trie_update import OnrtcTrieUpdater
+
+
+def _series(report, selector, windows=12):
+    span = report.samples[-1].timestamp if report.samples else 1.0
+    return [
+        window.mean_us
+        for window in report.windowed(selector, span / windows + 1e-9)
+    ]
+
+
+def test_fig10_ttf1(record, benchmark, ttf_reports, bench_rib):
+    clue = ttf_reports["clue"]
+    clpl = ttf_reports["clpl"]
+
+    rows = [
+        (
+            name,
+            f"{summary.min_us:.4f}",
+            f"{summary.mean_us:.4f}",
+            f"{summary.max_us:.4f}",
+        )
+        for name, summary in (
+            ("CLPL (ground truth)", clpl.ttf1()),
+            ("CLUE (ONRTC)", clue.ttf1()),
+        )
+    ]
+    text = format_table(["scheme", "min us", "mean us", "max us"], rows)
+    text += "\n" + format_series(
+        "CLUE windowed mean (us)", _series(clue, lambda s: s.ttf1_us)
+    )
+    text += "\n" + format_series(
+        "CLPL windowed mean (us)", _series(clpl, lambda s: s.ttf1_us)
+    )
+    record("fig10_ttf1", text)
+
+    # Benchmark: one incremental ONRTC update (the TTF1-CLUE kernel).
+    from repro.workload.updategen import UpdateGenerator
+
+    updater = OnrtcTrieUpdater(bench_rib)
+    stream = UpdateGenerator(bench_rib, seed=31)
+
+    def one_update():
+        updater.apply(stream.next_message())
+
+    benchmark(one_update)
+
+    # Shape: CLUE a little longer than ground truth, same order of magnitude.
+    assert clue.ttf1().mean_us > clpl.ttf1().mean_us
+    assert clue.ttf1().mean_us < 10 * clpl.ttf1().mean_us

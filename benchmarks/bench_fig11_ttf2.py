@@ -1,0 +1,72 @@
+"""Figure 11 — TTF2 (TCAM update time): CLUE O(1) vs CLPL's PLO layout.
+
+Paper: CLPL's prefix-length-ordered layout needs 14.994 shifts on average
+(0.3558–0.3782 µs, mean 0.3598 µs at 24 ns/shift); CLUE needs at most one
+shift per compressed-table entry change, 0.024 µs in the paper's idealised
+accounting.
+"""
+
+from repro.analysis.summarize import format_series, format_table
+from repro.update.tcam_update import PloTcamMirror
+from repro.workload.updategen import UpdateGenerator, UpdateParameters
+
+
+def _series(report, selector, windows=12):
+    span = report.samples[-1].timestamp if report.samples else 1.0
+    return [
+        window.mean_us
+        for window in report.windowed(selector, span / windows + 1e-9)
+    ]
+
+
+def test_fig11_ttf2(record, benchmark, ttf_reports, bench_rib):
+    clue = ttf_reports["clue"]
+    clpl = ttf_reports["clpl"]
+    clpl_pipeline = ttf_reports["clpl_pipeline"]
+
+    avg_shifts = (
+        clpl_pipeline.totals.tcam_moves / clpl_pipeline.totals.updates
+    )
+    rows = [
+        (
+            name,
+            f"{summary.min_us:.4f}",
+            f"{summary.mean_us:.4f}",
+            f"{summary.max_us:.4f}",
+        )
+        for name, summary in (
+            ("CLPL (PLO layout)", clpl.ttf2()),
+            ("CLUE (unordered)", clue.ttf2()),
+        )
+    ]
+    text = format_table(["scheme", "min us", "mean us", "max us"], rows)
+    text += f"\nCLPL average shifts/update: {avg_shifts:.3f} (paper: 14.994)"
+    text += "\n" + format_series(
+        "CLUE windowed mean (us)", _series(clue, lambda s: s.ttf2_us)
+    )
+    text += "\n" + format_series(
+        "CLPL windowed mean (us)", _series(clpl, lambda s: s.ttf2_us)
+    )
+    record("fig11_ttf2", text)
+
+    # Benchmark: one PLO-layout TCAM update (the costly baseline kernel).
+    mirror = PloTcamMirror(bench_rib, capacity=200_000)
+    stream = UpdateGenerator(
+        bench_rib,
+        seed=37,
+        parameters=UpdateParameters(
+            modify_fraction=0.0,
+            new_prefix_fraction=0.5,
+            withdraw_fraction=0.5,
+        ),
+    )
+
+    def one_update():
+        mirror.apply(stream.next_message())
+
+    benchmark(one_update)
+
+    # Shape: an order of magnitude between the layouts; PLO lands near the
+    # paper's ~15-shift average.
+    assert 8 <= avg_shifts <= 25
+    assert clpl.ttf2().mean_us / clue.ttf2().mean_us > 3.0

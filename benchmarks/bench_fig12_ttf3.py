@@ -1,0 +1,64 @@
+"""Figure 12 — TTF3 (DRed update time): direct probe vs RRC-ME bookkeeping.
+
+Paper: TTF3-CLUE is flat at 0.024 µs; TTF3-CLPL ranges 0.1802–0.2878 µs
+(mean 0.1993 µs) because every table change makes the control plane walk
+the SRAM trie to find invalidated cached expansions — 8.3× CLUE on
+average.
+"""
+
+from repro.analysis.summarize import format_series, format_table
+
+
+def _series(report, selector, windows=12):
+    span = report.samples[-1].timestamp if report.samples else 1.0
+    return [
+        window.mean_us
+        for window in report.windowed(selector, span / windows + 1e-9)
+    ]
+
+
+def test_fig12_ttf3(record, benchmark, ttf_reports, bench_rib):
+    clue = ttf_reports["clue"]
+    clpl = ttf_reports["clpl"]
+
+    ratio = clpl.ttf3().mean_us / clue.ttf3().mean_us
+    rows = [
+        (
+            name,
+            f"{summary.min_us:.4f}",
+            f"{summary.mean_us:.4f}",
+            f"{summary.max_us:.4f}",
+        )
+        for name, summary in (
+            ("CLPL (RRC-ME)", clpl.ttf3()),
+            ("CLUE (direct)", clue.ttf3()),
+        )
+    ]
+    text = format_table(["scheme", "min us", "mean us", "max us"], rows)
+    text += f"\nTTF3 ratio CLPL/CLUE: {ratio:.2f}x (paper: 8.3x)"
+    text += "\n" + format_series(
+        "CLPL windowed mean (us)", _series(clpl, lambda s: s.ttf3_us)
+    )
+    record("fig12_ttf3", text)
+
+    # Benchmark: the CLPL DRed maintenance kernel (SRAM walk + invalidate).
+    from repro.engine.dred import DredCache
+    from repro.update.dred_update import ClplDredUpdater
+    from repro.workload.updategen import UpdateGenerator
+
+    pipeline = ttf_reports["clpl_pipeline"]
+    caches = [DredCache(1024, index, False) for index in range(4)]
+    for prefix, hop in bench_rib[:2_000]:
+        for cache in caches:
+            cache.insert(prefix, hop, owner=0)
+    updater = ClplDredUpdater(pipeline.trie_stage.trie, caches)
+    stream = UpdateGenerator(bench_rib, seed=41)
+
+    def one_update():
+        updater.apply(stream.next_message())
+
+    benchmark(one_update)
+
+    # Shape: CLUE several times cheaper, CLPL in (broadly) the paper band.
+    assert ratio > 3.0
+    assert clue.ttf3().mean_us < 0.08

@@ -1,0 +1,65 @@
+"""Figure 14 — total TTF (TTF1+TTF2+TTF3).
+
+Paper: TTF-CLPL ranges 0.6303–0.8342 µs (mean 0.6664 µs); TTF-CLUE
+averages 0.2690 µs, i.e. CLPL is ≈234% of CLUE.
+"""
+
+from repro.analysis.summarize import format_series, format_table
+
+
+def _series(report, selector, windows=12):
+    span = report.samples[-1].timestamp if report.samples else 1.0
+    return [
+        window.mean_us
+        for window in report.windowed(selector, span / windows + 1e-9)
+    ]
+
+
+def test_fig14_ttf_total(record, benchmark, ttf_reports, bench_rib):
+    clue = ttf_reports["clue"]
+    clpl = ttf_reports["clpl"]
+
+    ratio = clpl.total().mean_us / clue.total().mean_us
+    rows = [
+        (
+            name,
+            f"{summary.min_us:.4f}",
+            f"{summary.mean_us:.4f}",
+            f"{summary.max_us:.4f}",
+        )
+        for name, summary in (
+            ("CLPL", clpl.total()),
+            ("CLUE", clue.total()),
+        )
+    ]
+    text = format_table(["scheme", "min us", "mean us", "max us"], rows)
+    text += f"\ntotal TTF ratio CLPL/CLUE: {ratio:.0%} (paper: 234%)"
+    text += "\n" + format_series(
+        "CLUE windowed mean (us)", _series(clue, lambda s: s.total_us)
+    )
+    text += "\n" + format_series(
+        "CLPL windowed mean (us)", _series(clpl, lambda s: s.total_us)
+    )
+    record("fig14_ttf_total", text)
+
+    # Benchmark: one full CLPL update (the slower total path).
+    from repro.update.pipeline import ClplUpdatePipeline, default_dred_banks
+    from repro.workload.ribgen import RibParameters, generate_rib
+    from repro.workload.updategen import UpdateGenerator
+
+    routes = generate_rib(53, RibParameters(size=2_000))
+    # Headroom for the benchmark's many rounds (see bench_fig13).
+    pipeline = ClplUpdatePipeline(
+        routes,
+        dred_banks=default_dred_banks(4, 512, False),
+        tcam_capacity=200_000,
+    )
+    stream = UpdateGenerator(routes, seed=54)
+
+    def one_update():
+        pipeline.apply(stream.next_message())
+
+    benchmark(one_update)
+
+    # Shape: CLPL roughly 1.5-4x CLUE's total freshness latency.
+    assert 1.5 <= ratio <= 4.5

@@ -1,0 +1,107 @@
+"""Figure 16 — speedup factor vs DRed hit rate.
+
+Paper: measured (h, t) points for both CLPL and CLUE sit well above the
+worst-case floor t = (N−1)h + 1, the two schemes' curves nearly coincide
+(same hit rate ⇒ same speedup), and a cubic fit summarises each curve.
+Points are produced by sweeping the DRed capacity under the adversarial
+mapping of Table II.
+"""
+
+from repro.analysis.fitting import cubic_fit, polyval
+from repro.analysis.speedup import required_hit_rate, worst_case_speedup
+from repro.analysis.summarize import format_table
+from repro.engine.builders import (
+    build_clpl_engine,
+    build_clue_engine,
+    measure_partition_load,
+)
+from repro.engine.simulator import EngineConfig
+from repro.workload.trafficgen import TrafficGenerator
+
+PACKETS = 30_000
+DRED_SIZES = (96, 160, 256, 512, 1024, 2048)
+
+
+def _sweep(builder, bench_rib, loads):
+    points = []
+    for capacity in DRED_SIZES:
+        config = EngineConfig(chip_count=4, dred_capacity=capacity)
+        built = builder(bench_rib, config, loads)
+        stats = built.engine.run(
+            TrafficGenerator(bench_rib, seed=71), PACKETS
+        )
+        points.append((stats.dred_hit_rate, stats.speedup(4)))
+    return points
+
+
+def test_fig16_speedup_vs_hitrate(record, benchmark, bench_rib):
+    probe = build_clue_engine(bench_rib, EngineConfig(chip_count=4))
+    sample = TrafficGenerator(bench_rib, seed=71).take(PACKETS)
+    loads = measure_partition_load(
+        probe.index, sample, probe.partition_result.count
+    )
+
+    clue_points = _sweep(
+        lambda routes, config, l: build_clue_engine(
+            routes, config, partition_loads=l
+        ),
+        bench_rib,
+        loads,
+    )
+    clpl_points = _sweep(
+        lambda routes, config, l: build_clpl_engine(
+            routes, config, partition_loads=l
+        ),
+        bench_rib,
+        loads,
+    )
+
+    rows = []
+    for scheme, points in (("CLUE", clue_points), ("CLPL", clpl_points)):
+        for (hit_rate, speedup), capacity in zip(points, DRED_SIZES):
+            rows.append(
+                (
+                    scheme,
+                    capacity,
+                    f"{hit_rate:.3f}",
+                    f"{speedup:.3f}",
+                    f"{worst_case_speedup(4, hit_rate):.3f}",
+                )
+            )
+    text = format_table(
+        ["scheme", "DRed size", "hit rate h", "speedup t", "floor (N-1)h+1"],
+        rows,
+    )
+    fit = cubic_fit(clue_points + clpl_points)
+    text += (
+        "\ncubic fit t(h): "
+        + " + ".join(f"{c:.3f} h^{i}" for i, c in enumerate(fit))
+        + f"\nfit at h=0.9: t={polyval(fit, 0.9):.3f}"
+    )
+    record("fig16_speedup", text)
+
+    # Benchmark: one engine run at a mid-sweep operating point.
+    def one_point():
+        config = EngineConfig(chip_count=4, dred_capacity=256)
+        built = build_clue_engine(bench_rib, config, partition_loads=loads)
+        built.engine.run(TrafficGenerator(bench_rib, seed=72), 5_000)
+
+    benchmark.pedantic(one_point, rounds=3, iterations=1)
+
+    floor_domain = required_hit_rate(4)
+    for points in (clue_points, clpl_points):
+        # speedup rises with hit rate
+        hits = [h for h, _ in points]
+        speeds = [t for _, t in points]
+        assert speeds[-1] > speeds[0]
+        assert hits[-1] > hits[0]
+        # every in-domain point respects the worst-case floor
+        for hit_rate, speedup in points:
+            if hit_rate >= floor_domain:
+                assert speedup >= worst_case_speedup(4, hit_rate) - 0.05
+    # CLUE and CLPL land on (nearly) the same curve: compare speedups at
+    # comparable hit rates.
+    for clue_h, clue_t in clue_points:
+        closest = min(clpl_points, key=lambda p: abs(p[0] - clue_h))
+        if abs(closest[0] - clue_h) < 0.05:
+            assert abs(closest[1] - clue_t) < 0.5

@@ -1,0 +1,77 @@
+"""Figure 17 — DRed size vs hit rate: CLUE above CLPL at every size.
+
+Paper: because DRed *i* never wastes slots on chip *i*'s own prefixes (and
+CLUE caches the coarser disjoint entries instead of fine RRC-ME
+expansions), CLUE reaches a higher hit rate than CLPL at the same DRed
+size — and hence (via Figure 16) a higher speedup.
+"""
+
+from repro.analysis.summarize import format_table
+from repro.engine.builders import (
+    build_clpl_engine,
+    build_clue_engine,
+    measure_partition_load,
+)
+from repro.engine.simulator import EngineConfig
+from repro.workload.trafficgen import TrafficGenerator
+
+PACKETS = 30_000
+DRED_SIZES = (64, 128, 256, 512, 1024)
+
+
+def test_fig17_hitrate_vs_dred_size(record, benchmark, bench_rib):
+    probe = build_clue_engine(bench_rib, EngineConfig(chip_count=4))
+    sample = TrafficGenerator(bench_rib, seed=81).take(PACKETS)
+    loads = measure_partition_load(
+        probe.index, sample, probe.partition_result.count
+    )
+
+    rows = []
+    curves = {"CLUE": [], "CLPL": []}
+    for capacity in DRED_SIZES:
+        config = EngineConfig(chip_count=4, dred_capacity=capacity)
+        clue = build_clue_engine(bench_rib, config, partition_loads=loads)
+        clpl = build_clpl_engine(bench_rib, config, partition_loads=loads)
+        clue_stats = clue.engine.run(
+            TrafficGenerator(bench_rib, seed=81), PACKETS
+        )
+        clpl_stats = clpl.engine.run(
+            TrafficGenerator(bench_rib, seed=81), PACKETS
+        )
+        curves["CLUE"].append(clue_stats.dred_hit_rate)
+        curves["CLPL"].append(clpl_stats.dred_hit_rate)
+        rows.append(
+            (
+                capacity,
+                f"{clue_stats.dred_hit_rate:.3f}",
+                f"{clpl_stats.dred_hit_rate:.3f}",
+            )
+        )
+    record(
+        "fig17_hitrate",
+        format_table(["DRed size", "CLUE hit rate", "CLPL hit rate"], rows),
+    )
+
+    # Benchmark: DRed cache operations (the kernel behind every point).
+    from repro.engine.dred import DredCache
+
+    cache = DredCache(1024, 0, True)
+    addresses = iter(sample * 4)
+    prefixes = [route[0] for route in bench_rib[:4_000]]
+    hops = [route[1] for route in bench_rib[:4_000]]
+    state = {"index": 0}
+
+    def cache_ops():
+        i = state["index"] = (state["index"] + 1) % 4_000
+        cache.insert(prefixes[i], hops[i], owner=1)
+        cache.lookup(next(addresses))
+
+    benchmark(cache_ops)
+
+    # Shape: CLUE's curve dominates CLPL's; both rise with capacity.
+    for clue_rate, clpl_rate in zip(curves["CLUE"], curves["CLPL"]):
+        assert clue_rate >= clpl_rate - 0.02
+    assert curves["CLUE"][-1] > curves["CLUE"][0]
+    assert sum(curves["CLUE"]) / len(DRED_SIZES) > sum(curves["CLPL"]) / len(
+        DRED_SIZES
+    )

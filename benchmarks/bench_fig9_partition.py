@@ -1,0 +1,73 @@
+"""Figure 9 — partition comparison: SLPL (ID-bit) vs CLPL (sub-tree) vs
+CLUE (even ranges over the compressed table).
+
+Paper: SLPL cannot split evenly; CLPL splits evenly at the cost of
+redundancy that grows with the partition count; CLUE splits exactly evenly
+with zero redundancy and fewer prefixes per partition than both.
+"""
+
+import pytest
+
+from repro.analysis.summarize import format_table
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import compress
+from repro.partition.even import even_partition
+from repro.partition.idbit import idbit_partition
+from repro.partition.subtree import subtree_partition
+from repro.trie.trie import BinaryTrie
+
+PARTITION_COUNTS = (4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def inputs(bench_rib):
+    trie = BinaryTrie.from_routes(bench_rib)
+    compressed = sorted(
+        compress(trie, CompressionMode.DONT_CARE).items(),
+        key=lambda route: route[0].sort_key(),
+    )
+    return bench_rib, trie, compressed
+
+
+def test_fig9_partition_comparison(record, benchmark, inputs):
+    routes, trie, compressed = inputs
+    rows = []
+    results = {}
+    for count in PARTITION_COUNTS:
+        slpl = idbit_partition(routes, count)
+        clpl = subtree_partition(trie, count)
+        clue = even_partition(compressed, count)
+        results[count] = (slpl, clpl, clue)
+        for name, result in (("SLPL", slpl), ("CLPL", clpl), ("CLUE", clue)):
+            rows.append(
+                (
+                    count,
+                    name,
+                    result.max_size,
+                    result.min_size,
+                    f"{result.imbalance:.3f}",
+                    result.redundancy,
+                )
+            )
+    record(
+        "fig9_partition",
+        format_table(
+            ["partitions", "scheme", "max", "min", "max/mean", "redundant"],
+            rows,
+        ),
+    )
+
+    # Benchmark: CLUE's partition step (the paper stresses its simplicity).
+    benchmark(even_partition, compressed, 32)
+
+    for count in PARTITION_COUNTS:
+        slpl, clpl, clue = results[count]
+        # CLUE: perfectly even, zero redundancy, smallest partitions.
+        assert clue.redundancy == 0
+        assert clue.max_size - clue.min_size <= 1
+        assert clue.max_size < slpl.max_size
+        assert clue.max_size < clpl.max_size
+        # SLPL: visibly uneven.
+        assert slpl.imbalance > clue.imbalance
+    # CLPL redundancy grows with the partition count.
+    assert results[32][1].redundancy >= results[4][1].redundancy

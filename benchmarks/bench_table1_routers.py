@@ -1,0 +1,42 @@
+"""Table I — the 12 collector datasets (synthetic stand-ins).
+
+Regenerates the inventory of routing tables the evaluation draws on and
+benchmarks table construction itself.
+"""
+
+from repro.analysis.summarize import format_table
+from repro.trie.trie import BinaryTrie
+from repro.workload.datasets import ROUTERS, router_rib
+from repro.workload.ribgen import RibParameters, generate_rib
+
+#: Keep Table I generation snappy: 1/64 of 2011-scale.
+SCALE = 1 / 64
+
+
+def test_table1_router_inventory(record, benchmark):
+    tables = {
+        router.router_id: router_rib(router, size_scale=SCALE)
+        for router in ROUTERS
+    }
+
+    rows = [
+        (
+            router.router_id,
+            router.location,
+            len(tables[router.router_id]),
+            len(BinaryTrie.from_routes(tables[router.router_id]).next_hops()),
+        )
+        for router in ROUTERS
+    ]
+    record(
+        "table1_routers",
+        format_table(["router", "location", "prefixes", "next hops"], rows),
+    )
+
+    # Benchmark: generating one collector's table from scratch.
+    benchmark(
+        generate_rib, ROUTERS[0].seed, RibParameters(size=rows[0][2])
+    )
+
+    assert len(rows) == 12
+    assert all(row[2] > 0 for row in rows)

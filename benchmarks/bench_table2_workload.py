@@ -1,0 +1,78 @@
+"""Table II — workload on the 32 even partitions and the adversarial
+partition → chip mapping.
+
+Paper: real traffic over rrc01's 32 even partitions is extremely skewed
+(one partition alone carries 21.92%); sorting partitions by load and
+giving the hottest eight to each chip in turn yields per-chip shares of
+77.88% / 17.43% / 4.54% / 0.16% — the worst-case mapping Figure 15 then
+balances.
+"""
+
+from repro.analysis.summarize import format_percent, format_table
+from repro.engine.builders import (
+    build_clue_engine,
+    map_partitions_to_chips,
+    measure_partition_load,
+)
+from repro.engine.simulator import EngineConfig
+from repro.partition.even import partition_ranges
+from repro.net.prefix import format_address
+from repro.workload.trafficgen import TrafficGenerator, TrafficParameters
+
+PACKETS = 60_000
+
+#: CAIDA-like concentration: reproduces the paper's 77.88%-on-one-chip
+#: skew (calibrated; the synthetic default is milder).
+TABLE2_TRAFFIC = TrafficParameters(zipf_exponent=1.4)
+
+
+def test_table2_partition_workload(record, benchmark, bench_rib):
+    built = build_clue_engine(bench_rib, EngineConfig(chip_count=4))
+    traffic = TrafficGenerator(bench_rib, seed=61, parameters=TABLE2_TRAFFIC)
+    sample = traffic.take(PACKETS)
+    loads = measure_partition_load(
+        built.index, sample, built.partition_result.count
+    )
+    total = sum(loads)
+    ranges = partition_ranges(built.partition_result)
+    mapping = map_partitions_to_chips(len(loads), 4, loads)
+
+    order = sorted(range(len(loads)), key=lambda p: loads[p], reverse=True)
+    rows = []
+    chip_share = [0.0] * 4
+    for partition in order:
+        share = loads[partition] / total
+        chip = mapping[partition]
+        chip_share[chip] += share
+        low, high = ranges[partition]
+        rows.append(
+            (
+                chip + 1,
+                partition,
+                format_address(low),
+                format_address(high),
+                format_percent(share),
+            )
+        )
+    text = format_table(
+        ["chip", "bucket", "range low", "range high", "% of traffic"],
+        rows[:12] + [("...", "", "", "", "")],
+    )
+    text += "\nper-chip share under the adversarial mapping: " + ", ".join(
+        format_percent(share) for share in chip_share
+    )
+    record("table2_workload", text)
+
+    # Benchmark: classifying the whole sample through the indexing logic.
+    benchmark(
+        measure_partition_load,
+        built.index,
+        sample[:10_000],
+        built.partition_result.count,
+    )
+
+    # Shape: extreme skew — the hottest chip dominates, the coldest is
+    # near idle (paper: 77.88% vs 0.16%).
+    assert chip_share[0] > 0.60
+    assert chip_share[3] < 0.06
+    assert max(loads) / total > 0.05

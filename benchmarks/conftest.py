@@ -1,0 +1,86 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark module regenerates one table or figure from the paper's
+Section V (see DESIGN.md §4 for the index).  Runs are deterministic; each
+module prints its reproduction rows (run ``pytest benchmarks/ -s``) and
+appends them to ``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workload.ribgen import RibParameters, generate_rib
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale used throughout the benches: large enough for stable shapes,
+#: small enough that the whole suite runs in minutes.
+BENCH_RIB_SIZE = 8_000
+
+
+@pytest.fixture(scope="session")
+def bench_rib():
+    """The routing table all engine-level benches share (rrc01 stand-in)."""
+    return generate_rib(101, RibParameters(size=BENCH_RIB_SIZE))
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def ttf_reports(bench_rib):
+    """Both update pipelines run over the same 24h-style update stream.
+
+    Shared by the Figure 10-14 benches.  The mix is structural (announce
+    new / withdraw), matching the paper's replay of raw RIPE messages; the
+    DRed banks are pre-warmed so TTF3 maintenance has real work.
+    """
+    from repro.update.pipeline import (
+        ClplUpdatePipeline,
+        ClueUpdatePipeline,
+        default_dred_banks,
+    )
+    from repro.workload.updategen import UpdateGenerator, UpdateParameters
+
+    mix = UpdateParameters(
+        modify_fraction=0.0,
+        new_prefix_fraction=0.5,
+        withdraw_fraction=0.5,
+    )
+    clue = ClueUpdatePipeline(
+        bench_rib, dred_banks=default_dred_banks(4, 1024, True)
+    )
+    clpl = ClplUpdatePipeline(
+        bench_rib, dred_banks=default_dred_banks(4, 1024, False)
+    )
+    for prefix, hop in bench_rib[:2_000]:
+        for bank in clue.dred_stage.caches:
+            bank.insert(prefix, hop, owner=(bank.chip_index + 1) % 4)
+        for bank in clpl.dred_stage.caches:
+            bank.insert(prefix, hop, owner=bank.chip_index)
+    messages = UpdateGenerator(bench_rib, seed=23, parameters=mix).take(3_000)
+    return {
+        "clue": clue.run(messages),
+        "clpl": clpl.run(messages),
+        "clue_pipeline": clue,
+        "clpl_pipeline": clpl,
+        "messages": messages,
+    }
+
+
+@pytest.fixture()
+def record(results_dir, request):
+    """Print a reproduction block and persist it under results/."""
+
+    def _record(name: str, text: str) -> None:
+        block = f"== {name} ==\n{text}\n"
+        print("\n" + block)
+        (results_dir / f"{name}.txt").write_text(block, encoding="ascii")
+
+    return _record

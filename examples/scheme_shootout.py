@@ -1,0 +1,71 @@
+"""Scheme shoot-out: CLUE vs CLPL vs SLPL vs full duplication.
+
+Loads the same routing table into all four parallel-lookup schemes and
+drives identical traffic through each, reproducing the paper's core
+comparison in one run: TCAM cost, speedup, hit rate and control-plane
+chatter.
+
+Run with:  python examples/scheme_shootout.py
+"""
+
+from repro.analysis.summarize import format_table
+from repro.engine.builders import (
+    build_clpl_engine,
+    build_clue_engine,
+    build_round_robin_engine,
+    build_slpl_engine,
+)
+from repro.engine.simulator import EngineConfig
+from repro.workload.ribgen import RibParameters, generate_rib
+from repro.workload.trafficgen import TrafficGenerator
+
+PACKETS = 30_000
+
+
+def main() -> None:
+    routes = generate_rib(seed=3, parameters=RibParameters(size=6_000))
+    config = EngineConfig(chip_count=4)
+    training = TrafficGenerator(routes, seed=10).take(20_000)
+
+    engines = {
+        "CLUE": build_clue_engine(routes, config),
+        "CLPL": build_clpl_engine(routes, config),
+        "SLPL": build_slpl_engine(routes, training, config),
+        "duplicate+RR": build_round_robin_engine(routes, config),
+    }
+
+    rows = []
+    for name, built in engines.items():
+        stats = built.engine.run(TrafficGenerator(routes, seed=11), PACKETS)
+        covered_only = name == "CLUE"
+        assert built.engine.verify_completions(covered_only=covered_only)
+        rows.append(
+            (
+                name,
+                built.total_tcam_entries,
+                f"{stats.speedup(4):.2f}",
+                f"{stats.dred_hit_rate:.1%}" if stats.dred_lookups else "n/a",
+                stats.control_plane_interactions,
+            )
+        )
+    print(
+        format_table(
+            [
+                "scheme",
+                "TCAM entries",
+                "speedup",
+                "DRed hit rate",
+                "ctrl-plane msgs",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nNote how CLUE matches the duplicate baseline's speedup with a "
+        "quarter of its TCAM cost,\nand needs zero control-plane "
+        "interactions where CLPL pays one per cached prefix."
+    )
+
+
+if __name__ == "__main__":
+    main()

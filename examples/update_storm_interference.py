@@ -1,0 +1,91 @@
+"""Update storms vs lookup throughput — why TTF2+TTF3 matter.
+
+The paper reports backbone routers receiving up to 35K updates/second.
+Every TCAM slot operation an update needs steals a search slot from the
+data path, so update efficiency *is* lookup throughput under churn.  This
+example drives both engines at line rate while raising the update rate,
+charging each scheme its real per-update slot operations as chip stalls.
+
+Run with:  python examples/update_storm_interference.py
+"""
+
+from repro.analysis.summarize import format_table
+from repro.engine.builders import build_clpl_engine, build_clue_engine
+from repro.engine.simulator import EngineConfig
+from repro.update.pipeline import (
+    ClplUpdatePipeline,
+    ClueUpdatePipeline,
+    default_dred_banks,
+)
+from repro.workload.ribgen import RibParameters, generate_rib
+from repro.workload.trafficgen import TrafficGenerator
+from repro.workload.updategen import UpdateGenerator, UpdateParameters
+
+MIX = UpdateParameters(
+    modify_fraction=0.0, new_prefix_fraction=0.5, withdraw_fraction=0.5
+)
+CHUNK = 2_000
+CHUNKS = 8
+RATES = (0, 50, 200, 500)
+
+
+def run_scheme(builder, pipeline, routes, rate):
+    built = builder(routes, EngineConfig(chip_count=4))
+    traffic = TrafficGenerator(routes, seed=30)
+    updates = UpdateGenerator(routes, seed=31, parameters=MIX)
+    engine = built.engine
+    for _ in range(CHUNKS):
+        engine.run(traffic, CHUNK)
+        for _ in range(rate):
+            message = updates.next_message()
+            sample = pipeline.apply(message)
+            slot_ops = round((sample.ttf2_us + sample.ttf3_us) * 1_000 / 24)
+            engine.inject_stall(
+                engine.home_of(message.prefix.network),
+                slot_ops * engine.config.lookup_cycles,
+            )
+    return engine.stats.speedup(4)
+
+
+def main() -> None:
+    routes = generate_rib(seed=26, parameters=RibParameters(size=6_000))
+    rows = []
+    for rate in RATES:
+        clue_speedup = run_scheme(
+            build_clue_engine,
+            ClueUpdatePipeline(
+                routes,
+                dred_banks=default_dred_banks(4, 512, True),
+                tcam_capacity=200_000,
+                lazy=True,
+            ),
+            routes,
+            rate,
+        )
+        clpl_speedup = run_scheme(
+            build_clpl_engine,
+            ClplUpdatePipeline(
+                routes,
+                dred_banks=default_dred_banks(4, 512, False),
+                tcam_capacity=200_000,
+            ),
+            routes,
+            rate,
+        )
+        rows.append((rate, f"{clue_speedup:.2f}", f"{clpl_speedup:.2f}"))
+    print(
+        format_table(
+            ["updates per 2k packets", "CLUE speedup", "CLPL speedup"], rows
+        )
+    )
+    print(
+        "\nCLUE's O(1) updates keep the data path near full speed through "
+        "the storm;\nthe PLO+RRC-ME baseline spends so many slot "
+        "operations per update that its\nown lookups starve — the paper's "
+        "case for co-designing compression, lookup\nand update in one "
+        "mechanism."
+    )
+
+
+if __name__ == "__main__":
+    main()

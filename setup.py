@@ -1,0 +1,6 @@
+"""Setup shim: kept so legacy editable installs work in offline
+environments that lack the ``wheel`` package (PEP 660 needs it)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,11 @@
+"""CLUE reproduction: routing table Compression, parallel Lookup, fast UpdatE.
+
+Reproduction of *CLUE: Achieving Fast Update over Compressed Table for
+Parallel Lookup with Reduced Dynamic Redundancy* (Yang et al., ICDCS 2012).
+
+Start with :mod:`repro.core` for the integrated engine, or the individual
+pillars: :mod:`repro.compress` (ONRTC), :mod:`repro.engine` (parallel TCAM
+lookup with dynamic redundancy), :mod:`repro.update` (TTF pipeline).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,33 @@
+"""Analytical models and reporting helpers."""
+
+from repro.analysis.evenness import (
+    coefficient_of_variation,
+    jain_fairness,
+    max_mean_ratio,
+    spread,
+)
+from repro.analysis.fitting import cubic_fit, polyfit, polyval
+from repro.analysis.speedup import (
+    bound_satisfied,
+    implied_utilisation,
+    required_hit_rate,
+    worst_case_speedup,
+)
+from repro.analysis.summarize import format_percent, format_series, format_table
+
+__all__ = [
+    "bound_satisfied",
+    "coefficient_of_variation",
+    "cubic_fit",
+    "format_percent",
+    "format_series",
+    "format_table",
+    "implied_utilisation",
+    "jain_fairness",
+    "max_mean_ratio",
+    "polyfit",
+    "polyval",
+    "required_hit_rate",
+    "spread",
+    "worst_case_speedup",
+]

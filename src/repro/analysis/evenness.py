@@ -1,0 +1,50 @@
+"""Distribution-evenness metrics for partition sizes and chip loads.
+
+Figure 9 (partition evenness) and Figure 15 (traffic balance) both reduce
+to "how even is this vector" — quantified here with the standard measures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def max_mean_ratio(values: Sequence[float]) -> float:
+    """max/mean — 1.0 is perfectly even; the paper's implicit metric."""
+    if not values:
+        raise ValueError("empty distribution")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    return max(values) / (total / len(values))
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 even, 1/n maximally concentrated."""
+    if not values:
+        raise ValueError("empty distribution")
+    total = sum(values)
+    squares = sum(value * value for value in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """stddev/mean; 0.0 is perfectly even."""
+    if not values:
+        raise ValueError("empty distribution")
+    count = len(values)
+    average = sum(values) / count
+    if average == 0:
+        return 0.0
+    variance = sum((value - average) ** 2 for value in values) / count
+    return math.sqrt(variance) / average
+
+
+def spread(values: Sequence[float]) -> float:
+    """max − min, in the input's unit."""
+    if not values:
+        raise ValueError("empty distribution")
+    return max(values) - min(values)

@@ -1,0 +1,79 @@
+"""Curve fitting for the evaluation figures.
+
+Figure 16 overlays a cubic fit on the measured (hit rate, speedup) points;
+this module provides the same fit without pulling plotting machinery into
+the library.  Least squares is solved with plain normal equations over a
+Vandermonde matrix — the systems are 4×4, so no numerical library is
+needed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def polyfit(
+    xs: Sequence[float], ys: Sequence[float], degree: int
+) -> List[float]:
+    """Least-squares polynomial coefficients, lowest order first.
+
+    Requires at least ``degree + 1`` points.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("x and y lengths differ")
+    terms = degree + 1
+    if len(xs) < terms:
+        raise ValueError("not enough points for the requested degree")
+    # Normal equations: (VᵀV) a = Vᵀy with V the Vandermonde matrix.
+    gram = [[0.0] * terms for _ in range(terms)]
+    moment = [0.0] * terms
+    for x, y in zip(xs, ys):
+        powers = [1.0]
+        for _ in range(2 * degree):
+            powers.append(powers[-1] * x)
+        for row in range(terms):
+            moment[row] += y * powers[row]
+            for col in range(terms):
+                gram[row][col] += powers[row + col]
+    return _solve(gram, moment)
+
+
+def polyval(coefficients: Sequence[float], x: float) -> float:
+    """Evaluate a polynomial given coefficients lowest order first."""
+    result = 0.0
+    for coefficient in reversed(coefficients):
+        result = result * x + coefficient
+    return result
+
+
+def cubic_fit(
+    points: Sequence[Tuple[float, float]]
+) -> List[float]:
+    """The Figure 16 fit: cubic through (hit rate, speedup) samples."""
+    xs = [point[0] for point in points]
+    ys = [point[1] for point in points]
+    return polyfit(xs, ys, 3)
+
+
+def _solve(matrix: List[List[float]], vector: List[float]) -> List[float]:
+    """Gaussian elimination with partial pivoting (tiny dense systems)."""
+    size = len(vector)
+    augmented = [row[:] + [vector[index]] for index, row in enumerate(matrix)]
+    for column in range(size):
+        pivot_row = max(
+            range(column, size), key=lambda row: abs(augmented[row][column])
+        )
+        if abs(augmented[pivot_row][column]) < 1e-12:
+            raise ValueError("singular system (degenerate fit points)")
+        augmented[column], augmented[pivot_row] = (
+            augmented[pivot_row],
+            augmented[column],
+        )
+        pivot = augmented[column][column]
+        for row in range(size):
+            if row == column:
+                continue
+            factor = augmented[row][column] / pivot
+            for col in range(column, size + 1):
+                augmented[row][col] -= factor * augmented[column][col]
+    return [augmented[index][size] / augmented[index][index] for index in range(size)]

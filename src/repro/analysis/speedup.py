@@ -1,0 +1,52 @@
+"""The speedup-factor bound of Section III-D.
+
+With N chips, DRed hit rate h and the adversarial workload that homes all
+traffic on one chip, the paper derives the worst-case speedup
+
+    t = (N − 1) · h + 1                                  (equation 5)
+
+valid whenever h ≥ (N−2)/(N−1) (equation 4) — the regime where chip 1's
+spare capacity can absorb the DRed misses.  Real traffic satisfies
+t ≥ (N−1)h + 1, which Figure 16 confirms and our simulator reproduces
+(tests/integration/test_speedup_bound.py).
+"""
+
+from __future__ import annotations
+
+
+def worst_case_speedup(chip_count: int, hit_rate: float) -> float:
+    """t = (N−1)·h + 1 — the guaranteed speedup floor."""
+    if chip_count < 2:
+        raise ValueError("the bound needs at least two chips")
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError("hit rate must be in [0, 1]")
+    return (chip_count - 1) * hit_rate + 1.0
+
+
+def required_hit_rate(chip_count: int) -> float:
+    """h ≥ (N−2)/(N−1) — the hit rate at which t ≥ N−1 is guaranteed."""
+    if chip_count < 2:
+        raise ValueError("the bound needs at least two chips")
+    return (chip_count - 2) / (chip_count - 1)
+
+
+def bound_satisfied(
+    chip_count: int,
+    hit_rate: float,
+    speedup: float,
+    tolerance: float = 0.02,
+) -> bool:
+    """Whether a measured (h, t) point respects the worst-case floor.
+
+    The bound's derivation assumes h in its validity domain; below
+    ``required_hit_rate`` the system can re-divert misses and the floor
+    does not apply, so such points are vacuously accepted.
+    """
+    if hit_rate < required_hit_rate(chip_count):
+        return True
+    return speedup >= worst_case_speedup(chip_count, hit_rate) - tolerance
+
+
+def implied_utilisation(chip_count: int, speedup: float) -> float:
+    """u from equation (1): t = N + u − 1, clamped to [0, 1]."""
+    return min(1.0, max(0.0, speedup - chip_count + 1))

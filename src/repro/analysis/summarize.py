@@ -1,0 +1,40 @@
+"""Plain-text report formatting shared by benchmarks and examples.
+
+Benchmarks print the paper's tables and figure series as aligned text so a
+reader can diff them against the published numbers without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width table with a header rule, ready to print."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    rule = "  ".join("-" * width for width in widths)
+    body = [line(headers), rule]
+    body.extend(line(row) for row in materialised)
+    return "\n".join(body)
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """``0.7153`` → ``'71.53%'``."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_series(
+    label: str, values: Sequence[float], digits: int = 4
+) -> str:
+    """One labelled numeric series on a line (figure data dumps)."""
+    rendered = " ".join(f"{value:.{digits}f}" for value in values)
+    return f"{label}: {rendered}"

@@ -1,0 +1,332 @@
+"""Command-line interface: drive the CLUE system on plain-text traces.
+
+Installed as ``repro-clue``; every subcommand reads/writes the trace
+formats of :mod:`repro.workload.traces`, so complete experiments can be
+scripted without writing Python:
+
+.. code-block:: bash
+
+    repro-clue gen-rib --size 8000 --seed 1 -o table.txt
+    repro-clue compress --table table.txt --verify
+    repro-clue gen-traffic --table table.txt --count 30000 -o packets.txt
+    repro-clue simulate --table table.txt --packets packets.txt --scheme clue
+    repro-clue gen-updates --table table.txt --count 2000 -o updates.txt
+    repro-clue replay-updates --table table.txt --updates updates.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.summarize import format_percent, format_table
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import compress
+from repro.compress.verify import find_mismatch, is_disjoint_table
+from repro.engine.builders import (
+    build_clpl_engine,
+    build_clue_engine,
+    build_round_robin_engine,
+    build_slpl_engine,
+)
+from repro.engine.simulator import EngineConfig
+from repro.partition.even import even_partition
+from repro.partition.idbit import idbit_partition
+from repro.partition.subtree import subtree_partition
+from repro.trie.trie import BinaryTrie
+from repro.update.pipeline import (
+    ClplUpdatePipeline,
+    ClueUpdatePipeline,
+    default_dred_banks,
+)
+from repro.workload.ribgen import RibParameters, generate_rib
+from repro.workload.traces import (
+    load_packets,
+    load_table,
+    load_updates,
+    save_packets,
+    save_table,
+    save_updates,
+)
+from repro.workload.trafficgen import TrafficGenerator, TrafficParameters
+from repro.workload.updategen import UpdateGenerator, UpdateParameters
+
+_MODES = {
+    "strict": CompressionMode.STRICT,
+    "dontcare": CompressionMode.DONT_CARE,
+}
+
+
+def _cmd_gen_rib(args: argparse.Namespace) -> int:
+    routes = generate_rib(args.seed, RibParameters(size=args.size))
+    save_table(routes, args.output)
+    print(f"wrote {len(routes)} routes to {args.output}")
+    return 0
+
+
+def _cmd_gen_traffic(args: argparse.Namespace) -> int:
+    routes = load_table(args.table)
+    generator = TrafficGenerator(
+        routes,
+        seed=args.seed,
+        parameters=TrafficParameters(zipf_exponent=args.zipf),
+    )
+    save_packets(generator.take(args.count), args.output)
+    print(f"wrote {args.count} packets to {args.output}")
+    return 0
+
+
+def _cmd_gen_updates(args: argparse.Namespace) -> int:
+    routes = load_table(args.table)
+    if args.structural:
+        parameters = UpdateParameters(
+            modify_fraction=0.0,
+            new_prefix_fraction=0.5,
+            withdraw_fraction=0.5,
+        )
+    else:
+        parameters = UpdateParameters()
+    generator = UpdateGenerator(routes, seed=args.seed, parameters=parameters)
+    save_updates(generator.take(args.count), args.output)
+    print(f"wrote {args.count} updates to {args.output}")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    routes = load_table(args.table)
+    trie = BinaryTrie.from_routes(routes)
+    mode = _MODES[args.mode]
+    table = compress(trie, mode)
+    print(
+        f"{len(routes)} -> {len(table)} entries "
+        f"({format_percent(len(table) / max(1, len(routes)))})"
+    )
+    if args.verify:
+        assert is_disjoint_table(table)
+        mismatch = find_mismatch(
+            trie, table, covered_only=(mode is CompressionMode.DONT_CARE)
+        )
+        if mismatch is not None:
+            print(f"VERIFICATION FAILED at {mismatch}")
+            return 1
+        print("verified: disjoint and forwarding-equivalent")
+    if args.output:
+        save_table(
+            sorted(table.items(), key=lambda r: r[0].sort_key()), args.output
+        )
+        print(f"wrote compressed table to {args.output}")
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    routes = load_table(args.table)
+    if args.algorithm == "even":
+        trie = BinaryTrie.from_routes(routes)
+        compressed = sorted(
+            compress(trie, CompressionMode.DONT_CARE).items(),
+            key=lambda route: route[0].sort_key(),
+        )
+        result = even_partition(compressed, args.count)
+    elif args.algorithm == "subtree":
+        result = subtree_partition(BinaryTrie.from_routes(routes), args.count)
+    else:
+        result = idbit_partition(routes, args.count)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("algorithm", result.algorithm),
+                ("partitions", result.count),
+                ("max size", result.max_size),
+                ("min size", result.min_size),
+                ("max/mean", f"{result.imbalance:.3f}"),
+                ("redundant entries", result.redundancy),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    routes = load_table(args.table)
+    config = EngineConfig(
+        chip_count=args.chips,
+        dred_capacity=args.dred,
+        queue_capacity=args.queue,
+    )
+    if args.packets:
+        addresses: List[int] = load_packets(args.packets)
+        count = len(addresses)
+        source = iter(addresses)
+    else:
+        count = args.count
+        source = TrafficGenerator(routes, seed=args.seed)
+    if args.scheme == "clue":
+        built = build_clue_engine(routes, config)
+    elif args.scheme == "clpl":
+        built = build_clpl_engine(routes, config)
+    elif args.scheme == "slpl":
+        training = TrafficGenerator(routes, seed=args.seed + 1).take(
+            max(1_000, count // 2)
+        )
+        built = build_slpl_engine(routes, training, config)
+    else:
+        built = build_round_robin_engine(routes, config)
+    stats = built.engine.run(source, count)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("scheme", args.scheme),
+                ("packets", stats.completions),
+                ("cycles", stats.cycles),
+                ("speedup", f"{stats.speedup(config.lookup_cycles):.3f}"),
+                (
+                    "DRed hit rate",
+                    f"{stats.dred_hit_rate:.3f}"
+                    if stats.dred_lookups
+                    else "n/a",
+                ),
+                ("diverted", stats.diverted),
+                ("control-plane msgs", stats.control_plane_interactions),
+                ("TCAM entries", built.total_tcam_entries),
+                (
+                    "per-chip load",
+                    " ".join(
+                        f"{share:.1%}" for share in stats.chip_load_shares()
+                    ),
+                ),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_replay_updates(args: argparse.Namespace) -> int:
+    routes = load_table(args.table)
+    messages = load_updates(args.updates)
+    if args.pipeline == "clue":
+        pipeline = ClueUpdatePipeline(
+            routes,
+            dred_banks=default_dred_banks(args.chips, args.dred, True),
+            lazy=args.lazy,
+        )
+    else:
+        pipeline = ClplUpdatePipeline(
+            routes,
+            dred_banks=default_dred_banks(args.chips, args.dred, False),
+        )
+    report = pipeline.run(messages)
+    rows = [
+        ("updates", len(report)),
+        ("TTF1 mean (us)", f"{report.ttf1().mean_us:.4f}"),
+        ("TTF2 mean (us)", f"{report.ttf2().mean_us:.4f}"),
+        ("TTF3 mean (us)", f"{report.ttf3().mean_us:.4f}"),
+        ("TTF2+3 mean (us)", f"{report.ttf23().mean_us:.4f}"),
+        ("TTF total mean (us)", f"{report.total().mean_us:.4f}"),
+        ("TCAM moves", pipeline.totals.tcam_moves),
+        ("SRAM accesses", pipeline.totals.sram_accesses),
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-clue",
+        description="CLUE (ICDCS 2012) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen_rib = commands.add_parser("gen-rib", help="generate a synthetic RIB")
+    gen_rib.add_argument("--size", type=int, default=8_000)
+    gen_rib.add_argument("--seed", type=int, default=1)
+    gen_rib.add_argument("-o", "--output", required=True)
+    gen_rib.set_defaults(handler=_cmd_gen_rib)
+
+    gen_traffic = commands.add_parser(
+        "gen-traffic", help="generate a packet trace over a table"
+    )
+    gen_traffic.add_argument("--table", required=True)
+    gen_traffic.add_argument("--count", type=int, default=30_000)
+    gen_traffic.add_argument("--seed", type=int, default=1)
+    gen_traffic.add_argument("--zipf", type=float, default=1.1)
+    gen_traffic.add_argument("-o", "--output", required=True)
+    gen_traffic.set_defaults(handler=_cmd_gen_traffic)
+
+    gen_updates = commands.add_parser(
+        "gen-updates", help="generate a BGP update trace over a table"
+    )
+    gen_updates.add_argument("--table", required=True)
+    gen_updates.add_argument("--count", type=int, default=2_000)
+    gen_updates.add_argument("--seed", type=int, default=1)
+    gen_updates.add_argument(
+        "--structural",
+        action="store_true",
+        help="announce-new/withdraw only (the TTF benchmark mix)",
+    )
+    gen_updates.add_argument("-o", "--output", required=True)
+    gen_updates.set_defaults(handler=_cmd_gen_updates)
+
+    compress_cmd = commands.add_parser(
+        "compress", help="ONRTC-compress a table"
+    )
+    compress_cmd.add_argument("--table", required=True)
+    compress_cmd.add_argument(
+        "--mode", choices=sorted(_MODES), default="dontcare"
+    )
+    compress_cmd.add_argument("--verify", action="store_true")
+    compress_cmd.add_argument("-o", "--output")
+    compress_cmd.set_defaults(handler=_cmd_compress)
+
+    partition_cmd = commands.add_parser(
+        "partition", help="split a table and report evenness/redundancy"
+    )
+    partition_cmd.add_argument("--table", required=True)
+    partition_cmd.add_argument("--count", type=int, default=32)
+    partition_cmd.add_argument(
+        "--algorithm", choices=("even", "subtree", "idbit"), default="even"
+    )
+    partition_cmd.set_defaults(handler=_cmd_partition)
+
+    simulate = commands.add_parser(
+        "simulate", help="run the parallel lookup engine"
+    )
+    simulate.add_argument("--table", required=True)
+    simulate.add_argument(
+        "--scheme", choices=("clue", "clpl", "slpl", "rr"), default="clue"
+    )
+    simulate.add_argument("--packets", help="packet trace file")
+    simulate.add_argument("--count", type=int, default=20_000)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument("--chips", type=int, default=4)
+    simulate.add_argument("--dred", type=int, default=1_024)
+    simulate.add_argument("--queue", type=int, default=256)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    replay = commands.add_parser(
+        "replay-updates", help="run an update trace through a TTF pipeline"
+    )
+    replay.add_argument("--table", required=True)
+    replay.add_argument("--updates", required=True)
+    replay.add_argument(
+        "--pipeline", choices=("clue", "clpl"), default="clue"
+    )
+    replay.add_argument("--lazy", action="store_true")
+    replay.add_argument("--chips", type=int, default=4)
+    replay.add_argument("--dred", type=int, default=1_024)
+    replay.set_defaults(handler=_cmd_replay_updates)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Routing-table compression: ONRTC (the CLUE pillar) and baselines."""
+
+from repro.compress.labels import BOT, MIXED, CompressionMode, Label
+from repro.compress.lazy import LazyOnrtcTable, minimal_cover
+from repro.compress.onrtc import (
+    CompressionReport,
+    OnrtcTable,
+    TableDiff,
+    compress,
+    compressed_size,
+    compression_report,
+)
+from repro.compress.ortc import (
+    DROP,
+    compress_ortc,
+    compressed_size_ortc,
+    lookup_ortc,
+)
+from repro.compress.verify import (
+    as_trie,
+    critical_addresses,
+    find_mismatch,
+    find_overlap,
+    forwarding_equal,
+    is_disjoint_table,
+)
+
+__all__ = [
+    "BOT",
+    "MIXED",
+    "DROP",
+    "CompressionMode",
+    "CompressionReport",
+    "Label",
+    "LazyOnrtcTable",
+    "OnrtcTable",
+    "TableDiff",
+    "as_trie",
+    "compress",
+    "compress_ortc",
+    "compressed_size",
+    "compressed_size_ortc",
+    "compression_report",
+    "critical_addresses",
+    "find_mismatch",
+    "find_overlap",
+    "forwarding_equal",
+    "is_disjoint_table",
+    "lookup_ortc",
+    "minimal_cover",
+]

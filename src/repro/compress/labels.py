@@ -1,0 +1,81 @@
+"""Region labels for the ONRTC dynamic program.
+
+ONRTC reduces to a bottom-up label merge over the trie's region tree
+(DESIGN.md §5).  Each address region gets one of three kinds of label:
+
+* ``BOT``   — the region is entirely unmatched by the original table;
+* an ``int`` next hop — the whole region can be covered by one table entry
+  carrying that hop without changing any forwarding decision;
+* ``MIXED`` — no single entry can cover the region.
+
+The merge rule is the entire difference between the two compression modes:
+
+* **strict**: two labels merge only when equal (``BOT`` merges with ``BOT``);
+  unmatched space must stay unmatched, so it can never be absorbed.
+* **don't-care**: ``BOT`` additionally absorbs into any hop label, because
+  addresses the original table never matched may be covered by anything
+  (they are unroutable either way in a default-free zone).
+
+With these rules the minimal disjoint table drops out of a single merge
+pass: emit one entry per highest non-``MIXED``, non-``BOT`` node.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+
+class _Sentinel(enum.Enum):
+    BOT = "BOT"
+    MIXED = "MIXED"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.value
+
+
+#: Label of an entirely-unmatched region.
+BOT = _Sentinel.BOT
+
+#: Label of a region that cannot be covered by one entry.
+MIXED = _Sentinel.MIXED
+
+#: A region label: ``BOT``, ``MIXED`` or a concrete next hop.
+Label = Union[_Sentinel, int]
+
+
+class CompressionMode(enum.Enum):
+    """Semantics of unmatched address space during compression.
+
+    ``STRICT`` preserves lookup misses exactly.  ``DONT_CARE`` lets unmatched
+    space be absorbed into neighbouring entries, which is the reading under
+    which a non-overlapping table can undercut the original size and reach
+    the paper's ~71% (DESIGN.md §5).
+    """
+
+    STRICT = "strict"
+    DONT_CARE = "dont_care"
+
+
+def merge(left: Label, right: Label, mode: CompressionMode) -> Label:
+    """Combine the labels of two sibling regions."""
+    if left is MIXED or right is MIXED:
+        return MIXED
+    if left == right:
+        return left
+    if mode is CompressionMode.DONT_CARE:
+        if left is BOT:
+            return right
+        if right is BOT:
+            return left
+    return MIXED
+
+
+def leaf_label(effective_hop: Optional[int]) -> Label:
+    """Label of a maximal uniform region given its inherited LPM hop."""
+    return BOT if effective_hop is None else effective_hop
+
+
+def is_emittable(label: Label) -> bool:
+    """True when a region with this label becomes exactly one table entry."""
+    return label is not BOT and label is not MIXED

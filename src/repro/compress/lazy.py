@@ -1,0 +1,198 @@
+"""Lazy ONRTC maintenance: bounded-work updates over a non-minimal table.
+
+The incremental compressor in :mod:`repro.compress.onrtc` keeps the table
+*minimal* after every update.  Minimality is global: an update can cascade
+label merges toward the root and occasionally re-emit a wide region — the
+heavy tail EXPERIMENTS.md documents on TTF1, and extra entry churn on
+TTF2.  The paper's "one shift per update" reading corresponds to a weaker
+maintenance discipline, reconstructed here:
+
+* the table stays **disjoint** and **forwarding-equivalent** at all times
+  (both invariants are enforced and property-tested), but is allowed to
+  drift away from the minimal size;
+* every update touches only the smallest enclosing *region*: the unique
+  table entry covering the updated prefix, or the prefix itself.  No merge
+  propagation, no ancestor re-emission — work is bounded by the region's
+  own structure;
+* :meth:`LazyOnrtcTable.recompress` runs the one-shot optimal compressor
+  to shed the accumulated drift, the way a control plane would re-optimise
+  during idle time.
+
+``benchmarks/bench_ablation_lazy_update.py`` quantifies the trade: lazy
+mode pushes CLUE's TCAM update cost down to the paper's idealised
+~1 operation while the table slowly grows between recompressions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.compress.labels import (
+    BOT,
+    CompressionMode,
+    Label,
+    is_emittable,
+)
+from repro.compress.onrtc import (
+    TableDiff,
+    _SortedEntrySet,
+    _relabel_subtree,
+    _emit_region,
+    compress,
+)
+from repro.net.prefix import Prefix
+from repro.trie.node import TrieNode
+from repro.trie.trie import BinaryTrie
+
+Route = Tuple[Prefix, int]
+
+
+def minimal_cover(
+    source: BinaryTrie, region: Prefix, mode: CompressionMode
+) -> Dict[Prefix, int]:
+    """The minimal disjoint cover of ``region`` under ``source``'s routes.
+
+    Runs the ONRTC label DP restricted to one region of the address space:
+    the result is exactly what the optimal compressor would emit inside
+    ``region`` if its boundary were an emission boundary.
+    """
+    above = _strictly_above(source, region)
+    node = source.find_node(region)
+    cover: Dict[Prefix, int] = {}
+    if node is None:
+        # No trie structure inside the region: one uniform piece.
+        if above is not None:
+            cover[region] = above
+        return cover
+    labels: Dict[TrieNode, Label] = {}
+    label = _relabel_subtree(node, above, mode, labels)
+    if label is BOT:
+        return cover
+    if is_emittable(label):
+        cover[region] = label
+        return cover
+    _emit_region(node, region, above, labels, cover)
+    return cover
+
+
+def _strictly_above(source: BinaryTrie, region: Prefix) -> Optional[int]:
+    """The hop inherited from routes strictly shorter than ``region``."""
+    node = source.root
+    inherited = node.next_hop
+    for position, bit in enumerate(region.walk_bits()):
+        child = node.child(bit)
+        if child is None:
+            return inherited
+        node = child
+        if position < region.length - 1 and node.has_route:
+            inherited = node.next_hop
+    return inherited
+
+
+class LazyOnrtcTable:
+    """A disjoint, equivalent, *lazily maintained* compressed table.
+
+    Same public surface as :class:`~repro.compress.onrtc.OnrtcTable`
+    (``announce`` / ``withdraw`` / ``apply`` returning
+    :class:`~repro.compress.onrtc.TableDiff`), plus :meth:`recompress` and
+    :meth:`minimality_gap`.
+    """
+
+    def __init__(
+        self,
+        routes: Iterable[Route] = (),
+        mode: CompressionMode = CompressionMode.DONT_CARE,
+    ) -> None:
+        self.mode = mode
+        self.source = BinaryTrie.from_routes(routes)
+        self.table: Dict[Prefix, int] = compress(self.source, mode)
+        self._order = _SortedEntrySet()
+        for prefix in self.table:
+            self._order.add(prefix)
+
+    # -- public update API ----------------------------------------------
+
+    def announce(self, prefix: Prefix, next_hop: int) -> TableDiff:
+        """Install or replace a route; bounded-work table repair."""
+        self.source.insert(prefix, next_hop)
+        return self._repair(prefix)
+
+    def withdraw(self, prefix: Prefix) -> TableDiff:
+        """Remove a route; bounded-work table repair."""
+        if self.source.remove_route(prefix) is None:
+            return TableDiff()
+        return self._repair(prefix)
+
+    def apply(self, prefix: Prefix, next_hop: Optional[int]) -> TableDiff:
+        if next_hop is None:
+            return self.withdraw(prefix)
+        return self.announce(prefix, next_hop)
+
+    # -- maintenance -------------------------------------------------------
+
+    def recompress(self) -> TableDiff:
+        """Shed accumulated drift: swap in the one-shot optimal table."""
+        fresh = compress(self.source, self.mode)
+        diff = TableDiff()
+        for prefix, hop in self.table.items():
+            if fresh.get(prefix) != hop:
+                diff.removes.append((prefix, hop))
+        for prefix, hop in fresh.items():
+            if self.table.get(prefix) != hop:
+                diff.adds.append((prefix, hop))
+        self.table = fresh
+        self._order = _SortedEntrySet()
+        for prefix in self.table:
+            self._order.add(prefix)
+        return diff
+
+    def minimality_gap(self) -> float:
+        """Current size relative to the minimal table (1.0 = minimal)."""
+        minimal = len(compress(self.source, self.mode))
+        if minimal == 0:
+            return 1.0 if not self.table else float("inf")
+        return len(self.table) / minimal
+
+    # -- internals --------------------------------------------------------
+
+    def _covering_entry(self, prefix: Prefix) -> Optional[Prefix]:
+        """The unique table entry containing ``prefix``, if any."""
+        probe = prefix
+        while True:
+            if probe in self.table:
+                return probe
+            if probe.length == 0:
+                return None
+            probe = probe.parent()
+
+    def _repair(self, prefix: Prefix) -> TableDiff:
+        """Replace the smallest enclosing region's cover, locally."""
+        covering = self._covering_entry(prefix)
+        region = covering if covering is not None else prefix
+        old_entries = {
+            entry: self.table[entry] for entry in self._order.under(region)
+        }
+        new_entries = minimal_cover(self.source, region, self.mode)
+        diff = TableDiff(relabelled=len(new_entries) + len(old_entries))
+        for entry, hop in old_entries.items():
+            if new_entries.get(entry) != hop:
+                diff.removes.append((entry, hop))
+                del self.table[entry]
+                self._order.remove(entry)
+        for entry, hop in new_entries.items():
+            if old_entries.get(entry) != hop:
+                diff.adds.append((entry, hop))
+                self.table[entry] = hop
+                self._order.add(entry)
+        return diff
+
+    # -- views ------------------------------------------------------------
+
+    def routes(self) -> List[Route]:
+        return sorted(self.table.items(), key=lambda item: item[0].sort_key())
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self.table

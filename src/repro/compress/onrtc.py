@@ -1,0 +1,425 @@
+"""ONRTC — Optimal Non-overlap Routing Table Construction.
+
+This is the first pillar of CLUE (the authors' ICC 2012 companion paper).
+It rewrites a routing table into a forwarding-equivalent set of pairwise
+*disjoint* prefixes of minimal size.  Disjointness is what buys the rest of
+the system: no TCAM priority encoder, no domino effect on update, and exact
+even partitioning across chips.
+
+The construction is the label dynamic program described in DESIGN.md §5 and
+:mod:`repro.compress.labels`: label every region of the address space
+bottom-up (``BOT`` / single hop / ``MIXED``), then emit one entry per highest
+single-hop region.  Both passes are linear in the trie size.
+
+Two interfaces are provided:
+
+* :func:`compress` — one-shot compression of a trie;
+* :class:`OnrtcTable` — an *incremental* compressor that keeps the compressed
+  table synchronised with a stream of announce/withdraw updates, reporting
+  the exact entry-level diff for each update.  This is what TTF1-CLUE
+  measures and what drives the O(1) TCAM update downstream.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.compress.labels import (
+    BOT,
+    MIXED,
+    CompressionMode,
+    Label,
+    is_emittable,
+    leaf_label,
+    merge,
+)
+from repro.net.prefix import Prefix
+from repro.trie.node import TrieNode
+from repro.trie.trie import BinaryTrie
+
+Route = Tuple[Prefix, int]
+
+
+def compress(
+    trie: BinaryTrie, mode: CompressionMode = CompressionMode.DONT_CARE
+) -> Dict[Prefix, int]:
+    """Compress ``trie`` into a minimal non-overlapping table.
+
+    The result maps disjoint prefixes to next hops and is forwarding-
+    equivalent to ``trie``: strictly so in ``STRICT`` mode, and on every
+    originally-matched address in ``DONT_CARE`` mode.
+
+    >>> trie = BinaryTrie.from_routes(
+    ...     [(Prefix.from_bits("0"), 7), (Prefix.from_bits("00"), 7)]
+    ... )
+    >>> compress(trie, CompressionMode.STRICT)
+    {Prefix('0.0.0.0/1'): 7}
+    """
+    labels: Dict[TrieNode, Label] = {}
+    _relabel_subtree(trie.root, None, mode, labels)
+    table: Dict[Prefix, int] = {}
+    _emit_region(trie.root, Prefix.root(), None, labels, table)
+    return table
+
+
+def compressed_size(
+    trie: BinaryTrie, mode: CompressionMode = CompressionMode.DONT_CARE
+) -> int:
+    """Number of entries ONRTC produces for ``trie`` (no table built)."""
+    return len(compress(trie, mode))
+
+
+@dataclass
+class CompressionReport:
+    """Summary of one compression run (feeds the Figure 8 bench)."""
+
+    original_entries: int
+    compressed_entries: int
+    mode: CompressionMode
+
+    @property
+    def ratio(self) -> float:
+        """Compressed size as a fraction of the original (paper avg ≈ 0.71)."""
+        if self.original_entries == 0:
+            return 1.0
+        return self.compressed_entries / self.original_entries
+
+
+def compression_report(
+    trie: BinaryTrie, mode: CompressionMode = CompressionMode.DONT_CARE
+) -> CompressionReport:
+    """Compress and summarise in one call."""
+    return CompressionReport(
+        original_entries=len(trie),
+        compressed_entries=compressed_size(trie, mode),
+        mode=mode,
+    )
+
+
+# ----------------------------------------------------------------------
+# Label passes (shared by one-shot and incremental forms)
+# ----------------------------------------------------------------------
+
+
+def _relabel_subtree(
+    node: TrieNode,
+    inherited: Optional[int],
+    mode: CompressionMode,
+    labels: Dict[TrieNode, Label],
+) -> Label:
+    """Recompute labels for ``node``'s whole subtree; returns its label."""
+    effective = node.next_hop if node.has_route else inherited
+    if node.is_leaf:
+        label: Label = leaf_label(effective)
+    else:
+        sides: List[Label] = []
+        for bit in (0, 1):
+            child = node.child(bit)
+            if child is None:
+                sides.append(leaf_label(effective))
+            else:
+                sides.append(_relabel_subtree(child, effective, mode, labels))
+        label = merge(sides[0], sides[1], mode)
+    labels[node] = label
+    return label
+
+
+def _merge_at(
+    node: TrieNode,
+    inherited: Optional[int],
+    mode: CompressionMode,
+    labels: Dict[TrieNode, Label],
+) -> Label:
+    """Recompute a single internal node's label from its children's labels."""
+    effective = node.next_hop if node.has_route else inherited
+    if node.is_leaf:
+        return leaf_label(effective)
+    sides: List[Label] = []
+    for bit in (0, 1):
+        child = node.child(bit)
+        if child is None:
+            sides.append(leaf_label(effective))
+        else:
+            sides.append(labels[child])
+    return merge(sides[0], sides[1], mode)
+
+
+def _emit_region(
+    node: TrieNode,
+    prefix: Prefix,
+    inherited: Optional[int],
+    labels: Dict[TrieNode, Label],
+    out: Dict[Prefix, int],
+) -> None:
+    """Emit the compressed entries covering ``node``'s region into ``out``."""
+    label = labels[node]
+    if label is BOT:
+        return
+    if is_emittable(label):
+        out[prefix] = label
+        return
+    effective = node.next_hop if node.has_route else inherited
+    for bit in (0, 1):
+        child = node.child(bit)
+        child_prefix = prefix.child(bit)
+        if child is None:
+            if effective is not None:
+                out[child_prefix] = effective
+        else:
+            _emit_region(child, child_prefix, effective, labels, out)
+
+
+# ----------------------------------------------------------------------
+# Incremental maintenance
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TableDiff:
+    """Entry-level changes one routing update caused in the compressed table.
+
+    ``removes`` lists entries to pull out of the TCAM, ``adds`` entries to
+    write.  ``relabelled`` counts trie nodes whose DP label was recomputed —
+    the control-plane work measure behind TTF1-CLUE.
+    """
+
+    adds: List[Route] = field(default_factory=list)
+    removes: List[Route] = field(default_factory=list)
+    relabelled: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.adds and not self.removes
+
+    @property
+    def entry_changes(self) -> int:
+        """Total TCAM writes this diff implies."""
+        return len(self.adds) + len(self.removes)
+
+
+class _SortedEntrySet:
+    """Compressed-table entries ordered by address, for range extraction.
+
+    Entries are pairwise disjoint, so ordering by network address is total
+    and every covering prefix maps to one contiguous slice — which is how the
+    incremental compressor pulls out "all current entries under region U"
+    without scanning the table.
+    """
+
+    def __init__(self) -> None:
+        self._networks: List[int] = []
+        self._prefixes: List[Prefix] = []
+
+    def add(self, prefix: Prefix) -> None:
+        index = bisect_left(self._networks, prefix.network)
+        self._networks.insert(index, prefix.network)
+        self._prefixes.insert(index, prefix)
+
+    def remove(self, prefix: Prefix) -> None:
+        index = bisect_left(self._networks, prefix.network)
+        while index < len(self._prefixes) and self._networks[index] == prefix.network:
+            if self._prefixes[index] == prefix:
+                del self._networks[index]
+                del self._prefixes[index]
+                return
+            index += 1
+        raise KeyError(prefix)
+
+    def under(self, region: Prefix) -> List[Prefix]:
+        """All stored prefixes contained in ``region`` (disjointness makes
+        containment equivalent to network-range membership)."""
+        low = bisect_left(self._networks, region.network)
+        high = bisect_right(self._networks, region.broadcast)
+        return self._prefixes[low:high]
+
+    def __len__(self) -> int:
+        return len(self._prefixes)
+
+
+class OnrtcTable:
+    """An ONRTC-compressed table kept in sync with routing updates.
+
+    The instance owns a private copy of the source trie.  ``announce`` and
+    ``withdraw`` apply one BGP-style update and return the
+    :class:`TableDiff` the data plane must apply — usually a single entry,
+    which is why CLUE's TCAM update is O(1).
+
+    The non-overlap invariant holds after every update (tested by property
+    tests in ``tests/compress``).
+    """
+
+    def __init__(
+        self,
+        routes: Iterable[Route] = (),
+        mode: CompressionMode = CompressionMode.DONT_CARE,
+    ) -> None:
+        self.mode = mode
+        self.source = BinaryTrie.from_routes(routes)
+        self._labels: Dict[TrieNode, Label] = {}
+        self.table: Dict[Prefix, int] = {}
+        self._order = _SortedEntrySet()
+        self._rebuild()
+
+    # -- construction ---------------------------------------------------
+
+    def _rebuild(self) -> None:
+        self._labels.clear()
+        _relabel_subtree(self.source.root, None, self.mode, self._labels)
+        self.table.clear()
+        _emit_region(self.source.root, Prefix.root(), None, self._labels, self.table)
+        self._order = _SortedEntrySet()
+        for prefix in self.table:
+            self._order.add(prefix)
+
+    # -- public update API ----------------------------------------------
+
+    def announce(self, prefix: Prefix, next_hop: int) -> TableDiff:
+        """Install or replace the route for ``prefix``; returns the diff."""
+        self.source.insert(prefix, next_hop)
+        node = self.source.find_node(prefix)
+        assert node is not None
+        return self._resync(node)
+
+    def withdraw(self, prefix: Prefix) -> TableDiff:
+        """Remove the route for ``prefix``; returns the diff (empty if absent)."""
+        removal = self.source.remove_route(prefix)
+        if removal is None:
+            return TableDiff()
+        survivor, pruned = removal
+        for node in pruned:
+            self._labels.pop(node, None)
+        return self._resync(survivor)
+
+    def apply(self, prefix: Prefix, next_hop: Optional[int]) -> TableDiff:
+        """Announce when ``next_hop`` is set, withdraw when it is ``None``."""
+        if next_hop is None:
+            return self.withdraw(prefix)
+        return self.announce(prefix, next_hop)
+
+    # -- internals --------------------------------------------------------
+
+    def _resync(self, anchor: TrieNode) -> TableDiff:
+        """Repair labels and table after the source trie changed under
+        ``anchor`` (the deepest surviving node on the updated path)."""
+        path = self._path_to(anchor)
+        inherited = self._inherited_above(path)
+
+        old_anchor_label = self._labels.get(anchor)
+        relabel_tracker: Dict[TrieNode, Label] = {}
+        _relabel_subtree(anchor, inherited, self.mode, relabel_tracker)
+        relabelled = len(relabel_tracker)
+        self._labels.update(relabel_tracker)
+
+        # Walk up recomputing merges; remember the highest node whose label
+        # changed.  Labels strictly above that node are untouched.
+        changed_top = anchor if self._labels[anchor] != old_anchor_label else None
+        inherited_stack = self._inherited_chain(path)
+        for depth in range(len(path) - 2, -1, -1):
+            ancestor = path[depth]
+            # Freshly created intermediate path nodes have no label yet;
+            # treating "absent" as a changed label makes them propagate.
+            old = self._labels.get(ancestor)
+            new = _merge_at(ancestor, inherited_stack[depth], self.mode, self._labels)
+            relabelled += 1
+            if new == old:
+                break
+            self._labels[ancestor] = new
+            changed_top = ancestor
+
+        region_top = changed_top if changed_top is not None else anchor
+        diff = TableDiff(relabelled=relabelled)
+
+        # If some ancestor above the changed region has a non-MIXED label the
+        # emission boundary sits at or above that ancestor, so the table is
+        # untouched (the whole region is already covered by one entry or by
+        # nothing).
+        top_index = path.index(region_top)
+        for ancestor in path[:top_index]:
+            if self._labels[ancestor] is not MIXED:
+                return diff
+
+        region_prefix = self._prefix_of_path(path[: top_index + 1])
+        old_entries = {
+            entry: self.table[entry] for entry in self._order.under(region_prefix)
+        }
+        new_entries: Dict[Prefix, int] = {}
+        _emit_region(
+            region_top,
+            region_prefix,
+            inherited_stack[top_index],
+            self._labels,
+            new_entries,
+        )
+
+        for prefix, hop in old_entries.items():
+            if new_entries.get(prefix) != hop:
+                diff.removes.append((prefix, hop))
+                del self.table[prefix]
+                self._order.remove(prefix)
+        for prefix, hop in new_entries.items():
+            if old_entries.get(prefix) != hop:
+                diff.adds.append((prefix, hop))
+                self.table[prefix] = hop
+                self._order.add(prefix)
+        return diff
+
+    def _path_to(self, node: TrieNode) -> List[TrieNode]:
+        """Nodes from the root down to ``node`` inclusive."""
+        path: List[TrieNode] = []
+        current: Optional[TrieNode] = node
+        while current is not None:
+            path.append(current)
+            current = current.parent
+        path.reverse()
+        return path
+
+    @staticmethod
+    def _inherited_above(path: List[TrieNode]) -> Optional[int]:
+        """Effective hop inherited from strictly above the last path node."""
+        inherited: Optional[int] = None
+        for node in path[:-1]:
+            if node.has_route:
+                inherited = node.next_hop
+        return inherited
+
+    @staticmethod
+    def _inherited_chain(path: List[TrieNode]) -> List[Optional[int]]:
+        """``chain[i]`` = hop inherited from strictly above ``path[i]``."""
+        chain: List[Optional[int]] = []
+        inherited: Optional[int] = None
+        for node in path:
+            chain.append(inherited)
+            if node.has_route:
+                inherited = node.next_hop
+        return chain
+
+    def _prefix_of_path(self, path: List[TrieNode]) -> Prefix:
+        """The prefix implied by a root-anchored node path."""
+        value = 0
+        for parent, child in zip(path, path[1:]):
+            value = (value << 1) | parent.which_child(child)
+        return Prefix(value, len(path) - 1)
+
+    # -- views ------------------------------------------------------------
+
+    def routes(self) -> List[Route]:
+        """Compressed entries in address order (the CLUE partition order)."""
+        return sorted(self.table.items(), key=lambda item: item[0].sort_key())
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self.table
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Reference LPM over the *compressed* table (linear scan; used by
+        tests and the equivalence verifier, not the data path)."""
+        best: Optional[Tuple[int, int]] = None
+        for prefix, hop in self.table.items():
+            if prefix.contains_address(address):
+                if best is None or prefix.length > best[0]:
+                    best = (prefix.length, hop)
+        return best[1] if best else None

@@ -1,0 +1,127 @@
+"""ORTC — Optimal Routing Table Constructor (Draves et al., INFOCOM 1999).
+
+ORTC is the classical *overlapping-allowed* optimal compressor the paper's
+related-work section positions ONRTC against: it produces the smallest table
+with ordinary LPM semantics, but because its output overlaps it inherits all
+of the TCAM problems CLUE is designed to kill (length-ordered layout,
+priority encoder, domino effect).  We keep it as the compression-ratio
+baseline.
+
+The algorithm is the textbook three passes over the binary trie:
+
+1. push effective hops down so every leaf region carries a concrete hop;
+2. bottom-up, compute candidate hop sets — intersection of the children's
+   sets when non-empty, else their union — counting one entry per forced
+   split;
+3. top-down, emit an entry only where the hop inherited from the nearest
+   emitted ancestor is not in the node's candidate set.
+
+ORTC requires every address to have a decision, i.e. a default route.  When
+the input lacks one we follow common practice and treat "no route" as a
+virtual :data:`DROP` hop that participates like any other hop.  Emitted DROP
+entries are genuine null routes (they may shadow a shorter real entry), so
+they count as table entries and must *not* simply be filtered out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.net.prefix import Prefix
+from repro.trie.node import TrieNode
+from repro.trie.trie import BinaryTrie
+
+#: Virtual next hop standing in for "no route" when no default exists.
+DROP: int = -1
+
+
+def compress_ortc(trie: BinaryTrie) -> Dict[Prefix, int]:
+    """Return the minimal (overlapping) table equivalent to ``trie``.
+
+    Entries with the virtual :data:`DROP` hop may appear when the source
+    table had no default route; they are null routes and part of the table.
+    Use :func:`lookup_ortc` for reference lookups that map DROP back to
+    "no match".
+    """
+    sets: Dict[TrieNode, FrozenSet[int]] = {}
+    _candidate_sets(trie.root, None, sets)
+    table: Dict[Prefix, int] = {}
+    _assign(trie.root, Prefix.root(), None, None, sets, table)
+    return table
+
+
+def lookup_ortc(table: Dict[Prefix, int], address: int) -> Optional[int]:
+    """Reference LPM over an ORTC table; DROP maps back to "no match"."""
+    best: Optional[Prefix] = None
+    for prefix in table:
+        if prefix.contains_address(address):
+            if best is None or prefix.length > best.length:
+                best = prefix
+    if best is None:
+        return None
+    hop = table[best]
+    return None if hop == DROP else hop
+
+
+def compressed_size_ortc(trie: BinaryTrie) -> int:
+    """Entry count of the ORTC-compressed table (DROP null routes counted)."""
+    return len(compress_ortc(trie))
+
+
+def _candidate_sets(
+    node: TrieNode,
+    inherited: Optional[int],
+    sets: Dict[TrieNode, FrozenSet[int]],
+) -> FrozenSet[int]:
+    """Pass 1+2: leaf-push effective hops, then merge candidate sets."""
+    effective = node.next_hop if node.has_route else inherited
+    if node.is_leaf:
+        result = frozenset({effective if effective is not None else DROP})
+    else:
+        sides = []
+        for bit in (0, 1):
+            child = node.child(bit)
+            if child is None:
+                sides.append(
+                    frozenset({effective if effective is not None else DROP})
+                )
+            else:
+                sides.append(_candidate_sets(child, effective, sets))
+        intersection = sides[0] & sides[1]
+        result = intersection if intersection else sides[0] | sides[1]
+    sets[node] = result
+    return result
+
+
+def _assign(
+    node: TrieNode,
+    prefix: Prefix,
+    covering: Optional[int],
+    inherited: Optional[int],
+    sets: Dict[TrieNode, FrozenSet[int]],
+    table: Dict[Prefix, int],
+) -> None:
+    """Pass 3: emit entries top-down where the covering hop is unusable.
+
+    ``covering`` is the hop decided by the nearest emitted ancestor entry;
+    ``inherited`` is the effective *source-table* hop above this node, needed
+    so the leaf-pushed "hole" regions (missing children) can demand their
+    own entry when the covering hop would misroute them.
+    """
+    candidates = sets[node]
+    if covering is not None and covering in candidates:
+        chosen = covering
+    else:
+        # Any candidate is optimal; pick deterministically for stable tests.
+        chosen = min(candidates)
+        table[prefix] = chosen
+    effective = node.next_hop if node.has_route else inherited
+    for bit in (0, 1):
+        child = node.child(bit)
+        child_prefix = prefix.child(bit)
+        if child is None:
+            required = effective if effective is not None else DROP
+            if chosen != required:
+                table[child_prefix] = required
+        else:
+            _assign(child, child_prefix, chosen, effective, sets, table)

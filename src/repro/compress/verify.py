@@ -1,0 +1,103 @@
+"""Exact forwarding-equivalence verification.
+
+Compressed tables must forward every packet exactly like the original.
+Exhaustively checking 2^32 addresses is pointless: an LPM function is
+piecewise constant, changing value only at prefix boundaries.  Checking one
+address per interval between consecutive *critical addresses* (the network
+and one-past-broadcast of every prefix in either table) is therefore a
+complete proof of equivalence, and runs in O(n log n).
+
+These checks back every compression test and the ``examples/`` sanity
+output; they are control-plane tools, not part of the lookup data path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.net.prefix import ADDRESS_SPACE, Prefix
+from repro.trie.trie import BinaryTrie
+
+TableLike = Union[BinaryTrie, Dict[Prefix, int]]
+
+
+def as_trie(table: TableLike) -> BinaryTrie:
+    """View any route container as a trie (tries pass through unchanged)."""
+    if isinstance(table, BinaryTrie):
+        return table
+    return BinaryTrie.from_routes(table.items())
+
+
+def critical_addresses(*tables: TableLike) -> List[int]:
+    """The sorted addresses at which any involved LPM function can change."""
+    points = {0}
+    for table in tables:
+        prefixes: Iterable[Prefix]
+        if isinstance(table, BinaryTrie):
+            prefixes = table.prefixes()
+        else:
+            prefixes = table.keys()
+        for prefix in prefixes:
+            points.add(prefix.network)
+            end = prefix.broadcast + 1
+            if end < ADDRESS_SPACE:
+                points.add(end)
+    return sorted(points)
+
+
+def find_mismatch(
+    original: TableLike,
+    candidate: TableLike,
+    covered_only: bool = False,
+) -> Optional[Tuple[int, Optional[int], Optional[int]]]:
+    """First address where the two tables disagree, or ``None``.
+
+    With ``covered_only`` (the don't-care compression contract) addresses the
+    *original* table does not match are exempt: the candidate may do anything
+    there.  Returns ``(address, original_hop, candidate_hop)`` on mismatch.
+    """
+    original_trie = as_trie(original)
+    candidate_trie = as_trie(candidate)
+    for address in critical_addresses(original_trie, candidate_trie):
+        expected = original_trie.lookup(address)
+        if covered_only and expected is None:
+            continue
+        actual = candidate_trie.lookup(address)
+        if actual != expected:
+            return address, expected, actual
+    return None
+
+
+def forwarding_equal(
+    original: TableLike,
+    candidate: TableLike,
+    covered_only: bool = False,
+) -> bool:
+    """True when the two tables make identical forwarding decisions.
+
+    This is a complete check, not a sample (see the module docstring).
+    """
+    return find_mismatch(original, candidate, covered_only) is None
+
+
+def find_overlap(table: TableLike) -> Optional[Tuple[Prefix, Prefix]]:
+    """A pair of overlapping prefixes in ``table``, or ``None`` if disjoint.
+
+    Sorting by network address makes overlap detection linear: with disjoint
+    prefixes each entry must start past the previous entry's end.
+    """
+    if isinstance(table, BinaryTrie):
+        prefixes = table.prefixes()
+    else:
+        prefixes = sorted(table.keys(), key=lambda p: p.sort_key())
+    previous: Optional[Prefix] = None
+    for prefix in prefixes:
+        if previous is not None and previous.broadcast >= prefix.network:
+            return previous, prefix
+        previous = prefix
+    return None
+
+
+def is_disjoint_table(table: TableLike) -> bool:
+    """True when no two prefixes in ``table`` overlap."""
+    return find_overlap(table) is None

@@ -1,0 +1,7 @@
+"""Integrated CLUE system: compression + parallel lookup + fast update."""
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import SystemReport
+from repro.core.system import ClueSystem, RebalanceReport
+
+__all__ = ["ClueSystem", "RebalanceReport", "SystemConfig", "SystemReport"]

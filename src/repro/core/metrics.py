@@ -1,0 +1,54 @@
+"""Cross-cutting report of a full CLUE system run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.compress.onrtc import CompressionReport
+from repro.engine.stats import EngineStats
+from repro.update.ttf import TtfReport
+
+
+@dataclass
+class SystemReport:
+    """What one integrated run produced, for printing or assertions.
+
+    Bundles the three pillars' metrics: compression (entries saved),
+    lookup (speedup/hit rate/balance) and update (TTF distribution).
+    """
+
+    compression: CompressionReport
+    engine_stats: Optional[EngineStats] = None
+    ttf: Optional[TtfReport] = None
+    tcam_entries_per_chip: Optional[List[int]] = None
+
+    def summary_lines(self, lookup_cycles: int = 4) -> List[str]:
+        """Human-readable one-liners, used by examples and benches."""
+        lines = [
+            (
+                f"compression: {self.compression.original_entries} -> "
+                f"{self.compression.compressed_entries} entries "
+                f"({self.compression.ratio:.1%})"
+            )
+        ]
+        if self.tcam_entries_per_chip is not None:
+            lines.append(
+                "tcam entries/chip: "
+                + ", ".join(str(count) for count in self.tcam_entries_per_chip)
+            )
+        if self.engine_stats is not None:
+            stats = self.engine_stats
+            lines.append(
+                f"lookup: speedup {stats.speedup(lookup_cycles):.2f}, "
+                f"DRed hit rate {stats.dred_hit_rate:.1%}, "
+                f"loads {['%.1f%%' % (100 * s) for s in stats.chip_load_shares()]}"
+            )
+        if self.ttf is not None and len(self.ttf):
+            lines.append(
+                f"update: TTF mean {self.ttf.total().mean_us:.3f} us "
+                f"(ttf1 {self.ttf.ttf1().mean_us:.3f}, "
+                f"ttf2 {self.ttf.ttf2().mean_us:.3f}, "
+                f"ttf3 {self.ttf.ttf3().mean_us:.3f})"
+            )
+        return lines

@@ -1,0 +1,267 @@
+"""ClueSystem — the integrated forwarding plane (the paper's full design).
+
+This façade wires all three pillars into one object that behaves like a
+line card:
+
+* construction compresses the table with ONRTC, splits it into exactly
+  even range partitions, loads them onto the simulated chips and builds
+  the range Indexing Logic;
+* :meth:`process_traffic` drives the parallel lookup engine with dynamic
+  redundancy;
+* :meth:`apply_update` runs one BGP message through the whole update
+  pipeline (trie → TCAM → DRed) *and* propagates the entry diff into the
+  live chips, so lookups remain correct while the table churns — the
+  integration the paper argues the three problems must be solved together.
+
+The same DRed banks are shared between the lookup engine (which fills them
+on main-table hits) and the update pipeline (which invalidates on
+withdraw), exactly as in the hardware design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import SystemReport
+from repro.compress.onrtc import CompressionReport, TableDiff
+from repro.engine.builders import map_partitions_to_chips
+from repro.engine.schemes import CluePolicy
+from repro.engine.simulator import LookupEngine
+from repro.engine.stats import EngineStats
+from repro.net.prefix import Prefix
+from repro.partition.even import even_partition
+from repro.partition.index_logic import RangeIndex
+from repro.trie.trie import BinaryTrie
+from repro.update.pipeline import ClueUpdatePipeline
+from repro.update.ttf import TtfSample
+from repro.workload.updategen import UpdateMessage
+
+Route = Tuple[Prefix, int]
+
+
+@dataclass
+class RebalanceReport:
+    """What one idle-time repartitioning did."""
+
+    moved_entries: int
+    flushed_dred_entries: int
+    partition_sizes: List[int]
+
+    @property
+    def is_even(self) -> bool:
+        return max(self.partition_sizes) - min(self.partition_sizes) <= 1
+
+
+class ClueSystem:
+    """A complete CLUE forwarding plane over a routing table.
+
+    >>> from repro.workload import generate_rib, RibParameters
+    >>> system = ClueSystem(generate_rib(1, RibParameters(size=512)))
+    >>> system.compression_report().ratio < 1.0
+    True
+    """
+
+    def __init__(
+        self,
+        routes: Iterable[Route],
+        config: Optional[SystemConfig] = None,
+    ) -> None:
+        routes = list(routes)
+        self.config = config or SystemConfig()
+
+        # Pillar 1+3: compression with incremental maintenance, the TCAM
+        # mirror and the (for now bank-less) DRed updater.
+        self.pipeline = ClueUpdatePipeline(
+            routes,
+            mode=self.config.compression_mode,
+            cost_model=self.config.cost_model,
+            lazy=self.config.lazy_compression,
+        )
+        self._original_size = len(routes)
+
+        # Pillar 2: even partitioning and the parallel engine.
+        compressed = self.pipeline.trie_stage.table.routes()
+        partition_count = self.config.partition_count
+        self.partition_result = even_partition(compressed, partition_count)
+        self.index = RangeIndex.from_partition(self.partition_result)
+        self.partition_to_chip = map_partitions_to_chips(
+            partition_count,
+            self.config.engine.chip_count,
+            self.config.partition_loads,
+        )
+        tables: List[List[Route]] = [
+            [] for _ in range(self.config.engine.chip_count)
+        ]
+        for partition in self.partition_result.partitions:
+            tables[self.partition_to_chip[partition.index]].extend(
+                partition.routes
+            )
+        self.engine = LookupEngine(
+            tables,
+            home_of=self._home_of,
+            scheme=CluePolicy(),
+            config=self.config.engine,
+            reference=self.pipeline.trie_stage.table.source,
+        )
+        # Share the engine's DRed banks with the update pipeline so table
+        # changes invalidate live cached entries.
+        self.pipeline.dred_stage.caches = [
+            chip.dred for chip in self.engine.chips if chip.dred is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def _home_of(self, address: int) -> int:
+        return self.partition_to_chip[self.index.home_of(address)]
+
+    def lookup(self, address: int) -> Optional[int]:
+        """One-off LPM against the current table (control-plane path)."""
+        return self.pipeline.trie_stage.table.source.lookup(address)
+
+    def process_traffic(
+        self, addresses: Iterator[int], packet_count: int
+    ) -> EngineStats:
+        """Run a packet burst through the parallel engine."""
+        return self.engine.run(addresses, packet_count)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    def apply_update(self, message: UpdateMessage) -> TtfSample:
+        """Run one BGP update through trie, TCAM, DRed and the live chips."""
+        sample = self.pipeline.apply(message)
+        diff = self.pipeline.last_diff
+        if diff is not None:
+            self._apply_diff_to_chips(diff)
+        return sample
+
+    def _chips_covering(self, prefix: Prefix) -> List[int]:
+        """Every chip whose address range the prefix overlaps.
+
+        Partition boundaries are aligned with entry boundaries *at
+        partitioning time* (disjointness guarantees it), but an entry added
+        later — don't-care merging can emit wide covering entries — may
+        span several of the frozen ranges.  Such an entry must live in
+        every chip whose range it serves, or lookups homed to the later
+        ranges would miss.  :meth:`rebalance` collapses the replicas back
+        to one copy each.
+        """
+        first = self.index.home_of(prefix.network)
+        last = self.index.home_of(prefix.broadcast)
+        return sorted(
+            {
+                self.partition_to_chip[partition]
+                for partition in range(first, last + 1)
+            }
+        )
+
+    def _apply_diff_to_chips(self, diff: TableDiff) -> None:
+        for prefix, _hop in diff.removes:
+            for chip_index in self._chips_covering(prefix):
+                self.engine.chips[chip_index].table.delete(prefix)
+        for prefix, hop in diff.adds:
+            for chip_index in self._chips_covering(prefix):
+                self.engine.chips[chip_index].table.insert(prefix, hop)
+
+    def apply_updates(self, messages: Iterable[UpdateMessage]) -> List[TtfSample]:
+        """Apply a stream of updates."""
+        return [self.apply_update(message) for message in messages]
+
+    # ------------------------------------------------------------------
+    # Maintenance (idle-time re-optimisation)
+    # ------------------------------------------------------------------
+
+    def recompress(self) -> TableDiff:
+        """Shed lazy-maintenance drift: swap the minimal table back in.
+
+        Only meaningful when the system runs with
+        ``SystemConfig.lazy_compression``; with exact maintenance the diff
+        is empty.  The diff is propagated to the TCAM mirror and the live
+        chips like any update.
+        """
+        table = self.pipeline.trie_stage.table
+        if not hasattr(table, "recompress"):
+            return TableDiff()
+        diff = table.recompress()
+        self.pipeline.tcam_stage.apply_diff(diff)
+        self._apply_diff_to_chips(diff)
+        return diff
+
+    def rebalance(self) -> "RebalanceReport":
+        """Re-partition the (possibly drifted) table into exact even ranges.
+
+        Churn makes partitions drift apart: updates land wherever their
+        addresses fall, so some ranges grow while others shrink.  A real
+        control plane re-runs the (cheap) even partitioning during idle
+        time and reloads the chips; this does exactly that, reporting how
+        many entries had to move between chips.  DRed banks are flushed —
+        ownership changes would otherwise break the exclusion invariant —
+        and simply refill from traffic.
+        """
+        compressed = self.pipeline.trie_stage.table.routes()
+        partition_count = self.config.partition_count
+        new_result = even_partition(compressed, partition_count)
+        new_index = RangeIndex.from_partition(new_result)
+        new_mapping = map_partitions_to_chips(
+            partition_count, self.config.engine.chip_count, None
+        )
+
+        old_homes = {
+            prefix: chip_index
+            for chip_index, chip in enumerate(self.engine.chips)
+            for prefix, _hop in chip.table.routes()
+        }
+        new_tables: List[List[Route]] = [
+            [] for _ in range(self.config.engine.chip_count)
+        ]
+        moved = 0
+        for partition in new_result.partitions:
+            chip_index = new_mapping[partition.index]
+            for route in partition.routes:
+                new_tables[chip_index].append(route)
+                if old_homes.get(route[0]) != chip_index:
+                    moved += 1
+
+        flushed = 0
+        for chip_index, chip in enumerate(self.engine.chips):
+            chip.table = BinaryTrie.from_routes(new_tables[chip_index])
+            chip.table_slots = len(chip.table)
+            if chip.dred is not None:
+                flushed += len(chip.dred)
+                for prefix in list(chip.dred._entries):
+                    chip.dred.delete(prefix)
+
+        self.partition_result = new_result
+        self.index = new_index
+        self.partition_to_chip = new_mapping
+        return RebalanceReport(
+            moved_entries=moved,
+            flushed_dred_entries=flushed,
+            partition_sizes=new_result.sizes(),
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def compression_report(self) -> CompressionReport:
+        return CompressionReport(
+            original_entries=len(self.pipeline.trie_stage.table.source),
+            compressed_entries=len(self.pipeline.trie_stage.table),
+            mode=self.config.compression_mode,
+        )
+
+    def report(self) -> SystemReport:
+        return SystemReport(
+            compression=self.compression_report(),
+            engine_stats=self.engine.stats,
+            ttf=self.pipeline.report,
+            tcam_entries_per_chip=[
+                len(chip.table) for chip in self.engine.chips
+            ],
+        )

@@ -1,0 +1,56 @@
+"""Parallel TCAM lookup engine with dynamic redundancy (Figure 1)."""
+
+from repro.engine.builders import (
+    BuiltEngine,
+    build_clpl_engine,
+    build_clue_engine,
+    build_round_robin_engine,
+    build_slpl_engine,
+    map_partitions_to_chips,
+    measure_partition_load,
+)
+from repro.engine.dred import DredCache, DredEntry
+from repro.engine.events import Completion, LookupKind, Packet
+from repro.engine.queues import BoundedFifo
+from repro.engine.reorder import ReorderBuffer
+from repro.engine.rrcme import Expansion, minimal_expansion
+from repro.engine.schemes import (
+    CluePolicy,
+    ClplPolicy,
+    RoundRobinPolicy,
+    SchemePolicy,
+    SlplPolicy,
+)
+from repro.engine.simulator import ChipState, EngineConfig, LookupEngine
+from repro.engine.stats import EngineStats
+from repro.engine.timeline import Timeline, TimelineSample
+
+__all__ = [
+    "BoundedFifo",
+    "BuiltEngine",
+    "ChipState",
+    "CluePolicy",
+    "ClplPolicy",
+    "Completion",
+    "DredCache",
+    "DredEntry",
+    "EngineConfig",
+    "EngineStats",
+    "Expansion",
+    "LookupEngine",
+    "LookupKind",
+    "Packet",
+    "ReorderBuffer",
+    "RoundRobinPolicy",
+    "SchemePolicy",
+    "SlplPolicy",
+    "Timeline",
+    "TimelineSample",
+    "build_clpl_engine",
+    "build_clue_engine",
+    "build_round_robin_engine",
+    "build_slpl_engine",
+    "map_partitions_to_chips",
+    "measure_partition_load",
+    "minimal_expansion",
+]

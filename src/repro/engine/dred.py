@@ -1,0 +1,152 @@
+"""Dynamic Redundancy (DRed) — the prefix cache inside each chip.
+
+CLPL calls these "logical caches"; the paper insists DRed is *not* really a
+cache (a packet is never looked up in both its home TCAM and a DRed), but
+its content is maintained with a cache policy: prefixes observed to hit in
+some chip's main partition are inserted, LRU evicts.
+
+Two properties distinguish the schemes and are both modelled here:
+
+* **exclusion** — CLUE never stores chip *i*'s own prefixes in DRed *i*
+  (the pair is never searched for the same packet), which is the "3/4 the
+  redundancy" saving with four chips.  The owner is recorded per entry and
+  the exclusion enforced on insert.
+* **lookup semantics** — LPM over the cached prefixes.  CLUE's entries are
+  disjoint table entries, so at most one can match; CLPL's RRC-ME outputs
+  are non-overlapping by construction as well, but the cache performs a
+  genuine longest-match so that mixed or transiently-stale content stays
+  correct.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.net.prefix import ADDRESS_WIDTH, Prefix
+
+
+@dataclass(frozen=True)
+class DredEntry:
+    """A cached prefix with its hop and the chip whose table owns it."""
+
+    prefix: Prefix
+    next_hop: int
+    owner: int
+
+
+class DredCache:
+    """LRU prefix cache with owner-exclusion and LPM lookups.
+
+    >>> cache = DredCache(capacity=2, chip_index=0, exclude_own=True)
+    >>> cache.insert(Prefix.from_bits("1"), 7, owner=1)
+    True
+    >>> cache.insert(Prefix.from_bits("0"), 8, owner=0)   # own chip: refused
+    False
+    """
+
+    def __init__(
+        self, capacity: int, chip_index: int, exclude_own: bool
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("DRed capacity must be positive")
+        self.capacity = capacity
+        self.chip_index = chip_index
+        self.exclude_own = exclude_own
+        self._entries: "OrderedDict[Prefix, DredEntry]" = OrderedDict()
+        # Per-length membership for O(32) longest-prefix lookup.
+        self._by_length: Dict[int, Dict[int, Prefix]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, address: int) -> Optional[DredEntry]:
+        """LPM over cached prefixes; updates recency and hit statistics."""
+        for length in range(ADDRESS_WIDTH, -1, -1):
+            bucket = self._by_length.get(length)
+            if not bucket:
+                continue
+            key = address >> (ADDRESS_WIDTH - length) if length else 0
+            prefix = bucket.get(key)
+            if prefix is not None:
+                entry = self._entries[prefix]
+                self._entries.move_to_end(prefix)
+                self.hits += 1
+                return entry
+        self.misses += 1
+        return None
+
+    def insert(self, prefix: Prefix, next_hop: int, owner: int) -> bool:
+        """Cache a prefix; returns False when the exclusion rule refuses it.
+
+        Re-inserting an existing prefix refreshes its hop and recency.
+        """
+        if self.exclude_own and owner == self.chip_index:
+            return False
+        if prefix in self._entries:
+            self._entries[prefix] = DredEntry(prefix, next_hop, owner)
+            self._entries.move_to_end(prefix)
+            return True
+        while len(self._entries) >= self.capacity:
+            self._evict()
+        self._entries[prefix] = DredEntry(prefix, next_hop, owner)
+        bucket = self._by_length.setdefault(prefix.length, {})
+        bucket[prefix.value] = prefix
+        self.insertions += 1
+        return True
+
+    def delete(self, prefix: Prefix) -> bool:
+        """Remove a prefix (the CLUE DRed-update path: 'if it exists, just
+        delete it; otherwise do nothing')."""
+        entry = self._entries.pop(prefix, None)
+        if entry is None:
+            return False
+        self._remove_index(prefix)
+        return True
+
+    def invalidate_overlapping(self, prefix: Prefix) -> Tuple[int, int]:
+        """Remove every cached entry overlapping ``prefix``.
+
+        This is what CLPL's DRed update must do after a table change: any
+        cached RRC-ME expansion that overlaps the updated prefix may now be
+        stale.  Returns ``(removed, scanned)`` — ``scanned`` models the SRAM
+        walk cost of identifying the victims.
+        """
+        victims = [
+            cached for cached in self._entries if cached.overlaps(prefix)
+        ]
+        for cached in victims:
+            del self._entries[cached]
+            self._remove_index(cached)
+        return len(victims), len(self._entries) + len(victims)
+
+    # ------------------------------------------------------------------
+
+    def _evict(self) -> None:
+        prefix, _ = self._entries.popitem(last=False)
+        self._remove_index(prefix)
+        self.evictions += 1
+
+    def _remove_index(self, prefix: Prefix) -> None:
+        bucket = self._by_length.get(prefix.length)
+        if bucket is not None:
+            bucket.pop(prefix.value, None)
+            if not bucket:
+                del self._by_length[prefix.length]

@@ -1,0 +1,55 @@
+"""Packet-level records flowing through the lookup engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class LookupKind(Enum):
+    """Which TCAM region a queued job will search (Figure 1, step V).
+
+    A job is either a *main* lookup in the home chip's table partition, or a
+    *DRed* lookup in a foreign chip's dynamic-redundancy partition.  The two
+    are mutually exclusive by design: "No IP address will be looked-up both
+    in home TCAM and the corresponding DRed".
+    """
+
+    MAIN = "main"
+    DRED = "dred"
+
+
+@dataclass
+class Packet:
+    """One destination lookup travelling through the engine.
+
+    ``tag`` is the sequence number attached in step III (used by the
+    reorder buffer); ``home`` the chip index the Indexing Logic named in
+    step II.  ``dred_attempts`` counts how often the packet bounced off a
+    DRed miss back to rule (a).
+    """
+
+    tag: int
+    address: int
+    home: int
+    arrival_cycle: int
+    dred_attempts: int = 0
+
+
+@dataclass(frozen=True)
+class Completion:
+    """The outcome of one lookup."""
+
+    tag: int
+    address: int
+    next_hop: Optional[int]
+    completion_cycle: int
+    served_by: int
+    kind: LookupKind
+    arrival_cycle: int
+
+    @property
+    def latency(self) -> int:
+        """Cycles from arrival to completion."""
+        return self.completion_cycle - self.arrival_cycle

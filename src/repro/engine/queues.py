@@ -1,0 +1,54 @@
+"""Bounded FIFO in front of each TCAM chip (Figure 1's per-chip queues).
+
+The queue-full signal is the engine's only load indicator: rule (b)
+diverts a packet exactly when its home queue is full, and picks the target
+by comparing queue depths.  Occupancy statistics feed the load-balancing
+analysis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class BoundedFifo(Generic[T]):
+    """A fixed-capacity FIFO with occupancy statistics."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self.peak_occupancy = 0
+        self.total_enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def push(self, item: T) -> None:
+        """Enqueue; the caller must have checked :attr:`is_full`."""
+        if self.is_full:
+            raise OverflowError("queue is full")
+        self._items.append(item)
+        self.total_enqueued += 1
+        if len(self._items) > self.peak_occupancy:
+            self.peak_occupancy = len(self._items)
+
+    def pop(self) -> T:
+        """Dequeue the oldest item."""
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        """The oldest item without removing it."""
+        return self._items[0] if self._items else None

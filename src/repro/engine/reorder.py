@@ -1,0 +1,46 @@
+"""Reorder buffer — restores arrival order at the engine's output.
+
+Parallel dispatch completes lookups out of order, which is why step III
+tags every address with a sequence number.  The buffer holds completions
+until all earlier tags have been released; its peak occupancy bounds the
+hardware needed downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.engine.events import Completion
+
+
+class ReorderBuffer:
+    """Releases completions strictly in tag order."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, Completion] = {}
+        self._next_tag = 0
+        self.peak_occupancy = 0
+        self.released: List[Completion] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def offer(self, completion: Completion) -> List[Completion]:
+        """Add one completion; returns everything releasable in order."""
+        self._pending[completion.tag] = completion
+        if len(self._pending) > self.peak_occupancy:
+            self.peak_occupancy = len(self._pending)
+        releasable: List[Completion] = []
+        while self._next_tag in self._pending:
+            releasable.append(self._pending.pop(self._next_tag))
+            self._next_tag += 1
+        self.released.extend(releasable)
+        return releasable
+
+    @property
+    def in_order(self) -> bool:
+        """True when everything released so far came out in tag order."""
+        return all(
+            earlier.tag + 1 == later.tag
+            for earlier, later in zip(self.released, self.released[1:])
+        )

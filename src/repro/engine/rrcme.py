@@ -1,0 +1,80 @@
+"""RRC-ME — minimal-expansion prefix caching (Akhbarizadeh & Nourani 2004).
+
+With an *overlapping* table, the prefix that longest-matched a packet
+cannot be cached as-is: a shorter match ``p = 1*`` may have a more-specific
+child ``q = 11*`` with a different hop, and caching ``p`` would short-
+circuit ``q`` for later packets (Figure 2).  RRC-ME instead computes the
+shortest *non-overlapped expansion* — the shortest prefix along the packet's
+address that covers no other table prefix — and caches that.
+
+The computation needs the control-plane trie in SRAM, which is exactly the
+data-plane/control-plane round trip CLUE eliminates (Figures 3 vs 4).  The
+walk length is returned so the TTF3 cost model can charge it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.prefix import ADDRESS_WIDTH, Prefix
+from repro.trie.trie import BinaryTrie
+
+
+@dataclass(frozen=True)
+class Expansion:
+    """The result of one RRC-ME computation.
+
+    ``sram_accesses`` counts trie-node visits — the "must visit SRAM several
+    times" overhead the paper charges CLPL's DRed maintenance with.
+    """
+
+    prefix: Prefix
+    next_hop: int
+    sram_accesses: int
+
+
+def minimal_expansion(trie: BinaryTrie, address: int) -> Optional[Expansion]:
+    """The shortest cacheable prefix covering ``address``.
+
+    Returns ``None`` when the table has no match for ``address`` (nothing to
+    cache).  Guarantees of the result ``q``:
+
+    * ``q`` contains ``address``;
+    * every address inside ``q`` longest-matches the same table prefix (so
+      a cache hit on ``q`` returns the correct hop for all of them);
+    * ``q`` is the shortest such prefix along the address path.
+
+    In a *pruned* trie every node has a routed descendant-or-self, so the
+    walk simply descends along the address until the path leaves the trie;
+    one bit past the deepest node is the expansion.  If the deepest node is
+    itself the (leaf) match, the matched prefix is already non-overlapped
+    and is returned unexpanded — the case where RRC-ME degenerates to
+    CLUE's "just cache what hit".
+    """
+    node = trie.root
+    best_hop: Optional[int] = node.next_hop
+    depth = 0
+    accesses = 1  # the root visit
+    value = 0
+    while depth < ADDRESS_WIDTH:
+        bit = (address >> (ADDRESS_WIDTH - 1 - depth)) & 1
+        child = node.child(bit)
+        if child is None:
+            break
+        node = child
+        value = (value << 1) | bit
+        depth += 1
+        accesses += 1
+        if node.has_route:
+            best_hop = node.next_hop
+    if best_hop is None:
+        return None
+    if node.has_route and node.is_leaf:
+        # The match itself is non-overlapped: cacheable verbatim.
+        return Expansion(Prefix(value, depth), best_hop, accesses)
+    if depth >= ADDRESS_WIDTH:
+        return Expansion(Prefix(value, depth), best_hop, accesses)
+    bit = (address >> (ADDRESS_WIDTH - 1 - depth)) & 1
+    expansion = Prefix((value << 1) | bit, depth + 1)
+    return Expansion(expansion, best_hop, accesses)

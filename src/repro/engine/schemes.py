@@ -1,0 +1,154 @@
+"""Load-balancing scheme policies: CLUE, CLPL, SLPL, round-robin.
+
+A :class:`SchemePolicy` captures the two decisions that differ between the
+paper's contenders:
+
+* **divert** — where a packet goes when its home queue is full (rule (b)),
+  and what kind of lookup it becomes there;
+* **on_main_hit** — how the redundancy (DRed or static replicas) is kept
+  warm after a successful main-table lookup.
+
+The structural differences the paper emphasises fall out of these hooks:
+CLUE inserts the *hit prefix itself* into the other chips' DReds (data
+plane only), CLPL must run RRC-ME on the control-plane trie and inserts
+into *all* DReds including the home chip's own, SLPL has no dynamic
+redundancy at all.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.engine.events import LookupKind
+from repro.engine.rrcme import minimal_expansion
+from repro.net.prefix import Prefix
+from repro.trie.trie import BinaryTrie
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.simulator import LookupEngine, Packet
+
+
+class SchemePolicy(abc.ABC):
+    """Pluggable behaviour of one load-balancing scheme."""
+
+    #: Scheme identifier used in reports.
+    name: str = "abstract"
+    #: Whether chips carry a DRed partition at all.
+    uses_dred: bool = True
+    #: CLUE's exclusion rule: DRed *i* refuses chip *i*'s own prefixes.
+    exclude_own_dred: bool = False
+
+    def divert(
+        self, engine: "LookupEngine", packet: "Packet"
+    ) -> Optional[Tuple[int, LookupKind]]:
+        """Target for a packet whose home queue is full; None = must wait."""
+        chip = engine.idlest_chip(exclude=packet.home)
+        if chip is None:
+            return None
+        return chip, LookupKind.DRED
+
+    @abc.abstractmethod
+    def on_main_hit(
+        self,
+        engine: "LookupEngine",
+        chip_index: int,
+        address: int,
+        prefix: Prefix,
+        next_hop: int,
+    ) -> None:
+        """Maintain redundancy after a main-partition hit."""
+
+
+class CluePolicy(SchemePolicy):
+    """CLUE (Section III-C): direct insertion, own-chip exclusion.
+
+    Because the table is disjoint, the prefix that hit *is* cacheable as-is;
+    it is pushed straight into the other chips' DReds with no control-plane
+    involvement (Figure 4).
+    """
+
+    name = "clue"
+    exclude_own_dred = True
+
+    def on_main_hit(self, engine, chip_index, address, prefix, next_hop):
+        for other in engine.chips:
+            if other.index == chip_index:
+                continue
+            if other.dred.insert(prefix, next_hop, owner=chip_index):
+                engine.stats.dred_insertions += 1
+
+
+class ClplPolicy(SchemePolicy):
+    """CLPL (Lin et al.): RRC-ME expansion via the control plane.
+
+    Every main hit triggers a control-plane interaction: the trie in SRAM is
+    walked to compute the minimal non-overlapped expansion (Figure 3), and
+    the result is inserted into all N logical caches — including the home
+    chip's own, which CLUE shows is wasted space.
+    """
+
+    name = "clpl"
+    exclude_own_dred = False
+
+    def on_main_hit(self, engine, chip_index, address, prefix, next_hop):
+        reference = engine.reference
+        assert reference is not None, "CLPL needs the control-plane trie"
+        expansion = minimal_expansion(reference, address)
+        engine.stats.control_plane_interactions += 1
+        if expansion is None:
+            return
+        engine.stats.sram_accesses += expansion.sram_accesses
+        for other in engine.chips:
+            if other.dred.insert(
+                expansion.prefix, expansion.next_hop, owner=chip_index
+            ):
+                engine.stats.dred_insertions += 1
+
+
+class SlplPolicy(SchemePolicy):
+    """SLPL (Zheng et al.): static replicas chosen from long-term statistics.
+
+    Hot prefixes (picked offline from a training trace) are replicated into
+    every chip's main partition; a diverted packet can be served by a MAIN
+    lookup anywhere *if* its destination is hot.  Cold destinations have a
+    single home and simply wait — the scheme's worst-case weakness.
+    """
+
+    name = "slpl"
+    uses_dred = False
+
+    def __init__(self, hot_set: BinaryTrie) -> None:
+        self.hot_set = hot_set
+
+    def divert(self, engine, packet):
+        if self.hot_set.lookup(packet.address) is None:
+            return None
+        chip = engine.idlest_chip(exclude=packet.home)
+        if chip is None:
+            return None
+        return chip, LookupKind.MAIN
+
+    def on_main_hit(self, engine, chip_index, address, prefix, next_hop):
+        return None  # static redundancy: nothing to maintain
+
+
+class RoundRobinPolicy(SchemePolicy):
+    """Full duplication baseline: every chip holds the whole table.
+
+    The Indexing Logic degenerates to a round-robin counter, so the policy
+    only needs to serve diverted packets with MAIN lookups (any chip can
+    answer anything).
+    """
+
+    name = "round-robin"
+    uses_dred = False
+
+    def divert(self, engine, packet):
+        chip = engine.idlest_chip(exclude=None)
+        if chip is None:
+            return None
+        return chip, LookupKind.MAIN
+
+    def on_main_hit(self, engine, chip_index, address, prefix, next_hop):
+        return None

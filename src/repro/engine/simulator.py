@@ -1,0 +1,338 @@
+"""Cycle-driven simulator of the parallel TCAM lookup engine (Figure 1).
+
+The model follows the paper's own simulation settings (Figure 15): packets
+arrive at up to one per clock, each TCAM needs ``lookup_cycles`` (4) clocks
+per search, every chip has a bounded FIFO (256) and a DRed partition (1024
+prefixes).  Dispatch implements Section III-B's rules:
+
+(a) home queue not full → enqueue for a MAIN lookup in the home chip;
+(b) home queue full → idlest other queue, as a DRED lookup *only*;
+(c) DRed miss → bounce back and repeat (a).
+
+Functional note: chips execute searches against trie-backed tables rather
+than the linear-scan :class:`~repro.tcam.device.Tcam` model — a cycle
+simulation performs millions of searches and the device model is O(slots)
+per search.  Counting semantics are identical (slot activations are charged
+from the known partition sizes); the device model is exercised by the
+update pipeline and the unit tests instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterator, Optional, Sequence, Tuple
+
+from repro.engine.dred import DredCache
+from repro.engine.events import Completion, LookupKind, Packet
+from repro.engine.queues import BoundedFifo
+from repro.engine.reorder import ReorderBuffer
+from repro.engine.schemes import SchemePolicy
+from repro.engine.stats import EngineStats
+from repro.net.prefix import Prefix
+from repro.trie.trie import BinaryTrie
+
+Route = Tuple[Prefix, int]
+
+
+@dataclass
+class EngineConfig:
+    """Knobs of the simulated engine (defaults = the paper's Figure 15)."""
+
+    chip_count: int = 4
+    lookup_cycles: int = 4
+    queue_capacity: int = 256
+    dred_capacity: int = 1024
+    arrivals_per_cycle: float = 1.0
+    max_dred_attempts: int = 64
+
+    def __post_init__(self) -> None:
+        if self.chip_count < 1:
+            raise ValueError("need at least one chip")
+        if self.lookup_cycles < 1:
+            raise ValueError("lookups take at least one cycle")
+        if self.arrivals_per_cycle <= 0:
+            raise ValueError("arrival rate must be positive")
+
+
+class ChipState:
+    """One TCAM chip: main table, DRed partition, input FIFO, busy timer."""
+
+    def __init__(
+        self,
+        index: int,
+        routes: Sequence[Route],
+        config: EngineConfig,
+        exclude_own_dred: bool,
+        uses_dred: bool,
+    ) -> None:
+        self.index = index
+        self.table = BinaryTrie.from_routes(routes)
+        self.table_slots = len(self.table)
+        self.queue: BoundedFifo[Tuple[Packet, LookupKind]] = BoundedFifo(
+            config.queue_capacity
+        )
+        self.dred: Optional[DredCache] = (
+            DredCache(config.dred_capacity, index, exclude_own_dred)
+            if uses_dred
+            else None
+        )
+        self.busy_until = 0
+
+
+class LookupEngine:
+    """The parallel lookup engine of Figure 1, ready to run packet streams.
+
+    ``tables`` gives each chip's main-partition content; ``home_of`` is the
+    Indexing Logic (step II); ``reference`` the control-plane trie (needed
+    by CLPL's RRC-ME and by result verification).
+    """
+
+    def __init__(
+        self,
+        tables: Sequence[Sequence[Route]],
+        home_of: Callable[[int], int],
+        scheme: SchemePolicy,
+        config: Optional[EngineConfig] = None,
+        reference: Optional[BinaryTrie] = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        if len(tables) != self.config.chip_count:
+            raise ValueError(
+                f"{len(tables)} tables for {self.config.chip_count} chips"
+            )
+        self.scheme = scheme
+        self.home_of = home_of
+        self.reference = reference
+        self.chips = [
+            ChipState(
+                index,
+                routes,
+                self.config,
+                scheme.exclude_own_dred,
+                scheme.uses_dred,
+            )
+            for index, routes in enumerate(tables)
+        ]
+        self.stats = EngineStats(
+            per_chip_lookups=[0] * self.config.chip_count,
+            per_chip_main=[0] * self.config.chip_count,
+            per_chip_dred=[0] * self.config.chip_count,
+        )
+        self.reorder = ReorderBuffer()
+        self._cycle = 0
+        self._next_tag = 0
+        # One FIFO backlog of everything awaiting dispatch: fresh arrivals
+        # and bounced DRed misses alike.  A single queue is what guarantees
+        # progress — giving bounced packets strict priority can livelock the
+        # engine with doomed DRed retries that crowd out the MAIN lookups
+        # that would warm the DReds.
+        self._pending: Deque[Packet] = deque()
+        self._arrival_credit = 0.0
+        #: Optional per-cycle observer (see :mod:`repro.engine.timeline`).
+        self.on_cycle: Optional[Callable[[int], None]] = None
+
+    # ------------------------------------------------------------------
+    # Dispatch (Figure 1, steps II-V)
+    # ------------------------------------------------------------------
+
+    def idlest_chip(self, exclude: Optional[int]) -> Optional[int]:
+        """The chip with the shortest non-full queue (rule (b))."""
+        best: Optional[int] = None
+        best_depth = -1
+        for chip in self.chips:
+            if exclude is not None and chip.index == exclude:
+                continue
+            if chip.queue.is_full:
+                continue
+            depth = len(chip.queue)
+            if best is None or depth < best_depth:
+                best = chip.index
+                best_depth = depth
+        return best
+
+    def _try_dispatch(self, packet: Packet) -> bool:
+        home = self.chips[packet.home]
+        if not home.queue.is_full:
+            home.queue.push((packet, LookupKind.MAIN))
+            return True
+        if packet.dred_attempts >= self.config.max_dred_attempts:
+            # Livelock guard: after pathological bouncing the packet waits
+            # for its home chip instead of burning more DRed slots.
+            return False
+        target = self.scheme.divert(self, packet)
+        if target is None:
+            return False
+        chip_index, kind = target
+        chip = self.chips[chip_index]
+        if chip.queue.is_full:
+            return False
+        chip.queue.push((packet, kind))
+        self.stats.diverted += 1
+        return True
+
+    def _drain(self) -> None:
+        """Dispatch the backlog in FIFO order until head-of-line blocks.
+
+        Head-of-line blocking is deliberate: it models the input link's
+        backpressure and guarantees progress (the head's home chip frees a
+        slot every ``lookup_cycles``)."""
+        backlog = self._pending
+        while backlog:
+            if not self._try_dispatch(backlog[0]):
+                break
+            backlog.popleft()
+
+    # ------------------------------------------------------------------
+    # Execution (Figure 1, step V)
+    # ------------------------------------------------------------------
+
+    def _serve_chip(self, chip: ChipState) -> Optional[Completion]:
+        if chip.busy_until > self._cycle or chip.queue.is_empty:
+            return None
+        packet, kind = chip.queue.pop()
+        chip.busy_until = self._cycle + self.config.lookup_cycles
+        self.stats.per_chip_lookups[chip.index] += 1
+        done_at = self._cycle + self.config.lookup_cycles
+        if kind is LookupKind.MAIN:
+            self.stats.main_lookups += 1
+            self.stats.per_chip_main[chip.index] += 1
+            match = chip.table.lookup_prefix(packet.address)
+            if match is not None:
+                prefix, hop = match
+                self.scheme.on_main_hit(
+                    self, chip.index, packet.address, prefix, hop
+                )
+                return Completion(
+                    packet.tag, packet.address, hop, done_at,
+                    chip.index, kind, packet.arrival_cycle,
+                )
+            return Completion(
+                packet.tag, packet.address, None, done_at,
+                chip.index, kind, packet.arrival_cycle,
+            )
+        # DRed lookup (diverted traffic).
+        self.stats.dred_lookups += 1
+        self.stats.per_chip_dred[chip.index] += 1
+        assert chip.dred is not None
+        entry = chip.dred.lookup(packet.address)
+        if entry is not None:
+            self.stats.dred_hits += 1
+            return Completion(
+                packet.tag, packet.address, entry.next_hop, done_at,
+                chip.index, kind, packet.arrival_cycle,
+            )
+        self.stats.dred_misses += 1
+        self.stats.bounced += 1
+        packet.dred_attempts += 1
+        self._pending.append(packet)  # rule (c): back through rule (a)
+        return None
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        addresses: Iterator[int],
+        packet_count: int,
+        max_cycles: Optional[int] = None,
+    ) -> EngineStats:
+        """Inject ``packet_count`` packets and run until all complete.
+
+        ``addresses`` supplies destination addresses (e.g. a
+        :class:`~repro.workload.trafficgen.TrafficGenerator`).  Arrival rate
+        follows ``config.arrivals_per_cycle``; the engine then drains.
+        Returns the accumulated statistics (also kept on ``self.stats``).
+        """
+        config = self.config
+        # Targets are relative to this call so that consecutive run() calls
+        # (e.g. traffic chunks interleaved with updates) each make progress.
+        target = self.stats.completions + packet_count
+        limit = self._cycle + (
+            max_cycles if max_cycles is not None else packet_count * 100
+        )
+        injected = 0
+        while self.stats.completions < target:
+            if self._cycle > limit:
+                raise RuntimeError(
+                    f"simulation exceeded its cycle budget "
+                    f"({self.stats.completions}/{target} done)"
+                )
+            # Step I: arrivals for this cycle.
+            self._arrival_credit += config.arrivals_per_cycle
+            while self._arrival_credit >= 1.0 and injected < packet_count:
+                self._arrival_credit -= 1.0
+                packet = Packet(
+                    tag=self._next_tag,
+                    address=next(addresses),
+                    home=0,
+                    arrival_cycle=self._cycle,
+                )
+                packet.home = self.home_of(packet.address)
+                self._next_tag += 1
+                injected += 1
+                self.stats.arrivals += 1
+                self._pending.append(packet)
+            # Steps II-IV: dispatch the backlog (arrivals and bounces).
+            self._drain()
+            if self._pending:
+                self.stats.stalled_arrivals += len(self._pending)
+            # Step V: every chip serves its queue.
+            for chip in self.chips:
+                completion = self._serve_chip(chip)
+                if completion is not None:
+                    self.stats.completions += 1
+                    self.stats.latencies_sum += completion.latency
+                    if completion.latency > self.stats.latency_max:
+                        self.stats.latency_max = completion.latency
+                    self.reorder.offer(completion)
+            if self.on_cycle is not None:
+                self.on_cycle(self._cycle)
+            self._cycle += 1
+            self.stats.cycles = self._cycle
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Update interference
+    # ------------------------------------------------------------------
+
+    def inject_stall(self, chip_index: int, cycles: int) -> None:
+        """Block one chip for ``cycles`` — a TCAM update in progress.
+
+        Slot writes and entry moves occupy the chip's single access port,
+        which is exactly why the paper separates TTF2/TTF3 (they interrupt
+        lookups) from TTF1 (which does not).  Callers convert an update's
+        operation count into cycles and charge the owning chip here; see
+        ``bench_ablation_update_interference.py`` for the premise-1
+        experiment this enables.
+        """
+        if cycles < 0:
+            raise ValueError("stall must be non-negative")
+        chip = self.chips[chip_index]
+        chip.busy_until = max(chip.busy_until, self._cycle) + cycles
+
+    @property
+    def current_cycle(self) -> int:
+        """The simulator's clock (monotone across multiple run() calls)."""
+        return self._cycle
+
+    # ------------------------------------------------------------------
+    # Verification hook
+    # ------------------------------------------------------------------
+
+    def verify_completions(self, covered_only: bool = True) -> bool:
+        """Every released completion matches the reference LPM result.
+
+        With ``covered_only`` (don't-care compression), packets the original
+        table missed are exempt.
+        """
+        if self.reference is None:
+            raise ValueError("no reference trie attached")
+        for completion in self.reorder.released:
+            expected = self.reference.lookup(completion.address)
+            if covered_only and expected is None:
+                continue
+            if completion.next_hop != expected:
+                return False
+        return True

@@ -1,0 +1,87 @@
+"""Optional per-cycle timeline sampling for the lookup engine.
+
+The aggregate counters in :class:`~repro.engine.stats.EngineStats` hide
+dynamics: how queue depths breathe during a burst, when the DRed warms up,
+how long the backlog takes to drain.  A :class:`Timeline` attaches to an
+engine and records a sample every ``interval`` cycles; it is opt-in
+because sampling costs a few percent of simulation speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.simulator import LookupEngine
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One snapshot of engine state."""
+
+    cycle: int
+    queue_depths: List[int]
+    busy_chips: int
+    backlog: int
+    completions: int
+    dred_hit_rate: float
+
+
+class Timeline:
+    """Periodic engine-state sampler.
+
+    >>> # timeline = Timeline(engine, interval=100); engine.run(...)
+    >>> # timeline.samples -> [TimelineSample, ...]
+    """
+
+    def __init__(self, engine: "LookupEngine", interval: int = 100) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.engine = engine
+        self.interval = interval
+        self.samples: List[TimelineSample] = []
+        engine.on_cycle = self._on_cycle  # type: ignore[attr-defined]
+
+    def _on_cycle(self, cycle: int) -> None:
+        if cycle % self.interval:
+            return
+        engine = self.engine
+        self.samples.append(
+            TimelineSample(
+                cycle=cycle,
+                queue_depths=[len(chip.queue) for chip in engine.chips],
+                busy_chips=sum(
+                    1 for chip in engine.chips if chip.busy_until > cycle
+                ),
+                backlog=len(engine._pending),
+                completions=engine.stats.completions,
+                dred_hit_rate=engine.stats.dred_hit_rate,
+            )
+        )
+
+    # -- analysis helpers ---------------------------------------------------
+
+    def peak_backlog(self) -> int:
+        """Largest observed input backlog."""
+        return max((sample.backlog for sample in self.samples), default=0)
+
+    def mean_queue_depth(self) -> float:
+        """Average per-chip queue depth across all samples."""
+        depths = [
+            depth
+            for sample in self.samples
+            for depth in sample.queue_depths
+        ]
+        return sum(depths) / len(depths) if depths else 0.0
+
+    def throughput_series(self) -> List[float]:
+        """Completions per cycle between consecutive samples."""
+        series: List[float] = []
+        for earlier, later in zip(self.samples, self.samples[1:]):
+            cycles = later.cycle - earlier.cycle
+            if cycles > 0:
+                series.append(
+                    (later.completions - earlier.completions) / cycles
+                )
+        return series

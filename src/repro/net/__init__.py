@@ -1,0 +1,21 @@
+"""IP address and prefix primitives."""
+
+from repro.net.prefix import (
+    ADDRESS_SPACE,
+    ADDRESS_WIDTH,
+    Prefix,
+    PrefixError,
+    common_prefix,
+    format_address,
+    parse_address,
+)
+
+__all__ = [
+    "ADDRESS_SPACE",
+    "ADDRESS_WIDTH",
+    "Prefix",
+    "PrefixError",
+    "common_prefix",
+    "format_address",
+    "parse_address",
+]

@@ -1,0 +1,304 @@
+"""IPv4 prefix value type used throughout the CLUE reproduction.
+
+A :class:`Prefix` denotes the set of 32-bit addresses that share a given
+leading bit pattern.  It is the common currency between the trie, the
+compression algorithms, the TCAM model and the parallel lookup engine, so it
+is deliberately small, immutable and hashable.
+
+Internally a prefix is the pair ``(value, length)`` where ``value`` holds the
+``length`` most significant bits, right aligned (``0 <= value < 2**length``).
+This representation makes trie navigation (append a bit), parent/child
+arithmetic and TCAM ternary matching one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+#: Width of the address space.  The paper (and this reproduction) is IPv4.
+ADDRESS_WIDTH = 32
+
+#: Number of addresses in the full space.
+ADDRESS_SPACE = 1 << ADDRESS_WIDTH
+
+_OCTET_COUNT = 4
+
+
+class PrefixError(ValueError):
+    """Raised for malformed prefix notation or out-of-range components."""
+
+
+class Prefix:
+    """An immutable IPv4 prefix (a ``value/length`` pair).
+
+    >>> Prefix.parse("192.168.0.0/16")
+    Prefix('192.168.0.0/16')
+    >>> Prefix.from_bits("10")            # the top two bits are '10'
+    Prefix('128.0.0.0/2')
+    >>> Prefix.parse("10.0.0.0/8").contains_address(10 << 24)
+    True
+    """
+
+    __slots__ = ("_value", "_length")
+
+    def __init__(self, value: int, length: int) -> None:
+        if not 0 <= length <= ADDRESS_WIDTH:
+            raise PrefixError(f"prefix length {length} outside [0, {ADDRESS_WIDTH}]")
+        if not 0 <= value < (1 << length) and length > 0:
+            raise PrefixError(f"value {value:#x} does not fit in {length} bits")
+        if length == 0 and value != 0:
+            raise PrefixError("the zero-length prefix must have value 0")
+        self._value = value
+        self._length = length
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def root(cls) -> "Prefix":
+        """The zero-length prefix covering the entire address space."""
+        return cls(0, 0)
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse dotted-quad CIDR notation, e.g. ``"10.1.0.0/16"``.
+
+        Host bits beyond the mask must be zero; anything else is almost
+        always a data error in a routing table, so we refuse it loudly.
+        """
+        try:
+            address_text, length_text = text.strip().split("/")
+            length = int(length_text)
+        except ValueError as exc:
+            raise PrefixError(f"malformed CIDR text {text!r}") from exc
+        address = parse_address(address_text)
+        if not 0 <= length <= ADDRESS_WIDTH:
+            raise PrefixError(f"prefix length {length} outside [0, {ADDRESS_WIDTH}]")
+        value = address >> (ADDRESS_WIDTH - length) if length else 0
+        if (value << (ADDRESS_WIDTH - length)) != address and length < ADDRESS_WIDTH:
+            raise PrefixError(f"{text!r} has non-zero host bits")
+        if length == ADDRESS_WIDTH and address != (value if length else 0):
+            raise PrefixError(f"{text!r} has non-zero host bits")
+        return cls(value, length)
+
+    @classmethod
+    def from_bits(cls, bits: str) -> "Prefix":
+        """Build a prefix from a bit string such as ``"100"`` or ``"100*"``.
+
+        A single trailing ``*`` (the TCAM "don't care" tail) is accepted and
+        ignored, which lets the paper's figures (``p = 1*``) be written
+        verbatim in tests and examples.
+        """
+        if bits.endswith("*"):
+            bits = bits[:-1]
+        if any(ch not in "01" for ch in bits):
+            raise PrefixError(f"bit string {bits!r} contains non-binary characters")
+        length = len(bits)
+        if length > ADDRESS_WIDTH:
+            raise PrefixError(f"bit string longer than {ADDRESS_WIDTH} bits")
+        value = int(bits, 2) if bits else 0
+        return cls(value, length)
+
+    @classmethod
+    def from_network(cls, network: int, length: int) -> "Prefix":
+        """Build from a full 32-bit network address and a mask length."""
+        if not 0 <= network < ADDRESS_SPACE:
+            raise PrefixError(f"network {network:#x} outside the address space")
+        value = network >> (ADDRESS_WIDTH - length) if length else 0
+        if length and (value << (ADDRESS_WIDTH - length)) != network:
+            raise PrefixError("network has non-zero host bits")
+        return cls(value, length)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """The ``length`` leading bits, right aligned."""
+        return self._value
+
+    @property
+    def length(self) -> int:
+        """The mask length in bits."""
+        return self._length
+
+    @property
+    def network(self) -> int:
+        """The lowest address covered, as a 32-bit integer."""
+        if self._length == 0:
+            return 0
+        return self._value << (ADDRESS_WIDTH - self._length)
+
+    @property
+    def broadcast(self) -> int:
+        """The highest address covered, as a 32-bit integer."""
+        return self.network | ((1 << (ADDRESS_WIDTH - self._length)) - 1)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered."""
+        return 1 << (ADDRESS_WIDTH - self._length)
+
+    def bits(self) -> str:
+        """The prefix as a bit string (possibly empty for the root)."""
+        if self._length == 0:
+            return ""
+        return format(self._value, f"0{self._length}b")
+
+    # ------------------------------------------------------------------
+    # Set relations
+    # ------------------------------------------------------------------
+
+    def contains_address(self, address: int) -> bool:
+        """True when ``address`` (32-bit int) falls inside this prefix."""
+        if self._length == 0:
+            return 0 <= address < ADDRESS_SPACE
+        return (address >> (ADDRESS_WIDTH - self._length)) == self._value
+
+    def contains(self, other: "Prefix") -> bool:
+        """True when ``other`` is equal to or more specific than this prefix."""
+        if other._length < self._length:
+            return False
+        return (other._value >> (other._length - self._length)) == self._value
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """True when the two prefixes share at least one address."""
+        return self.contains(other) or other.contains(self)
+
+    def is_disjoint(self, other: "Prefix") -> bool:
+        """True when the two prefixes share no address."""
+        return not self.overlaps(other)
+
+    # ------------------------------------------------------------------
+    # Trie navigation
+    # ------------------------------------------------------------------
+
+    def child(self, bit: int) -> "Prefix":
+        """The one-bit-longer prefix obtained by appending ``bit``."""
+        if bit not in (0, 1):
+            raise PrefixError(f"bit must be 0 or 1, got {bit}")
+        if self._length >= ADDRESS_WIDTH:
+            raise PrefixError("cannot extend a host prefix")
+        return Prefix((self._value << 1) | bit, self._length + 1)
+
+    def parent(self) -> "Prefix":
+        """The one-bit-shorter covering prefix."""
+        if self._length == 0:
+            raise PrefixError("the root prefix has no parent")
+        return Prefix(self._value >> 1, self._length - 1)
+
+    def sibling(self) -> "Prefix":
+        """The other child of this prefix's parent."""
+        if self._length == 0:
+            raise PrefixError("the root prefix has no sibling")
+        return Prefix(self._value ^ 1, self._length)
+
+    def bit_at(self, position: int) -> int:
+        """The bit at 0-based ``position`` from the most significant end."""
+        if not 0 <= position < self._length:
+            raise PrefixError(f"bit position {position} outside prefix of length {self._length}")
+        return (self._value >> (self._length - 1 - position)) & 1
+
+    def walk_bits(self) -> Iterator[int]:
+        """Yield the prefix bits from most to least significant."""
+        for position in range(self._length):
+            yield (self._value >> (self._length - 1 - position)) & 1
+
+    def iter_subprefixes(self, length: int) -> Iterator["Prefix"]:
+        """Yield every prefix of exactly ``length`` bits covered by this one."""
+        if length < self._length:
+            raise PrefixError("target length shorter than the prefix itself")
+        extra = length - self._length
+        base = self._value << extra
+        for tail in range(1 << extra):
+            yield Prefix(base | tail, length)
+
+    # ------------------------------------------------------------------
+    # TCAM view
+    # ------------------------------------------------------------------
+
+    def ternary(self) -> str:
+        """The 32-character ternary TCAM pattern (``0``/``1``/``*``)."""
+        return self.bits() + "*" * (ADDRESS_WIDTH - self._length)
+
+    def matches(self, address: int) -> bool:
+        """Alias of :meth:`contains_address` with TCAM terminology."""
+        return self.contains_address(address)
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def key(self) -> Tuple[int, int]:
+        """A plain tuple key ``(length, value)``, handy for sorting."""
+        return (self._length, self._value)
+
+    def sort_key(self) -> Tuple[int, int]:
+        """Key ordering prefixes by position in an inorder trie walk.
+
+        Two disjoint prefixes compare by their address ranges; a covering
+        prefix sorts before anything it contains.  This is the order CLUE's
+        even partitioning uses.
+        """
+        return (self.network, self._length)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self._value == other._value and self._length == other._length
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._length))
+
+    def __lt__(self, other: "Prefix") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Prefix") -> bool:
+        return self.sort_key() <= other.sort_key()
+
+    def __repr__(self) -> str:
+        return f"Prefix('{self}')"
+
+    def __str__(self) -> str:
+        return f"{format_address(self.network)}/{self._length}"
+
+
+# ----------------------------------------------------------------------
+# Address helpers
+# ----------------------------------------------------------------------
+
+
+def parse_address(text: str) -> int:
+    """Parse dotted-quad notation into a 32-bit integer."""
+    parts = text.strip().split(".")
+    if len(parts) != _OCTET_COUNT:
+        raise PrefixError(f"malformed address {text!r}")
+    address = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError as exc:
+            raise PrefixError(f"malformed address {text!r}") from exc
+        if not 0 <= octet <= 255:
+            raise PrefixError(f"octet {octet} out of range in {text!r}")
+        address = (address << 8) | octet
+    return address
+
+
+def format_address(address: int) -> str:
+    """Format a 32-bit integer as dotted-quad notation."""
+    if not 0 <= address < ADDRESS_SPACE:
+        raise PrefixError(f"address {address:#x} outside the address space")
+    return ".".join(str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def common_prefix(first: Prefix, second: Prefix) -> Prefix:
+    """The longest prefix containing both arguments."""
+    limit = min(first.length, second.length)
+    a = first.value >> (first.length - limit) if limit else 0
+    b = second.value >> (second.length - limit) if limit else 0
+    diff = a ^ b
+    shared = limit - diff.bit_length()
+    return Prefix(a >> (limit - shared) if shared else 0, shared)

@@ -1,0 +1,50 @@
+"""Table partitioning: CLUE even ranges, CLPL sub-trees, SLPL ID bits."""
+
+from repro.partition.base import (
+    Partition,
+    PartitionResult,
+    Route,
+    validate_coverage,
+)
+from repro.partition.even import (
+    OverlapInPartitionInput,
+    even_partition,
+    partition_ranges,
+    range_boundaries,
+)
+from repro.partition.idbit import (
+    IdBitPartitionResult,
+    idbit_partition,
+    select_id_bits,
+)
+from repro.partition.index_logic import (
+    BitIndex,
+    IndexingLogic,
+    PrefixIndex,
+    RangeIndex,
+    build_index,
+    index_is_exact,
+)
+from repro.partition.subtree import SubtreePartitionResult, subtree_partition
+
+__all__ = [
+    "BitIndex",
+    "IdBitPartitionResult",
+    "IndexingLogic",
+    "OverlapInPartitionInput",
+    "Partition",
+    "PartitionResult",
+    "PrefixIndex",
+    "RangeIndex",
+    "Route",
+    "SubtreePartitionResult",
+    "build_index",
+    "even_partition",
+    "idbit_partition",
+    "index_is_exact",
+    "partition_ranges",
+    "range_boundaries",
+    "select_id_bits",
+    "subtree_partition",
+    "validate_coverage",
+]

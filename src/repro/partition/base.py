@@ -1,0 +1,104 @@
+"""Partitioning data model.
+
+A partitioner splits a routing table into ``n`` buckets destined for ``n``
+TCAM partitions.  The paper compares three algorithms on two axes (Figure 9):
+how *even* the split is, and how much *redundancy* (duplicated covering
+prefixes) it needs for correctness.  Those two quantities are first-class
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.net.prefix import Prefix
+
+Route = Tuple[Prefix, int]
+
+
+@dataclass
+class Partition:
+    """One bucket of the split table.
+
+    ``routes`` are the partition's own entries; ``redundant`` are covering
+    prefixes duplicated into the partition so lookups that land here still
+    find their (shorter) match.  Redundant entries occupy TCAM slots like
+    any other — they are the overhead Figure 9 charges SLPL and CLPL with.
+    """
+
+    index: int
+    routes: List[Route] = field(default_factory=list)
+    redundant: List[Route] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Total TCAM slots this partition occupies."""
+        return len(self.routes) + len(self.redundant)
+
+    def all_routes(self) -> List[Route]:
+        """Own + redundant entries, the actual TCAM content."""
+        return self.routes + self.redundant
+
+
+@dataclass
+class PartitionResult:
+    """The outcome of splitting one table ``n`` ways."""
+
+    algorithm: str
+    partitions: List[Partition]
+
+    @property
+    def count(self) -> int:
+        return len(self.partitions)
+
+    def sizes(self) -> List[int]:
+        """Occupied slots per partition (Figure 9's y-axis)."""
+        return [partition.size for partition in self.partitions]
+
+    @property
+    def max_size(self) -> int:
+        return max(self.sizes()) if self.partitions else 0
+
+    @property
+    def min_size(self) -> int:
+        return min(self.sizes()) if self.partitions else 0
+
+    @property
+    def total_entries(self) -> int:
+        return sum(self.sizes())
+
+    @property
+    def redundancy(self) -> int:
+        """Total duplicated entries across partitions."""
+        return sum(len(partition.redundant) for partition in self.partitions)
+
+    @property
+    def base_entries(self) -> int:
+        """Entries excluding redundancy (== the input table size)."""
+        return sum(len(partition.routes) for partition in self.partitions)
+
+    @property
+    def redundancy_ratio(self) -> float:
+        """Redundant entries as a fraction of the input table."""
+        if self.base_entries == 0:
+            return 0.0
+        return self.redundancy / self.base_entries
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean partition size; 1.0 is a perfect split."""
+        sizes = self.sizes()
+        if not sizes or sum(sizes) == 0:
+            return 1.0
+        return max(sizes) / (sum(sizes) / len(sizes))
+
+
+def validate_coverage(result: PartitionResult, routes: Sequence[Route]) -> bool:
+    """Every input route appears in exactly one partition's own list."""
+    seen = []
+    for partition in result.partitions:
+        seen.extend(partition.routes)
+    return sorted(seen, key=lambda r: (r[0].sort_key(), r[1])) == sorted(
+        routes, key=lambda r: (r[0].sort_key(), r[1])
+    )

@@ -1,0 +1,88 @@
+"""CLUE's even range partition (Section III-A).
+
+With a disjoint table, partitioning collapses to two steps the paper spells
+out verbatim: compute M/n, then walk the trie inorder handing every M/n
+prefixes to the next TCAM.  Because entries are disjoint, address order is a
+total order, each partition is a contiguous address *range*, no covering
+prefix ever needs duplicating (zero redundancy), and sizes differ by at most
+one entry.
+
+The ranges double as the content of the Indexing Logic: home-TCAM selection
+is a binary search over ``n`` boundary addresses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.net.prefix import Prefix
+from repro.partition.base import Partition, PartitionResult, Route
+
+
+class OverlapInPartitionInput(ValueError):
+    """Even range partitioning requires a disjoint (ONRTC-compressed) table."""
+
+
+def even_partition(routes: Sequence[Route], count: int) -> PartitionResult:
+    """Split a disjoint table into ``count`` even, contiguous ranges.
+
+    Raises :class:`OverlapInPartitionInput` if two routes overlap — feeding
+    an uncompressed table in would silently produce wrong lookups, so the
+    precondition is checked (linear after the sort).
+
+    >>> routes = [(Prefix.from_bits(b), 1) for b in ("00", "01", "10", "11")]
+    >>> [p.size for p in even_partition(routes, 2).partitions]
+    [2, 2]
+    """
+    if count <= 0:
+        raise ValueError("partition count must be positive")
+    ordered = sorted(routes, key=lambda route: route[0].sort_key())
+    for previous, current in zip(ordered, ordered[1:]):
+        if previous[0].broadcast >= current[0].network:
+            raise OverlapInPartitionInput(
+                f"{previous[0]} overlaps {current[0]}"
+            )
+    partitions = [Partition(index) for index in range(count)]
+    total = len(ordered)
+    base, extra = divmod(total, count)
+    cursor = 0
+    for index in range(count):
+        take = base + (1 if index < extra else 0)
+        partitions[index].routes = ordered[cursor : cursor + take]
+        cursor += take
+    return PartitionResult(algorithm="clue-even", partitions=partitions)
+
+
+def range_boundaries(result: PartitionResult) -> List[int]:
+    """Start address of each non-empty partition's range.
+
+    ``boundaries[i]`` is the lowest address belonging to partition ``i``;
+    partition 0 implicitly starts at 0.  This is what the Indexing Logic
+    stores (Table II's "Range Low" column).
+    """
+    boundaries: List[int] = []
+    for partition in result.partitions:
+        if partition.routes:
+            boundaries.append(partition.routes[0][0].network)
+        elif boundaries:
+            # An empty tail partition owns an empty range at the very top.
+            boundaries.append(1 << 32)
+        else:
+            boundaries.append(0)
+    if boundaries:
+        boundaries[0] = 0
+    return boundaries
+
+
+def partition_ranges(result: PartitionResult) -> List[Tuple[int, int]]:
+    """Inclusive ``(low, high)`` address range of each partition."""
+    boundaries = range_boundaries(result)
+    ranges: List[Tuple[int, int]] = []
+    for index, low in enumerate(boundaries):
+        high = (
+            boundaries[index + 1] - 1
+            if index + 1 < len(boundaries)
+            else (1 << 32) - 1
+        )
+        ranges.append((low, high))
+    return ranges

@@ -1,0 +1,154 @@
+"""ID-bit partition — CoolCAMs bit-selection (Zane et al.), used by SLPL.
+
+A handful of address bit positions are chosen as the *ID bits*; their values
+index one of ``2^k`` buckets, and a lookup only powers the bucket its key's
+ID bits select.  Two well-known weaknesses motivate the alternatives:
+
+* prefixes **shorter** than the deepest ID bit leave some ID bits undefined
+  and must be replicated into every bucket they might match (redundancy);
+* prefix mass is not uniform over bit patterns, so buckets come out uneven
+  no matter which bits are picked (Figure 9's "SCPL cannot split prefixes
+  evenly").
+
+Bits are chosen greedily to minimise the largest bucket, the standard
+heuristic from the CoolCAMs paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.prefix import Prefix
+from repro.partition.base import Partition, PartitionResult, Route
+
+
+def _bucket_ids(prefix: Prefix, bits: Sequence[int]) -> List[int]:
+    """Every bucket ID the prefix's entry must be stored under.
+
+    Defined bit positions contribute their value; positions beyond the
+    prefix length are free and enumerate (the replication case).
+    """
+    ids = [0]
+    for bit_position in bits:
+        if bit_position < prefix.length:
+            bit = prefix.bit_at(bit_position)
+            ids = [(identifier << 1) | bit for identifier in ids]
+        else:
+            ids = [
+                (identifier << 1) | value
+                for identifier in ids
+                for value in (0, 1)
+            ]
+    return ids
+
+
+def _load_of(
+    routes: Sequence[Route], bits: Sequence[int], buckets: int
+) -> List[int]:
+    """Entry count per bucket under a candidate bit selection."""
+    loads = [0] * buckets
+    for prefix, _ in routes:
+        for identifier in _bucket_ids(prefix, bits):
+            loads[identifier] += 1
+    return loads
+
+
+def select_id_bits(
+    routes: Sequence[Route], bit_count: int, candidate_positions: int = 16
+) -> List[int]:
+    """Greedy choice of ``bit_count`` ID-bit positions.
+
+    At each step the position (among the first ``candidate_positions``)
+    whose addition yields the smallest maximum bucket is taken; ties break
+    toward fewer replicas, then the shallower position.
+    """
+    chosen: List[int] = []
+    for _ in range(bit_count):
+        best: Tuple[int, int, int] = (1 << 62, 1 << 62, -1)
+        best_position = None
+        for position in range(candidate_positions):
+            if position in chosen:
+                continue
+            candidate = chosen + [position]
+            loads = _load_of(routes, candidate, 1 << len(candidate))
+            score = (max(loads) if loads else 0, sum(loads), position)
+            if score < best:
+                best = score
+                best_position = position
+        if best_position is None:
+            break
+        chosen.append(best_position)
+    return chosen
+
+
+def idbit_partition(
+    routes: Sequence[Route],
+    count: int,
+    candidate_positions: int = 16,
+) -> "IdBitPartitionResult":
+    """Split a table into ``count`` partitions by ID-bit bucketing.
+
+    ``count`` buckets require ``ceil(log2(count))`` ID bits; when ``count``
+    is not a power of two the ``2^k`` buckets are packed onto ``count``
+    partitions largest-first.
+    """
+    if count <= 0:
+        raise ValueError("partition count must be positive")
+    bit_count = max(1, math.ceil(math.log2(count))) if count > 1 else 0
+    bits = select_id_bits(routes, bit_count, candidate_positions)
+    bucket_count = 1 << len(bits)
+
+    bucket_routes: Dict[int, List[Route]] = {b: [] for b in range(bucket_count)}
+    bucket_redundant: Dict[int, List[Route]] = {
+        b: [] for b in range(bucket_count)
+    }
+    for route in routes:
+        identifiers = _bucket_ids(route[0], bits)
+        bucket_routes[identifiers[0]].append(route)
+        for identifier in identifiers[1:]:
+            bucket_redundant[identifier].append(route)
+
+    partitions = [Partition(index) for index in range(count)]
+    bucket_to_partition: Dict[int, int] = {}
+    order = sorted(
+        range(bucket_count),
+        key=lambda b: len(bucket_routes[b]) + len(bucket_redundant[b]),
+        reverse=True,
+    )
+    for bucket in order:
+        target = min(partitions, key=lambda p: p.size)
+        target.routes.extend(bucket_routes[bucket])
+        target.redundant.extend(bucket_redundant[bucket])
+        bucket_to_partition[bucket] = target.index
+
+    return IdBitPartitionResult(
+        algorithm="slpl-idbit",
+        partitions=partitions,
+        bits=bits,
+        bucket_to_partition=bucket_to_partition,
+    )
+
+
+class IdBitPartitionResult(PartitionResult):
+    """Partition result plus the ID-bit configuration (the index logic)."""
+
+    def __init__(
+        self,
+        algorithm: str,
+        partitions: List[Partition],
+        bits: List[int],
+        bucket_to_partition: Dict[int, int],
+    ) -> None:
+        super().__init__(algorithm=algorithm, partitions=partitions)
+        self.bits = bits
+        self.bucket_to_partition = bucket_to_partition
+
+    def home_of(self, address: int) -> int:
+        """Partition an address's ID bits select."""
+        identifier = 0
+        for bit_position in self.bits:
+            identifier = (identifier << 1) | (
+                (address >> (31 - bit_position)) & 1
+            )
+        return self.bucket_to_partition.get(identifier, 0)

@@ -1,0 +1,148 @@
+"""Indexing Logic — the front-end that names an address's home TCAM.
+
+Figure 1, step II: before queueing, each destination address consults a
+small on-chip structure that returns the partition (and thus chip) holding
+its matching prefix.  Each partitioning algorithm implies its own structure:
+
+* CLUE's even ranges → :class:`RangeIndex`, a binary search over at most
+  ``n`` boundary addresses;
+* CLPL's sub-trees  → :class:`PrefixIndex`, an LPM over the carve roots;
+* SLPL's ID bits    → :class:`BitIndex`, a k-bit extract-and-map.
+
+All are exact: the home partition *always* contains the address's matching
+entry (plus duplicated covering entries where the scheme needs them).
+"""
+
+from __future__ import annotations
+
+import abc
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.prefix import Prefix
+from repro.partition.base import PartitionResult
+from repro.partition.even import range_boundaries
+from repro.partition.idbit import IdBitPartitionResult
+from repro.partition.subtree import SubtreePartitionResult
+from repro.trie.trie import BinaryTrie
+
+
+class IndexingLogic(abc.ABC):
+    """Maps a 32-bit destination address to its home partition index."""
+
+    @abc.abstractmethod
+    def home_of(self, address: int) -> int:
+        """The partition whose TCAM holds this address's matching entry."""
+
+    @property
+    @abc.abstractmethod
+    def entry_count(self) -> int:
+        """How many index entries the structure stores (hardware cost)."""
+
+
+class RangeIndex(IndexingLogic):
+    """CLUE's range table: partition i owns [boundary[i], boundary[i+1])."""
+
+    def __init__(self, boundaries: Sequence[int]) -> None:
+        if not boundaries or boundaries[0] != 0:
+            raise ValueError("boundaries must start at address 0")
+        if list(boundaries) != sorted(boundaries):
+            raise ValueError("boundaries must be non-decreasing")
+        self.boundaries = list(boundaries)
+
+    @classmethod
+    def from_partition(cls, result: PartitionResult) -> "RangeIndex":
+        """Build from an even-partition result."""
+        return cls(range_boundaries(result))
+
+    def home_of(self, address: int) -> int:
+        return bisect_right(self.boundaries, address) - 1
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.boundaries)
+
+
+class PrefixIndex(IndexingLogic):
+    """CLPL's carve-root map: home = partition of the longest covering root."""
+
+    def __init__(self, assignment: Sequence[Tuple[Prefix, int]]) -> None:
+        if not assignment:
+            raise ValueError("assignment must name at least one carve root")
+        self._trie = BinaryTrie()
+        for root, partition_index in assignment:
+            self._trie.insert(root, partition_index)
+        if self._trie.get(Prefix.root()) is None:
+            # Guarantee totality: unmatched space falls back to partition 0.
+            self._trie.insert(Prefix.root(), 0)
+        self._count = len(assignment)
+
+    @classmethod
+    def from_partition(cls, result: SubtreePartitionResult) -> "PrefixIndex":
+        return cls(result.bucket_assignment)
+
+    def home_of(self, address: int) -> int:
+        home = self._trie.lookup(address)
+        assert home is not None  # root fallback makes the map total
+        return home
+
+    @property
+    def entry_count(self) -> int:
+        return self._count
+
+
+class BitIndex(IndexingLogic):
+    """SLPL's ID-bit extractor."""
+
+    def __init__(self, bits: Sequence[int], bucket_to_partition: Dict[int, int]):
+        self.bits = list(bits)
+        self.bucket_to_partition = dict(bucket_to_partition)
+
+    @classmethod
+    def from_partition(cls, result: IdBitPartitionResult) -> "BitIndex":
+        return cls(result.bits, result.bucket_to_partition)
+
+    def home_of(self, address: int) -> int:
+        identifier = 0
+        for bit_position in self.bits:
+            identifier = (identifier << 1) | (
+                (address >> (31 - bit_position)) & 1
+            )
+        return self.bucket_to_partition.get(identifier, 0)
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.bucket_to_partition)
+
+
+def build_index(result: PartitionResult) -> IndexingLogic:
+    """The natural indexing logic for a partition result."""
+    if isinstance(result, SubtreePartitionResult):
+        return PrefixIndex.from_partition(result)
+    if isinstance(result, IdBitPartitionResult):
+        return BitIndex.from_partition(result)
+    return RangeIndex.from_partition(result)
+
+
+def index_is_exact(
+    index: IndexingLogic,
+    result: PartitionResult,
+    addresses: Sequence[int],
+    reference: BinaryTrie,
+) -> bool:
+    """Spot-check: the home partition holds the LPM answer of each address.
+
+    Used by integration tests; ``reference`` is the uncompressed table.
+    """
+    tables: List[BinaryTrie] = [
+        BinaryTrie.from_routes(partition.all_routes())
+        for partition in result.partitions
+    ]
+    for address in addresses:
+        expected = reference.lookup(address)
+        if expected is None:
+            continue
+        home = index.home_of(address)
+        if tables[home].lookup(address) != expected:
+            return False
+    return True

@@ -1,0 +1,142 @@
+"""Sub-tree partition — CLPL's splitting algorithm (Lin et al., IPDPS 2007).
+
+The trie is carved into buckets of bounded route count (postorder: as soon
+as an accumulated subtree reaches the threshold it becomes a bucket), and
+buckets are packed onto the requested number of partitions.  Correctness
+demands that every routed *ancestor* of a carved subtree be duplicated into
+its bucket — a lookup routed to that partition may longest-match one of
+them.  Those duplicates are the redundancy Figure 9 charges CLPL with, and
+they grow with the partition count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.net.prefix import Prefix
+from repro.partition.base import Partition, PartitionResult, Route
+from repro.trie.node import TrieNode
+from repro.trie.trie import BinaryTrie
+
+
+class _Bucket:
+    """One carved subtree: its own routes plus duplicated covering routes."""
+
+    def __init__(self, root: Prefix, routes: List[Route], covering: List[Route]):
+        self.root = root
+        self.routes = routes
+        self.covering = covering
+
+    @property
+    def size(self) -> int:
+        return len(self.routes) + len(self.covering)
+
+
+def subtree_partition(
+    trie: BinaryTrie,
+    count: int,
+    granularity: int = 4,
+    threshold: Optional[int] = None,
+) -> PartitionResult:
+    """Split ``trie`` into ``count`` partitions by sub-tree carving.
+
+    ``granularity`` controls how many buckets are carved per partition
+    (more buckets pack more evenly but duplicate more covering prefixes);
+    ``threshold`` overrides the carve size directly.
+    """
+    if count <= 0:
+        raise ValueError("partition count must be positive")
+    total = len(trie)
+    if threshold is None:
+        threshold = max(1, math.ceil(total / max(1, count * granularity)))
+
+    buckets: List[_Bucket] = []
+
+    def carve(
+        node: TrieNode, value: int, depth: int, ancestors: List[Route]
+    ) -> List[Route]:
+        """Postorder walk returning this subtree's not-yet-carved routes."""
+        own: List[Route] = []
+        here: Optional[Route] = None
+        if node.has_route:
+            here = (Prefix(value, depth), node.next_hop)
+            own.append(here)
+        next_ancestors = ancestors + [here] if here else ancestors
+        for bit in (0, 1):
+            child = node.child(bit)
+            if child is not None:
+                own.extend(
+                    carve(child, (value << 1) | bit, depth + 1, next_ancestors)
+                )
+        if len(own) >= threshold and depth > 0:
+            buckets.append(
+                _Bucket(Prefix(value, depth), own, list(ancestors))
+            )
+            return []
+        return own
+
+    leftovers = carve(trie.root, 0, 0, [])
+    if leftovers or not buckets:
+        buckets.append(_Bucket(Prefix.root(), leftovers, []))
+
+    partitions, assignment = _pack(buckets, count)
+    return SubtreePartitionResult(
+        algorithm="clpl-subtree",
+        partitions=partitions,
+        bucket_assignment=assignment,
+    )
+
+
+class SubtreePartitionResult(PartitionResult):
+    """Partition result plus the carve-root → partition mapping.
+
+    The mapping is what the scheme's Indexing Logic stores: the home
+    partition of an address is the partition owning the longest carve root
+    that covers it (the root bucket, carved at ``0.0.0.0/0``, is the
+    fallback).
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        partitions: List[Partition],
+        bucket_assignment: List[Tuple[Prefix, int]],
+    ) -> None:
+        super().__init__(algorithm=algorithm, partitions=partitions)
+        self.bucket_assignment = bucket_assignment
+
+
+def _pack(
+    buckets: List[_Bucket], count: int
+) -> Tuple[List[Partition], List[Tuple[Prefix, int]]]:
+    """First-fit-decreasing packing of buckets onto partitions.
+
+    A covering prefix is only duplicated into partitions that do not
+    already hold it (as another bucket's own route or another bucket's
+    duplicate) — one TCAM never stores the same entry twice.
+    """
+    groups: List[List[_Bucket]] = [[] for _ in range(count)]
+    loads = [0] * count
+    assignment: List[Tuple[Prefix, int]] = []
+    for bucket in sorted(buckets, key=lambda b: b.size, reverse=True):
+        target = min(range(count), key=lambda index: loads[index])
+        groups[target].append(bucket)
+        loads[target] += bucket.size
+        assignment.append((bucket.root, target))
+
+    partitions = []
+    for index, group in enumerate(groups):
+        partition = Partition(index)
+        own = set()
+        for bucket in group:
+            partition.routes.extend(bucket.routes)
+            own.update(prefix for prefix, _ in bucket.routes)
+        duplicated = set()
+        for bucket in group:
+            for covering in bucket.covering:
+                if covering[0] not in own and covering[0] not in duplicated:
+                    partition.redundant.append(covering)
+                    duplicated.add(covering[0])
+        partitions.append(partition)
+    return partitions, assignment

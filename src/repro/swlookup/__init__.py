@@ -1,0 +1,20 @@
+"""Software (SRAM) lookup baselines: DIR-24-8 and the multibit trie.
+
+The intro's motivation for TCAMs — software lookup needs multiple memory
+accesses per packet — made measurable.
+"""
+
+from repro.swlookup.dir248 import Dir248Counters, Dir248Table
+from repro.swlookup.multibit import (
+    DEFAULT_STRIDES,
+    MultibitCounters,
+    MultibitTrie,
+)
+
+__all__ = [
+    "DEFAULT_STRIDES",
+    "Dir248Counters",
+    "Dir248Table",
+    "MultibitCounters",
+    "MultibitTrie",
+]

@@ -1,0 +1,187 @@
+"""Fixed-stride multibit trie — the other classical software lookup.
+
+Where DIR-24-8 buys one-access lookups with enormous tables, a multibit
+trie walks one node per stride (default 8-8-8-8: at most four memory
+accesses for IPv4) with memory proportional to the table's structure.
+Prefixes whose length falls inside a stride are installed by controlled
+prefix expansion; each slot remembers the length of the route that painted
+it so longer matches always win (Srinivasan & Varghese).
+
+Together with :mod:`repro.swlookup.dir248` this pins down the software
+side of the paper's "TCAM = 1 access" comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.prefix import ADDRESS_WIDTH, Prefix
+from repro.trie.trie import BinaryTrie
+
+Route = Tuple[Prefix, int]
+
+DEFAULT_STRIDES = (8, 8, 8, 8)
+
+
+@dataclass
+class MultibitCounters:
+    """Operation counts for cost accounting."""
+
+    lookups: int = 0
+    memory_accesses: int = 0
+    slot_writes: int = 0
+
+
+class _Node:
+    """One multibit trie node: 2^stride slots of (hop, set-length, child)."""
+
+    __slots__ = ("hops", "lengths", "children")
+
+    def __init__(self, stride: int) -> None:
+        size = 1 << stride
+        self.hops: List[Optional[int]] = [None] * size
+        self.lengths: List[int] = [-1] * size
+        self.children: List[Optional[_Node]] = [None] * size
+
+
+class MultibitTrie:
+    """A fixed-stride multibit trie with access/memory accounting.
+
+    >>> table = MultibitTrie([(Prefix.parse("10.0.0.0/8"), 3)])
+    >>> table.lookup((10 << 24) | 99)
+    3
+    """
+
+    def __init__(
+        self,
+        routes: Iterable[Route] = (),
+        strides: Sequence[int] = DEFAULT_STRIDES,
+    ) -> None:
+        if sum(strides) != ADDRESS_WIDTH:
+            raise ValueError("strides must cover exactly 32 bits")
+        if any(stride <= 0 for stride in strides):
+            raise ValueError("strides must be positive")
+        self.strides = tuple(strides)
+        self._root = _Node(self.strides[0])
+        self.counters = MultibitCounters()
+        self._control = BinaryTrie()
+        self._node_count = 1
+        for prefix, hop in routes:
+            self.insert(prefix, hop)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def lookup(self, address: int) -> Optional[int]:
+        """LPM lookup: one memory access per visited level."""
+        self.counters.lookups += 1
+        node: Optional[_Node] = self._root
+        consumed = 0
+        best: Optional[int] = None
+        for stride in self.strides:
+            if node is None:
+                break
+            self.counters.memory_accesses += 1
+            shift = ADDRESS_WIDTH - consumed - stride
+            index = (address >> shift) & ((1 << stride) - 1)
+            if node.hops[index] is not None:
+                best = node.hops[index]
+            node = node.children[index]
+            consumed += stride
+        return best
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, prefix: Prefix, next_hop: int) -> int:
+        """Install a route via controlled prefix expansion."""
+        self._control.insert(prefix, next_hop)
+        return self._paint(prefix)
+
+    def delete(self, prefix: Prefix) -> int:
+        """Withdraw a route; repaints its expansion range from the trie."""
+        if not self._control.delete(prefix):
+            return 0
+        return self._paint(prefix)
+
+    def _paint(self, prefix: Prefix) -> int:
+        """Recompute the slots ``prefix`` expands into, from the control
+        trie (so overlapping routes keep winning by length).
+
+        Each slot at the prefix's level is repainted with the longest
+        control-plane route *at or above* that slot — exactly controlled
+        prefix expansion, but derived from the trie so that withdrawals
+        and overwrites repaint correctly.
+        """
+        from repro.trie.traversal import covering_route
+
+        node = self._root
+        consumed = 0
+        written = 0
+        for level, stride in enumerate(self.strides):
+            if prefix.length <= consumed + stride:
+                # The prefix ends inside this level: repaint its slot range
+                # (the level index keeps only the low ``stride`` bits).
+                span = 1 << (consumed + stride - prefix.length)
+                base = (
+                    prefix.value << (consumed + stride - prefix.length)
+                ) & ((1 << stride) - 1)
+                for index in range(base, base + span):
+                    slot_prefix = self._slot_prefix(
+                        prefix, consumed, stride, index
+                    )
+                    covering = covering_route(self._control, slot_prefix)
+                    hop = covering[1] if covering else None
+                    length = covering[0].length if covering else -1
+                    if node.hops[index] != hop or node.lengths[index] != length:
+                        node.hops[index] = hop
+                        node.lengths[index] = length
+                        written += 1
+                break
+            # Descend (allocating) toward the prefix's level.
+            shift = prefix.length - consumed - stride
+            index = (prefix.value >> shift) & ((1 << stride) - 1)
+            if node.children[index] is None:
+                node.children[index] = _Node(self.strides[level + 1])
+                self._node_count += 1
+                written += 1
+            node = node.children[index]
+            consumed += stride
+        self.counters.slot_writes += written
+        return written
+
+    def _slot_prefix(
+        self, prefix: Prefix, consumed: int, stride: int, index: int
+    ) -> Prefix:
+        """The address-space prefix one level slot stands for."""
+        high = prefix.value >> max(0, prefix.length - consumed) if consumed else 0
+        value = (high << stride) | index
+        return Prefix(value, consumed + stride)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def memory_slots(self) -> int:
+        """Total allocated slots across all nodes."""
+        total = 0
+        stack = [(self._root, 0)]
+        while stack:
+            node, level = stack.pop()
+            total += 1 << self.strides[level]
+            for child in node.children:
+                if child is not None:
+                    stack.append((child, level + 1))
+        return total
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    def accesses_per_lookup(self) -> float:
+        if self.counters.lookups == 0:
+            return 0.0
+        return self.counters.memory_accesses / self.counters.lookups

@@ -1,0 +1,54 @@
+"""TCAM hardware model: chips, regions, cost/power models, update layouts."""
+
+from repro.tcam.device import (
+    MultipleMatchError,
+    Tcam,
+    TcamCounters,
+    TcamError,
+    TcamRegion,
+)
+from repro.tcam.entry import TcamEntry
+from repro.tcam.power import (
+    DEFAULT_SLOT_ENERGY_PJ,
+    PowerModel,
+    power_efficiency_ratio,
+)
+from repro.tcam.timing import (
+    CYNSE70256_MHZ,
+    DEFAULT_MOVE_NS,
+    PAPER_COST_MODEL,
+    TcamCostModel,
+)
+from repro.tcam.update_base import (
+    DuplicatePrefixError,
+    RegionFullError,
+    TcamUpdater,
+    UpdateResult,
+)
+from repro.tcam.update_clue import ClueUpdater, OverlapError
+from repro.tcam.update_naive import NaiveUpdater
+from repro.tcam.update_plo import PloUpdater
+
+__all__ = [
+    "CYNSE70256_MHZ",
+    "DEFAULT_MOVE_NS",
+    "DEFAULT_SLOT_ENERGY_PJ",
+    "PAPER_COST_MODEL",
+    "ClueUpdater",
+    "DuplicatePrefixError",
+    "MultipleMatchError",
+    "NaiveUpdater",
+    "OverlapError",
+    "PloUpdater",
+    "PowerModel",
+    "RegionFullError",
+    "Tcam",
+    "TcamCostModel",
+    "TcamCounters",
+    "TcamEntry",
+    "TcamError",
+    "TcamRegion",
+    "TcamUpdater",
+    "UpdateResult",
+    "power_efficiency_ratio",
+]

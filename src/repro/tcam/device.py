@@ -1,0 +1,232 @@
+"""Functional model of a TCAM chip.
+
+The model is faithful to the properties the paper's arguments rest on:
+
+* a search activates every (valid) slot of the searched region and returns
+  the **lowest-index** match — that is what the priority encoder does.
+  Correct LPM therefore requires longer prefixes at lower indices, which is
+  exactly the layout constraint that causes the domino effect on update;
+* with the priority encoder *disabled* (CLUE's configuration) the chip
+  reports the unique match and raises if the table violates the
+  disjointness contract — a multi-match on encoder-less hardware is
+  undefined behaviour, and surfacing it loudly is what lets the test suite
+  prove CLUE never needs the encoder;
+* every slot write and every entry move is counted, because the paper
+  converts update cost to ``moves × 24 ns``.
+
+Regions (:class:`TcamRegion`) carve a chip into a main partition and a DRed
+partition the way Figure 1 draws it; searches against a region only activate
+that region's slots, which is the basis of the power accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.tcam.entry import TcamEntry
+
+
+class TcamError(RuntimeError):
+    """Raised on operations no real chip could perform."""
+
+
+class MultipleMatchError(TcamError):
+    """A search without priority encoder hit more than one slot.
+
+    This is the hardware-level symptom of an overlapping table loaded into
+    an encoder-less chip; it should be impossible after ONRTC.
+    """
+
+
+@dataclass
+class TcamCounters:
+    """Operation counters for one chip (feeds timing and power models)."""
+
+    searches: int = 0
+    activated_slots: int = 0
+    writes: int = 0
+    moves: int = 0
+    invalidates: int = 0
+
+    def snapshot(self) -> "TcamCounters":
+        return TcamCounters(
+            self.searches,
+            self.activated_slots,
+            self.writes,
+            self.moves,
+            self.invalidates,
+        )
+
+
+class Tcam:
+    """One TCAM chip: a fixed array of ternary slots.
+
+    >>> from repro.net.prefix import Prefix
+    >>> chip = Tcam(capacity=4, priority_encoder=False)
+    >>> chip.write(0, TcamEntry(Prefix.from_bits("10"), 7))
+    >>> chip.search(0b10 << 30).next_hop
+    7
+    """
+
+    def __init__(self, capacity: int, priority_encoder: bool = True) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.priority_encoder = priority_encoder
+        self.slots: List[Optional[TcamEntry]] = [None] * capacity
+        self.counters = TcamCounters()
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(
+        self, address: int, start: int = 0, end: Optional[int] = None
+    ) -> Optional[TcamEntry]:
+        """Search ``[start, end)`` for ``address``; one hardware access.
+
+        With the priority encoder the first (lowest-index) match wins; it is
+        the layout manager's job to keep that equal to the longest match.
+        Without it the match must be unique.
+        """
+        end = self.capacity if end is None else end
+        self._check_range(start, end)
+        self.counters.searches += 1
+        self.counters.activated_slots += end - start
+        found: Optional[TcamEntry] = None
+        for index in range(start, end):
+            entry = self.slots[index]
+            if entry is not None and entry.matches(address):
+                if self.priority_encoder:
+                    return entry
+                if found is not None:
+                    raise MultipleMatchError(
+                        f"slots matched twice for {address:#010x}: "
+                        f"{found} and {entry}"
+                    )
+                found = entry
+        return found
+
+    # ------------------------------------------------------------------
+    # Slot mutation
+    # ------------------------------------------------------------------
+
+    def write(self, index: int, entry: TcamEntry) -> None:
+        """Program one slot (counts as one write)."""
+        self._check_index(index)
+        self.slots[index] = entry
+        self.counters.writes += 1
+
+    def invalidate(self, index: int) -> None:
+        """Clear one slot (counts as one invalidate, not a move)."""
+        self._check_index(index)
+        self.slots[index] = None
+        self.counters.invalidates += 1
+
+    def move(self, source: int, destination: int) -> None:
+        """Relocate an entry between slots — the 24 ns unit of TTF2.
+
+        Modelled as the real sequence (write copy, then invalidate the
+        source) but counted as a single *move* so benchmark arithmetic
+        matches the paper's "shifts".
+        """
+        self._check_index(source)
+        self._check_index(destination)
+        entry = self.slots[source]
+        if entry is None:
+            raise TcamError(f"move from empty slot {source}")
+        if self.slots[destination] is not None:
+            raise TcamError(f"move into occupied slot {destination}")
+        self.slots[destination] = entry
+        self.slots[source] = None
+        self.counters.moves += 1
+
+    def read(self, index: int) -> Optional[TcamEntry]:
+        """Inspect one slot (control-plane read, not counted)."""
+        self._check_index(index)
+        return self.slots[index]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def occupancy(self, start: int = 0, end: Optional[int] = None) -> int:
+        """Number of valid slots in ``[start, end)``."""
+        end = self.capacity if end is None else end
+        self._check_range(start, end)
+        return sum(1 for slot in self.slots[start:end] if slot is not None)
+
+    def entries(self, start: int = 0, end: Optional[int] = None) -> List[TcamEntry]:
+        """The valid entries of ``[start, end)`` in slot order."""
+        end = self.capacity if end is None else end
+        self._check_range(start, end)
+        return [slot for slot in self.slots[start:end] if slot is not None]
+
+    def region(self, start: int, size: int) -> "TcamRegion":
+        """A view of ``size`` slots beginning at ``start``."""
+        return TcamRegion(self, start, size)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.capacity:
+            raise TcamError(f"slot {index} outside chip of {self.capacity}")
+
+    def _check_range(self, start: int, end: int) -> None:
+        if not 0 <= start <= end <= self.capacity:
+            raise TcamError(f"range [{start}, {end}) outside chip")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tcam {self.occupancy()}/{self.capacity}>"
+
+
+@dataclass
+class TcamRegion:
+    """A contiguous slice of a chip, used as one logical partition.
+
+    Figure 1 splits each chip into a main partition holding the table
+    partition and a DRed partition; both are regions of the same device, so
+    their operation counts aggregate on the chip's counters while searches
+    stay confined (and the power model only charges the searched region).
+    """
+
+    device: Tcam
+    start: int
+    size: int
+
+    def __post_init__(self) -> None:
+        self.device._check_range(self.start, self.end)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def search(self, address: int) -> Optional[TcamEntry]:
+        """Search only this region (activates ``size`` slots)."""
+        return self.device.search(address, self.start, self.end)
+
+    def write(self, offset: int, entry: TcamEntry) -> None:
+        self._check_offset(offset)
+        self.device.write(self.start + offset, entry)
+
+    def invalidate(self, offset: int) -> None:
+        self._check_offset(offset)
+        self.device.invalidate(self.start + offset)
+
+    def move(self, source_offset: int, destination_offset: int) -> None:
+        self._check_offset(source_offset)
+        self._check_offset(destination_offset)
+        self.device.move(self.start + source_offset, self.start + destination_offset)
+
+    def read(self, offset: int) -> Optional[TcamEntry]:
+        self._check_offset(offset)
+        return self.device.read(self.start + offset)
+
+    def occupancy(self) -> int:
+        return self.device.occupancy(self.start, self.end)
+
+    def entries(self) -> List[TcamEntry]:
+        return self.device.entries(self.start, self.end)
+
+    def _check_offset(self, offset: int) -> None:
+        if not 0 <= offset < self.size:
+            raise TcamError(f"offset {offset} outside region of {self.size}")

@@ -1,0 +1,27 @@
+"""TCAM entry: one ternary slot's content."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class TcamEntry:
+    """A programmed TCAM slot: a ternary prefix pattern plus its next hop.
+
+    Real hardware stores the next hop in an associated SRAM word; modelling
+    them as one value object keeps the bookkeeping honest without changing
+    any count the paper measures (a slot write covers both).
+    """
+
+    prefix: Prefix
+    next_hop: int
+
+    def matches(self, address: int) -> bool:
+        """Ternary match of a 32-bit search key against this slot."""
+        return self.prefix.contains_address(address)
+
+    def __str__(self) -> str:
+        return f"{self.prefix}->{self.next_hop}"

@@ -1,0 +1,52 @@
+"""TCAM power accounting.
+
+TCAM power is dominated by the number of slots *activated* per search —
+the entire motivation for partitioned lookup (CoolCAMs, SLPL, CLPL).  The
+device model already counts activated slots per search; this module turns
+the counts into comparable energy figures and the "power efficiency"
+ratios the partitioning literature quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.tcam.device import Tcam
+
+#: Nominal activation energy per slot per search, in picojoules.  The
+#: absolute value is irrelevant to every comparison we make (ratios only);
+#: this default is in the range vendors quote for 18 Mb parts.
+DEFAULT_SLOT_ENERGY_PJ = 1.0
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Energy ∝ activated slots; the constant sets the unit."""
+
+    slot_energy_pj: float = DEFAULT_SLOT_ENERGY_PJ
+
+    def search_energy_pj(self, activated_slots: int) -> float:
+        """Energy of searches that activated ``activated_slots`` in total."""
+        return activated_slots * self.slot_energy_pj
+
+    def chip_energy_pj(self, chip: Tcam) -> float:
+        """Total search energy a chip has burned so far."""
+        return self.search_energy_pj(chip.counters.activated_slots)
+
+    def total_energy_pj(self, chips: Iterable[Tcam]) -> float:
+        """Aggregate search energy across a bank of chips."""
+        return sum(self.chip_energy_pj(chip) for chip in chips)
+
+
+def power_efficiency_ratio(
+    partitioned_slots_per_search: int, full_table_slots: int
+) -> float:
+    """Fraction of full-table power a partitioned search needs.
+
+    A 32-partition scheme activating one partition per search returns
+    ~1/32 — the CoolCAMs argument.
+    """
+    if full_table_slots <= 0:
+        raise ValueError("full table size must be positive")
+    return partitioned_slots_per_search / full_table_slots

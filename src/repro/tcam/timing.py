@@ -1,0 +1,58 @@
+"""TCAM cost model: converts counted operations into time.
+
+The paper calibrates on a CYNSE70256 chip: 41.5 MHz search rate, so one
+lookup (and, following the paper's assumption, one entry move) costs
+1 s / 41.5 MHz ≈ 24 ns.  All TTF2/TTF3 numbers are produced by multiplying
+operation counts by these constants, which is exactly how Section V does it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Search rate of the CYNSE70256 used for calibration (Section V-A).
+CYNSE70256_MHZ = 41.5
+
+#: The paper's per-move (and per-lookup) cost in nanoseconds.
+DEFAULT_MOVE_NS = 24.0
+
+
+@dataclass(frozen=True)
+class TcamCostModel:
+    """Per-operation costs in nanoseconds.
+
+    ``move_ns`` covers relocating one entry (the unit of the domino effect);
+    ``write_ns`` a fresh slot program; ``search_ns`` one lookup. The paper
+    treats all three as the same 24 ns constant, so that is the default.
+    """
+
+    search_ns: float = DEFAULT_MOVE_NS
+    write_ns: float = DEFAULT_MOVE_NS
+    move_ns: float = DEFAULT_MOVE_NS
+    invalidate_ns: float = DEFAULT_MOVE_NS
+
+    def update_cost_ns(
+        self, moves: int, writes: int = 0, invalidates: int = 0
+    ) -> float:
+        """Time to apply one table update given its operation counts."""
+        return (
+            moves * self.move_ns
+            + writes * self.write_ns
+            + invalidates * self.invalidate_ns
+        )
+
+    def search_cost_ns(self, searches: int) -> float:
+        """Time spent on ``searches`` lookups."""
+        return searches * self.search_ns
+
+    @classmethod
+    def from_frequency_mhz(cls, mhz: float) -> "TcamCostModel":
+        """Cost model for a chip running at ``mhz`` (all ops = one cycle)."""
+        if mhz <= 0:
+            raise ValueError("frequency must be positive")
+        nanoseconds = 1_000.0 / mhz
+        return cls(nanoseconds, nanoseconds, nanoseconds, nanoseconds)
+
+
+#: The calibration model used throughout the benchmarks.
+PAPER_COST_MODEL = TcamCostModel()

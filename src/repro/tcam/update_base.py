@@ -1,0 +1,140 @@
+"""Common machinery for TCAM layout/update managers.
+
+An updater owns one :class:`~repro.tcam.device.TcamRegion` and decides where
+entries live inside it.  The three concrete strategies reproduce Section IV-B:
+
+* :class:`~repro.tcam.update_naive.NaiveUpdater` — fully ordered layout,
+  O(n) shifts per insert (Figure 7(a));
+* :class:`~repro.tcam.update_plo.PloUpdater` — Shah–Gupta prefix-length
+  ordering, ≤32 shifts (Figure 7(b); the layout assumed for CLPL);
+* :class:`~repro.tcam.update_clue.ClueUpdater` — no ordering at all, valid
+  only for disjoint tables, ≤1 shift (CLUE).
+
+Every mutation returns an :class:`UpdateResult` whose counts the TTF2 cost
+model multiplies by 24 ns.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.prefix import Prefix
+from repro.tcam.device import TcamError, TcamRegion
+from repro.tcam.entry import TcamEntry
+
+
+class RegionFullError(TcamError):
+    """The region has no free slot for an insert."""
+
+
+class DuplicatePrefixError(TcamError):
+    """Insert of a prefix the region already holds (use ``modify``)."""
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Operation counts of one table update (the unit of TTF2).
+
+    ``moves`` are entry relocations (the domino-effect "shifts" the paper
+    charges 24 ns each); ``writes`` program fresh content; ``invalidates``
+    clear a slot.  ``found`` is False when a delete's target was absent.
+    """
+
+    moves: int = 0
+    writes: int = 0
+    invalidates: int = 0
+    found: bool = True
+
+    @property
+    def total_slot_operations(self) -> int:
+        return self.moves + self.writes + self.invalidates
+
+    def __add__(self, other: "UpdateResult") -> "UpdateResult":
+        return UpdateResult(
+            self.moves + other.moves,
+            self.writes + other.writes,
+            self.invalidates + other.invalidates,
+            self.found and other.found,
+        )
+
+
+class TcamUpdater(abc.ABC):
+    """Base class: tracks prefix → slot positions inside one region."""
+
+    def __init__(self, region: TcamRegion) -> None:
+        self.region = region
+        self._position: Dict[Prefix, int] = {}
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._position)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._position
+
+    @property
+    def free_slots(self) -> int:
+        return self.region.size - len(self._position)
+
+    def position_of(self, prefix: Prefix) -> Optional[int]:
+        """Current slot offset of ``prefix`` inside the region."""
+        return self._position.get(prefix)
+
+    def entries(self) -> List[TcamEntry]:
+        """The stored entries in slot order."""
+        return self.region.entries()
+
+    # -- bulk load ---------------------------------------------------------
+
+    def load(self, routes: Iterable[Tuple[Prefix, int]]) -> None:
+        """Install an initial table (counts as ordinary writes)."""
+        for prefix, next_hop in routes:
+            self.insert(prefix, next_hop)
+
+    # -- mutations ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def insert(self, prefix: Prefix, next_hop: int) -> UpdateResult:
+        """Add a new entry, relocating others as the layout demands."""
+
+    @abc.abstractmethod
+    def delete(self, prefix: Prefix) -> UpdateResult:
+        """Remove an entry, restoring the layout invariant."""
+
+    def modify(self, prefix: Prefix, next_hop: int) -> UpdateResult:
+        """Change an existing entry's next hop in place (one write)."""
+        offset = self._position.get(prefix)
+        if offset is None:
+            return UpdateResult(found=False)
+        self.region.write(offset, TcamEntry(prefix, next_hop))
+        return UpdateResult(writes=1)
+
+    def apply(self, prefix: Prefix, next_hop: Optional[int]) -> UpdateResult:
+        """Dispatch an announce (insert or modify) or withdraw (delete)."""
+        if next_hop is None:
+            return self.delete(prefix)
+        if prefix in self._position:
+            return self.modify(prefix, next_hop)
+        return self.insert(prefix, next_hop)
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _move_tracked(self, source: int, destination: int) -> None:
+        """Move a slot and keep the position map honest."""
+        entry = self.region.read(source)
+        assert entry is not None
+        self.region.move(source, destination)
+        self._position[entry.prefix] = destination
+
+    def _require_absent(self, prefix: Prefix) -> None:
+        if prefix in self._position:
+            raise DuplicatePrefixError(f"{prefix} already stored")
+
+    def _require_space(self) -> None:
+        if self.free_slots == 0:
+            raise RegionFullError(
+                f"region of {self.region.size} slots is full"
+            )

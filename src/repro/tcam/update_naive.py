@@ -1,0 +1,60 @@
+"""Naive fully-ordered TCAM layout — Figure 7(a)'s strawman.
+
+Entries are kept totally ordered by decreasing prefix length (ties broken
+by prefix value so the layout is deterministic), packed from slot 0 with all
+free space at the bottom.  Inserting in the middle therefore shifts every
+entry below the insertion point down by one — the full domino effect, O(n)
+moves per update.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Tuple
+
+from repro.net.prefix import Prefix
+from repro.tcam.entry import TcamEntry
+from repro.tcam.update_base import TcamUpdater, UpdateResult
+
+
+def _order_key(prefix: Prefix) -> Tuple[int, int, int]:
+    """Longest first; deterministic within a length."""
+    return (-prefix.length, prefix.network, prefix.value)
+
+
+class NaiveUpdater(TcamUpdater):
+    """Totally ordered layout with O(n) worst-case shifts."""
+
+    def __init__(self, region) -> None:
+        super().__init__(region)
+        self._keys: List[Tuple[int, int, int]] = []
+
+    def insert(self, prefix: Prefix, next_hop: int) -> UpdateResult:
+        self._require_absent(prefix)
+        self._require_space()
+        key = _order_key(prefix)
+        index = bisect_left(self._keys, key)
+        count = len(self._keys)
+        # Open the slot by shifting the tail down, bottom-most entry first.
+        moves = 0
+        for offset in range(count - 1, index - 1, -1):
+            self._move_tracked(offset, offset + 1)
+            moves += 1
+        self.region.write(index, TcamEntry(prefix, next_hop))
+        self._position[prefix] = index
+        self._keys.insert(index, key)
+        return UpdateResult(moves=moves, writes=1)
+
+    def delete(self, prefix: Prefix) -> UpdateResult:
+        offset = self._position.pop(prefix, None)
+        if offset is None:
+            return UpdateResult(found=False)
+        self.region.invalidate(offset)
+        del self._keys[offset]
+        count = len(self._keys)
+        # Close the hole by shifting the tail up.
+        moves = 0
+        for source in range(offset + 1, count + 1):
+            self._move_tracked(source, source - 1)
+            moves += 1
+        return UpdateResult(moves=moves, invalidates=1)

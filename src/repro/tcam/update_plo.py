@@ -1,0 +1,98 @@
+"""Shah–Gupta prefix-length ordering (PLO) — Figure 7(b)'s classical layout.
+
+Only a *partial* order is required for LPM correctness on a priority-encoder
+TCAM: longer prefixes before shorter ones.  Entries of equal length are
+interchangeable, so the table is organised as up to 33 length groups in
+decreasing-length order with all free space at the bottom.  Opening a slot
+inside group ℓ then costs one move per non-empty group below ℓ (each group
+rotates its first entry to its far end), bounding an update at 32 shifts —
+and averaging ~15 on real tables, the number the paper quotes for CLPL's
+TCAM update.
+"""
+
+from __future__ import annotations
+
+from repro.net.prefix import ADDRESS_WIDTH, Prefix
+from repro.tcam.entry import TcamEntry
+from repro.tcam.update_base import TcamUpdater, UpdateResult
+
+_GROUPS = ADDRESS_WIDTH + 1  # one group per prefix length 0..32
+
+
+class PloUpdater(TcamUpdater):
+    """Length-grouped layout with ≤32 shifts per update."""
+
+    def __init__(self, region) -> None:
+        super().__init__(region)
+        # Number of entries per length group; group 32 sits at the top.
+        self._group_size = [0] * _GROUPS
+
+    # -- geometry -----------------------------------------------------------
+
+    def _group_begin(self, length: int) -> int:
+        """First offset of the group for ``length`` (groups sorted by
+        decreasing length, packed from offset 0)."""
+        return sum(
+            self._group_size[other]
+            for other in range(length + 1, _GROUPS)
+        )
+
+    def _entry_count(self) -> int:
+        return len(self._position)
+
+    # -- mutations ------------------------------------------------------------
+
+    def insert(self, prefix: Prefix, next_hop: int) -> UpdateResult:
+        self._require_absent(prefix)
+        self._require_space()
+        length = prefix.length
+        moves = 0
+        # Cascade the free slot upward: the bottom-most group's first entry
+        # drops into the free space, the next group's first entry drops into
+        # the slot that vacated, and so on until the hole reaches the end of
+        # group ``length``.
+        free = self._entry_count()
+        for other in range(0, length):  # ascending = bottom-most group first
+            if self._group_size[other] == 0:
+                continue
+            begin = self._group_begin(other)
+            self._move_tracked(begin, free)
+            free = begin
+            moves += 1
+        self.region.write(free, TcamEntry(prefix, next_hop))
+        self._position[prefix] = free
+        self._group_size[length] += 1
+        return UpdateResult(moves=moves, writes=1)
+
+    def delete(self, prefix: Prefix) -> UpdateResult:
+        offset = self._position.pop(prefix, None)
+        if offset is None:
+            return UpdateResult(found=False)
+        length = prefix.length
+        begin = self._group_begin(length)
+        last = begin + self._group_size[length] - 1
+        self.region.invalidate(offset)
+        moves = 0
+        # Fill the hole from the group's own last slot (lengths within a
+        # group are interchangeable)...
+        if offset != last:
+            self._move_tracked(last, offset)
+            moves += 1
+        hole = last
+        # ...then cascade the hole down one group at a time until it merges
+        # with the free space at the bottom.  Group geometry is computed from
+        # the *original* sizes throughout (the size decrement lands after the
+        # cascade): each processed group has physically shifted up by one,
+        # but the next group down has not moved yet.
+        for other in range(length - 1, -1, -1):  # descending = next group down
+            if self._group_size[other] == 0:
+                continue
+            group_begin = self._group_begin(other)
+            group_last = group_begin + self._group_size[other] - 1
+            # The hole sits just above this group; rotating the group's last
+            # entry into it shifts the whole group up by one slot.
+            self._move_tracked(group_last, hole)
+            hole = group_last
+            moves += 1
+        self._group_size[length] -= 1
+        return UpdateResult(moves=moves, invalidates=1)

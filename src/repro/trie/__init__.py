@@ -1,0 +1,23 @@
+"""Binary trie: the control-plane routing table representation."""
+
+from repro.trie.leafpush import expansion_ratio, leaf_push, leaf_pushed_routes
+from repro.trie.node import TrieNode
+from repro.trie.traversal import (
+    covering_route,
+    iter_nodes,
+    iter_regions,
+    routed_subtree_sizes,
+)
+from repro.trie.trie import BinaryTrie
+
+__all__ = [
+    "BinaryTrie",
+    "TrieNode",
+    "covering_route",
+    "expansion_ratio",
+    "iter_nodes",
+    "iter_regions",
+    "leaf_push",
+    "leaf_pushed_routes",
+    "routed_subtree_sizes",
+]

@@ -1,0 +1,99 @@
+"""Binary trie node.
+
+The trie is the control-plane representation of the routing table: every
+algorithm in the reproduction (ONRTC compression, partitioning, incremental
+update) operates on it.  Nodes are deliberately plain — two child links, an
+optional next hop, and a parent back-pointer so incremental update can walk
+upward without re-descending from the root.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class TrieNode:
+    """One node of a binary trie over the IPv4 address space.
+
+    ``next_hop`` is ``None`` for internal nodes that carry no route.  The
+    node's prefix is implied by its path from the root; :class:`~repro.trie.
+    trie.BinaryTrie` tracks depth/value when traversing, so nodes stay small.
+    """
+
+    __slots__ = ("left", "right", "next_hop", "parent")
+
+    def __init__(self, parent: Optional["TrieNode"] = None) -> None:
+        self.left: Optional[TrieNode] = None
+        self.right: Optional[TrieNode] = None
+        self.next_hop: Optional[int] = None
+        self.parent = parent
+
+    # ------------------------------------------------------------------
+
+    def child(self, bit: int) -> Optional["TrieNode"]:
+        """The child on side ``bit`` (0 = left, 1 = right)."""
+        return self.right if bit else self.left
+
+    def set_child(self, bit: int, node: Optional["TrieNode"]) -> None:
+        """Attach ``node`` on side ``bit``, fixing its parent pointer."""
+        if bit:
+            self.right = node
+        else:
+            self.left = node
+        if node is not None:
+            node.parent = self
+
+    def ensure_child(self, bit: int) -> "TrieNode":
+        """Return the child on side ``bit``, creating it if absent."""
+        existing = self.child(bit)
+        if existing is not None:
+            return existing
+        created = TrieNode(parent=self)
+        self.set_child(bit, created)
+        return created
+
+    # ------------------------------------------------------------------
+
+    @property
+    def has_route(self) -> bool:
+        """True when this node carries a next hop."""
+        return self.next_hop is not None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return self.left is None and self.right is None
+
+    @property
+    def is_internal(self) -> bool:
+        """True when the node has at least one child."""
+        return not self.is_leaf
+
+    def which_child(self, node: "TrieNode") -> int:
+        """Return 0/1 telling which side ``node`` hangs off this node."""
+        if self.left is node:
+            return 0
+        if self.right is node:
+            return 1
+        raise ValueError("node is not a child of this node")
+
+    # ------------------------------------------------------------------
+
+    def iter_descendants(self) -> Iterator["TrieNode"]:
+        """Yield this node and every descendant, preorder."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def count_routes(self) -> int:
+        """Number of routed nodes in this subtree (including self)."""
+        return sum(1 for node in self.iter_descendants() if node.has_route)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        marker = f"hop={self.next_hop}" if self.has_route else "empty"
+        return f"<TrieNode {marker} leaf={self.is_leaf}>"

@@ -1,0 +1,114 @@
+"""Trie walks shared by compression, partitioning and verification.
+
+The central notion is a *region*: a maximal prefix of the address space on
+which the original table's LPM decision is constant because the trie has no
+branching inside it.  Regions are what leaf-pushing materialises and what the
+ONRTC dynamic program merges back together optimally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.net.prefix import Prefix
+from repro.trie.node import TrieNode
+from repro.trie.trie import BinaryTrie
+
+
+def iter_nodes(trie: BinaryTrie) -> Iterator[Tuple[TrieNode, Prefix]]:
+    """Yield every node with its implied prefix, preorder."""
+    stack: List[Tuple[TrieNode, int, int]] = [(trie.root, 0, 0)]
+    while stack:
+        node, value, depth = stack.pop()
+        yield node, Prefix(value, depth)
+        if node.right is not None:
+            stack.append((node.right, (value << 1) | 1, depth + 1))
+        if node.left is not None:
+            stack.append((node.left, value << 1, depth + 1))
+
+
+def iter_regions(trie: BinaryTrie) -> Iterator[Tuple[Prefix, Optional[int]]]:
+    """Yield ``(prefix, effective_hop)`` for a disjoint cover of the space.
+
+    Every yielded prefix is a maximal region in which the trie makes a single
+    LPM decision: leaves of the trie, plus the "missing child" halves under
+    internal nodes.  The hops are the inherited LPM results (``None`` where
+    no route covers the region).  The union of the regions is the entire
+    address space and the regions are pairwise disjoint.
+    """
+    stack: List[Tuple[TrieNode, int, int, Optional[int]]] = [
+        (trie.root, 0, 0, None)
+    ]
+    while stack:
+        node, value, depth, inherited = stack.pop()
+        effective = node.next_hop if node.has_route else inherited
+        if node.is_leaf:
+            yield Prefix(value, depth), effective
+            continue
+        for bit in (0, 1):
+            child = node.child(bit)
+            child_value = (value << 1) | bit
+            if child is None:
+                yield Prefix(child_value, depth + 1), effective
+            else:
+                stack.append((child, child_value, depth + 1, effective))
+
+
+def routed_subtree_sizes(trie: BinaryTrie) -> List[Tuple[Prefix, int]]:
+    """For each node, the number of routed prefixes in its subtree.
+
+    Used by the sub-tree partitioner (CLPL) to find carving points.  The
+    result is in postorder so children precede their parents.
+    """
+    sizes: List[Tuple[Prefix, int]] = []
+
+    def visit(node: TrieNode, value: int, depth: int) -> int:
+        total = 1 if node.has_route else 0
+        if node.left is not None:
+            total += visit(node.left, value << 1, depth + 1)
+        if node.right is not None:
+            total += visit(node.right, (value << 1) | 1, depth + 1)
+        sizes.append((Prefix(value, depth), total))
+        return total
+
+    visit(trie.root, 0, 0)
+    return sizes
+
+
+def subtree_routes(trie: BinaryTrie, prefix: Prefix) -> List[Tuple[Prefix, int]]:
+    """All routes at or below ``prefix`` (empty when the path is absent)."""
+    anchor = trie.find_node(prefix)
+    if anchor is None:
+        return []
+    routes: List[Tuple[Prefix, int]] = []
+    stack: List[Tuple[TrieNode, int, int]] = [
+        (anchor, prefix.value, prefix.length)
+    ]
+    while stack:
+        node, value, depth = stack.pop()
+        if node.has_route:
+            routes.append((Prefix(value, depth), node.next_hop))
+        if node.right is not None:
+            stack.append((node.right, (value << 1) | 1, depth + 1))
+        if node.left is not None:
+            stack.append((node.left, value << 1, depth + 1))
+    return routes
+
+
+def covering_route(trie: BinaryTrie, prefix: Prefix) -> Optional[Tuple[Prefix, int]]:
+    """The longest routed prefix that is an ancestor-or-self of ``prefix``."""
+    node = trie.root
+    best: Optional[Tuple[Prefix, int]] = None
+    if node.has_route:
+        best = (Prefix.root(), node.next_hop)
+    value = 0
+    depth = 0
+    for bit in prefix.walk_bits():
+        node = node.child(bit)
+        if node is None:
+            break
+        value = (value << 1) | bit
+        depth += 1
+        if node.has_route:
+            best = (Prefix(value, depth), node.next_hop)
+    return best

@@ -1,0 +1,275 @@
+"""Binary trie with longest-prefix-match semantics.
+
+This is the software routing table every part of CLUE is built on:
+
+* the compression algorithms (:mod:`repro.compress`) run dynamic programs
+  over it,
+* the CLUE partitioner walks it inorder to cut exactly even TCAM partitions,
+* the update pipeline applies BGP announce/withdraw messages to it and
+  measures TTF1.
+
+Only structural logic lives here; costs and timing are accounted for by the
+callers (:mod:`repro.update`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.net.prefix import ADDRESS_WIDTH, Prefix
+from repro.trie.node import TrieNode
+
+
+class BinaryTrie:
+    """A binary trie mapping :class:`~repro.net.prefix.Prefix` to next hops.
+
+    Next hops are small integers (indices into a neighbour table), matching
+    how line cards store them.  ``None`` next hops never appear in the public
+    mapping; internal nodes simply have ``next_hop is None``.
+
+    >>> trie = BinaryTrie()
+    >>> trie.insert(Prefix.from_bits("1"), 1)
+    True
+    >>> trie.insert(Prefix.from_bits("100"), 2)
+    True
+    >>> trie.lookup(0b100 << 29)            # matches 100* -> hop 2
+    2
+    >>> trie.lookup(0b111 << 29)            # matches 1*   -> hop 1
+    1
+    """
+
+    def __init__(self) -> None:
+        self.root = TrieNode()
+        self._route_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_routes(cls, routes: Iterable[Tuple[Prefix, int]]) -> "BinaryTrie":
+        """Build a trie from ``(prefix, next_hop)`` pairs."""
+        trie = cls()
+        for prefix, next_hop in routes:
+            trie.insert(prefix, next_hop)
+        return trie
+
+    # ------------------------------------------------------------------
+    # Core mapping operations
+    # ------------------------------------------------------------------
+
+    def insert(self, prefix: Prefix, next_hop: int) -> bool:
+        """Insert or overwrite a route.
+
+        Returns True when the route is new, False when an existing route for
+        the same prefix was overwritten.
+        """
+        if next_hop is None:
+            raise ValueError("next_hop must be an integer, not None")
+        node = self.root
+        for bit in prefix.walk_bits():
+            node = node.ensure_child(bit)
+        is_new = not node.has_route
+        node.next_hop = next_hop
+        if is_new:
+            self._route_count += 1
+        return is_new
+
+    def delete(self, prefix: Prefix) -> bool:
+        """Remove a route; prunes now-useless nodes.  Returns True if found."""
+        return self.remove_route(prefix) is not None
+
+    def remove_route(
+        self, prefix: Prefix
+    ) -> Optional[Tuple[TrieNode, List[TrieNode]]]:
+        """Remove a route, reporting what the prune pass did.
+
+        Returns ``(survivor, pruned)`` where ``survivor`` is the deepest node
+        on ``prefix``'s path still present afterwards and ``pruned`` lists the
+        nodes that were detached, or ``None`` when no such route existed.
+        Callers that shadow per-node state (the incremental ONRTC compressor)
+        need the pruned list to drop their references.
+        """
+        node = self.find_node(prefix)
+        if node is None or not node.has_route:
+            return None
+        node.next_hop = None
+        self._route_count -= 1
+        pruned: List[TrieNode] = []
+        while (
+            node is not self.root
+            and node.is_leaf
+            and not node.has_route
+            and node.parent is not None
+        ):
+            parent = node.parent
+            parent.set_child(parent.which_child(node), None)
+            node.parent = None
+            pruned.append(node)
+            node = parent
+        return node, pruned
+
+    def get(self, prefix: Prefix) -> Optional[int]:
+        """Exact-match lookup: the hop stored at ``prefix``, or None."""
+        node = self.find_node(prefix)
+        if node is None:
+            return None
+        return node.next_hop
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Longest-prefix-match lookup of a 32-bit address."""
+        node = self.root
+        best = node.next_hop
+        for position in range(ADDRESS_WIDTH):
+            bit = (address >> (ADDRESS_WIDTH - 1 - position)) & 1
+            node = node.child(bit)
+            if node is None:
+                break
+            if node.has_route:
+                best = node.next_hop
+        return best
+
+    def lookup_prefix(self, address: int) -> Optional[Tuple[Prefix, int]]:
+        """LPM lookup returning the matching ``(prefix, hop)`` pair."""
+        node = self.root
+        best: Optional[Tuple[Prefix, int]] = None
+        if node.has_route:
+            best = (Prefix.root(), node.next_hop)
+        value = 0
+        for position in range(ADDRESS_WIDTH):
+            bit = (address >> (ADDRESS_WIDTH - 1 - position)) & 1
+            node = node.child(bit)
+            if node is None:
+                break
+            value = (value << 1) | bit
+            if node.has_route:
+                best = (Prefix(value, position + 1), node.next_hop)
+        return best
+
+    # ------------------------------------------------------------------
+    # Node access
+    # ------------------------------------------------------------------
+
+    def find_node(self, prefix: Prefix) -> Optional[TrieNode]:
+        """The node at ``prefix``, or None when the path does not exist."""
+        node: Optional[TrieNode] = self.root
+        for bit in prefix.walk_bits():
+            if node is None:
+                return None
+            node = node.child(bit)
+        return node
+
+    def ensure_node(self, prefix: Prefix) -> TrieNode:
+        """The node at ``prefix``, creating the path if needed."""
+        node = self.root
+        for bit in prefix.walk_bits():
+            node = node.ensure_child(bit)
+        return node
+
+    def effective_hop(self, prefix: Prefix) -> Optional[int]:
+        """The LPM hop inherited at ``prefix``'s position (self included).
+
+        This is the hop an address under ``prefix`` would get if no more
+        specific route existed — the quantity ONRTC's dynamic program and
+        RRC-ME both reason about.
+        """
+        node = self.root
+        best = node.next_hop
+        for bit in prefix.walk_bits():
+            node = node.child(bit)
+            if node is None:
+                break
+            if node.has_route:
+                best = node.next_hop
+        return best
+
+    # ------------------------------------------------------------------
+    # Iteration and statistics
+    # ------------------------------------------------------------------
+
+    def routes(self) -> Iterator[Tuple[Prefix, int]]:
+        """Yield every ``(prefix, hop)`` route in inorder (address order).
+
+        Inorder here means: a node is visited between its left and right
+        subtrees, with the node's own route reported *before* descending —
+        equivalently, routes come out sorted by ``Prefix.sort_key``.  This is
+        exactly the walk CLUE's even partitioner uses (Section III-A).
+        """
+        stack: List[Tuple[TrieNode, int, int]] = [(self.root, 0, 0)]
+        while stack:
+            node, value, depth = stack.pop()
+            if node.has_route:
+                yield Prefix(value, depth), node.next_hop
+            if node.right is not None:
+                stack.append((node.right, (value << 1) | 1, depth + 1))
+            if node.left is not None:
+                stack.append((node.left, value << 1, depth + 1))
+
+    def prefixes(self) -> List[Prefix]:
+        """All routed prefixes, in address order."""
+        return [prefix for prefix, _ in self.routes()]
+
+    def as_dict(self) -> Dict[Prefix, int]:
+        """The route mapping as a plain dictionary."""
+        return dict(self.routes())
+
+    def __len__(self) -> int:
+        return self._route_count
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.get(prefix) is not None
+
+    def __iter__(self) -> Iterator[Tuple[Prefix, int]]:
+        return self.routes()
+
+    def node_count(self) -> int:
+        """Total number of trie nodes (routed or structural)."""
+        return sum(1 for _ in self.root.iter_descendants())
+
+    def next_hops(self) -> List[int]:
+        """The sorted set of distinct next hops present."""
+        return sorted({hop for _, hop in self.routes()})
+
+    def copy(self) -> "BinaryTrie":
+        """An independent deep copy."""
+        return BinaryTrie.from_routes(self.routes())
+
+    # ------------------------------------------------------------------
+    # Overlap structure
+    # ------------------------------------------------------------------
+
+    def is_disjoint(self) -> bool:
+        """True when no routed prefix contains another routed prefix.
+
+        This is the invariant ONRTC establishes and the whole CLUE design
+        relies on (no priority encoder, O(1) TCAM update, even partitions).
+        """
+        stack: List[Tuple[TrieNode, bool]] = [(self.root, False)]
+        while stack:
+            node, seen_route = stack.pop()
+            if node.has_route:
+                if seen_route:
+                    return False
+                seen_route = True
+            for child in (node.left, node.right):
+                if child is not None:
+                    stack.append((child, seen_route))
+        return True
+
+    def overlap_count(self) -> int:
+        """Number of routed prefixes that have a routed ancestor."""
+        count = 0
+        stack: List[Tuple[TrieNode, bool]] = [(self.root, False)]
+        while stack:
+            node, seen_route = stack.pop()
+            if node.has_route:
+                if seen_route:
+                    count += 1
+                seen_route = True
+            for child in (node.left, node.right):
+                if child is not None:
+                    stack.append((child, seen_route))
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BinaryTrie routes={self._route_count}>"

@@ -1,0 +1,52 @@
+"""Incremental update pipeline and TTF accounting (Section IV)."""
+
+from repro.update.dred_update import (
+    ClplDredUpdater,
+    ClueDredUpdater,
+    DredUpdateOutcome,
+)
+from repro.update.pipeline import (
+    ClplUpdatePipeline,
+    ClueUpdatePipeline,
+    PipelineTotals,
+    default_dred_banks,
+)
+from repro.update.tcam_update import ClueTcamMirror, PloTcamMirror
+from repro.update.trie_update import (
+    OnrtcTrieUpdater,
+    PlainTrieUpdater,
+    TrieUpdateOutcome,
+)
+from repro.update.ttf import (
+    SRAM_ACCESS_NS,
+    TRIE_NODE_NS,
+    TtfReport,
+    TtfSample,
+    TtfSummary,
+    TtfWindow,
+    UpdateCostModel,
+    ratio_of_means,
+)
+
+__all__ = [
+    "SRAM_ACCESS_NS",
+    "TRIE_NODE_NS",
+    "ClplDredUpdater",
+    "ClplUpdatePipeline",
+    "ClueDredUpdater",
+    "ClueTcamMirror",
+    "ClueUpdatePipeline",
+    "DredUpdateOutcome",
+    "OnrtcTrieUpdater",
+    "PipelineTotals",
+    "PlainTrieUpdater",
+    "PloTcamMirror",
+    "TrieUpdateOutcome",
+    "TtfReport",
+    "TtfSample",
+    "TtfSummary",
+    "TtfWindow",
+    "UpdateCostModel",
+    "default_dred_banks",
+    "ratio_of_means",
+]

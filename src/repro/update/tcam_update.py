@@ -1,0 +1,80 @@
+"""TTF2 stage: mirroring one routing update into the TCAM.
+
+* CLPL keeps the *uncompressed* table under the Shah–Gupta prefix-length
+  ordering: every structural update cascades ~15 shifts (Figure 11's flat
+  ≈0.36 µs).  A pure next-hop change rewrites the associated SRAM word in
+  place and moves nothing.
+* CLUE keeps the *compressed, disjoint* table in an unordered layout: the
+  trie stage hands over an entry-level diff and every entry applies in at
+  most one shift.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.compress.onrtc import TableDiff
+from repro.net.prefix import Prefix
+from repro.tcam.device import Tcam
+from repro.tcam.update_base import TcamUpdater, UpdateResult
+from repro.tcam.update_clue import ClueUpdater
+from repro.tcam.update_plo import PloUpdater
+from repro.workload.updategen import UpdateMessage
+
+Route = Tuple[Prefix, int]
+
+
+def _default_capacity(table_size: int) -> int:
+    """Provision generous free space: tables churn and fragmentation can
+    grow a compressed table well past its initial size before the control
+    plane would re-provision."""
+    return max(1_024, 2 * table_size + 8_192)
+
+
+class PloTcamMirror:
+    """The full table in one priority-encoder TCAM under PLO (CLPL)."""
+
+    def __init__(
+        self, routes: Iterable[Route], capacity: Optional[int] = None
+    ) -> None:
+        routes = list(routes)
+        capacity = capacity or _default_capacity(len(routes))
+        self.device = Tcam(capacity, priority_encoder=True)
+        self.updater: TcamUpdater = PloUpdater(
+            self.device.region(0, capacity)
+        )
+        self.updater.load(routes)
+
+    def apply(self, message: UpdateMessage) -> UpdateResult:
+        """Mirror one update; returns the slot-operation counts."""
+        return self.updater.apply(message.prefix, message.next_hop)
+
+
+class ClueTcamMirror:
+    """The compressed table in an encoder-less TCAM under CLUE's layout."""
+
+    def __init__(
+        self, routes: Iterable[Route], capacity: Optional[int] = None
+    ) -> None:
+        routes = list(routes)
+        capacity = capacity or _default_capacity(len(routes))
+        self.device = Tcam(capacity, priority_encoder=False)
+        self.updater = ClueUpdater(self.device.region(0, capacity))
+        self.updater.load(routes)
+
+    def apply_diff(self, diff: TableDiff) -> UpdateResult:
+        """Apply a compressed-table diff; each entry costs ≤1 shift.
+
+        Removes run before adds so a replace never needs transient space,
+        and because the table stays disjoint throughout, lookups remain
+        correct at every intermediate step.
+        """
+        total = UpdateResult()
+        for prefix, _hop in diff.removes:
+            total = total + self.updater.delete(prefix)
+        for prefix, hop in diff.adds:
+            if prefix in self.updater:
+                total = total + self.updater.modify(prefix, hop)
+            else:
+                total = total + self.updater.insert(prefix, hop)
+        return total

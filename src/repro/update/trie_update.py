@@ -1,0 +1,92 @@
+"""TTF1 stage: applying one routing update to the control-plane trie.
+
+Two updaters mirror the paper's comparison:
+
+* :class:`PlainTrieUpdater` — CLPL's ground truth: no compression, so an
+  update touches only the nodes on the prefix's path;
+* :class:`OnrtcTrieUpdater` — CLUE: the incremental ONRTC compressor also
+  repairs its DP labels and re-emits the affected region, so it touches the
+  path *plus* the relabelled nodes — which is why TTF1-CLUE runs a little
+  longer than ground truth (Figure 10).
+
+Both report the number of nodes touched; the cost model prices them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import OnrtcTable, TableDiff
+from repro.net.prefix import Prefix
+from repro.trie.trie import BinaryTrie
+from repro.workload.updategen import UpdateKind, UpdateMessage
+
+Route = Tuple[Prefix, int]
+
+
+@dataclass(frozen=True)
+class TrieUpdateOutcome:
+    """What one trie update did: its work measure and the table diff.
+
+    ``diff`` is ``None`` for the uncompressed updater (the TCAM mirrors the
+    trie one-to-one there); for ONRTC it lists the exact compressed-table
+    entry changes the TCAM stage must apply.
+    """
+
+    nodes_touched: int
+    diff: Optional[TableDiff] = None
+
+
+class PlainTrieUpdater:
+    """Uncompressed trie maintenance (CLPL's TTF1 ground truth)."""
+
+    def __init__(self, routes: Iterable[Route]) -> None:
+        self.trie = BinaryTrie.from_routes(routes)
+
+    def apply(self, message: UpdateMessage) -> TrieUpdateOutcome:
+        path_nodes = message.prefix.length + 1
+        if message.kind is UpdateKind.ANNOUNCE:
+            assert message.next_hop is not None
+            self.trie.insert(message.prefix, message.next_hop)
+            return TrieUpdateOutcome(nodes_touched=path_nodes)
+        removal = self.trie.remove_route(message.prefix)
+        pruned = len(removal[1]) if removal is not None else 0
+        return TrieUpdateOutcome(nodes_touched=path_nodes + pruned)
+
+
+class OnrtcTrieUpdater:
+    """ONRTC-compressed trie maintenance (CLUE's TTF1).
+
+    Work = the path walk, plus every node whose DP label was recomputed,
+    plus one touch per compressed-table entry the diff emits (building the
+    TCAM work order).
+
+    ``lazy=True`` swaps in the bounded-work maintainer
+    (:class:`~repro.compress.lazy.LazyOnrtcTable`): strictly local repairs,
+    no merge propagation, table allowed to drift from minimal.
+    """
+
+    def __init__(
+        self,
+        routes: Iterable[Route],
+        mode: CompressionMode = CompressionMode.DONT_CARE,
+        lazy: bool = False,
+    ) -> None:
+        if lazy:
+            from repro.compress.lazy import LazyOnrtcTable
+
+            self.table = LazyOnrtcTable(routes, mode=mode)
+        else:
+            self.table = OnrtcTable(routes, mode=mode)
+
+    def apply(self, message: UpdateMessage) -> TrieUpdateOutcome:
+        path_nodes = message.prefix.length + 1
+        if message.kind is UpdateKind.ANNOUNCE:
+            assert message.next_hop is not None
+            diff = self.table.announce(message.prefix, message.next_hop)
+        else:
+            diff = self.table.withdraw(message.prefix)
+        work = path_nodes + diff.relabelled + diff.entry_changes
+        return TrieUpdateOutcome(nodes_touched=work, diff=diff)

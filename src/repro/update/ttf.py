@@ -1,0 +1,181 @@
+"""TTF — Time To Fresh, the paper's update-latency metric (Section IV).
+
+One routing update is fresh once all three stages have completed:
+
+* **TTF1** — control-plane trie update (does not interrupt lookups);
+* **TTF2** — TCAM update (interrupts lookups: shifts × 24 ns);
+* **TTF3** — DRed update (interrupts lookups too).
+
+Costs are *modelled*, not wall-clocked: every stage reports its primitive
+operation counts and a cost model converts them to microseconds, exactly as
+the paper converts shift counts via the 24 ns CYNSE70256 figure.  This
+keeps the figures deterministic and host-independent; wall-clock helpers
+exist separately for the curious (``examples/update_latency.py``).
+
+Calibration constants (all overridable):
+
+* ``TRIE_NODE_NS`` — one control-plane trie-node visit (pointer chase on a
+  2011-class CPU with warm caches);
+* ``SRAM_ACCESS_NS`` — one line-card SRAM access (166 MHz ZBT SRAM, same
+  era as the paper's TCAM);
+* TCAM ops are charged through :class:`repro.tcam.timing.TcamCostModel`
+  (24 ns per move/write).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Callable, List, Optional, Sequence
+
+from repro.tcam.timing import PAPER_COST_MODEL, TcamCostModel
+
+#: Modelled cost of touching one trie node in the control plane.
+TRIE_NODE_NS = 5.0
+
+#: Modelled cost of one SRAM access on the line card (RRC-ME walks).
+SRAM_ACCESS_NS = 7.0
+
+
+@dataclass(frozen=True)
+class TtfSample:
+    """The three stage latencies of one routing update, in microseconds.
+
+    ``ttf23_parallel`` reflects CLUE's hardware layout where the main-table
+    shift and the DRed probe hit independent TCAM regions and proceed
+    concurrently; schemes whose DRed maintenance *depends* on control-plane
+    output (CLPL's RRC-ME) must serialise and use the sum.  This is the
+    reading under which the paper's Figure 13 reports CLUE at 0.024 µs.
+    """
+
+    timestamp: float
+    ttf1_us: float
+    ttf2_us: float
+    ttf3_us: float
+    parallel_23: bool = False
+
+    @property
+    def ttf23_us(self) -> float:
+        """Data-plane freshness latency (the part that stalls lookups)."""
+        if self.parallel_23:
+            return max(self.ttf2_us, self.ttf3_us)
+        return self.ttf2_us + self.ttf3_us
+
+    @property
+    def total_us(self) -> float:
+        """Full TTF (Figure 14)."""
+        return self.ttf1_us + self.ttf23_us
+
+
+@dataclass
+class TtfReport:
+    """A collection of samples with the aggregations the figures plot."""
+
+    scheme: str
+    samples: List[TtfSample] = field(default_factory=list)
+
+    def add(self, sample: TtfSample) -> None:
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    # -- aggregate views ---------------------------------------------------
+
+    def _agg(
+        self, selector: Callable[[TtfSample], float]
+    ) -> "TtfSummary":
+        values = [selector(sample) for sample in self.samples]
+        if not values:
+            return TtfSummary(0.0, 0.0, 0.0)
+        return TtfSummary(min(values), mean(values), max(values))
+
+    def ttf1(self) -> "TtfSummary":
+        return self._agg(lambda s: s.ttf1_us)
+
+    def ttf2(self) -> "TtfSummary":
+        return self._agg(lambda s: s.ttf2_us)
+
+    def ttf3(self) -> "TtfSummary":
+        return self._agg(lambda s: s.ttf3_us)
+
+    def ttf23(self) -> "TtfSummary":
+        return self._agg(lambda s: s.ttf23_us)
+
+    def total(self) -> "TtfSummary":
+        return self._agg(lambda s: s.total_us)
+
+    def windowed(
+        self,
+        selector: Callable[[TtfSample], float],
+        window_seconds: float,
+    ) -> List["TtfWindow"]:
+        """Time-bucketed means — the x-axis of Figures 10-14."""
+        if window_seconds <= 0:
+            raise ValueError("window must be positive")
+        windows: List[TtfWindow] = []
+        bucket: List[float] = []
+        bucket_start = 0.0
+        for sample in sorted(self.samples, key=lambda s: s.timestamp):
+            while sample.timestamp >= bucket_start + window_seconds:
+                if bucket:
+                    windows.append(
+                        TtfWindow(bucket_start, mean(bucket), len(bucket))
+                    )
+                    bucket = []
+                bucket_start += window_seconds
+            bucket.append(selector(sample))
+        if bucket:
+            windows.append(TtfWindow(bucket_start, mean(bucket), len(bucket)))
+        return windows
+
+
+@dataclass(frozen=True)
+class TtfSummary:
+    """min / mean / max of one TTF component, in microseconds."""
+
+    min_us: float
+    mean_us: float
+    max_us: float
+
+
+@dataclass(frozen=True)
+class TtfWindow:
+    """One time bucket of a TTF series."""
+
+    start_seconds: float
+    mean_us: float
+    count: int
+
+
+@dataclass(frozen=True)
+class UpdateCostModel:
+    """Converts stage operation counts into TTF microseconds."""
+
+    trie_node_ns: float = TRIE_NODE_NS
+    sram_access_ns: float = SRAM_ACCESS_NS
+    tcam: TcamCostModel = PAPER_COST_MODEL
+
+    def trie_us(self, nodes_touched: int) -> float:
+        return nodes_touched * self.trie_node_ns / 1_000.0
+
+    def tcam_us(self, moves: int, writes: int = 0, invalidates: int = 0) -> float:
+        return self.tcam.update_cost_ns(moves, writes, invalidates) / 1_000.0
+
+    def dred_us(self, sram_accesses: int, tcam_ops: int) -> float:
+        return (
+            sram_accesses * self.sram_access_ns
+            + self.tcam.move_ns * tcam_ops
+        ) / 1_000.0
+
+
+def ratio_of_means(
+    numerator: Sequence[float], denominator: Sequence[float]
+) -> Optional[float]:
+    """mean(numerator)/mean(denominator), None when undefined."""
+    if not numerator or not denominator:
+        return None
+    denominator_mean = mean(denominator)
+    if denominator_mean == 0:
+        return None
+    return mean(numerator) / denominator_mean

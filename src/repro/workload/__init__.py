@@ -1,0 +1,58 @@
+"""Workload generation: synthetic RIBs, traffic, update streams, datasets."""
+
+from repro.workload.datasets import (
+    DEFAULT_SIZE_SCALE,
+    ROUTERS,
+    RouterDataset,
+    router_by_id,
+    router_rib,
+)
+from repro.workload.ribgen import (
+    DEFAULT_LENGTH_DISTRIBUTION,
+    RibParameters,
+    generate_rib,
+    length_histogram,
+    rib_trie,
+)
+from repro.workload.traces import (
+    TraceFormatError,
+    load_packets,
+    load_table,
+    load_updates,
+    save_packets,
+    save_table,
+    save_updates,
+)
+from repro.workload.trafficgen import TrafficGenerator, TrafficParameters
+from repro.workload.updategen import (
+    UpdateGenerator,
+    UpdateKind,
+    UpdateMessage,
+    UpdateParameters,
+)
+
+__all__ = [
+    "DEFAULT_LENGTH_DISTRIBUTION",
+    "DEFAULT_SIZE_SCALE",
+    "ROUTERS",
+    "RibParameters",
+    "RouterDataset",
+    "TraceFormatError",
+    "TrafficGenerator",
+    "TrafficParameters",
+    "UpdateGenerator",
+    "UpdateKind",
+    "UpdateMessage",
+    "UpdateParameters",
+    "generate_rib",
+    "length_histogram",
+    "load_packets",
+    "load_table",
+    "load_updates",
+    "rib_trie",
+    "router_by_id",
+    "router_rib",
+    "save_packets",
+    "save_table",
+    "save_updates",
+]

@@ -1,0 +1,74 @@
+"""The paper's datasets, as reproducible synthetic stand-ins.
+
+Table I lists the 12 RIPE RIS collectors whose RIBs drive Figure 8.  Each
+gets a fixed seed here, so "rrc01's table" is a deterministic synthetic
+table of the same character (see :mod:`repro.workload.ribgen` for what is
+preserved).  Sizes follow the 2011-era spread of DFZ table sizes, scaled by
+``size_scale`` so tests and benches can run at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.workload.ribgen import RibParameters, Route, generate_rib
+
+
+@dataclass(frozen=True)
+class RouterDataset:
+    """One collector from Table I."""
+
+    router_id: str
+    location: str
+    seed: int
+    base_size: int
+
+
+#: Table I — locations of the 12 RIPE RIS collectors (base sizes reflect the
+#: relative table sizes such collectors carried in late 2011).
+ROUTERS: Tuple[RouterDataset, ...] = (
+    RouterDataset("rrc01", "LINX, London", 101, 380_000),
+    RouterDataset("rrc03", "AMS-IX, Amsterdam", 103, 390_000),
+    RouterDataset("rrc04", "CIXP, Geneva", 104, 375_000),
+    RouterDataset("rrc05", "VIX, Vienna", 105, 370_000),
+    RouterDataset("rrc06", "Otemachi, Japan", 106, 355_000),
+    RouterDataset("rrc07", "Stockholm, Sweden", 107, 368_000),
+    RouterDataset("rrc11", "New York (NY), USA", 111, 385_000),
+    RouterDataset("rrc12", "Frankfurt, Germany", 112, 392_000),
+    RouterDataset("rrc13", "Moscow, Russia", 113, 360_000),
+    RouterDataset("rrc14", "Palo Alto, USA", 114, 372_000),
+    RouterDataset("rrc15", "Sao Paulo, Brazil", 115, 350_000),
+    RouterDataset("rrc16", "Miami, USA", 116, 366_000),
+)
+
+#: Default scale-down so 12 tables build in seconds instead of minutes.
+DEFAULT_SIZE_SCALE = 1 / 16
+
+
+def router_by_id(router_id: str) -> RouterDataset:
+    """Look a collector up by its Table I identifier."""
+    for router in ROUTERS:
+        if router.router_id == router_id:
+            return router
+    raise KeyError(f"unknown router {router_id!r}")
+
+
+def router_rib(
+    router: RouterDataset,
+    size_scale: float = DEFAULT_SIZE_SCALE,
+    parameters: Optional[RibParameters] = None,
+) -> List[Route]:
+    """The synthetic RIB standing in for one collector's snapshot."""
+    params = parameters or RibParameters()
+    params = RibParameters(
+        size=max(64, int(router.base_size * size_scale)),
+        hop_count=params.hop_count,
+        aggregation=params.aggregation,
+        announce_aggregate=params.announce_aggregate,
+        block_length_range=params.block_length_range,
+        routes_per_block_mean=params.routes_per_block_mean,
+        length_distribution=params.length_distribution,
+        include_default_route=params.include_default_route,
+    )
+    return generate_rib(router.seed, params)

@@ -1,0 +1,171 @@
+"""Synthetic RIB generator — stand-in for the RIPE RIS snapshots.
+
+The paper measures compression on 12 real backbone tables.  Offline, we
+synthesise tables that reproduce the structural properties those results
+depend on (DESIGN.md §2):
+
+* the prefix-length histogram of the 2011-era default-free zone (mass
+  concentrated at /24 and /16, nothing shorter than /8);
+* allocation structure: prefixes cluster inside provider blocks, and a
+  block's more-specifics usually share the block's next hop (traffic
+  engineering punches out the exceptions).  This is what makes real tables
+  compressible — ONRTC's ratio is driven by how many more-specifics are
+  redundant with their covering aggregate;
+* a small next-hop alphabet (a router has tens of peers, not thousands).
+
+Everything is deterministic in the seed, so each of the paper's 12 routers
+maps to a reproducible synthetic table (see :mod:`repro.workload.datasets`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.prefix import Prefix
+from repro.trie.trie import BinaryTrie
+
+Route = Tuple[Prefix, int]
+
+#: Approximate mass of announced prefix lengths in a 2011 DFZ table
+#: (RIPE RIS shape: a spike at /24, a secondary mode at /16).
+DEFAULT_LENGTH_DISTRIBUTION: Dict[int, float] = {
+    8: 0.004,
+    9: 0.002,
+    10: 0.004,
+    11: 0.008,
+    12: 0.014,
+    13: 0.022,
+    14: 0.030,
+    15: 0.032,
+    16: 0.110,
+    17: 0.034,
+    18: 0.052,
+    19: 0.068,
+    20: 0.078,
+    21: 0.066,
+    22: 0.096,
+    23: 0.066,
+    24: 0.310,
+    25: 0.002,
+    26: 0.002,
+}
+
+
+@dataclass
+class RibParameters:
+    """Tunables of the synthetic table.
+
+    ``aggregation`` is the probability that a prefix inside an allocation
+    block uses the block's dominant next hop rather than a random one, and
+    ``announce_aggregate`` the probability that the block's own covering
+    aggregate is announced too.  Real tables mix both behaviours: redundant
+    more-specifics under an announced aggregate (which ONRTC elides) and
+    clusters of same-hop standalone prefixes (which ONRTC merges).  The
+    defaults are calibrated so ONRTC lands near the paper's ~71% average
+    (checked in ``tests/workload/test_ribgen.py``).
+    """
+
+    size: int = 30_000
+    hop_count: int = 24
+    aggregation: float = 0.94
+    announce_aggregate: float = 0.30
+    super_aggregate: float = 0.04
+    super_length_range: Tuple[int, int] = (8, 11)
+    allocated_slash8_count: int = 72
+    allocation_skew: float = 0.8
+    hop_coherence: float = 0.85
+    block_length_range: Tuple[int, int] = (12, 16)
+    routes_per_block_mean: float = 14.0
+    length_distribution: Dict[int, float] = field(
+        default_factory=lambda: dict(DEFAULT_LENGTH_DISTRIBUTION)
+    )
+    include_default_route: bool = False
+
+
+def generate_rib(
+    seed: int, parameters: Optional[RibParameters] = None
+) -> List[Route]:
+    """Generate a synthetic routing table, deterministic in ``seed``.
+
+    The table is returned in no particular order and contains no duplicate
+    prefixes; overlap between blocks (and of course between an aggregate and
+    its more-specifics) is present exactly as in real tables.
+    """
+    params = parameters or RibParameters()
+    rng = random.Random(seed)
+    lengths, weights = zip(*sorted(params.length_distribution.items()))
+    routes: Dict[Prefix, int] = {}
+    if params.include_default_route:
+        routes[Prefix.root()] = 0
+
+    # Real address space is far from uniformly announced: allocations
+    # concentrate in a subset of /8s with skewed density.  This is what
+    # pushes sub-tree carve points below the covering aggregates (and what
+    # makes Figure 9's CLPL redundancy appear at all).
+    allocated = rng.sample(range(256), min(256, params.allocated_slash8_count))
+    slash8_weights = [
+        1.0 / (rank ** params.allocation_skew)
+        for rank in range(1, len(allocated) + 1)
+    ]
+    # Routes in the same region tend to share an exit (the announcing AS
+    # peers at one place), so next hops are spatially coherent: each /8 has
+    # a dominant hop that most of its blocks adopt.
+    region_hop = {eight: rng.randrange(params.hop_count) for eight in allocated}
+
+    while len(routes) < params.size:
+        block_length = rng.randint(*params.block_length_range)
+        eight = rng.choices(allocated, slash8_weights)[0]
+        tail_bits = block_length - 8
+        block = Prefix(
+            (eight << tail_bits) | (rng.getrandbits(tail_bits) if tail_bits else 0),
+            block_length,
+        )
+        if rng.random() < params.hop_coherence:
+            block_hop = region_hop[eight]
+        else:
+            block_hop = rng.randrange(params.hop_count)
+        if rng.random() < params.announce_aggregate:
+            routes.setdefault(block, block_hop)
+        if rng.random() < params.super_aggregate:
+            # A short provider aggregate covering this block (the kind of
+            # route that forces sub-tree partitioning to duplicate covering
+            # prefixes into carved buckets).
+            super_length = rng.randint(*params.super_length_range)
+            super_block = Prefix(
+                block.value >> (block_length - super_length), super_length
+            )
+            routes.setdefault(super_block, block_hop)
+        # Number of prefixes announced inside this allocation block.
+        fill = min(
+            1 + int(rng.expovariate(1.0 / params.routes_per_block_mean)),
+            params.size - len(routes),
+        )
+        for _ in range(fill):
+            target_length = rng.choices(lengths, weights)[0]
+            if target_length <= block_length:
+                target_length = min(32, block_length + rng.randint(1, 8))
+            extra = target_length - block_length
+            value = (block.value << extra) | rng.getrandbits(extra)
+            specific = Prefix(value, target_length)
+            if rng.random() < params.aggregation:
+                hop = block_hop
+            else:
+                hop = rng.randrange(params.hop_count)
+            routes.setdefault(specific, hop)
+
+    return list(routes.items())
+
+
+def rib_trie(seed: int, parameters: Optional[RibParameters] = None) -> BinaryTrie:
+    """Generate a synthetic table directly as a trie."""
+    return BinaryTrie.from_routes(generate_rib(seed, parameters))
+
+
+def length_histogram(routes: Sequence[Route]) -> Dict[int, int]:
+    """Observed prefix-length histogram of a table."""
+    histogram: Dict[int, int] = {}
+    for prefix, _ in routes:
+        histogram[prefix.length] = histogram.get(prefix.length, 0) + 1
+    return dict(sorted(histogram.items()))

@@ -1,0 +1,131 @@
+"""Plain-text (de)serialisation of tables, update streams and traffic.
+
+A reproduction should let its artefacts be inspected and replayed.  The
+formats are deliberately trivial:
+
+* routing table — ``<prefix> <next_hop>`` per line;
+* update trace — ``<timestamp> announce <prefix> <hop>`` or
+  ``<timestamp> withdraw <prefix>``;
+* packet trace — one dotted-quad destination per line.
+
+Lines starting with ``#`` are comments everywhere.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.net.prefix import Prefix, format_address, parse_address
+from repro.workload.updategen import UpdateKind, UpdateMessage
+
+Route = Tuple[Prefix, int]
+PathLike = Union[str, Path]
+
+
+class TraceFormatError(ValueError):
+    """A trace file line did not parse."""
+
+
+def _lines(path: PathLike) -> Iterable[Tuple[int, str]]:
+    with open(path, "r", encoding="ascii") as handle:
+        for number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if line and not line.startswith("#"):
+                yield number, line
+
+
+# -- routing tables -----------------------------------------------------
+
+
+def save_table(routes: Sequence[Route], path: PathLike) -> None:
+    """Write a routing table, one ``prefix hop`` per line."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("# repro routing table v1\n")
+        for prefix, hop in routes:
+            handle.write(f"{prefix} {hop}\n")
+
+
+def load_table(path: PathLike) -> List[Route]:
+    """Read a routing table written by :func:`save_table`."""
+    routes: List[Route] = []
+    for number, line in _lines(path):
+        parts = line.split()
+        if len(parts) != 2:
+            raise TraceFormatError(f"{path}:{number}: expected 'prefix hop'")
+        routes.append((Prefix.parse(parts[0]), int(parts[1])))
+    return routes
+
+
+# -- update traces --------------------------------------------------------
+
+
+def save_updates(messages: Sequence[UpdateMessage], path: PathLike) -> None:
+    """Write an update trace."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("# repro update trace v1\n")
+        for message in messages:
+            if message.kind is UpdateKind.ANNOUNCE:
+                handle.write(
+                    f"{message.timestamp:.6f} announce "
+                    f"{message.prefix} {message.next_hop}\n"
+                )
+            else:
+                handle.write(
+                    f"{message.timestamp:.6f} withdraw {message.prefix}\n"
+                )
+
+
+def load_updates(path: PathLike) -> List[UpdateMessage]:
+    """Read an update trace written by :func:`save_updates`."""
+    messages: List[UpdateMessage] = []
+    for number, line in _lines(path):
+        parts = line.split()
+        try:
+            if len(parts) == 4 and parts[1] == "announce":
+                messages.append(
+                    UpdateMessage(
+                        UpdateKind.ANNOUNCE,
+                        Prefix.parse(parts[2]),
+                        int(parts[3]),
+                        float(parts[0]),
+                    )
+                )
+            elif len(parts) == 3 and parts[1] == "withdraw":
+                messages.append(
+                    UpdateMessage(
+                        UpdateKind.WITHDRAW,
+                        Prefix.parse(parts[2]),
+                        None,
+                        float(parts[0]),
+                    )
+                )
+            else:
+                raise TraceFormatError(
+                    f"{path}:{number}: unrecognised update line"
+                )
+        except ValueError as exc:
+            raise TraceFormatError(f"{path}:{number}: {exc}") from exc
+    return messages
+
+
+# -- packet traces ----------------------------------------------------------
+
+
+def save_packets(addresses: Sequence[int], path: PathLike) -> None:
+    """Write a destination-address trace."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("# repro packet trace v1\n")
+        for address in addresses:
+            handle.write(format_address(address) + "\n")
+
+
+def load_packets(path: PathLike) -> List[int]:
+    """Read a destination-address trace."""
+    addresses: List[int] = []
+    for number, line in _lines(path):
+        try:
+            addresses.append(parse_address(line))
+        except ValueError as exc:
+            raise TraceFormatError(f"{path}:{number}: {exc}") from exc
+    return addresses

@@ -1,0 +1,123 @@
+"""Synthetic packet traffic — stand-in for the CAIDA Chicago trace.
+
+Two properties of the real trace drive every lookup-engine result:
+
+* **skew** — a small fraction of prefixes receives most packets, so even
+  partitions carry wildly different loads (Table II: one chip sees 77.88% of
+  traffic).  We draw destination prefixes from a Zipf-like rank distribution
+  over the table.
+* **temporal locality / burstiness** — the same destinations recur in
+  bursts, which is what makes a small DRed achieve the >90% hit rates of
+  Figure 17.  We model it with a working-set process: with probability
+  ``locality`` the next packet repeats a recent destination; the working
+  set itself is periodically partially resampled (bursts moving around).
+
+Both knobs are explicit so benches can sweep them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.net.prefix import Prefix
+
+Route = Tuple[Prefix, int]
+
+
+@dataclass
+class TrafficParameters:
+    """Tunables of the synthetic packet stream."""
+
+    zipf_exponent: float = 1.1
+    locality: float = 0.85
+    working_set_size: int = 512
+    burst_length_mean: float = 2_000.0
+    reshuffle_fraction: float = 0.25
+
+
+class TrafficGenerator:
+    """Deterministic destination-address stream over a routing table.
+
+    >>> routes = [(Prefix.from_bits("0"), 1), (Prefix.from_bits("1"), 2)]
+    >>> stream = TrafficGenerator(routes, seed=1)
+    >>> addresses = stream.take(10)
+    >>> len(addresses)
+    10
+    """
+
+    def __init__(
+        self,
+        routes: Sequence[Route],
+        seed: int = 0,
+        parameters: Optional[TrafficParameters] = None,
+    ) -> None:
+        if not routes:
+            raise ValueError("traffic needs a non-empty routing table")
+        self.params = parameters or TrafficParameters()
+        self._rng = random.Random(seed)
+        self._prefixes = [prefix for prefix, _ in routes]
+        self._rng.shuffle(self._prefixes)
+        # Zipf weights over the shuffled ranks; cumulative for sampling.
+        weights = [
+            1.0 / (rank ** self.params.zipf_exponent)
+            for rank in range(1, len(self._prefixes) + 1)
+        ]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+        self._working_set: List[int] = []
+        self._until_burst_end = self._next_burst_length()
+
+    # ------------------------------------------------------------------
+
+    def _next_burst_length(self) -> int:
+        return max(1, int(self._rng.expovariate(1.0 / self.params.burst_length_mean)))
+
+    def _sample_fresh(self) -> int:
+        """Draw a fresh destination: Zipf prefix, uniform host inside it."""
+        from bisect import bisect_left
+
+        point = self._rng.random()
+        rank = bisect_left(self._cumulative, point)
+        rank = min(rank, len(self._prefixes) - 1)
+        prefix = self._prefixes[rank]
+        host_bits = 32 - prefix.length
+        offset = self._rng.getrandbits(host_bits) if host_bits else 0
+        return prefix.network | offset
+
+    def _reshuffle_working_set(self) -> None:
+        """A burst boundary: part of the hot set moves elsewhere."""
+        keep = int(len(self._working_set) * (1.0 - self.params.reshuffle_fraction))
+        self._rng.shuffle(self._working_set)
+        del self._working_set[keep:]
+        self._until_burst_end = self._next_burst_length()
+
+    def __next__(self) -> int:
+        return self.next_packet()
+
+    def __iter__(self) -> Iterator[int]:
+        return self
+
+    def next_packet(self) -> int:
+        """The next destination address."""
+        if self._until_burst_end <= 0:
+            self._reshuffle_working_set()
+        self._until_burst_end -= 1
+        working_set = self._working_set
+        if working_set and self._rng.random() < self.params.locality:
+            return working_set[self._rng.randrange(len(working_set))]
+        address = self._sample_fresh()
+        if len(working_set) >= self.params.working_set_size:
+            working_set[self._rng.randrange(len(working_set))] = address
+        else:
+            working_set.append(address)
+        return address
+
+    def take(self, count: int) -> List[int]:
+        """The next ``count`` destination addresses as a list."""
+        return [self.next_packet() for _ in range(count)]

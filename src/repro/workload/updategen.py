@@ -1,0 +1,185 @@
+"""Synthetic BGP update stream — stand-in for the RIPE 24-hour update trace.
+
+TTF is measured over a stream of announce/withdraw messages.  What matters
+for the measurements (and what we reproduce) is:
+
+* the announce/withdraw mix and how often an announce re-announces an
+  existing prefix with a new hop versus introducing a new one;
+* **path locality** — updates cluster on flapping prefixes;
+* **burstiness** — the paper quotes peaks of 35K messages/second; arrival
+  timestamps come from an on/off process with heavy bursts.
+
+The generator mutates a shadow copy of the table so the stream is always
+consistent (withdrawals target live prefixes, announcements never collide
+incorrectly).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.net.prefix import Prefix
+
+Route = Tuple[Prefix, int]
+
+
+class UpdateKind(Enum):
+    """BGP message type (modify is an announce of an existing prefix)."""
+
+    ANNOUNCE = "announce"
+    WITHDRAW = "withdraw"
+
+
+@dataclass(frozen=True)
+class UpdateMessage:
+    """One routing update: what arrives at the control plane.
+
+    ``timestamp`` is in seconds since the start of the trace; ``next_hop``
+    is ``None`` for withdrawals.
+    """
+
+    kind: UpdateKind
+    prefix: Prefix
+    next_hop: Optional[int]
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if self.kind is UpdateKind.ANNOUNCE and self.next_hop is None:
+            raise ValueError("announce needs a next hop")
+        if self.kind is UpdateKind.WITHDRAW and self.next_hop is not None:
+            raise ValueError("withdraw carries no next hop")
+
+
+@dataclass
+class UpdateParameters:
+    """Mix and tempo of the synthetic stream.
+
+    The mix follows the long-observed BGP pattern: most messages touch
+    already-known prefixes (hop churn / flapping), and announcements
+    outnumber withdrawals.
+    """
+
+    modify_fraction: float = 0.55
+    new_prefix_fraction: float = 0.20
+    withdraw_fraction: float = 0.25
+    flap_concentration: float = 0.70
+    flap_pool_size: int = 256
+    mean_rate_per_second: float = 2_000.0
+    burst_rate_multiplier: float = 15.0
+    burst_probability: float = 0.05
+    burst_length_mean: float = 400.0
+    hop_count: int = 24
+
+    def __post_init__(self) -> None:
+        total = (
+            self.modify_fraction
+            + self.new_prefix_fraction
+            + self.withdraw_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("update mix fractions must sum to 1")
+
+
+class UpdateGenerator:
+    """Deterministic, table-consistent BGP update stream."""
+
+    def __init__(
+        self,
+        routes: Sequence[Route],
+        seed: int = 0,
+        parameters: Optional[UpdateParameters] = None,
+    ) -> None:
+        self.params = parameters or UpdateParameters()
+        self._rng = random.Random(seed)
+        self._live: dict = dict(routes)
+        self._prefix_pool: List[Prefix] = list(self._live)
+        self._flap_pool: List[Prefix] = (
+            self._rng.sample(
+                self._prefix_pool,
+                min(self.params.flap_pool_size, len(self._prefix_pool)),
+            )
+            if self._prefix_pool
+            else []
+        )
+        self._clock = 0.0
+        self._burst_remaining = 0
+
+    # ------------------------------------------------------------------
+
+    def _advance_clock(self) -> float:
+        params = self.params
+        if self._burst_remaining > 0:
+            self._burst_remaining -= 1
+            rate = params.mean_rate_per_second * params.burst_rate_multiplier
+        else:
+            if self._rng.random() < params.burst_probability:
+                self._burst_remaining = max(
+                    1, int(self._rng.expovariate(1.0 / params.burst_length_mean))
+                )
+            rate = params.mean_rate_per_second
+        self._clock += self._rng.expovariate(rate)
+        return self._clock
+
+    def _pick_existing(self) -> Optional[Prefix]:
+        if not self._live:
+            return None
+        if self._flap_pool and self._rng.random() < self.params.flap_concentration:
+            prefix = self._flap_pool[self._rng.randrange(len(self._flap_pool))]
+            if prefix in self._live:
+                return prefix
+        # Fall back to any live prefix (pool may contain withdrawn entries).
+        for _ in range(8):
+            prefix = self._prefix_pool[self._rng.randrange(len(self._prefix_pool))]
+            if prefix in self._live:
+                return prefix
+        return next(iter(self._live))
+
+    def _fresh_prefix(self) -> Prefix:
+        while True:
+            length = self._rng.choice((16, 20, 22, 24, 24, 24))
+            prefix = Prefix(self._rng.getrandbits(length), length)
+            if prefix not in self._live:
+                return prefix
+
+    def next_message(self) -> UpdateMessage:
+        """Generate the next update, mutating the shadow table."""
+        params = self.params
+        timestamp = self._advance_clock()
+        roll = self._rng.random()
+        if roll < params.withdraw_fraction and self._live:
+            prefix = self._pick_existing()
+            assert prefix is not None
+            del self._live[prefix]
+            return UpdateMessage(UpdateKind.WITHDRAW, prefix, None, timestamp)
+        if roll < params.withdraw_fraction + params.new_prefix_fraction or not self._live:
+            prefix = self._fresh_prefix()
+            hop = self._rng.randrange(params.hop_count)
+            self._live[prefix] = hop
+            self._prefix_pool.append(prefix)
+            if (
+                len(self._flap_pool) < params.flap_pool_size
+                and self._rng.random() < 0.25
+            ):
+                self._flap_pool.append(prefix)
+            return UpdateMessage(UpdateKind.ANNOUNCE, prefix, hop, timestamp)
+        prefix = self._pick_existing()
+        assert prefix is not None
+        old_hop = self._live[prefix]
+        hop = self._rng.randrange(params.hop_count)
+        if hop == old_hop:
+            hop = (hop + 1) % params.hop_count
+        self._live[prefix] = hop
+        return UpdateMessage(UpdateKind.ANNOUNCE, prefix, hop, timestamp)
+
+    def take(self, count: int) -> List[UpdateMessage]:
+        """The next ``count`` messages."""
+        return [self.next_message() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[UpdateMessage]:
+        return self
+
+    def __next__(self) -> UpdateMessage:
+        return self.next_message()

@@ -1,0 +1,118 @@
+"""Tests for the analytical models and reporting helpers."""
+
+import pytest
+
+from repro.analysis.evenness import (
+    coefficient_of_variation,
+    jain_fairness,
+    max_mean_ratio,
+    spread,
+)
+from repro.analysis.fitting import cubic_fit, polyfit, polyval
+from repro.analysis.speedup import (
+    bound_satisfied,
+    implied_utilisation,
+    required_hit_rate,
+    worst_case_speedup,
+)
+from repro.analysis.summarize import format_percent, format_series, format_table
+
+
+class TestSpeedupBound:
+    def test_equation_five(self):
+        # t = (N-1)h + 1
+        assert worst_case_speedup(4, 1.0) == 4.0
+        assert worst_case_speedup(4, 2 / 3) == pytest.approx(3.0)
+        assert worst_case_speedup(2, 0.5) == 1.5
+
+    def test_equation_four(self):
+        # h >= (N-2)/(N-1)
+        assert required_hit_rate(4) == pytest.approx(2 / 3)
+        assert required_hit_rate(2) == 0.0
+
+    def test_bound_check(self):
+        assert bound_satisfied(4, 0.9, 3.8)
+        assert not bound_satisfied(4, 0.9, 3.0)
+        # below the validity domain the floor does not apply
+        assert bound_satisfied(4, 0.3, 1.2)
+
+    def test_utilisation(self):
+        assert implied_utilisation(4, 3.5) == pytest.approx(0.5)
+        assert implied_utilisation(4, 5.0) == 1.0
+        assert implied_utilisation(4, 2.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            worst_case_speedup(1, 0.5)
+        with pytest.raises(ValueError):
+            worst_case_speedup(4, 1.5)
+        with pytest.raises(ValueError):
+            required_hit_rate(1)
+
+
+class TestEvenness:
+    def test_perfectly_even(self):
+        values = [5, 5, 5, 5]
+        assert max_mean_ratio(values) == 1.0
+        assert jain_fairness(values) == pytest.approx(1.0)
+        assert coefficient_of_variation(values) == 0.0
+        assert spread(values) == 0
+
+    def test_concentrated(self):
+        values = [100, 0, 0, 0]
+        assert max_mean_ratio(values) == 4.0
+        assert jain_fairness(values) == pytest.approx(0.25)
+        assert spread(values) == 100
+
+    def test_empty_rejected(self):
+        for metric in (max_mean_ratio, jain_fairness,
+                       coefficient_of_variation, spread):
+            with pytest.raises(ValueError):
+                metric([])
+
+    def test_zero_total(self):
+        assert max_mean_ratio([0, 0]) == 1.0
+        assert jain_fairness([0, 0]) == 1.0
+
+
+class TestFitting:
+    def test_exact_cubic_recovered(self):
+        coefficients = [2.0, -1.0, 0.5, 3.0]
+        xs = [0.1 * i for i in range(10)]
+        ys = [polyval(coefficients, x) for x in xs]
+        fitted = polyfit(xs, ys, 3)
+        assert fitted == pytest.approx(coefficients, abs=1e-6)
+
+    def test_cubic_fit_wrapper(self):
+        points = [(x / 10, 1 + 3 * (x / 10)) for x in range(8)]
+        coefficients = cubic_fit(points)
+        assert polyval(coefficients, 0.5) == pytest.approx(2.5, abs=1e-6)
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(ValueError):
+            polyfit([1.0, 2.0], [1.0, 2.0], 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            polyfit([1.0], [1.0, 2.0], 1)
+
+    def test_degenerate_points_rejected(self):
+        with pytest.raises(ValueError):
+            polyfit([1.0, 1.0, 1.0, 1.0], [1.0, 2.0, 3.0, 4.0], 3)
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(["a", "bee"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+
+    def test_percent(self):
+        assert format_percent(0.7153) == "71.53%"
+        assert format_percent(1.0, digits=0) == "100%"
+
+    def test_series(self):
+        line = format_series("h", [0.5, 0.75], digits=2)
+        assert line == "h: 0.50 0.75"

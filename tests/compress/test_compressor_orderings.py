@@ -1,0 +1,90 @@
+"""Cross-compressor orderings on realistic tables.
+
+The compression design space has a strict dominance structure; these tests
+pin it on slices of the calibrated synthetic RIB (not just tiny random
+tables):
+
+    ORTC ≤ ONRTC-strict + 1 ≤ leaf-push + 1        (overlap is power)
+    ONRTC-don't-care ≤ ONRTC-strict ≤ leaf-push    (freedom is power)
+
+and all of them must be forwarding-equivalent under their own contract.
+"""
+
+import pytest
+
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import compress
+from repro.compress.ortc import compress_ortc, lookup_ortc
+from repro.compress.verify import find_mismatch, is_disjoint_table
+from repro.trie.leafpush import leaf_push
+from repro.trie.trie import BinaryTrie
+
+
+@pytest.fixture(scope="module")
+def tables(small_rib):
+    slices = {
+        "dense": small_rib[:800],
+        "sparse": small_rib[::5],
+        "full": small_rib,
+    }
+    return {
+        name: BinaryTrie.from_routes(routes)
+        for name, routes in slices.items()
+    }
+
+
+@pytest.mark.parametrize("name", ["dense", "sparse", "full"])
+class TestDominance:
+    def test_size_orderings(self, tables, name):
+        trie = tables[name]
+        pushed = len(leaf_push(trie))
+        strict = len(compress(trie, CompressionMode.STRICT))
+        dontcare = len(compress(trie, CompressionMode.DONT_CARE))
+        ortc = len(compress_ortc(trie))
+        assert dontcare <= strict <= pushed
+        assert ortc <= strict + 1
+
+    def test_all_disjoint_except_ortc(self, tables, name):
+        trie = tables[name]
+        assert is_disjoint_table(compress(trie, CompressionMode.STRICT))
+        assert is_disjoint_table(compress(trie, CompressionMode.DONT_CARE))
+        assert leaf_push(trie).is_disjoint()
+
+    def test_equivalence_contracts(self, tables, name):
+        trie = tables[name]
+        assert (
+            find_mismatch(trie, compress(trie, CompressionMode.STRICT))
+            is None
+        )
+        assert (
+            find_mismatch(
+                trie,
+                compress(trie, CompressionMode.DONT_CARE),
+                covered_only=True,
+            )
+            is None
+        )
+
+    def test_ortc_equivalence_sampled(self, tables, name, rng):
+        trie = tables[name]
+        table = compress_ortc(trie)
+        for _ in range(200):
+            address = rng.getrandbits(32)
+            assert lookup_ortc(table, address) == trie.lookup(address)
+        # and exactly at every route boundary, the hard cases:
+        for prefix, _hop in list(trie.routes())[:150]:
+            assert lookup_ortc(table, prefix.network) == trie.lookup(
+                prefix.network
+            )
+            assert lookup_ortc(table, prefix.broadcast) == trie.lookup(
+                prefix.broadcast
+            )
+
+
+class TestIdempotence:
+    def test_compressing_compressed_table_is_fixed_point(self, tables):
+        trie = tables["dense"]
+        for mode in CompressionMode:
+            once = compress(trie, mode)
+            again = compress(BinaryTrie.from_routes(once.items()), mode)
+            assert again == once

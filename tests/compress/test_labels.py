@@ -1,0 +1,70 @@
+"""Tests for the ONRTC label algebra."""
+
+import pytest
+
+from repro.compress.labels import (
+    BOT,
+    MIXED,
+    CompressionMode,
+    is_emittable,
+    leaf_label,
+    merge,
+)
+
+STRICT = CompressionMode.STRICT
+DONT_CARE = CompressionMode.DONT_CARE
+
+
+class TestMerge:
+    @pytest.mark.parametrize("mode", [STRICT, DONT_CARE])
+    def test_equal_hops_merge(self, mode):
+        assert merge(3, 3, mode) == 3
+
+    @pytest.mark.parametrize("mode", [STRICT, DONT_CARE])
+    def test_different_hops_mix(self, mode):
+        assert merge(3, 4, mode) is MIXED
+
+    @pytest.mark.parametrize("mode", [STRICT, DONT_CARE])
+    def test_bot_merges_with_bot(self, mode):
+        assert merge(BOT, BOT, mode) is BOT
+
+    def test_strict_keeps_bot_separate(self):
+        assert merge(BOT, 3, STRICT) is MIXED
+        assert merge(3, BOT, STRICT) is MIXED
+
+    def test_dontcare_absorbs_bot(self):
+        assert merge(BOT, 3, DONT_CARE) == 3
+        assert merge(3, BOT, DONT_CARE) == 3
+
+    @pytest.mark.parametrize("mode", [STRICT, DONT_CARE])
+    @pytest.mark.parametrize("other", [BOT, MIXED, 7])
+    def test_mixed_is_absorbing(self, mode, other):
+        assert merge(MIXED, other, mode) is MIXED
+        assert merge(other, MIXED, mode) is MIXED
+
+    @pytest.mark.parametrize("mode", [STRICT, DONT_CARE])
+    def test_merge_commutes(self, mode):
+        for a in (BOT, MIXED, 1, 2):
+            for b in (BOT, MIXED, 1, 2):
+                assert merge(a, b, mode) == merge(b, a, mode)
+
+
+class TestLeafLabel:
+    def test_none_is_bot(self):
+        assert leaf_label(None) is BOT
+
+    def test_hop_passes_through(self):
+        assert leaf_label(5) == 5
+
+    def test_hop_zero_is_a_real_hop(self):
+        assert leaf_label(0) == 0
+        assert is_emittable(leaf_label(0))
+
+
+class TestEmittable:
+    def test_hops_emit(self):
+        assert is_emittable(7)
+
+    def test_sentinels_do_not(self):
+        assert not is_emittable(BOT)
+        assert not is_emittable(MIXED)

@@ -1,0 +1,181 @@
+"""Tests for the lazy (bounded-work) ONRTC maintainer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress.labels import CompressionMode
+from repro.compress.lazy import LazyOnrtcTable, minimal_cover
+from repro.compress.onrtc import compress
+from repro.compress.verify import find_mismatch, is_disjoint_table
+from repro.net.prefix import Prefix
+from repro.trie.trie import BinaryTrie
+from tests.conftest import random_routes
+
+STRICT = CompressionMode.STRICT
+DONT_CARE = CompressionMode.DONT_CARE
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+class TestMinimalCover:
+    def test_uniform_region(self):
+        source = BinaryTrie.from_routes([(bits("1"), 5)])
+        assert minimal_cover(source, bits("10"), STRICT) == {bits("10"): 5}
+
+    def test_empty_region(self):
+        source = BinaryTrie.from_routes([(bits("1"), 5)])
+        assert minimal_cover(source, bits("0"), STRICT) == {}
+
+    def test_structured_region(self):
+        source = BinaryTrie.from_routes([(bits("1"), 1), (bits("101"), 2)])
+        cover = minimal_cover(source, bits("1"), STRICT)
+        assert cover[bits("101")] == 2
+        table = BinaryTrie.from_routes(cover.items())
+        for address in (0b100 << 29, 0b101 << 29, 0b111 << 29):
+            assert table.lookup(address) == source.lookup(address)
+
+    def test_matches_global_compression_at_root(self, rng):
+        for _ in range(20):
+            source = BinaryTrie.from_routes(random_routes(rng, 8, max_len=6))
+            for mode in (STRICT, DONT_CARE):
+                assert minimal_cover(source, Prefix.root(), mode) == compress(
+                    source, mode
+                )
+
+
+class TestLazyMaintenance:
+    def test_starts_minimal(self, rng):
+        routes = random_routes(rng, 10, max_len=6)
+        lazy = LazyOnrtcTable(routes, mode=DONT_CARE)
+        assert lazy.table == compress(BinaryTrie.from_routes(routes), DONT_CARE)
+        assert lazy.minimality_gap() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("mode", [STRICT, DONT_CARE])
+    def test_always_disjoint_and_equivalent(self, mode):
+        rng = random.Random(14)
+        for trial in range(20):
+            routes = random_routes(rng, rng.randint(0, 8), max_len=6)
+            lazy = LazyOnrtcTable(routes, mode=mode)
+            shadow = BinaryTrie.from_routes(routes)
+            for _ in range(15):
+                length = rng.randint(0, 6)
+                prefix = Prefix(
+                    rng.randrange(1 << length) if length else 0, length
+                )
+                if rng.random() < 0.6:
+                    hop = rng.randint(1, 3)
+                    shadow.insert(prefix, hop)
+                    lazy.announce(prefix, hop)
+                else:
+                    shadow.delete(prefix)
+                    lazy.withdraw(prefix)
+                assert is_disjoint_table(lazy.table)
+                assert (
+                    find_mismatch(
+                        shadow, lazy.table, covered_only=(mode is DONT_CARE)
+                    )
+                    is None
+                )
+
+    def test_diffs_replay_to_table(self, rng):
+        routes = random_routes(rng, 8, max_len=6)
+        lazy = LazyOnrtcTable(routes, mode=DONT_CARE)
+        mirror = dict(lazy.table)
+        for _ in range(40):
+            length = rng.randint(0, 6)
+            prefix = Prefix(rng.randrange(1 << length) if length else 0, length)
+            diff = lazy.apply(
+                prefix, rng.randint(1, 3) if rng.random() < 0.6 else None
+            )
+            for removed, _ in diff.removes:
+                del mirror[removed]
+            for added, hop in diff.adds:
+                mirror[added] = hop
+        assert mirror == lazy.table
+
+    def test_withdraw_absent_is_noop(self):
+        lazy = LazyOnrtcTable([(bits("1"), 1)])
+        assert lazy.withdraw(bits("0")).is_empty
+
+    def test_recompress_restores_minimality(self):
+        rng = random.Random(15)
+        routes = random_routes(rng, 10, max_len=6)
+        lazy = LazyOnrtcTable(routes, mode=DONT_CARE)
+        shadow = BinaryTrie.from_routes(routes)
+        for _ in range(50):
+            length = rng.randint(0, 6)
+            prefix = Prefix(rng.randrange(1 << length) if length else 0, length)
+            if rng.random() < 0.6:
+                hop = rng.randint(1, 3)
+                shadow.insert(prefix, hop)
+                lazy.announce(prefix, hop)
+            else:
+                shadow.delete(prefix)
+                lazy.withdraw(prefix)
+        lazy.recompress()
+        assert lazy.table == compress(shadow, DONT_CARE)
+        assert lazy.minimality_gap() == pytest.approx(1.0)
+
+    def test_never_smaller_than_minimal(self, rng):
+        routes = random_routes(rng, 10, max_len=6)
+        lazy = LazyOnrtcTable(routes, mode=DONT_CARE)
+        for _ in range(30):
+            length = rng.randint(0, 6)
+            prefix = Prefix(rng.randrange(1 << length) if length else 0, length)
+            lazy.apply(prefix, rng.randint(1, 3) if rng.random() < 0.5 else None)
+            assert lazy.minimality_gap() >= 1.0 - 1e-9
+
+    def test_repair_is_local(self):
+        """An update under one /8 must not touch entries under another."""
+        left = [(Prefix((10 << 8) | v, 16), 1) for v in range(16)]
+        right = [(Prefix((20 << 8) | v, 16), 2) for v in range(16)]
+        lazy = LazyOnrtcTable(left + right, mode=STRICT)
+        before_right = {
+            p: h for p, h in lazy.table.items() if p.bit_at(3) == 1
+        }
+        diff = lazy.announce(Prefix((10 << 16) | 77, 24), 9)
+        for prefix, _hop in diff.adds + diff.removes:
+            assert Prefix(10, 8).contains(prefix)
+        after_right = {
+            p: h for p, h in lazy.table.items() if p.bit_at(3) == 1
+        }
+        assert before_right == after_right
+
+
+operations = st.lists(
+    st.tuples(
+        st.integers(0, 5).flatmap(
+            lambda length: st.tuples(
+                st.integers(0, (1 << length) - 1 if length else 0),
+                st.just(length),
+            )
+        ),
+        st.one_of(st.none(), st.integers(1, 3)),
+    ),
+    max_size=20,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(operations, st.sampled_from([STRICT, DONT_CARE]))
+def test_property_lazy_equivalence(ops, mode):
+    lazy = LazyOnrtcTable([], mode=mode)
+    shadow = BinaryTrie()
+    for (value, length), hop in ops:
+        prefix = Prefix(value, length)
+        if hop is None:
+            shadow.delete(prefix)
+            lazy.withdraw(prefix)
+        else:
+            shadow.insert(prefix, hop)
+            lazy.announce(prefix, hop)
+        assert is_disjoint_table(lazy.table)
+        assert (
+            find_mismatch(shadow, lazy.table, covered_only=(mode is DONT_CARE))
+            is None
+        )

@@ -1,0 +1,185 @@
+"""Tests for incremental ONRTC: diffs must track the one-shot optimum."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import OnrtcTable, compress
+from repro.compress.verify import find_mismatch, is_disjoint_table
+from repro.net.prefix import Prefix
+from repro.trie.trie import BinaryTrie
+from tests.conftest import random_routes
+
+STRICT = CompressionMode.STRICT
+DONT_CARE = CompressionMode.DONT_CARE
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+class TestBasics:
+    def test_initial_build_matches_one_shot(self, rng):
+        for mode in (STRICT, DONT_CARE):
+            routes = random_routes(rng, 12, max_len=8)
+            table = OnrtcTable(routes, mode=mode)
+            assert table.table == compress(
+                BinaryTrie.from_routes(routes), mode
+            )
+
+    def test_announce_reports_diff(self):
+        table = OnrtcTable([], mode=STRICT)
+        diff = table.announce(bits("10"), 5)
+        assert ((bits("10"), 5) in diff.adds) and not diff.removes
+        assert table.table == {bits("10"): 5}
+
+    def test_withdraw_reports_diff(self):
+        table = OnrtcTable([(bits("10"), 5)], mode=STRICT)
+        diff = table.withdraw(bits("10"))
+        assert ((bits("10"), 5) in diff.removes) and not diff.adds
+        assert table.table == {}
+
+    def test_withdraw_absent_is_empty_diff(self):
+        table = OnrtcTable([(bits("10"), 5)], mode=STRICT)
+        diff = table.withdraw(bits("01"))
+        assert diff.is_empty
+
+    def test_redundant_announce_is_empty_diff(self):
+        # Announcing a more-specific with the hop it already inherits
+        # changes nothing in the compressed table.
+        table = OnrtcTable([(bits("1"), 5)], mode=STRICT)
+        diff = table.announce(bits("11"), 5)
+        assert diff.is_empty
+        assert table.table == {bits("1"): 5}
+
+    def test_apply_dispatches(self):
+        table = OnrtcTable([], mode=STRICT)
+        table.apply(bits("1"), 3)
+        assert table.table == {bits("1"): 3}
+        table.apply(bits("1"), None)
+        assert table.table == {}
+
+    def test_punch_out_and_heal(self):
+        table = OnrtcTable([(bits("1"), 1)], mode=STRICT)
+        table.announce(bits("100"), 2)
+        assert table.table[bits("100")] == 2
+        assert len(table) > 1
+        table.withdraw(bits("100"))
+        assert table.table == {bits("1"): 1}
+
+    def test_routes_sorted(self, rng):
+        table = OnrtcTable(random_routes(rng, 15, max_len=8), mode=DONT_CARE)
+        listed = [prefix for prefix, _ in table.routes()]
+        assert listed == sorted(listed, key=lambda p: p.sort_key())
+
+    def test_lookup_reference(self):
+        table = OnrtcTable([(bits("1"), 1), (bits("100"), 2)], mode=STRICT)
+        assert table.lookup(0b100 << 29) == 2
+        assert table.lookup(0b111 << 29) == 1
+        assert table.lookup(0) is None
+
+
+class TestStreamConsistency:
+    @pytest.mark.parametrize("mode", [STRICT, DONT_CARE])
+    def test_matches_full_recompute_under_churn(self, mode):
+        rng = random.Random(99)
+        for trial in range(25):
+            routes = random_routes(rng, rng.randint(0, 8), max_len=6)
+            incremental = OnrtcTable(routes, mode=mode)
+            shadow = BinaryTrie.from_routes(routes)
+            for _ in range(15):
+                length = rng.randint(0, 6)
+                value = rng.randrange(1 << length) if length else 0
+                prefix = Prefix(value, length)
+                if rng.random() < 0.6:
+                    hop = rng.randint(1, 3)
+                    shadow.insert(prefix, hop)
+                    incremental.announce(prefix, hop)
+                else:
+                    shadow.delete(prefix)
+                    incremental.withdraw(prefix)
+                assert incremental.table == compress(shadow, mode)
+
+    @pytest.mark.parametrize("mode", [STRICT, DONT_CARE])
+    def test_always_disjoint_and_equivalent(self, mode):
+        rng = random.Random(7)
+        routes = random_routes(rng, 10, max_len=6)
+        incremental = OnrtcTable(routes, mode=mode)
+        shadow = BinaryTrie.from_routes(routes)
+        for _ in range(60):
+            length = rng.randint(0, 6)
+            value = rng.randrange(1 << length) if length else 0
+            prefix = Prefix(value, length)
+            if rng.random() < 0.5:
+                hop = rng.randint(1, 3)
+                shadow.insert(prefix, hop)
+                incremental.announce(prefix, hop)
+            else:
+                shadow.delete(prefix)
+                incremental.withdraw(prefix)
+            assert is_disjoint_table(incremental.table)
+            assert (
+                find_mismatch(
+                    shadow,
+                    incremental.table,
+                    covered_only=(mode is DONT_CARE),
+                )
+                is None
+            )
+
+    def test_diffs_replay_to_final_table(self, rng):
+        """Applying every diff to a mirror reproduces the final table."""
+        routes = random_routes(rng, 8, max_len=6)
+        incremental = OnrtcTable(routes, mode=DONT_CARE)
+        mirror = dict(incremental.table)
+        for _ in range(40):
+            length = rng.randint(0, 6)
+            value = rng.randrange(1 << length) if length else 0
+            prefix = Prefix(value, length)
+            if rng.random() < 0.6:
+                diff = incremental.announce(prefix, rng.randint(1, 3))
+            else:
+                diff = incremental.withdraw(prefix)
+            for removed, _hop in diff.removes:
+                del mirror[removed]
+            for added, hop in diff.adds:
+                mirror[added] = hop
+        assert mirror == incremental.table
+
+    def test_relabel_work_is_reported(self):
+        table = OnrtcTable([(bits("1"), 1)], mode=STRICT)
+        diff = table.announce(bits("10101"), 2)
+        assert diff.relabelled > 0
+
+
+operations = st.lists(
+    st.tuples(
+        st.integers(0, 5).flatmap(
+            lambda length: st.tuples(
+                st.integers(0, (1 << length) - 1 if length else 0),
+                st.just(length),
+            )
+        ),
+        st.one_of(st.none(), st.integers(1, 3)),
+    ),
+    max_size=25,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations, st.sampled_from([STRICT, DONT_CARE]))
+def test_property_stream_equals_recompute(ops, mode):
+    incremental = OnrtcTable([], mode=mode)
+    shadow = BinaryTrie()
+    for (value, length), hop in ops:
+        prefix = Prefix(value, length)
+        if hop is None:
+            shadow.delete(prefix)
+            incremental.withdraw(prefix)
+        else:
+            shadow.insert(prefix, hop)
+            incremental.announce(prefix, hop)
+    assert incremental.table == compress(shadow, mode)

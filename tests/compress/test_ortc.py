@@ -1,0 +1,85 @@
+"""Tests for the ORTC baseline compressor."""
+
+import pytest
+
+from repro.compress.ortc import (
+    DROP,
+    compress_ortc,
+    compressed_size_ortc,
+    lookup_ortc,
+)
+from repro.net.prefix import Prefix
+from repro.trie.trie import BinaryTrie
+from tests.conftest import random_routes
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+class TestKnownCases:
+    def test_redundant_child_elided(self):
+        trie = BinaryTrie.from_routes([(bits("0"), 7), (bits("00"), 7)])
+        table = compress_ortc(trie)
+        assert table == {Prefix.root(): DROP, bits("0"): 7}
+
+    def test_default_plus_specific(self):
+        trie = BinaryTrie.from_routes([(Prefix.root(), 1), (bits("1"), 2)])
+        table = compress_ortc(trie)
+        assert len(table) == 2
+
+    def test_overlap_allowed_beats_disjoint(self):
+        # 1* -> 1 with a punch-out 100 -> 2: ORTC keeps two entries where a
+        # disjoint table needs more.
+        trie = BinaryTrie.from_routes([(bits("1"), 1), (bits("100"), 2)])
+        table = compress_ortc(trie)
+        real_entries = {p: h for p, h in table.items() if h != DROP}
+        assert len(real_entries) == 2
+
+    def test_empty_table(self):
+        table = compress_ortc(BinaryTrie())
+        assert table == {Prefix.root(): DROP}
+
+    def test_drop_entries_are_null_routes(self):
+        # 0* uncovered next to 00->5: the DROP hole must be honoured.
+        trie = BinaryTrie.from_routes([(bits("00"), 5), (bits("1"), 5)])
+        table = compress_ortc(trie)
+        assert lookup_ortc(table, 0b01 << 30) is None
+        assert lookup_ortc(table, 0) == 5
+
+
+class TestEquivalence:
+    def test_random_tables(self, rng):
+        for _ in range(60):
+            trie = BinaryTrie.from_routes(random_routes(rng, 10, max_len=7))
+            table = compress_ortc(trie)
+            probes = [0, 1 << 31, (1 << 32) - 1]
+            probes += [rng.randrange(1 << 32) for _ in range(40)]
+            for address in probes:
+                assert lookup_ortc(table, address) == trie.lookup(address)
+
+    def test_never_larger_than_original_plus_default(self, rng):
+        for _ in range(60):
+            routes = random_routes(rng, 10, max_len=7)
+            trie = BinaryTrie.from_routes(routes)
+            # ORTC is optimal among overlapping tables; the original plus
+            # one virtual default is always a feasible solution.
+            assert compressed_size_ortc(trie) <= len(routes) + 1
+
+    def test_compresses_synthetic_rib(self, small_trie):
+        assert compressed_size_ortc(small_trie) < len(small_trie)
+
+
+class TestOptimalityCrossCheck:
+    def test_not_worse_than_onrtc_strict_plus_one(self, rng):
+        """Any disjoint table is a valid overlapping table; ORTC may need
+        one extra virtual-default entry when holes force it."""
+        from repro.compress.labels import CompressionMode
+        from repro.compress.onrtc import compressed_size
+
+        for _ in range(60):
+            trie = BinaryTrie.from_routes(random_routes(rng, 8, max_len=6))
+            assert (
+                compressed_size_ortc(trie)
+                <= compressed_size(trie, CompressionMode.STRICT) + 1
+            )

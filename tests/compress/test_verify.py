@@ -1,0 +1,110 @@
+"""Tests for the forwarding-equivalence verifier itself."""
+
+from repro.compress.verify import (
+    as_trie,
+    critical_addresses,
+    find_mismatch,
+    find_overlap,
+    forwarding_equal,
+    is_disjoint_table,
+)
+from repro.net.prefix import ADDRESS_SPACE, Prefix
+from repro.trie.trie import BinaryTrie
+from tests.conftest import random_routes
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+class TestCriticalAddresses:
+    def test_includes_boundaries(self):
+        points = critical_addresses({bits("1"): 1})
+        assert 0 in points
+        assert (1 << 31) in points  # network of 1*
+
+    def test_sorted_unique(self, rng):
+        tables = [dict(random_routes(rng, 10, max_len=8)) for _ in range(2)]
+        points = critical_addresses(*tables)
+        assert points == sorted(set(points))
+        assert all(0 <= p < ADDRESS_SPACE for p in points)
+
+    def test_accepts_tries(self, small_trie):
+        points = critical_addresses(small_trie)
+        assert len(points) > 1
+
+
+class TestFindMismatch:
+    def test_detects_wrong_hop(self):
+        original = {bits("1"): 1}
+        candidate = {bits("1"): 2}
+        mismatch = find_mismatch(original, candidate)
+        assert mismatch is not None
+        address, expected, actual = mismatch
+        assert expected == 1 and actual == 2
+        assert bits("1").contains_address(address)
+
+    def test_detects_lost_coverage(self):
+        assert find_mismatch({bits("1"): 1}, {}) is not None
+
+    def test_detects_phantom_coverage(self):
+        assert find_mismatch({}, {bits("1"): 1}) is not None
+
+    def test_covered_only_excuses_extra_coverage(self):
+        assert (
+            find_mismatch({bits("1"): 1}, {Prefix.root(): 1}, covered_only=True)
+            is None
+        )
+
+    def test_covered_only_still_checks_hops(self):
+        assert (
+            find_mismatch({bits("1"): 1}, {Prefix.root(): 2}, covered_only=True)
+            is not None
+        )
+
+    def test_equal_tables(self, rng):
+        table = dict(random_routes(rng, 12, max_len=8))
+        assert forwarding_equal(table, dict(table))
+
+    def test_subtle_boundary_split(self):
+        # Same decisions expressed with different prefixes: must be equal.
+        merged = {bits("1"): 1}
+        split = {bits("10"): 1, bits("11"): 1}
+        assert forwarding_equal(merged, split)
+
+    def test_completeness_on_random_perturbations(self, rng):
+        """Perturbing one entry's hop must always be caught."""
+        for _ in range(20):
+            table = dict(random_routes(rng, 8, max_len=6))
+            if not table:
+                continue
+            victim = rng.choice(list(table))
+            mutated = dict(table)
+            mutated[victim] = table[victim] + 100
+            assert not forwarding_equal(table, mutated)
+
+
+class TestOverlap:
+    def test_disjoint(self):
+        assert is_disjoint_table({bits("00"): 1, bits("01"): 2})
+
+    def test_nested_overlap_found(self):
+        pair = find_overlap({bits("0"): 1, bits("01"): 2})
+        assert pair is not None
+        assert pair[0].overlaps(pair[1])
+
+    def test_trie_input(self):
+        trie = BinaryTrie.from_routes([(bits("0"), 1), (bits("01"), 2)])
+        assert not is_disjoint_table(trie)
+
+    def test_empty(self):
+        assert is_disjoint_table({})
+
+
+class TestAsTrie:
+    def test_dict_conversion(self):
+        trie = as_trie({bits("1"): 5})
+        assert trie.lookup(1 << 31) == 5
+
+    def test_trie_passthrough(self, small_trie):
+        assert as_trie(small_trie) is small_trie

@@ -1,0 +1,43 @@
+"""Shared fixtures: deterministic workloads at test-friendly scales."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.trie.trie import BinaryTrie
+from repro.workload.ribgen import RibParameters, generate_rib
+
+
+def random_routes(rng, count, max_len=6, hops=3):
+    """Small random (possibly overlapping) tables for property tests."""
+    routes = {}
+    for _ in range(count):
+        length = rng.randint(0, max_len)
+        value = rng.randrange(1 << length) if length else 0
+        routes[Prefix(value, length)] = rng.randint(1, hops)
+    return list(routes.items())
+
+
+@pytest.fixture(scope="session")
+def small_rib():
+    """A ~2k-entry synthetic table (session-cached: generation is pure)."""
+    return generate_rib(42, RibParameters(size=2_000))
+
+
+@pytest.fixture(scope="session")
+def medium_rib():
+    """A ~8k-entry synthetic table for engine-level tests."""
+    return generate_rib(43, RibParameters(size=8_000))
+
+
+@pytest.fixture(scope="session")
+def small_trie(small_rib):
+    return BinaryTrie.from_routes(small_rib)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(0xC10E)

@@ -1,0 +1,198 @@
+"""Tests for the repro-clue command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workload.traces import load_table
+
+
+@pytest.fixture()
+def table_file(tmp_path):
+    path = tmp_path / "table.txt"
+    assert main(["gen-rib", "--size", "600", "--seed", "3", "-o", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_gen_rib(self, table_file):
+        assert len(load_table(table_file)) == 600
+
+    def test_gen_traffic(self, tmp_path, table_file):
+        out = tmp_path / "packets.txt"
+        code = main(
+            [
+                "gen-traffic",
+                "--table",
+                str(table_file),
+                "--count",
+                "500",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert len(out.read_text().splitlines()) == 501  # header comment
+
+    def test_gen_updates(self, tmp_path, table_file):
+        out = tmp_path / "updates.txt"
+        code = main(
+            [
+                "gen-updates",
+                "--table",
+                str(table_file),
+                "--count",
+                "200",
+                "--structural",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+
+
+class TestCompress:
+    def test_compress_verify(self, tmp_path, table_file, capsys):
+        out = tmp_path / "compressed.txt"
+        code = main(
+            [
+                "compress",
+                "--table",
+                str(table_file),
+                "--verify",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "verified" in captured
+        assert len(load_table(out)) < 600
+
+    def test_strict_mode(self, table_file, capsys):
+        assert (
+            main(
+                [
+                    "compress",
+                    "--table",
+                    str(table_file),
+                    "--mode",
+                    "strict",
+                    "--verify",
+                ]
+            )
+            == 0
+        )
+
+
+class TestPartitionSimulateReplay:
+    @pytest.mark.parametrize("algorithm", ["even", "subtree", "idbit"])
+    def test_partition(self, table_file, algorithm, capsys):
+        code = main(
+            [
+                "partition",
+                "--table",
+                str(table_file),
+                "--count",
+                "8",
+                "--algorithm",
+                algorithm,
+            ]
+        )
+        assert code == 0
+        assert "max/mean" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("scheme", ["clue", "clpl", "rr"])
+    def test_simulate(self, table_file, scheme, capsys):
+        code = main(
+            [
+                "simulate",
+                "--table",
+                str(table_file),
+                "--scheme",
+                scheme,
+                "--count",
+                "2000",
+            ]
+        )
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_simulate_from_trace(self, tmp_path, table_file, capsys):
+        packets = tmp_path / "packets.txt"
+        main(
+            [
+                "gen-traffic",
+                "--table",
+                str(table_file),
+                "--count",
+                "1000",
+                "-o",
+                str(packets),
+            ]
+        )
+        code = main(
+            [
+                "simulate",
+                "--table",
+                str(table_file),
+                "--packets",
+                str(packets),
+            ]
+        )
+        assert code == 0
+        assert "packets" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("pipeline", ["clue", "clpl"])
+    def test_replay_updates(self, tmp_path, table_file, pipeline, capsys):
+        updates = tmp_path / "updates.txt"
+        main(
+            [
+                "gen-updates",
+                "--table",
+                str(table_file),
+                "--count",
+                "300",
+                "-o",
+                str(updates),
+            ]
+        )
+        code = main(
+            [
+                "replay-updates",
+                "--table",
+                str(table_file),
+                "--updates",
+                str(updates),
+                "--pipeline",
+                pipeline,
+            ]
+        )
+        assert code == 0
+        assert "TTF total" in capsys.readouterr().out
+
+    def test_replay_lazy(self, tmp_path, table_file):
+        updates = tmp_path / "updates.txt"
+        main(
+            [
+                "gen-updates",
+                "--table",
+                str(table_file),
+                "--count",
+                "200",
+                "-o",
+                str(updates),
+            ]
+        )
+        assert (
+            main(
+                [
+                    "replay-updates",
+                    "--table",
+                    str(table_file),
+                    "--updates",
+                    str(updates),
+                    "--lazy",
+                ]
+            )
+            == 0
+        )

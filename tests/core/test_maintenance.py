@@ -1,0 +1,113 @@
+"""Tests for ClueSystem idle-time maintenance: recompress and rebalance."""
+
+import pytest
+
+from repro.core import ClueSystem, SystemConfig
+from repro.workload.ribgen import RibParameters, generate_rib
+from repro.workload.trafficgen import TrafficGenerator
+from repro.workload.updategen import UpdateGenerator
+
+
+@pytest.fixture(scope="module")
+def churned_inputs():
+    routes = generate_rib(19, RibParameters(size=3_000))
+    return routes
+
+
+def _churn(system, routes, count=500, seed=3):
+    updates = UpdateGenerator(routes, seed=seed)
+    for message in updates.take(count):
+        system.apply_update(message)
+
+
+def _chip_union(system):
+    """Union of chip tables; entries spanning multiple partition ranges
+    are legitimately replicated, so only hop consistency is asserted."""
+    union = {}
+    for chip in system.engine.chips:
+        for prefix, hop in chip.table.routes():
+            assert union.setdefault(prefix, hop) == hop
+    return union
+
+
+class TestRecompress:
+    def test_lazy_drift_and_recompress(self, churned_inputs):
+        system = ClueSystem(
+            churned_inputs, SystemConfig(lazy_compression=True)
+        )
+        _churn(system, churned_inputs)
+        table = system.pipeline.trie_stage.table
+        assert table.minimality_gap() > 1.0
+        diff = system.recompress()
+        assert not diff.is_empty
+        assert table.minimality_gap() == pytest.approx(1.0)
+        # All three copies stay consistent.
+        assert system.pipeline.tcam_matches_table()
+        assert _chip_union(system) == table.table
+
+    def test_exact_mode_recompress_is_noop(self, churned_inputs):
+        system = ClueSystem(churned_inputs)
+        _churn(system, churned_inputs, count=200)
+        assert system.recompress().is_empty
+
+    def test_lookups_correct_after_recompress(self, churned_inputs):
+        system = ClueSystem(
+            churned_inputs, SystemConfig(lazy_compression=True)
+        )
+        _churn(system, churned_inputs)
+        system.recompress()
+        system.process_traffic(
+            TrafficGenerator(churned_inputs, seed=4), 3_000
+        )
+        assert system.engine.verify_completions()
+
+
+class TestRebalance:
+    def test_restores_evenness(self, churned_inputs):
+        system = ClueSystem(churned_inputs)
+        _churn(system, churned_inputs)
+        sizes = [len(chip.table) for chip in system.engine.chips]
+        report = system.rebalance()
+        assert report.is_even
+        new_sizes = [len(chip.table) for chip in system.engine.chips]
+        assert max(new_sizes) - min(new_sizes) <= (
+            system.config.partitions_per_chip
+        )
+        assert report.moved_entries >= 0
+        del sizes
+
+    def test_union_preserved(self, churned_inputs):
+        system = ClueSystem(churned_inputs)
+        _churn(system, churned_inputs)
+        before = system.pipeline.trie_stage.table.table
+        system.rebalance()
+        assert _chip_union(system) == before
+
+    def test_dred_exclusion_invariant_after_rebalance(self, churned_inputs):
+        system = ClueSystem(churned_inputs)
+        # Warm the DReds with traffic, churn, then rebalance.
+        system.process_traffic(
+            TrafficGenerator(churned_inputs, seed=5), 5_000
+        )
+        _churn(system, churned_inputs, count=200)
+        report = system.rebalance()
+        for chip in system.engine.chips:
+            assert len(chip.dred) == 0  # flushed
+        assert report.flushed_dred_entries >= 0
+        # Traffic after rebalance refills the DReds and stays correct.
+        system.engine.reorder.released.clear()
+        system.process_traffic(
+            TrafficGenerator(churned_inputs, seed=6), 5_000
+        )
+        assert system.engine.verify_completions()
+        for chip in system.engine.chips:
+            own = set(chip.table.prefixes())
+            assert not (own & set(chip.dred._entries))
+
+    def test_updates_after_rebalance_route_correctly(self, churned_inputs):
+        system = ClueSystem(churned_inputs)
+        _churn(system, churned_inputs, count=200)
+        system.rebalance()
+        _churn(system, churned_inputs, count=200, seed=9)
+        assert _chip_union(system) == system.pipeline.trie_stage.table.table
+        assert system.pipeline.tcam_matches_table()

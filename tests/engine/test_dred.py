@@ -1,0 +1,118 @@
+"""Tests for the DRed prefix cache."""
+
+import pytest
+
+from repro.engine.dred import DredCache
+from repro.net.prefix import Prefix
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+class TestBasics:
+    def test_insert_and_hit(self):
+        cache = DredCache(4, chip_index=0, exclude_own=False)
+        cache.insert(bits("1"), 7, owner=1)
+        entry = cache.lookup(1 << 31)
+        assert entry is not None and entry.next_hop == 7
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_counts(self):
+        cache = DredCache(4, 0, False)
+        assert cache.lookup(0) is None
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.0
+
+    def test_lpm_semantics(self):
+        cache = DredCache(4, 0, False)
+        cache.insert(bits("1"), 1, owner=1)
+        cache.insert(bits("10"), 2, owner=1)
+        assert cache.lookup(0b10 << 30).next_hop == 2
+        assert cache.lookup(0b11 << 30).next_hop == 1
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            DredCache(0, 0, False)
+
+
+class TestExclusion:
+    def test_own_chip_refused(self):
+        cache = DredCache(4, chip_index=2, exclude_own=True)
+        assert not cache.insert(bits("1"), 7, owner=2)
+        assert len(cache) == 0
+
+    def test_foreign_accepted(self):
+        cache = DredCache(4, chip_index=2, exclude_own=True)
+        assert cache.insert(bits("1"), 7, owner=0)
+        assert len(cache) == 1
+
+    def test_clpl_mode_accepts_own(self):
+        cache = DredCache(4, chip_index=2, exclude_own=False)
+        assert cache.insert(bits("1"), 7, owner=2)
+
+
+class TestLru:
+    def test_eviction_order(self):
+        cache = DredCache(2, 0, False)
+        cache.insert(bits("00"), 1, owner=1)
+        cache.insert(bits("01"), 2, owner=1)
+        cache.insert(bits("10"), 3, owner=1)  # evicts 00
+        assert bits("00") not in cache
+        assert cache.evictions == 1
+
+    def test_hit_refreshes_recency(self):
+        cache = DredCache(2, 0, False)
+        cache.insert(bits("00"), 1, owner=1)
+        cache.insert(bits("01"), 2, owner=1)
+        cache.lookup(0b00 << 30)              # refresh 00
+        cache.insert(bits("10"), 3, owner=1)  # evicts 01, not 00
+        assert bits("00") in cache
+        assert bits("01") not in cache
+
+    def test_reinsert_refreshes_and_updates(self):
+        cache = DredCache(2, 0, False)
+        cache.insert(bits("00"), 1, owner=1)
+        cache.insert(bits("01"), 2, owner=1)
+        cache.insert(bits("00"), 9, owner=1)
+        cache.insert(bits("10"), 3, owner=1)
+        assert cache.lookup(0).next_hop == 9
+        assert bits("01") not in cache
+
+    def test_capacity_respected(self):
+        cache = DredCache(8, 0, False)
+        for value in range(30):
+            cache.insert(Prefix(value, 6), 1, owner=1)
+        assert len(cache) == 8
+
+
+class TestMaintenance:
+    def test_delete_present(self):
+        cache = DredCache(4, 0, False)
+        cache.insert(bits("1"), 1, owner=1)
+        assert cache.delete(bits("1"))
+        assert cache.lookup(1 << 31) is None
+
+    def test_delete_absent(self):
+        assert not DredCache(4, 0, False).delete(bits("1"))
+
+    def test_delete_cleans_index(self):
+        cache = DredCache(4, 0, False)
+        cache.insert(bits("1"), 1, owner=1)
+        cache.delete(bits("1"))
+        cache.insert(bits("0"), 2, owner=1)
+        assert cache.lookup(1 << 31) is None  # stale index entry would hit
+
+    def test_invalidate_overlapping(self):
+        cache = DredCache(8, 0, False)
+        cache.insert(bits("10"), 1, owner=1)
+        cache.insert(bits("101"), 2, owner=1)
+        cache.insert(bits("0"), 3, owner=1)
+        removed, _scanned = cache.invalidate_overlapping(bits("1"))
+        assert removed == 2
+        assert bits("0") in cache
+
+    def test_owner_recorded(self):
+        cache = DredCache(4, 0, False)
+        cache.insert(bits("1"), 1, owner=3)
+        assert cache.lookup(1 << 31).owner == 3

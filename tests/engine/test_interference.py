@@ -1,0 +1,86 @@
+"""Tests for update/lookup interference and chunked engine runs."""
+
+import itertools
+
+import pytest
+
+from repro.engine.schemes import CluePolicy
+from repro.engine.simulator import EngineConfig, LookupEngine
+from repro.net.prefix import Prefix
+
+
+def toy_engine(**config_kwargs):
+    config = EngineConfig(chip_count=2, **config_kwargs)
+    tables = [[(Prefix.from_bits("0"), 1)], [(Prefix.from_bits("1"), 2)]]
+    return LookupEngine(
+        tables,
+        home_of=lambda address: address >> 31,
+        scheme=CluePolicy(),
+        config=config,
+    )
+
+
+class TestChunkedRuns:
+    def test_consecutive_runs_each_make_progress(self):
+        """Regression: run() targets must be relative to the call."""
+        engine = toy_engine()
+        addresses = itertools.cycle([0, 1 << 31])
+        for chunk in range(1, 5):
+            engine.run(addresses, packet_count=500)
+            assert engine.stats.completions == 500 * chunk
+
+    def test_cycles_accumulate_across_runs(self):
+        engine = toy_engine()
+        addresses = itertools.cycle([0, 1 << 31])
+        engine.run(addresses, packet_count=300)
+        first = engine.stats.cycles
+        engine.run(addresses, packet_count=300)
+        assert engine.stats.cycles > first
+
+    def test_cycle_budget_is_per_call(self):
+        engine = toy_engine()
+        addresses = itertools.cycle([0, 1 << 31])
+        engine.run(addresses, packet_count=1_000)  # consumes many cycles
+        # A later call with a tight budget must still succeed: the budget
+        # is relative, not an absolute cycle number.
+        engine.run(addresses, packet_count=10, max_cycles=5_000)
+
+
+class TestInjectStall:
+    def test_stall_delays_service(self):
+        engine = toy_engine()
+        addresses = itertools.cycle([0, 1 << 31])
+        engine.run(addresses, packet_count=100)
+        baseline_cycles = engine.stats.cycles
+        engine.inject_stall(0, 10_000)
+        engine.run(addresses, packet_count=100, max_cycles=100_000)
+        # chip 0 was frozen for 10k cycles; half the traffic homes there
+        # and waits (possibly diverting), so the second chunk takes longer.
+        assert engine.stats.cycles - baseline_cycles > 5_000 or (
+            engine.stats.diverted > 0
+        )
+
+    def test_stall_reduces_throughput_monotonically(self):
+        def run_with_stalls(stall_cycles):
+            engine = toy_engine(dred_capacity=4)
+            addresses = itertools.cycle([0, 1 << 31])
+            for _ in range(10):
+                engine.run(addresses, packet_count=200)
+                if stall_cycles:
+                    engine.inject_stall(0, stall_cycles)
+                    engine.inject_stall(1, stall_cycles)
+            return engine.stats.speedup(engine.config.lookup_cycles)
+
+        calm = run_with_stalls(0)
+        stormy = run_with_stalls(400)
+        assert stormy < calm
+
+    def test_negative_stall_rejected(self):
+        with pytest.raises(ValueError):
+            toy_engine().inject_stall(0, -1)
+
+    def test_current_cycle_exposed(self):
+        engine = toy_engine()
+        assert engine.current_cycle == 0
+        engine.run(itertools.cycle([0, 1 << 31]), packet_count=50)
+        assert engine.current_cycle > 0

@@ -1,0 +1,78 @@
+"""Tests for the bounded FIFO and the reorder buffer."""
+
+import pytest
+
+from repro.engine.events import Completion, LookupKind
+from repro.engine.queues import BoundedFifo
+from repro.engine.reorder import ReorderBuffer
+
+
+class TestBoundedFifo:
+    def test_fifo_order(self):
+        queue = BoundedFifo(4)
+        queue.push(1)
+        queue.push(2)
+        assert queue.pop() == 1
+        assert queue.pop() == 2
+
+    def test_capacity_enforced(self):
+        queue = BoundedFifo(1)
+        queue.push(1)
+        assert queue.is_full
+        with pytest.raises(OverflowError):
+            queue.push(2)
+
+    def test_peek(self):
+        queue = BoundedFifo(2)
+        assert queue.peek() is None
+        queue.push(7)
+        assert queue.peek() == 7
+        assert len(queue) == 1
+
+    def test_stats(self):
+        queue = BoundedFifo(4)
+        for item in range(3):
+            queue.push(item)
+        queue.pop()
+        queue.push(9)
+        assert queue.peak_occupancy == 3
+        assert queue.total_enqueued == 4
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedFifo(0)
+
+
+def completion(tag):
+    return Completion(tag, 0, 1, 10, 0, LookupKind.MAIN, 5)
+
+
+class TestReorderBuffer:
+    def test_in_order_release(self):
+        buffer = ReorderBuffer()
+        assert [c.tag for c in buffer.offer(completion(0))] == [0]
+        assert [c.tag for c in buffer.offer(completion(1))] == [1]
+
+    def test_holds_out_of_order(self):
+        buffer = ReorderBuffer()
+        assert buffer.offer(completion(2)) == []
+        assert buffer.offer(completion(1)) == []
+        released = buffer.offer(completion(0))
+        assert [c.tag for c in released] == [0, 1, 2]
+        assert len(buffer) == 0
+
+    def test_peak_occupancy(self):
+        buffer = ReorderBuffer()
+        buffer.offer(completion(3))
+        buffer.offer(completion(2))
+        buffer.offer(completion(1))
+        assert buffer.peak_occupancy == 3
+
+    def test_released_in_order_flag(self):
+        buffer = ReorderBuffer()
+        for tag in (1, 0, 3, 2):
+            buffer.offer(completion(tag))
+        assert buffer.in_order
+
+    def test_latency(self):
+        assert completion(0).latency == 5

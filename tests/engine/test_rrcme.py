@@ -1,0 +1,94 @@
+"""Tests for the RRC-ME minimal-expansion algorithm."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.rrcme import minimal_expansion
+from repro.net.prefix import Prefix
+from repro.trie.trie import BinaryTrie
+from tests.conftest import random_routes
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+class TestPaperExample:
+    def test_figure_2(self):
+        """Figure 2: address 100000 longest-matches p = 1*, but p has a
+        child q with a different hop, so p itself is uncacheable; the
+        minimal non-overlapped expansion along the address is p' = 100*."""
+        trie = BinaryTrie.from_routes([(bits("1"), 1), (bits("101"), 2)])
+        address = 0b100000 << 26
+        expansion = minimal_expansion(trie, address)
+        assert expansion is not None
+        assert expansion.prefix == bits("100")
+        assert expansion.next_hop == 1
+        assert not expansion.prefix.overlaps(bits("101"))
+
+    def test_match_on_the_punched_branch(self):
+        # An address inside q itself: q is a leaf, cacheable verbatim.
+        trie = BinaryTrie.from_routes([(bits("1"), 1), (bits("101"), 2)])
+        expansion = minimal_expansion(trie, 0b101 << 29)
+        assert expansion.prefix == bits("101")
+        assert expansion.next_hop == 2
+
+
+class TestProperties:
+    def test_none_when_unmatched(self):
+        trie = BinaryTrie.from_routes([(bits("1"), 1)])
+        assert minimal_expansion(trie, 0) is None
+
+    def test_leaf_match_returned_verbatim(self):
+        trie = BinaryTrie.from_routes([(bits("10"), 5)])
+        expansion = minimal_expansion(trie, 0b10 << 30)
+        assert expansion.prefix == bits("10")
+        assert expansion.sram_accesses >= 2
+
+    def test_random_tables(self, rng):
+        for _ in range(40):
+            routes = random_routes(rng, 10, max_len=8)
+            trie = BinaryTrie.from_routes(routes)
+            for _ in range(20):
+                address = rng.randrange(1 << 32)
+                expansion = minimal_expansion(trie, address)
+                expected = trie.lookup(address)
+                if expected is None:
+                    assert expansion is None
+                    continue
+                assert expansion.next_hop == expected
+                assert expansion.prefix.contains_address(address)
+                # Every address inside the expansion shares the same LPM hop
+                # (spot-check corners): the cacheability guarantee.
+                assert trie.lookup(expansion.prefix.network) == expected
+                assert trie.lookup(expansion.prefix.broadcast) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 5).flatmap(
+                    lambda length: st.tuples(
+                        st.integers(0, (1 << length) - 1 if length else 0),
+                        st.just(length),
+                    )
+                ),
+                st.integers(1, 3),
+            ),
+            max_size=8,
+        ),
+        st.integers(0, (1 << 32) - 1),
+    )
+    def test_property_no_foreign_route_inside_expansion(self, entries, address):
+        routes = {Prefix(v, l): hop for (v, l), hop in entries}
+        trie = BinaryTrie.from_routes(routes.items())
+        expansion = minimal_expansion(trie, address)
+        if expansion is None:
+            return
+        for prefix in routes:
+            # No table prefix may live strictly inside the expansion —
+            # that's precisely the overlap RRC-ME exists to avoid.
+            assert not (
+                expansion.prefix.contains(prefix)
+                and prefix != expansion.prefix
+            )

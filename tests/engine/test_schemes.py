@@ -1,0 +1,73 @@
+"""Tests for the scheme policies' distinguishing behaviours."""
+
+import itertools
+
+from repro.engine.builders import build_clpl_engine, build_clue_engine
+from repro.engine.simulator import EngineConfig
+from repro.workload.trafficgen import TrafficGenerator
+
+
+class TestCluePolicy:
+    def test_dred_exclusion_invariant(self, medium_rib):
+        """After any run, DRed i never holds a prefix of chip i's table."""
+        built = build_clue_engine(medium_rib, EngineConfig(chip_count=4))
+        built.engine.run(TrafficGenerator(medium_rib, seed=5), 10_000)
+        for chip in built.engine.chips:
+            own = set(chip.table.prefixes())
+            assert chip.dred is not None
+            cached = set(chip.dred._entries)
+            assert not (own & cached)
+
+    def test_no_control_plane_interactions(self, medium_rib):
+        built = build_clue_engine(medium_rib, EngineConfig(chip_count=4))
+        stats = built.engine.run(TrafficGenerator(medium_rib, seed=5), 8_000)
+        assert stats.control_plane_interactions == 0
+        assert stats.sram_accesses == 0
+
+    def test_dred_insertions_happen(self, medium_rib):
+        built = build_clue_engine(medium_rib, EngineConfig(chip_count=4))
+        stats = built.engine.run(TrafficGenerator(medium_rib, seed=5), 8_000)
+        assert stats.dred_insertions > 0
+
+
+class TestClplPolicy:
+    def test_control_plane_interaction_per_hit(self, medium_rib):
+        built = build_clpl_engine(medium_rib, EngineConfig(chip_count=4))
+        stats = built.engine.run(TrafficGenerator(medium_rib, seed=5), 8_000)
+        # every successful main lookup triggers an RRC-ME round trip
+        assert stats.control_plane_interactions > 0
+        assert stats.sram_accesses >= stats.control_plane_interactions
+
+    def test_own_chip_caching_allowed(self, medium_rib):
+        built = build_clpl_engine(medium_rib, EngineConfig(chip_count=4))
+        built.engine.run(TrafficGenerator(medium_rib, seed=5), 8_000)
+        own_cached = 0
+        for chip in built.engine.chips:
+            assert chip.dred is not None
+            for entry in chip.dred._entries.values():
+                if entry.owner == chip.dred.chip_index:
+                    own_cached += 1
+        assert own_cached > 0  # the waste CLUE eliminates
+
+
+class TestRedundancyClaim:
+    def test_clue_matches_clpl_hit_rate_with_three_quarters_capacity(
+        self, medium_rib
+    ):
+        """The paper's 3/4 claim: DRed i skipping chip i's prefixes lets
+        CLUE reach (at least) CLPL's hit rate with 3/4 the DRed slots."""
+        full = EngineConfig(chip_count=4, dred_capacity=256)
+        reduced = EngineConfig(chip_count=4, dred_capacity=192)
+        clpl = build_clpl_engine(medium_rib, full)
+        clue = build_clue_engine(medium_rib, reduced)
+        clpl_stats = clpl.engine.run(
+            TrafficGenerator(medium_rib, seed=8), 25_000
+        )
+        clue_stats = clue.engine.run(
+            TrafficGenerator(medium_rib, seed=8), 25_000
+        )
+        if clpl_stats.dred_lookups and clue_stats.dred_lookups:
+            assert (
+                clue_stats.dred_hit_rate
+                >= clpl_stats.dred_hit_rate - 0.02
+            )

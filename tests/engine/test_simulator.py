@@ -1,0 +1,212 @@
+"""Tests for the cycle-driven lookup engine."""
+
+import itertools
+
+import pytest
+
+from repro.engine.builders import (
+    build_clpl_engine,
+    build_clue_engine,
+    build_round_robin_engine,
+    build_slpl_engine,
+    map_partitions_to_chips,
+    measure_partition_load,
+)
+from repro.engine.simulator import EngineConfig, LookupEngine
+from repro.engine.schemes import CluePolicy
+from repro.net.prefix import Prefix
+from repro.workload.trafficgen import TrafficGenerator
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+def toy_tables():
+    """Two chips, two disjoint halves of the space."""
+    return [
+        [(bits("0"), 1)],
+        [(bits("1"), 2)],
+    ]
+
+
+def toy_engine(**config_kwargs):
+    config = EngineConfig(chip_count=2, **config_kwargs)
+    return LookupEngine(
+        toy_tables(),
+        home_of=lambda address: address >> 31,
+        scheme=CluePolicy(),
+        config=config,
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(chip_count=0)
+        with pytest.raises(ValueError):
+            EngineConfig(lookup_cycles=0)
+        with pytest.raises(ValueError):
+            EngineConfig(arrivals_per_cycle=0)
+
+    def test_table_count_must_match(self):
+        with pytest.raises(ValueError):
+            LookupEngine(
+                [[]],
+                home_of=lambda a: 0,
+                scheme=CluePolicy(),
+                config=EngineConfig(chip_count=2),
+            )
+
+
+class TestConservationAndCorrectness:
+    def test_all_packets_complete(self):
+        engine = toy_engine()
+        addresses = itertools.cycle([0, 1 << 31])
+        stats = engine.run(addresses, packet_count=500)
+        assert stats.completions == 500
+        assert stats.arrivals == 500
+
+    def test_results_correct(self):
+        engine = toy_engine()
+        addresses = itertools.cycle([0, 1 << 31, 3 << 30])
+        engine.run(addresses, packet_count=300)
+        for completion in engine.reorder.released:
+            expected = 1 if completion.address < (1 << 31) else 2
+            assert completion.next_hop == expected
+
+    def test_reorder_buffer_releases_everything_in_order(self):
+        engine = toy_engine()
+        addresses = itertools.cycle([0, 1 << 31])
+        engine.run(addresses, packet_count=200)
+        tags = [completion.tag for completion in engine.reorder.released]
+        assert tags == list(range(200))
+
+    def test_runaway_guard(self):
+        # A scheme that can never dispatch (queue capacity immediately
+        # saturated by an impossible arrival rate) must abort, not hang.
+        engine = toy_engine(queue_capacity=1, arrivals_per_cycle=64.0)
+        addresses = itertools.repeat(0)  # everything homes on chip 0
+        with pytest.raises(RuntimeError):
+            engine.run(addresses, packet_count=10_000, max_cycles=300)
+
+
+class TestLoadBehaviour:
+    def test_balanced_traffic_full_speedup(self):
+        engine = toy_engine(lookup_cycles=2, arrivals_per_cycle=1.0)
+        addresses = itertools.cycle([0, 1 << 31])
+        stats = engine.run(addresses, packet_count=2_000)
+        assert stats.speedup(2) > 1.9  # two chips, near-perfect balance
+
+    def test_skewed_traffic_uses_dred(self):
+        engine = toy_engine(queue_capacity=4, dred_capacity=64)
+        addresses = itertools.repeat(5)  # all home on chip 0
+        stats = engine.run(addresses, packet_count=1_000)
+        assert stats.diverted > 0
+        assert stats.dred_lookups > 0
+        # once warm, diverted lookups hit (a single hot prefix)
+        assert stats.dred_hit_rate > 0.9
+
+    def test_fractional_arrival_rate(self):
+        engine = toy_engine(arrivals_per_cycle=0.25)
+        addresses = itertools.cycle([0, 1 << 31])
+        stats = engine.run(addresses, packet_count=100)
+        assert stats.cycles >= 396  # ~4 cycles per arrival
+
+
+class TestStats:
+    def test_chip_load_shares_sum_to_one(self):
+        engine = toy_engine()
+        addresses = itertools.cycle([0, 1 << 31])
+        stats = engine.run(addresses, packet_count=400)
+        assert sum(stats.chip_load_shares()) == pytest.approx(1.0)
+
+    def test_latency_tracking(self):
+        engine = toy_engine()
+        addresses = itertools.cycle([0, 1 << 31])
+        stats = engine.run(addresses, packet_count=100)
+        assert stats.mean_latency >= engine.config.lookup_cycles
+        assert stats.latency_max >= stats.mean_latency
+
+
+class TestBuilders:
+    @pytest.fixture(scope="class")
+    def built_engines(self, medium_rib):
+        config = EngineConfig(chip_count=4)
+        training = TrafficGenerator(medium_rib, seed=1).take(5_000)
+        return {
+            "clue": build_clue_engine(medium_rib, config),
+            "clpl": build_clpl_engine(medium_rib, config),
+            "slpl": build_slpl_engine(medium_rib, training, config),
+            "rr": build_round_robin_engine(medium_rib, config),
+        }
+
+    def test_clue_compresses(self, built_engines, medium_rib):
+        assert built_engines["clue"].total_tcam_entries < len(medium_rib)
+
+    def test_clpl_keeps_full_table(self, built_engines, medium_rib):
+        assert built_engines["clpl"].total_tcam_entries >= len(medium_rib)
+
+    def test_slpl_adds_static_redundancy(self, built_engines, medium_rib):
+        extra = built_engines["slpl"].total_tcam_entries - len(medium_rib)
+        assert 0 < extra <= int(0.25 * len(medium_rib)) + 4
+
+    def test_round_robin_duplicates(self, built_engines, medium_rib):
+        assert built_engines["rr"].total_tcam_entries == 4 * len(medium_rib)
+
+    @pytest.mark.parametrize("name", ["clue", "clpl", "slpl", "rr"])
+    def test_all_schemes_lookup_correctly(self, built_engines, medium_rib, name):
+        built = built_engines[name]
+        traffic = TrafficGenerator(medium_rib, seed=7)
+        built.engine.run(traffic, packet_count=6_000)
+        covered_only = name == "clue"  # don't-care compression
+        assert built.engine.verify_completions(covered_only=covered_only)
+
+    def test_round_robin_achieves_n(self, built_engines, medium_rib):
+        stats = built_engines["rr"].engine.stats
+        assert stats.speedup(4) == pytest.approx(4.0, abs=0.05)
+
+    def test_clue_outperforms_slpl_on_bursty_traffic(self, medium_rib):
+        """Dynamic redundancy beats static selection when traffic moves."""
+        config = EngineConfig(chip_count=4, queue_capacity=32)
+        training = TrafficGenerator(medium_rib, seed=1).take(5_000)
+        clue = build_clue_engine(medium_rib, config)
+        slpl = build_slpl_engine(medium_rib, training, config)
+        # evaluation traffic from a different seed: the statistics shifted
+        clue_stats = clue.engine.run(
+            TrafficGenerator(medium_rib, seed=99), 20_000
+        )
+        slpl_stats = slpl.engine.run(
+            TrafficGenerator(medium_rib, seed=99), 20_000
+        )
+        assert clue_stats.speedup(4) >= slpl_stats.speedup(4)
+
+
+class TestMapping:
+    def test_natural_mapping(self):
+        mapping = map_partitions_to_chips(8, 4)
+        assert mapping == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_adversarial_mapping_groups_hot_first(self):
+        loads = [5, 100, 7, 90, 1, 80, 2, 70]
+        mapping = map_partitions_to_chips(8, 4, loads)
+        # the four hottest partitions (1,3,5,7) land on chips 0 and 1
+        assert mapping[1] == 0 and mapping[3] == 0
+        assert mapping[5] == 1 and mapping[7] == 1
+
+    def test_divisibility_required(self):
+        with pytest.raises(ValueError):
+            map_partitions_to_chips(7, 4)
+
+    def test_loads_length_checked(self):
+        with pytest.raises(ValueError):
+            map_partitions_to_chips(8, 4, [1, 2])
+
+    def test_measure_partition_load(self, medium_rib):
+        built = build_clue_engine(medium_rib, EngineConfig(chip_count=4))
+        sample = TrafficGenerator(medium_rib, seed=3).take(2_000)
+        loads = measure_partition_load(
+            built.index, sample, built.partition_result.count
+        )
+        assert sum(loads) == 2_000
+        assert len(loads) == 32

@@ -1,0 +1,51 @@
+"""Exact-value tests for EngineStats arithmetic."""
+
+import pytest
+
+from repro.engine.stats import EngineStats
+
+
+def make_stats(**overrides):
+    stats = EngineStats(
+        per_chip_lookups=[10, 20, 30, 40],
+        per_chip_main=[8, 15, 25, 32],
+        per_chip_dred=[2, 5, 5, 8],
+    )
+    for key, value in overrides.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestRates:
+    def test_hit_rate(self):
+        stats = make_stats(dred_hits=30, dred_misses=10)
+        assert stats.dred_hit_rate == pytest.approx(0.75)
+
+    def test_hit_rate_no_lookups(self):
+        assert make_stats().dred_hit_rate == 0.0
+
+    def test_throughput_and_speedup(self):
+        stats = make_stats(completions=100, cycles=400)
+        assert stats.throughput() == pytest.approx(0.25)
+        assert stats.speedup(4) == pytest.approx(1.0)
+
+    def test_zero_cycles(self):
+        assert make_stats().throughput() == 0.0
+
+    def test_mean_latency(self):
+        stats = make_stats(completions=4, latencies_sum=40)
+        assert stats.mean_latency == pytest.approx(10.0)
+
+    def test_mean_latency_empty(self):
+        assert make_stats().mean_latency == 0.0
+
+
+class TestLoadShares:
+    def test_shares_sum_to_one(self):
+        shares = make_stats().chip_load_shares()
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares == pytest.approx([0.1, 0.2, 0.3, 0.4])
+
+    def test_shares_with_no_traffic(self):
+        stats = EngineStats(per_chip_lookups=[0, 0])
+        assert stats.chip_load_shares() == [0.0, 0.0]

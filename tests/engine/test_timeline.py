@@ -1,0 +1,68 @@
+"""Tests for the timeline sampler."""
+
+import itertools
+
+import pytest
+
+from repro.engine.schemes import CluePolicy
+from repro.engine.simulator import EngineConfig, LookupEngine
+from repro.engine.timeline import Timeline
+from repro.net.prefix import Prefix
+
+
+def toy_engine(**config_kwargs):
+    config = EngineConfig(chip_count=2, **config_kwargs)
+    tables = [[(Prefix.from_bits("0"), 1)], [(Prefix.from_bits("1"), 2)]]
+    return LookupEngine(
+        tables,
+        home_of=lambda address: address >> 31,
+        scheme=CluePolicy(),
+        config=config,
+    )
+
+
+class TestTimeline:
+    def test_samples_collected_at_interval(self):
+        engine = toy_engine()
+        timeline = Timeline(engine, interval=50)
+        engine.run(itertools.cycle([0, 1 << 31]), packet_count=1_000)
+        assert timeline.samples
+        cycles = [sample.cycle for sample in timeline.samples]
+        assert all(cycle % 50 == 0 for cycle in cycles)
+        assert cycles == sorted(cycles)
+
+    def test_completions_monotone(self):
+        engine = toy_engine()
+        timeline = Timeline(engine, interval=25)
+        engine.run(itertools.cycle([0, 1 << 31]), packet_count=500)
+        completions = [sample.completions for sample in timeline.samples]
+        assert completions == sorted(completions)
+
+    def test_throughput_series_reflects_saturation(self):
+        engine = toy_engine(lookup_cycles=2, arrivals_per_cycle=1.0)
+        timeline = Timeline(engine, interval=20)
+        engine.run(itertools.cycle([0, 1 << 31]), packet_count=2_000)
+        series = timeline.throughput_series()
+        assert series
+        # two chips at 2 cycles/lookup serve 1 packet/cycle at saturation
+        assert 0.8 <= max(series) <= 1.01
+
+    def test_backlog_under_overload(self):
+        engine = toy_engine(queue_capacity=4)
+        timeline = Timeline(engine, interval=10)
+        engine.run(itertools.repeat(5), packet_count=800)  # all to chip 0
+        assert timeline.peak_backlog() > 0
+        assert timeline.mean_queue_depth() >= 0
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            Timeline(toy_engine(), interval=0)
+
+    def test_queue_depth_fields(self):
+        engine = toy_engine()
+        timeline = Timeline(engine, interval=10)
+        engine.run(itertools.cycle([0, 1 << 31]), packet_count=200)
+        for sample in timeline.samples:
+            assert len(sample.queue_depths) == 2
+            assert 0 <= sample.busy_chips <= 2
+            assert 0.0 <= sample.dred_hit_rate <= 1.0

@@ -1,0 +1,50 @@
+"""End-to-end determinism: same seeds, same everything.
+
+Reproducibility is the whole point of a reproduction package: every
+generator is seed-driven and every algorithm is deterministic, so complete
+experiments must replay bit-for-bit.
+"""
+
+from repro.core import ClueSystem, SystemConfig
+from repro.engine.simulator import EngineConfig
+from repro.workload.ribgen import RibParameters, generate_rib
+from repro.workload.trafficgen import TrafficGenerator
+from repro.workload.updategen import UpdateGenerator
+
+
+def run_experiment():
+    routes = generate_rib(77, RibParameters(size=2_000))
+    system = ClueSystem(
+        routes,
+        SystemConfig(engine=EngineConfig(chip_count=4, dred_capacity=256)),
+    )
+    stats = system.process_traffic(TrafficGenerator(routes, seed=7), 6_000)
+    samples = [
+        system.apply_update(message)
+        for message in UpdateGenerator(routes, seed=8).take(300)
+    ]
+    return {
+        "compression": system.compression_report().compressed_entries,
+        "cycles": stats.cycles,
+        "completions": stats.completions,
+        "hit_rate": stats.dred_hit_rate,
+        "diverted": stats.diverted,
+        "loads": tuple(stats.per_chip_lookups),
+        "ttf_total": sum(sample.total_us for sample in samples),
+        "table": tuple(
+            sorted(
+                (str(prefix), hop)
+                for prefix, hop in system.pipeline.trie_stage.table.table.items()
+            )
+        ),
+        "hops": tuple(
+            completion.next_hop
+            for completion in system.engine.reorder.released[:500]
+        ),
+    }
+
+
+def test_full_experiment_replays_identically():
+    first = run_experiment()
+    second = run_experiment()
+    assert first == second

@@ -1,0 +1,163 @@
+"""Integration tests asserting the paper's headline claims (scaled down).
+
+These are the end-to-end checks behind EXPERIMENTS.md: each test mirrors
+one claim from the abstract/Section V and asserts its *shape* (who wins,
+by roughly what factor) at laptop scale.
+"""
+
+import pytest
+
+from repro.analysis.speedup import required_hit_rate, worst_case_speedup
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import compression_report
+from repro.engine.builders import (
+    build_clpl_engine,
+    build_clue_engine,
+    measure_partition_load,
+)
+from repro.engine.simulator import EngineConfig
+from repro.trie.trie import BinaryTrie
+from repro.update.pipeline import (
+    ClplUpdatePipeline,
+    ClueUpdatePipeline,
+    default_dred_banks,
+)
+from repro.workload.ribgen import RibParameters, generate_rib
+from repro.workload.trafficgen import TrafficGenerator
+from repro.workload.updategen import UpdateGenerator, UpdateParameters
+
+
+@pytest.fixture(scope="module")
+def rib():
+    return generate_rib(17, RibParameters(size=6_000))
+
+
+class TestClaimCompression:
+    def test_clue_needs_fewer_tcam_entries(self, rib):
+        """Abstract: 'CLUE only needs about 71% TCAM entries'."""
+        config = EngineConfig(chip_count=4)
+        clue = build_clue_engine(rib, config)
+        clpl = build_clpl_engine(rib, config)
+        ratio = clue.total_tcam_entries / clpl.total_tcam_entries
+        assert ratio < 0.9
+
+
+class TestClaimUpdateTime:
+    def test_data_plane_update_fraction(self, rib):
+        """Abstract: '4.29% update time' (TTF2+TTF3 vs CLPL).
+
+        With our honest entry-diff accounting CLUE lands below ~25% of
+        CLPL rather than the paper's idealised 4.29%; the direction and
+        order of magnitude are the reproduced claim (see EXPERIMENTS.md).
+        """
+        mix = UpdateParameters(
+            modify_fraction=0.0,
+            new_prefix_fraction=0.5,
+            withdraw_fraction=0.5,
+        )
+        clue = ClueUpdatePipeline(
+            rib, dred_banks=default_dred_banks(4, 512, True)
+        )
+        clpl = ClplUpdatePipeline(
+            rib, dred_banks=default_dred_banks(4, 512, False)
+        )
+        messages = UpdateGenerator(rib, seed=21, parameters=mix).take(500)
+        clue_report = clue.run(messages)
+        clpl_report = clpl.run(messages)
+        fraction = clue_report.ttf23().mean_us / clpl_report.ttf23().mean_us
+        assert fraction < 0.25
+
+
+class TestClaimSpeedupBound:
+    def test_bound_holds_in_valid_domain(self, rib):
+        """Section III-D: t ≥ (N−1)h + 1 whenever h ≥ (N−2)/(N−1),
+        even under the adversarial partition-to-chip mapping."""
+        config = EngineConfig(chip_count=4, dred_capacity=1024)
+        probe = build_clue_engine(rib, config)
+        sample = TrafficGenerator(rib, seed=5).take(20_000)
+        loads = measure_partition_load(
+            probe.index, sample, probe.partition_result.count
+        )
+        for dred_capacity in (256, 512, 1024):
+            adversarial = build_clue_engine(
+                rib,
+                EngineConfig(chip_count=4, dred_capacity=dred_capacity),
+                partition_loads=loads,
+            )
+            stats = adversarial.engine.run(
+                TrafficGenerator(rib, seed=5), 30_000
+            )
+            hit_rate = stats.dred_hit_rate
+            if hit_rate >= required_hit_rate(4):
+                floor = worst_case_speedup(4, hit_rate)
+                assert stats.speedup(4) >= floor - 0.05, (
+                    hit_rate,
+                    stats.speedup(4),
+                )
+
+    def test_load_balancing_evens_adversarial_mapping(self, rib):
+        """Figure 15: the DRed mechanism flattens an extremely uneven
+        per-chip workload."""
+        config = EngineConfig(chip_count=4)
+        probe = build_clue_engine(rib, config)
+        sample = TrafficGenerator(rib, seed=6).take(20_000)
+        loads = measure_partition_load(
+            probe.index, sample, probe.partition_result.count
+        )
+        original_by_chip = [0.0] * 4
+        from repro.engine.builders import map_partitions_to_chips
+
+        mapping = map_partitions_to_chips(len(loads), 4, loads)
+        for partition, load in enumerate(loads):
+            original_by_chip[mapping[partition]] += load
+        total = sum(original_by_chip)
+        original_shares = [load / total for load in original_by_chip]
+        assert max(original_shares) > 0.4  # genuinely adversarial
+
+        adversarial = build_clue_engine(rib, config, partition_loads=loads)
+        stats = adversarial.engine.run(TrafficGenerator(rib, seed=6), 30_000)
+        balanced_shares = stats.chip_load_shares()
+        assert max(balanced_shares) < 0.30
+
+
+class TestClaimDredReduction:
+    def test_same_hit_rate_with_three_quarters_dred(self, rib):
+        """Abstract: '3/4 dynamic redundant prefixes for the same
+        throughput when using four TCAMs'."""
+        clpl = build_clpl_engine(
+            rib, EngineConfig(chip_count=4, dred_capacity=512)
+        )
+        clue = build_clue_engine(
+            rib, EngineConfig(chip_count=4, dred_capacity=384)
+        )
+        clpl_stats = clpl.engine.run(TrafficGenerator(rib, seed=7), 30_000)
+        clue_stats = clue.engine.run(TrafficGenerator(rib, seed=7), 30_000)
+        assert (
+            clue_stats.dred_hit_rate >= clpl_stats.dred_hit_rate - 0.02
+        )
+
+    def test_no_control_plane_for_dred_maintenance(self, rib):
+        """Abstract: 'frequent interactions between control plane and data
+        plane caused by redundant prefixes update can be avoided'."""
+        config = EngineConfig(chip_count=4)
+        clue = build_clue_engine(rib, config)
+        clpl = build_clpl_engine(rib, config)
+        clue_stats = clue.engine.run(TrafficGenerator(rib, seed=8), 10_000)
+        clpl_stats = clpl.engine.run(TrafficGenerator(rib, seed=8), 10_000)
+        assert clue_stats.control_plane_interactions == 0
+        assert clpl_stats.control_plane_interactions > 0
+
+
+class TestClaimCompressionFigure8:
+    def test_average_ratio_near_paper(self):
+        """Figure 8: compressed size ≈ 71% of original on average."""
+        ratios = []
+        for seed in (101, 103, 104):
+            trie = BinaryTrie.from_routes(
+                generate_rib(seed, RibParameters(size=12_000))
+            )
+            ratios.append(
+                compression_report(trie, CompressionMode.DONT_CARE).ratio
+            )
+        mean_ratio = sum(ratios) / len(ratios)
+        assert 0.55 <= mean_ratio <= 0.85

@@ -1,0 +1,241 @@
+"""Unit tests for the Prefix value type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.prefix import (
+    ADDRESS_SPACE,
+    ADDRESS_WIDTH,
+    Prefix,
+    PrefixError,
+    common_prefix,
+    format_address,
+    parse_address,
+)
+
+prefixes = st.integers(0, ADDRESS_WIDTH).flatmap(
+    lambda length: st.builds(
+        Prefix,
+        st.integers(0, (1 << length) - 1 if length else 0),
+        st.just(length),
+    )
+)
+addresses = st.integers(0, ADDRESS_SPACE - 1)
+
+
+class TestConstruction:
+    def test_parse_round_trip(self):
+        assert str(Prefix.parse("192.168.0.0/16")) == "192.168.0.0/16"
+
+    def test_parse_root(self):
+        assert Prefix.parse("0.0.0.0/0") == Prefix.root()
+
+    def test_parse_host(self):
+        prefix = Prefix.parse("10.1.2.3/32")
+        assert prefix.length == 32
+        assert prefix.network == (10 << 24) | (1 << 16) | (2 << 8) | 3
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.1/8")
+
+    def test_parse_rejects_bad_length(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.0/33")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("not-a-prefix")
+
+    def test_from_bits(self):
+        assert Prefix.from_bits("100").value == 0b100
+        assert Prefix.from_bits("100").length == 3
+
+    def test_from_bits_star_suffix(self):
+        assert Prefix.from_bits("100*") == Prefix.from_bits("100")
+
+    def test_from_bits_empty_is_root(self):
+        assert Prefix.from_bits("") == Prefix.root()
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_bits("10x")
+
+    def test_from_bits_rejects_too_long(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_bits("0" * 33)
+
+    def test_from_network(self):
+        assert Prefix.from_network(10 << 24, 8) == Prefix.parse("10.0.0.0/8")
+
+    def test_from_network_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_network((10 << 24) | 1, 8)
+
+    def test_value_range_enforced(self):
+        with pytest.raises(PrefixError):
+            Prefix(4, 2)
+
+    def test_root_value_must_be_zero(self):
+        with pytest.raises(PrefixError):
+            Prefix(1, 0)
+
+
+class TestRelations:
+    def test_contains_address(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.contains_address(10 << 24)
+        assert prefix.contains_address((10 << 24) + 12345)
+        assert not prefix.contains_address(11 << 24)
+
+    def test_root_contains_everything(self):
+        assert Prefix.root().contains_address(0)
+        assert Prefix.root().contains_address(ADDRESS_SPACE - 1)
+
+    def test_contains_prefix(self):
+        assert Prefix.from_bits("1").contains(Prefix.from_bits("10"))
+        assert not Prefix.from_bits("10").contains(Prefix.from_bits("1"))
+        assert Prefix.from_bits("1").contains(Prefix.from_bits("1"))
+
+    def test_overlap_is_containment(self):
+        a, b = Prefix.from_bits("1"), Prefix.from_bits("101")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not Prefix.from_bits("10").overlaps(Prefix.from_bits("11"))
+
+    def test_disjoint(self):
+        assert Prefix.from_bits("00").is_disjoint(Prefix.from_bits("01"))
+
+    @given(prefixes, prefixes)
+    def test_overlap_symmetry(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(prefixes, addresses)
+    def test_contains_address_matches_range(self, prefix, address):
+        inside = prefix.network <= address <= prefix.broadcast
+        assert prefix.contains_address(address) == inside
+
+
+class TestNavigation:
+    def test_children(self):
+        parent = Prefix.from_bits("10")
+        assert parent.child(0) == Prefix.from_bits("100")
+        assert parent.child(1) == Prefix.from_bits("101")
+
+    def test_child_of_host_rejected(self):
+        host = Prefix(0, 32)
+        with pytest.raises(PrefixError):
+            host.child(0)
+
+    def test_child_bad_bit(self):
+        with pytest.raises(PrefixError):
+            Prefix.root().child(2)
+
+    def test_parent(self):
+        assert Prefix.from_bits("101").parent() == Prefix.from_bits("10")
+
+    def test_parent_of_root_rejected(self):
+        with pytest.raises(PrefixError):
+            Prefix.root().parent()
+
+    def test_sibling(self):
+        assert Prefix.from_bits("10").sibling() == Prefix.from_bits("11")
+
+    def test_bit_at(self):
+        prefix = Prefix.from_bits("101")
+        assert [prefix.bit_at(i) for i in range(3)] == [1, 0, 1]
+
+    def test_bit_at_out_of_range(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_bits("101").bit_at(3)
+
+    def test_walk_bits(self):
+        assert list(Prefix.from_bits("1101").walk_bits()) == [1, 1, 0, 1]
+
+    @given(prefixes)
+    def test_child_parent_round_trip(self, prefix):
+        if prefix.length < ADDRESS_WIDTH:
+            assert prefix.child(0).parent() == prefix
+            assert prefix.child(1).parent() == prefix
+
+    def test_iter_subprefixes(self):
+        subs = list(Prefix.from_bits("1").iter_subprefixes(3))
+        assert len(subs) == 4
+        assert all(Prefix.from_bits("1").contains(sub) for sub in subs)
+
+    def test_iter_subprefixes_shorter_rejected(self):
+        with pytest.raises(PrefixError):
+            list(Prefix.from_bits("101").iter_subprefixes(2))
+
+
+class TestTcamView:
+    def test_ternary_pattern(self):
+        pattern = Prefix.from_bits("10").ternary()
+        assert pattern == "10" + "*" * 30
+
+    def test_matches_alias(self):
+        prefix = Prefix.from_bits("1")
+        assert prefix.matches(1 << 31)
+        assert not prefix.matches(0)
+
+
+class TestOrderingAndHashing:
+    def test_sort_key_orders_by_address(self):
+        ordered = sorted(
+            [Prefix.from_bits("1"), Prefix.from_bits("01"), Prefix.from_bits("00")]
+        )
+        assert ordered[0] == Prefix.from_bits("00")
+        assert ordered[-1] == Prefix.from_bits("1")
+
+    def test_covering_sorts_before_covered(self):
+        assert Prefix.from_bits("1") < Prefix.from_bits("10")
+
+    def test_hashable_and_equal(self):
+        assert len({Prefix.from_bits("1"), Prefix.from_bits("1")}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert Prefix.root() != "0.0.0.0/0"
+
+    @given(prefixes)
+    def test_str_parse_round_trip(self, prefix):
+        assert Prefix.parse(str(prefix)) == prefix
+
+
+class TestAddressHelpers:
+    def test_parse_format_round_trip(self):
+        assert format_address(parse_address("1.2.3.4")) == "1.2.3.4"
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(PrefixError):
+            parse_address("1.2.3")
+
+    def test_parse_rejects_large_octet(self):
+        with pytest.raises(PrefixError):
+            parse_address("1.2.3.256")
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(PrefixError):
+            format_address(ADDRESS_SPACE)
+
+    @given(addresses)
+    def test_format_parse_round_trip(self, address):
+        assert parse_address(format_address(address)) == address
+
+
+class TestCommonPrefix:
+    def test_disjoint_pair(self):
+        result = common_prefix(Prefix.from_bits("00"), Prefix.from_bits("01"))
+        assert result == Prefix.from_bits("0")
+
+    def test_nested_pair(self):
+        result = common_prefix(Prefix.from_bits("1"), Prefix.from_bits("101"))
+        assert result == Prefix.from_bits("1")
+
+    def test_identical(self):
+        prefix = Prefix.from_bits("1100")
+        assert common_prefix(prefix, prefix) == prefix
+
+    @given(prefixes, prefixes)
+    def test_common_prefix_contains_both(self, a, b):
+        shared = common_prefix(a, b)
+        assert shared.contains(a) and shared.contains(b)

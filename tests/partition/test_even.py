@@ -1,0 +1,118 @@
+"""Tests for CLUE's even range partitioning."""
+
+import pytest
+
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import compress
+from repro.net.prefix import Prefix
+from repro.partition.base import validate_coverage
+from repro.partition.even import (
+    OverlapInPartitionInput,
+    even_partition,
+    partition_ranges,
+    range_boundaries,
+)
+from repro.trie.trie import BinaryTrie
+from tests.conftest import random_routes
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+def disjoint_table(rng, count=64, length=10):
+    values = rng.sample(range(1 << length), count)
+    return [(Prefix(v, length), rng.randint(1, 5)) for v in values]
+
+
+class TestSplit:
+    def test_sizes_differ_by_at_most_one(self, rng):
+        for count in (1, 2, 3, 4, 7, 8, 16):
+            routes = disjoint_table(rng, 61)
+            result = even_partition(routes, count)
+            sizes = result.sizes()
+            assert max(sizes) - min(sizes) <= 1
+            assert sum(sizes) == 61
+
+    def test_zero_redundancy(self, rng):
+        result = even_partition(disjoint_table(rng, 40), 8)
+        assert result.redundancy == 0
+        assert result.redundancy_ratio == 0.0
+
+    def test_coverage_exact(self, rng):
+        routes = disjoint_table(rng, 50)
+        result = even_partition(routes, 8)
+        assert validate_coverage(result, routes)
+
+    def test_partitions_are_address_contiguous(self, rng):
+        routes = disjoint_table(rng, 64)
+        result = even_partition(routes, 4)
+        previous_high = -1
+        for partition in result.partitions:
+            for prefix, _ in partition.routes:
+                assert prefix.network > previous_high
+                previous_high = prefix.broadcast
+
+    def test_overlap_rejected(self):
+        with pytest.raises(OverlapInPartitionInput):
+            even_partition([(bits("1"), 1), (bits("10"), 2)], 2)
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            even_partition([], 0)
+
+    def test_empty_table(self):
+        result = even_partition([], 4)
+        assert result.sizes() == [0, 0, 0, 0]
+
+    def test_fewer_routes_than_partitions(self, rng):
+        result = even_partition(disjoint_table(rng, 2), 4)
+        assert sorted(result.sizes(), reverse=True) == [1, 1, 0, 0]
+
+    def test_compressed_rib_splits_exactly(self, small_trie):
+        table = sorted(
+            compress(small_trie, CompressionMode.DONT_CARE).items(),
+            key=lambda route: route[0].sort_key(),
+        )
+        result = even_partition(table, 32)
+        assert max(result.sizes()) - min(result.sizes()) <= 1
+        # imbalance is bounded by the ±1 entry granularity
+        assert result.imbalance <= 1 + 32 / len(table)
+
+
+class TestBoundaries:
+    def test_boundaries_start_at_zero(self, rng):
+        result = even_partition(disjoint_table(rng, 32), 4)
+        boundaries = range_boundaries(result)
+        assert boundaries[0] == 0
+        assert boundaries == sorted(boundaries)
+        assert len(boundaries) == 4
+
+    def test_ranges_cover_space(self, rng):
+        result = even_partition(disjoint_table(rng, 32), 4)
+        ranges = partition_ranges(result)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == (1 << 32) - 1
+        for (low_a, high_a), (low_b, _) in zip(ranges, ranges[1:]):
+            assert high_a + 1 == low_b
+
+    def test_each_partition_inside_its_range(self, rng):
+        routes = disjoint_table(rng, 48)
+        result = even_partition(routes, 6)
+        for partition, (low, high) in zip(
+            result.partitions, partition_ranges(result)
+        ):
+            for prefix, _ in partition.routes:
+                assert low <= prefix.network and prefix.broadcast <= high
+
+
+class TestMetrics:
+    def test_imbalance_of_perfect_split(self, rng):
+        result = even_partition(disjoint_table(rng, 64), 4)
+        assert result.imbalance == 1.0
+
+    def test_base_entries(self, rng):
+        routes = disjoint_table(rng, 30)
+        result = even_partition(routes, 4)
+        assert result.base_entries == 30
+        assert result.total_entries == 30

@@ -1,0 +1,83 @@
+"""Tests for the ID-bit (CoolCAMs / SLPL) partitioner."""
+
+from repro.net.prefix import Prefix
+from repro.partition.base import validate_coverage
+from repro.partition.idbit import (
+    _bucket_ids,
+    idbit_partition,
+    select_id_bits,
+)
+from repro.trie.trie import BinaryTrie
+from tests.conftest import random_routes
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+class TestBucketIds:
+    def test_long_prefix_single_bucket(self):
+        # bits at positions 0 and 2 of '1011...' -> id 0b11
+        assert _bucket_ids(bits("1011"), [0, 2]) == [0b11]
+
+    def test_short_prefix_replicates(self):
+        # a /1 prefix leaves position 2 free: two buckets
+        ids = _bucket_ids(bits("1"), [0, 2])
+        assert sorted(ids) == [0b10, 0b11]
+
+    def test_root_hits_every_bucket(self):
+        assert sorted(_bucket_ids(Prefix.root(), [0, 1])) == [0, 1, 2, 3]
+
+
+class TestSelection:
+    def test_selects_requested_count(self, rng):
+        routes = random_routes(rng, 60, max_len=16)
+        chosen = select_id_bits(routes, 3)
+        assert len(chosen) == 3
+        assert len(set(chosen)) == 3
+
+    def test_prefers_discriminating_bits(self):
+        # All prefixes share bit 0 (=1) but split evenly on bit 1: the
+        # greedy pick must prefer position 1.
+        routes = [(Prefix((1 << 5) | v, 6), 1) for v in range(32)]
+        chosen = select_id_bits(routes, 1)
+        assert chosen == [1]
+
+
+class TestPartition:
+    def test_coverage(self, rng):
+        routes = random_routes(rng, 60, max_len=16)
+        result = idbit_partition(routes, 4)
+        assert validate_coverage(result, routes)
+
+    def test_replication_counted_as_redundancy(self):
+        routes = [(bits("1"), 1)] + [
+            (Prefix((0b10 << 8) | v, 10), 2) for v in range(24)
+        ] + [(Prefix((0b11 << 8) | v, 10), 3) for v in range(24)]
+        result = idbit_partition(routes, 4)
+        assert result.redundancy >= 1  # the /1 must live in several buckets
+
+    def test_home_contains_answer(self, rng):
+        routes = random_routes(rng, 80, max_len=16)
+        reference = BinaryTrie.from_routes(routes)
+        result = idbit_partition(routes, 4)
+        tables = [
+            BinaryTrie.from_routes(partition.all_routes())
+            for partition in result.partitions
+        ]
+        for _ in range(300):
+            address = rng.randrange(1 << 32)
+            expected = reference.lookup(address)
+            got = tables[result.home_of(address)].lookup(address)
+            assert got == expected
+
+    def test_single_partition(self, rng):
+        routes = random_routes(rng, 20, max_len=10)
+        result = idbit_partition(routes, 1)
+        assert result.count == 1
+
+    def test_uneven_split_on_real_shape(self, small_rib):
+        """The known CoolCAMs weakness the paper cites: ID bits cannot
+        split a real table truly evenly."""
+        result = idbit_partition(small_rib, 32)
+        assert result.imbalance > 1.02

@@ -1,0 +1,103 @@
+"""Tests for the indexing-logic structures."""
+
+import pytest
+
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import compress
+from repro.net.prefix import Prefix
+from repro.partition.even import even_partition
+from repro.partition.idbit import idbit_partition
+from repro.partition.index_logic import (
+    BitIndex,
+    PrefixIndex,
+    RangeIndex,
+    build_index,
+    index_is_exact,
+)
+from repro.partition.subtree import subtree_partition
+from repro.trie.trie import BinaryTrie
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+class TestRangeIndex:
+    def test_bisect(self):
+        index = RangeIndex([0, 100, 200])
+        assert index.home_of(0) == 0
+        assert index.home_of(99) == 0
+        assert index.home_of(100) == 1
+        assert index.home_of(5000) == 2
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            RangeIndex([10, 20])
+
+    def test_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            RangeIndex([0, 30, 20])
+
+    def test_entry_count(self):
+        assert RangeIndex([0, 1, 2]).entry_count == 3
+
+
+class TestPrefixIndex:
+    def test_longest_root_wins(self):
+        index = PrefixIndex([(Prefix.root(), 0), (bits("1"), 1), (bits("11"), 2)])
+        assert index.home_of(0) == 0
+        assert index.home_of(0b10 << 30) == 1
+        assert index.home_of(0b11 << 30) == 2
+
+    def test_total_via_root_fallback(self):
+        index = PrefixIndex([(bits("1"), 3)])
+        assert index.home_of(0) == 0  # fallback
+
+    def test_requires_roots(self):
+        with pytest.raises(ValueError):
+            PrefixIndex([])
+
+
+class TestBitIndex:
+    def test_extraction(self):
+        index = BitIndex([0, 2], {0b00: 0, 0b01: 1, 0b10: 2, 0b11: 3})
+        address = 0b101 << 29  # bits: pos0=1, pos2=1
+        assert index.home_of(address) == 3
+
+    def test_unknown_bucket_defaults(self):
+        index = BitIndex([0], {0: 5})
+        assert index.home_of(1 << 31) == 0
+
+
+class TestBuildAndExactness:
+    def test_build_dispatch(self, small_trie, small_rib):
+        table = sorted(
+            compress(small_trie, CompressionMode.DONT_CARE).items(),
+            key=lambda route: route[0].sort_key(),
+        )
+        assert isinstance(build_index(even_partition(table, 8)), RangeIndex)
+        assert isinstance(
+            build_index(subtree_partition(small_trie, 8)), PrefixIndex
+        )
+        assert isinstance(build_index(idbit_partition(small_rib, 8)), BitIndex)
+
+    def test_all_schemes_exact(self, rng, small_trie, small_rib):
+        addresses = [rng.randrange(1 << 32) for _ in range(400)]
+        # add addresses guaranteed to be covered
+        addresses += [prefix.network for prefix, _ in small_rib[:200]]
+
+        compressed = sorted(
+            compress(small_trie, CompressionMode.DONT_CARE).items(),
+            key=lambda route: route[0].sort_key(),
+        )
+        compressed_trie = BinaryTrie.from_routes(compressed)
+        even = even_partition(compressed, 8)
+        assert index_is_exact(
+            build_index(even), even, addresses, compressed_trie
+        )
+
+        sub = subtree_partition(small_trie, 8)
+        assert index_is_exact(build_index(sub), sub, addresses, small_trie)
+
+        idb = idbit_partition(small_rib, 8)
+        assert index_is_exact(build_index(idb), idb, addresses, small_trie)

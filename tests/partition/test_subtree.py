@@ -1,0 +1,84 @@
+"""Tests for CLPL's sub-tree partitioning."""
+
+from repro.net.prefix import Prefix
+from repro.partition.base import validate_coverage
+from repro.partition.subtree import SubtreePartitionResult, subtree_partition
+from repro.trie.trie import BinaryTrie
+from tests.conftest import random_routes
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+class TestCarving:
+    def test_coverage_exact(self, rng):
+        routes = random_routes(rng, 60, max_len=12)
+        trie = BinaryTrie.from_routes(routes)
+        result = subtree_partition(trie, 4)
+        assert validate_coverage(result, routes)
+
+    def test_redundant_entries_are_routed_ancestors(self, rng):
+        routes = dict(random_routes(rng, 80, max_len=12))
+        trie = BinaryTrie.from_routes(routes.items())
+        result = subtree_partition(trie, 8, granularity=8)
+        for partition in result.partitions:
+            own = {prefix for prefix, _ in partition.routes}
+            for prefix, hop in partition.redundant:
+                assert routes[prefix] == hop          # a real table entry
+                assert prefix not in own              # actually duplicated
+                assert any(prefix.contains(p) for p in own)
+
+    def test_covering_prefix_duplicated(self):
+        # A /1 route over two big subtrees: carving below it must copy it.
+        routes = [(bits("1"), 9)]
+        routes += [(Prefix((0b10 << 4) | v, 6), 1) for v in range(16)]
+        routes += [(Prefix((0b11 << 4) | v, 6), 2) for v in range(16)]
+        trie = BinaryTrie.from_routes(routes)
+        result = subtree_partition(trie, 2, threshold=10)
+        assert result.redundancy >= 1
+
+    def test_partition_lookup_correct_for_homed_traffic(self, rng):
+        """A lookup served by the partition owning its carve root finds the
+        same answer as the full table."""
+        from repro.partition.index_logic import PrefixIndex
+
+        routes = random_routes(rng, 80, max_len=12)
+        trie = BinaryTrie.from_routes(routes)
+        result = subtree_partition(trie, 4)
+        index = PrefixIndex.from_partition(result)
+        tables = [
+            BinaryTrie.from_routes(partition.all_routes())
+            for partition in result.partitions
+        ]
+        for _ in range(300):
+            address = rng.randrange(1 << 32)
+            expected = trie.lookup(address)
+            got = tables[index.home_of(address)].lookup(address)
+            assert got == expected
+
+    def test_balance_reasonable(self, small_trie):
+        result = subtree_partition(small_trie, 8)
+        assert result.imbalance < 1.5
+
+    def test_threshold_override(self, rng):
+        trie = BinaryTrie.from_routes(random_routes(rng, 60, max_len=12))
+        result = subtree_partition(trie, 4, threshold=5)
+        assert result.count == 4
+
+    def test_result_type_carries_assignment(self, small_trie):
+        result = subtree_partition(small_trie, 4)
+        assert isinstance(result, SubtreePartitionResult)
+        assert result.bucket_assignment
+        partitions = {index for _, index in result.bucket_assignment}
+        assert partitions <= set(range(4))
+
+    def test_empty_trie(self):
+        result = subtree_partition(BinaryTrie(), 4)
+        assert result.total_entries == 0
+
+    def test_redundancy_grows_with_partition_count(self, small_trie):
+        """Figure 9's trend: more partitions, more duplicated coverage."""
+        few = subtree_partition(small_trie, 4)
+        many = subtree_partition(small_trie, 32)
+        assert many.redundancy >= few.redundancy

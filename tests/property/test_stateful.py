@@ -1,0 +1,218 @@
+"""Stateful property tests: long random op sequences against oracles.
+
+Hypothesis drives announce/withdraw/lookup sequences and shrinks any
+failure to a minimal reproduction.  Each machine pairs a production
+structure with an independent oracle:
+
+* incremental ONRTC  ↔ one-shot optimal compressor on a shadow trie;
+* lazy ONRTC         ↔ forwarding-equivalence + disjointness invariants;
+* PLO TCAM updater   ↔ plain dict + reference LPM;
+* DRed cache         ↔ a 20-line LRU model.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.compress.labels import CompressionMode
+from repro.compress.lazy import LazyOnrtcTable
+from repro.compress.onrtc import OnrtcTable, compress
+from repro.compress.verify import find_mismatch, is_disjoint_table
+from repro.engine.dred import DredCache
+from repro.net.prefix import ADDRESS_WIDTH, Prefix
+from repro.tcam.device import Tcam
+from repro.tcam.update_plo import PloUpdater
+from repro.trie.trie import BinaryTrie
+
+# Small universe so collisions (the interesting cases) are frequent.
+prefix_strategy = st.integers(0, 6).flatmap(
+    lambda length: st.builds(
+        Prefix,
+        st.integers(0, (1 << length) - 1 if length else 0),
+        st.just(length),
+    )
+)
+hop_strategy = st.integers(1, 3)
+address_strategy = st.integers(0, (1 << 32) - 1)
+
+COMMON_SETTINGS = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+
+
+class OnrtcMachine(RuleBasedStateMachine):
+    """Incremental ONRTC must equal the one-shot optimum at every step."""
+
+    def __init__(self):
+        super().__init__()
+        self.shadow = BinaryTrie()
+        self.tables = {
+            mode: OnrtcTable([], mode=mode) for mode in CompressionMode
+        }
+
+    @rule(prefix=prefix_strategy, hop=hop_strategy)
+    def announce(self, prefix, hop):
+        self.shadow.insert(prefix, hop)
+        for table in self.tables.values():
+            table.announce(prefix, hop)
+
+    @rule(prefix=prefix_strategy)
+    def withdraw(self, prefix):
+        self.shadow.delete(prefix)
+        for table in self.tables.values():
+            table.withdraw(prefix)
+
+    @invariant()
+    def matches_one_shot(self):
+        for mode, table in self.tables.items():
+            assert table.table == compress(self.shadow, mode)
+
+
+class LazyOnrtcMachine(RuleBasedStateMachine):
+    """Lazy ONRTC must stay disjoint and forwarding-equivalent."""
+
+    def __init__(self):
+        super().__init__()
+        self.shadow = BinaryTrie()
+        self.lazy = LazyOnrtcTable([], mode=CompressionMode.DONT_CARE)
+
+    @rule(prefix=prefix_strategy, hop=hop_strategy)
+    def announce(self, prefix, hop):
+        self.shadow.insert(prefix, hop)
+        self.lazy.announce(prefix, hop)
+
+    @rule(prefix=prefix_strategy)
+    def withdraw(self, prefix):
+        self.shadow.delete(prefix)
+        self.lazy.withdraw(prefix)
+
+    @rule()
+    def recompress(self):
+        self.lazy.recompress()
+
+    @invariant()
+    def equivalent_and_disjoint(self):
+        assert is_disjoint_table(self.lazy.table)
+        assert (
+            find_mismatch(self.shadow, self.lazy.table, covered_only=True)
+            is None
+        )
+
+
+class PloTcamMachine(RuleBasedStateMachine):
+    """The PLO updater must track a dict model and keep its layout legal."""
+
+    def __init__(self):
+        super().__init__()
+        self.chip = Tcam(256, priority_encoder=True)
+        self.updater = PloUpdater(self.chip.region(0, 256))
+        self.model = {}
+
+    @rule(prefix=prefix_strategy, hop=hop_strategy)
+    def upsert(self, prefix, hop):
+        if prefix in self.model:
+            self.updater.modify(prefix, hop)
+        else:
+            self.updater.insert(prefix, hop)
+        self.model[prefix] = hop
+
+    @rule(prefix=prefix_strategy)
+    def delete(self, prefix):
+        result = self.updater.delete(prefix)
+        assert result.found == (prefix in self.model)
+        self.model.pop(prefix, None)
+
+    @rule(address=address_strategy)
+    def search(self, address):
+        reference = BinaryTrie.from_routes(self.model.items())
+        hit = self.updater.region.search(address)
+        assert (hit.next_hop if hit else None) == reference.lookup(address)
+
+    @invariant()
+    def layout_is_length_ordered_and_packed(self):
+        entries = self.updater.entries()
+        lengths = [entry.prefix.length for entry in entries]
+        assert lengths == sorted(lengths, reverse=True)
+        occupancy = self.updater.region.occupancy()
+        assert occupancy == len(self.model)
+        assert all(
+            self.updater.region.read(offset) is not None
+            for offset in range(occupancy)
+        )
+
+
+class _LruModel:
+    """Oracle: a plain LRU mapping with LPM lookup by linear scan."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.entries = OrderedDict()
+
+    def insert(self, prefix, hop):
+        if prefix in self.entries:
+            self.entries[prefix] = hop
+            self.entries.move_to_end(prefix)
+            return
+        while len(self.entries) >= self.capacity:
+            self.entries.popitem(last=False)
+        self.entries[prefix] = hop
+
+    def lookup(self, address):
+        best = None
+        for prefix, hop in self.entries.items():
+            if prefix.contains_address(address):
+                if best is None or prefix.length > best[0].length:
+                    best = (prefix, hop)
+        if best is None:
+            return None
+        self.entries.move_to_end(best[0])
+        return best[1]
+
+    def delete(self, prefix):
+        return self.entries.pop(prefix, None) is not None
+
+
+class DredMachine(RuleBasedStateMachine):
+    """The DRed cache must behave exactly like the simple LRU oracle."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = DredCache(capacity=4, chip_index=0, exclude_own=False)
+        self.model = _LruModel(capacity=4)
+
+    @rule(prefix=prefix_strategy, hop=hop_strategy)
+    def insert(self, prefix, hop):
+        self.cache.insert(prefix, hop, owner=1)
+        self.model.insert(prefix, hop)
+
+    @rule(address=address_strategy)
+    def lookup(self, address):
+        entry = self.cache.lookup(address)
+        expected = self.model.lookup(address)
+        assert (entry.next_hop if entry else None) == expected
+
+    @rule(prefix=prefix_strategy)
+    def delete(self, prefix):
+        assert self.cache.delete(prefix) == self.model.delete(prefix)
+
+    @invariant()
+    def same_content(self):
+        assert set(self.cache._entries) == set(self.model.entries)
+        assert len(self.cache) <= 4
+
+
+TestOnrtcMachine = OnrtcMachine.TestCase
+TestOnrtcMachine.settings = COMMON_SETTINGS
+TestLazyOnrtcMachine = LazyOnrtcMachine.TestCase
+TestLazyOnrtcMachine.settings = COMMON_SETTINGS
+TestPloTcamMachine = PloTcamMachine.TestCase
+TestPloTcamMachine.settings = COMMON_SETTINGS
+TestDredMachine = DredMachine.TestCase
+TestDredMachine.settings = COMMON_SETTINGS

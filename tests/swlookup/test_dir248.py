@@ -1,0 +1,106 @@
+"""Tests for the DIR-24-8 software lookup baseline."""
+
+import random
+
+from repro.net.prefix import Prefix
+from repro.swlookup.dir248 import Dir248Table
+from repro.trie.trie import BinaryTrie
+from tests.conftest import random_routes
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+def realistic_routes(rng, count):
+    routes = {}
+    while len(routes) < count:
+        length = rng.choice([8, 12, 16, 20, 24, 26, 28, 32])
+        routes[Prefix(rng.getrandbits(length), length)] = rng.randint(1, 9)
+    return routes
+
+
+class TestLookup:
+    def test_matches_trie_on_random_tables(self, rng):
+        routes = realistic_routes(rng, 300)
+        table = Dir248Table(routes.items())
+        trie = BinaryTrie.from_routes(routes.items())
+        for _ in range(2_000):
+            address = rng.getrandbits(32)
+            assert table.lookup(address) == trie.lookup(address)
+
+    def test_short_prefix_one_access(self):
+        table = Dir248Table([(Prefix.parse("10.0.0.0/8"), 1)])
+        table.lookup(10 << 24)
+        assert table.counters.memory_accesses == 1
+
+    def test_long_prefix_two_accesses(self):
+        table = Dir248Table([(Prefix.parse("10.0.0.0/28"), 1)])
+        table.lookup(10 << 24)
+        assert table.counters.memory_accesses == 2
+        assert table.level2_blocks == 1
+
+    def test_miss(self):
+        table = Dir248Table([(Prefix.parse("10.0.0.0/8"), 1)])
+        assert table.lookup(11 << 24) is None
+
+    def test_hop_zero(self):
+        table = Dir248Table([(Prefix.parse("10.0.0.0/8"), 0)])
+        assert table.lookup(10 << 24) == 0
+
+
+class TestUpdates:
+    def test_withdraw_reverts_to_covering(self):
+        table = Dir248Table(
+            [(Prefix.parse("10.0.0.0/8"), 1), (Prefix.parse("10.1.0.0/16"), 2)]
+        )
+        address = (10 << 24) | (1 << 16)
+        assert table.lookup(address) == 2
+        table.delete(Prefix.parse("10.1.0.0/16"))
+        assert table.lookup(address) == 1
+
+    def test_short_prefix_update_is_expensive(self):
+        """The known DIR-24-8 weakness: a /8 repaints 2^16 slots."""
+        table = Dir248Table()
+        written = table.insert(Prefix.parse("10.0.0.0/8"), 1)
+        assert written == 1 << 16
+
+    def test_long_prefix_update_is_cheap(self):
+        table = Dir248Table([(Prefix.parse("10.0.0.0/8"), 1)])
+        written = table.insert(Prefix.parse("10.0.0.0/24"), 2)
+        assert written == 1
+
+    def test_churn_stays_correct(self, rng):
+        routes = realistic_routes(rng, 150)
+        table = Dir248Table(routes.items())
+        trie = BinaryTrie.from_routes(routes.items())
+        for _ in range(100):
+            length = rng.choice([12, 16, 24, 28])
+            prefix = Prefix(rng.getrandbits(length), length)
+            if rng.random() < 0.5:
+                hop = rng.randint(1, 9)
+                trie.insert(prefix, hop)
+                table.insert(prefix, hop)
+            else:
+                trie.delete(prefix)
+                table.delete(prefix)
+        for _ in range(1_500):
+            address = rng.getrandbits(32)
+            assert table.lookup(address) == trie.lookup(address)
+
+    def test_delete_absent_is_free(self):
+        table = Dir248Table()
+        assert table.delete(Prefix.parse("10.0.0.0/8")) == 0
+
+
+class TestAccounting:
+    def test_memory_slots(self):
+        table = Dir248Table([(Prefix.parse("10.0.0.0/28"), 1)])
+        assert table.memory_slots() == (1 << 24) + 256
+
+    def test_accesses_per_lookup_mostly_one(self, rng):
+        routes = realistic_routes(rng, 300)
+        table = Dir248Table(routes.items())
+        for _ in range(1_000):
+            table.lookup(rng.getrandbits(32))
+        assert 1.0 <= table.accesses_per_lookup() <= 1.2

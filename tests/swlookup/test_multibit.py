@@ -1,0 +1,111 @@
+"""Tests for the fixed-stride multibit trie."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.swlookup.multibit import MultibitTrie
+from repro.trie.trie import BinaryTrie
+
+
+def realistic_routes(rng, count):
+    routes = {}
+    while len(routes) < count:
+        length = rng.choice([4, 8, 12, 15, 16, 20, 22, 24, 26, 28, 32])
+        routes[Prefix(rng.getrandbits(length), length)] = rng.randint(1, 9)
+    return routes
+
+
+class TestConstruction:
+    def test_strides_must_cover_32(self):
+        with pytest.raises(ValueError):
+            MultibitTrie(strides=(8, 8, 8))
+        with pytest.raises(ValueError):
+            MultibitTrie(strides=(16, 16, 0))
+
+    def test_alternative_strides(self, rng):
+        routes = realistic_routes(rng, 100)
+        table = MultibitTrie(routes.items(), strides=(16, 8, 8))
+        trie = BinaryTrie.from_routes(routes.items())
+        for _ in range(1_000):
+            address = rng.getrandbits(32)
+            assert table.lookup(address) == trie.lookup(address)
+
+
+class TestLookup:
+    def test_matches_trie(self, rng):
+        routes = realistic_routes(rng, 300)
+        table = MultibitTrie(routes.items())
+        trie = BinaryTrie.from_routes(routes.items())
+        for _ in range(2_000):
+            address = rng.getrandbits(32)
+            assert table.lookup(address) == trie.lookup(address)
+
+    def test_expansion_inside_stride(self):
+        # a /4 expands into 16 level-0 slots (stride 8)
+        table = MultibitTrie([(Prefix.from_bits("1010"), 7)])
+        assert table.lookup(0b10100001 << 24) == 7
+        assert table.lookup(0b10110000 << 24) is None
+
+    def test_longer_expansion_wins(self):
+        table = MultibitTrie(
+            [(Prefix.from_bits("1010"), 1), (Prefix.from_bits("101000"), 2)]
+        )
+        assert table.lookup(0b10100000 << 24) == 2
+        assert table.lookup(0b10101111 << 24) == 1
+
+    def test_access_count_bounded_by_levels(self, rng):
+        routes = realistic_routes(rng, 200)
+        table = MultibitTrie(routes.items())
+        for _ in range(500):
+            table.lookup(rng.getrandbits(32))
+        assert 1.0 <= table.accesses_per_lookup() <= 4.0
+
+
+class TestUpdates:
+    def test_withdraw_reverts_to_covering(self):
+        table = MultibitTrie(
+            [
+                (Prefix.parse("10.0.0.0/8"), 1),
+                (Prefix.parse("10.1.0.0/16"), 2),
+            ]
+        )
+        address = (10 << 24) | (1 << 16)
+        assert table.lookup(address) == 2
+        table.delete(Prefix.parse("10.1.0.0/16"))
+        assert table.lookup(address) == 1
+
+    def test_update_cost_bounded_by_stride(self):
+        table = MultibitTrie()
+        # Worst case within one level: a prefix aligned to the level start
+        # repaints 2^stride slots.
+        written = table.insert(Prefix.parse("10.0.0.0/8"), 1)
+        assert written <= 1 << 8
+
+    def test_churn_stays_correct(self, rng):
+        routes = realistic_routes(rng, 150)
+        table = MultibitTrie(routes.items())
+        trie = BinaryTrie.from_routes(routes.items())
+        for _ in range(150):
+            length = rng.choice([4, 8, 15, 16, 24, 28, 32])
+            prefix = Prefix(rng.getrandbits(length), length)
+            if rng.random() < 0.5:
+                hop = rng.randint(1, 9)
+                trie.insert(prefix, hop)
+                table.insert(prefix, hop)
+            else:
+                trie.delete(prefix)
+                table.delete(prefix)
+        for _ in range(1_500):
+            address = rng.getrandbits(32)
+            assert table.lookup(address) == trie.lookup(address)
+
+    def test_delete_absent_is_free(self):
+        assert MultibitTrie().delete(Prefix.parse("10.0.0.0/8")) == 0
+
+
+class TestAccounting:
+    def test_memory_grows_with_structure(self):
+        small = MultibitTrie([(Prefix.parse("10.0.0.0/8"), 1)])
+        deep = MultibitTrie([(Prefix.parse("10.1.2.3/32"), 1)])
+        assert deep.memory_slots() > small.memory_slots()
+        assert deep.node_count == 4

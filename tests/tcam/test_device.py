@@ -1,0 +1,175 @@
+"""Tests for the TCAM chip model."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.tcam.device import (
+    MultipleMatchError,
+    Tcam,
+    TcamError,
+)
+from repro.tcam.entry import TcamEntry
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+def entry(pattern, hop=1):
+    return TcamEntry(bits(pattern), hop)
+
+
+class TestEntry:
+    def test_matches(self):
+        assert entry("10").matches(0b10 << 30)
+        assert not entry("10").matches(0b11 << 30)
+
+    def test_str(self):
+        assert "->" in str(entry("1"))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            entry("1").next_hop = 2
+
+
+class TestSearch:
+    def test_first_match_with_encoder(self):
+        chip = Tcam(4, priority_encoder=True)
+        chip.write(0, entry("10", 1))
+        chip.write(1, entry("1", 2))
+        assert chip.search(0b10 << 30).next_hop == 1  # lowest index wins
+
+    def test_encoder_order_dependence(self):
+        # The same entries in the wrong order return the wrong match —
+        # precisely why ordered layouts (and their shifts) exist.
+        chip = Tcam(4, priority_encoder=True)
+        chip.write(0, entry("1", 2))
+        chip.write(1, entry("10", 1))
+        assert chip.search(0b10 << 30).next_hop == 2
+
+    def test_no_encoder_unique_match(self):
+        chip = Tcam(4, priority_encoder=False)
+        chip.write(2, entry("10", 1))
+        assert chip.search(0b10 << 30).next_hop == 1
+
+    def test_no_encoder_multi_match_raises(self):
+        chip = Tcam(4, priority_encoder=False)
+        chip.write(0, entry("1", 1))
+        chip.write(1, entry("10", 2))
+        with pytest.raises(MultipleMatchError):
+            chip.search(0b10 << 30)
+
+    def test_miss_returns_none(self):
+        chip = Tcam(4)
+        chip.write(0, entry("1", 1))
+        assert chip.search(0) is None
+
+    def test_search_range_restricted(self):
+        chip = Tcam(4, priority_encoder=False)
+        chip.write(0, entry("1", 1))
+        assert chip.search(1 << 31, start=1, end=4) is None
+
+    def test_search_counts_activation(self):
+        chip = Tcam(10)
+        chip.search(0)
+        chip.search(0, 2, 7)
+        assert chip.counters.searches == 2
+        assert chip.counters.activated_slots == 10 + 5
+
+    def test_invalid_range(self):
+        with pytest.raises(TcamError):
+            Tcam(4).search(0, 2, 6)
+
+
+class TestMutation:
+    def test_write_and_read(self):
+        chip = Tcam(4)
+        chip.write(3, entry("11", 9))
+        assert chip.read(3).next_hop == 9
+        assert chip.counters.writes == 1
+
+    def test_invalidate(self):
+        chip = Tcam(4)
+        chip.write(0, entry("1"))
+        chip.invalidate(0)
+        assert chip.read(0) is None
+        assert chip.counters.invalidates == 1
+
+    def test_move(self):
+        chip = Tcam(4)
+        chip.write(0, entry("1", 5))
+        chip.move(0, 2)
+        assert chip.read(0) is None
+        assert chip.read(2).next_hop == 5
+        assert chip.counters.moves == 1
+
+    def test_move_from_empty_rejected(self):
+        with pytest.raises(TcamError):
+            Tcam(4).move(0, 1)
+
+    def test_move_onto_occupied_rejected(self):
+        chip = Tcam(4)
+        chip.write(0, entry("0"))
+        chip.write(1, entry("1"))
+        with pytest.raises(TcamError):
+            chip.move(0, 1)
+
+    def test_index_bounds(self):
+        chip = Tcam(4)
+        with pytest.raises(TcamError):
+            chip.write(4, entry("1"))
+        with pytest.raises(TcamError):
+            chip.read(-1)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tcam(0)
+
+
+class TestIntrospection:
+    def test_occupancy_and_entries(self):
+        chip = Tcam(4)
+        chip.write(1, entry("0", 1))
+        chip.write(3, entry("1", 2))
+        assert chip.occupancy() == 2
+        assert [e.next_hop for e in chip.entries()] == [1, 2]
+        assert chip.occupancy(0, 2) == 1
+
+    def test_counters_snapshot_is_copy(self):
+        chip = Tcam(4)
+        snapshot = chip.counters.snapshot()
+        chip.write(0, entry("1"))
+        assert snapshot.writes == 0
+
+
+class TestRegion:
+    def test_region_offsets(self):
+        chip = Tcam(8)
+        region = chip.region(4, 4)
+        region.write(0, entry("1", 7))
+        assert chip.read(4).next_hop == 7
+        assert region.read(0).next_hop == 7
+
+    def test_region_search_isolated(self):
+        chip = Tcam(8, priority_encoder=False)
+        main = chip.region(0, 4)
+        dred = chip.region(4, 4)
+        main.write(0, entry("1", 1))
+        assert dred.search(1 << 31) is None
+        assert main.search(1 << 31).next_hop == 1
+
+    def test_region_move_and_occupancy(self):
+        chip = Tcam(8)
+        region = chip.region(2, 4)
+        region.write(0, entry("1", 1))
+        region.move(0, 3)
+        assert chip.read(5).next_hop == 1
+        assert region.occupancy() == 1
+
+    def test_region_bounds(self):
+        chip = Tcam(8)
+        with pytest.raises(TcamError):
+            chip.region(6, 4)
+        region = chip.region(0, 4)
+        with pytest.raises(TcamError):
+            region.write(4, entry("1"))

@@ -1,0 +1,58 @@
+"""Tests for the TCAM timing and power models."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.tcam.device import Tcam
+from repro.tcam.entry import TcamEntry
+from repro.tcam.power import PowerModel, power_efficiency_ratio
+from repro.tcam.timing import (
+    CYNSE70256_MHZ,
+    DEFAULT_MOVE_NS,
+    PAPER_COST_MODEL,
+    TcamCostModel,
+)
+
+
+class TestTiming:
+    def test_paper_constant(self):
+        # 1s / 41.5 MHz ≈ 24 ns — the paper's calibration (Section V-A).
+        derived = TcamCostModel.from_frequency_mhz(CYNSE70256_MHZ)
+        assert derived.move_ns == pytest.approx(24.096, abs=0.01)
+        assert PAPER_COST_MODEL.move_ns == DEFAULT_MOVE_NS == 24.0
+
+    def test_update_cost(self):
+        model = TcamCostModel()
+        assert model.update_cost_ns(moves=15) == 15 * 24.0
+        assert model.update_cost_ns(moves=1, writes=1) == 48.0
+
+    def test_search_cost(self):
+        assert TcamCostModel().search_cost_ns(10) == 240.0
+
+    def test_bad_frequency(self):
+        with pytest.raises(ValueError):
+            TcamCostModel.from_frequency_mhz(0)
+
+
+class TestPower:
+    def test_energy_proportional_to_activation(self):
+        chip = Tcam(100)
+        chip.write(0, TcamEntry(Prefix.root(), 1))
+        chip.search(0)                    # full chip: 100 slots
+        chip.search(0, 0, 25)             # one partition: 25 slots
+        model = PowerModel(slot_energy_pj=2.0)
+        assert model.chip_energy_pj(chip) == 2.0 * 125
+
+    def test_total_over_bank(self):
+        chips = [Tcam(10) for _ in range(3)]
+        for chip in chips:
+            chip.search(0)
+        assert PowerModel().total_energy_pj(chips) == 30.0
+
+    def test_partition_efficiency(self):
+        # Searching one of 32 even partitions burns 1/32 the power.
+        assert power_efficiency_ratio(1000, 32000) == pytest.approx(1 / 32)
+
+    def test_efficiency_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            power_efficiency_ratio(10, 0)

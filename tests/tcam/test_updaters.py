@@ -1,0 +1,255 @@
+"""Tests for the three TCAM update strategies.
+
+Every updater must (a) keep lookups correct after arbitrary update
+sequences and (b) respect its own move-count guarantee:
+
+* naive: O(n) worst case, full order maintained;
+* PLO: ≤ 32 moves, partial (length) order maintained;
+* CLUE: ≤ 1 move, disjoint entries only.
+"""
+
+import random
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.tcam.device import Tcam
+from repro.tcam.update_base import DuplicatePrefixError, RegionFullError
+from repro.tcam.update_clue import ClueUpdater, OverlapError
+from repro.tcam.update_naive import NaiveUpdater
+from repro.tcam.update_plo import PloUpdater
+from repro.trie.trie import BinaryTrie
+from tests.conftest import random_routes
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+def make(updater_cls, capacity=256, encoder=True):
+    chip = Tcam(capacity, priority_encoder=encoder)
+    return chip, updater_cls(chip.region(0, capacity))
+
+
+def random_disjoint(rng, count, length=10):
+    values = rng.sample(range(1 << length), count)
+    return [(Prefix(v, length), rng.randint(1, 5)) for v in values]
+
+
+def check_against_reference(region, reference, rng, samples=150):
+    trie = BinaryTrie.from_routes(reference.items())
+    for _ in range(samples):
+        address = rng.randrange(1 << 32)
+        hit = region.search(address)
+        assert (hit.next_hop if hit else None) == trie.lookup(address)
+
+
+@pytest.mark.parametrize(
+    "updater_cls,encoder,disjoint_only",
+    [
+        (NaiveUpdater, True, False),
+        (PloUpdater, True, False),
+        (ClueUpdater, False, True),
+    ],
+)
+class TestCorrectnessUnderChurn:
+    def test_random_sequences(self, updater_cls, encoder, disjoint_only):
+        rng = random.Random(11)
+        for trial in range(8):
+            chip, updater = make(updater_cls, 400, encoder)
+            reference = {}
+            for _ in range(120):
+                if disjoint_only:
+                    candidates = random_disjoint(rng, 1)
+                else:
+                    candidates = random_routes(rng, 1, max_len=10)
+                if not candidates:
+                    continue
+                prefix, hop = candidates[0]
+                action = rng.random()
+                if prefix in reference and action < 0.4:
+                    result = updater.delete(prefix)
+                    assert result.found
+                    del reference[prefix]
+                elif prefix in reference:
+                    updater.modify(prefix, hop)
+                    reference[prefix] = hop
+                else:
+                    if disjoint_only and any(
+                        prefix.overlaps(other) for other in reference
+                    ):
+                        continue
+                    updater.insert(prefix, hop)
+                    reference[prefix] = hop
+                assert len(updater) == len(reference)
+                assert updater.region.occupancy() == len(reference)
+            check_against_reference(updater.region, reference, rng)
+
+    def test_delete_missing(self, updater_cls, encoder, disjoint_only):
+        _, updater = make(updater_cls, 16, encoder)
+        assert not updater.delete(bits("1")).found
+
+    def test_duplicate_insert_rejected(self, updater_cls, encoder, disjoint_only):
+        _, updater = make(updater_cls, 16, encoder)
+        updater.insert(bits("10"), 1)
+        with pytest.raises(DuplicatePrefixError):
+            updater.insert(bits("10"), 2)
+
+    def test_full_region_rejected(self, updater_cls, encoder, disjoint_only):
+        _, updater = make(updater_cls, 2, encoder)
+        updater.insert(bits("00"), 1)
+        updater.insert(bits("01"), 1)
+        with pytest.raises(RegionFullError):
+            updater.insert(bits("10"), 1)
+
+    def test_modify_missing(self, updater_cls, encoder, disjoint_only):
+        _, updater = make(updater_cls, 16, encoder)
+        assert not updater.modify(bits("1"), 2).found
+
+    def test_apply_dispatch(self, updater_cls, encoder, disjoint_only):
+        _, updater = make(updater_cls, 16, encoder)
+        updater.apply(bits("01"), 1)          # insert
+        updater.apply(bits("01"), 2)          # modify
+        assert updater.region.search(0b01 << 30).next_hop == 2
+        updater.apply(bits("01"), None)       # delete
+        assert len(updater) == 0
+
+
+class TestNaiveSpecifics:
+    def test_full_order_maintained(self, rng):
+        _, updater = make(NaiveUpdater, 64)
+        for prefix, hop in random_routes(rng, 30, max_len=12):
+            if prefix not in updater:
+                updater.insert(prefix, hop)
+        lengths = [entry.prefix.length for entry in updater.entries()]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_insert_at_top_is_linear(self):
+        chip, updater = make(NaiveUpdater, 64)
+        for value in range(10):
+            updater.insert(Prefix(value, 8), 1)
+        before = chip.counters.moves
+        updater.insert(Prefix(0, 16), 1)  # longest: shifts everything
+        assert chip.counters.moves - before == 10
+
+    def test_delete_compacts(self):
+        chip, updater = make(NaiveUpdater, 64)
+        for value in range(5):
+            updater.insert(Prefix(value, 8), 1)
+        updater.delete(Prefix(0, 8))
+        assert updater.region.occupancy() == 4
+        # entries stay contiguous from slot 0
+        assert all(updater.region.read(i) is not None for i in range(4))
+
+
+class TestPloSpecifics:
+    def test_move_bound(self):
+        rng = random.Random(5)
+        chip, updater = make(PloUpdater, 2048)
+        live = []
+        worst = 0
+        for _ in range(800):
+            before = chip.counters.moves
+            if live and rng.random() < 0.4:
+                prefix = live.pop(rng.randrange(len(live)))
+                updater.delete(prefix)
+            else:
+                length = rng.randint(1, 32)
+                prefix = Prefix(rng.getrandbits(length), length)
+                if prefix in updater:
+                    continue
+                updater.insert(prefix, 1)
+                live.append(prefix)
+            worst = max(worst, chip.counters.moves - before)
+        assert worst <= 33
+
+    def test_partial_order_maintained(self):
+        rng = random.Random(6)
+        _, updater = make(PloUpdater, 512)
+        for _ in range(200):
+            length = rng.randint(1, 32)
+            prefix = Prefix(rng.getrandbits(length), length)
+            if prefix not in updater:
+                updater.insert(prefix, 1)
+        lengths = [entry.prefix.length for entry in updater.entries()]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_entries_packed_from_zero(self):
+        rng = random.Random(7)
+        _, updater = make(PloUpdater, 128)
+        inserted = []
+        for _ in range(40):
+            length = rng.randint(1, 16)
+            prefix = Prefix(rng.getrandbits(length), length)
+            if prefix not in updater:
+                updater.insert(prefix, 1)
+                inserted.append(prefix)
+        for prefix in inserted[::2]:
+            updater.delete(prefix)
+        occupancy = updater.region.occupancy()
+        assert all(
+            updater.region.read(offset) is not None
+            for offset in range(occupancy)
+        )
+
+    def test_insert_moves_equal_nonempty_groups_below(self):
+        chip, updater = make(PloUpdater, 128)
+        updater.insert(Prefix(0, 8), 1)
+        updater.insert(Prefix(0, 12), 1)
+        updater.insert(Prefix(0, 16), 1)
+        before = chip.counters.moves
+        updater.insert(Prefix(1, 16), 1)  # two non-empty groups below /16
+        assert chip.counters.moves - before == 2
+
+
+class TestClueSpecifics:
+    def test_at_most_one_move(self):
+        rng = random.Random(8)
+        chip, updater = make(ClueUpdater, 512, encoder=False)
+        live = random_disjoint(rng, 200)
+        for prefix, hop in live:
+            before = chip.counters.moves
+            updater.insert(prefix, hop)
+            assert chip.counters.moves == before
+        for prefix, _hop in rng.sample(live, 100):
+            before = chip.counters.moves
+            updater.delete(prefix)
+            assert chip.counters.moves - before <= 1
+
+    def test_overlap_rejected_both_directions(self):
+        _, updater = make(ClueUpdater, 16, encoder=False)
+        updater.insert(bits("10"), 1)
+        with pytest.raises(OverlapError):
+            updater.insert(bits("1"), 2)  # would cover a stored entry
+        with pytest.raises(OverlapError):
+            updater.insert(bits("101"), 2)  # stored entry covers it
+
+    def test_overlap_allowed_after_delete(self):
+        _, updater = make(ClueUpdater, 16, encoder=False)
+        updater.insert(bits("10"), 1)
+        updater.delete(bits("10"))
+        updater.insert(bits("1"), 2)  # fine now
+        assert len(updater) == 1
+
+    def test_enforcement_can_be_disabled(self):
+        chip = Tcam(16, priority_encoder=True)
+        updater = ClueUpdater(chip.region(0, 16), enforce_disjoint=False)
+        updater.insert(bits("1"), 1)
+        updater.insert(bits("10"), 2)  # no complaint (encoder present)
+
+    def test_delete_swaps_last_into_hole(self):
+        chip, updater = make(ClueUpdater, 16, encoder=False)
+        updater.insert(bits("00"), 1)
+        updater.insert(bits("01"), 2)
+        updater.insert(bits("10"), 3)
+        updater.delete(bits("00"))
+        # last entry (10) moved into slot 0; region stays packed
+        assert updater.region.read(0).prefix == bits("10")
+        assert updater.region.read(2) is None
+
+    def test_positions_tracked(self):
+        _, updater = make(ClueUpdater, 16, encoder=False)
+        updater.insert(bits("00"), 1)
+        updater.insert(bits("01"), 2)
+        updater.delete(bits("00"))
+        assert updater.position_of(bits("01")) == 0

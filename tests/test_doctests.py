@@ -1,0 +1,30 @@
+"""Run the doctest examples embedded in the public API's docstrings.
+
+Documentation that executes is documentation that stays true; every
+module whose docstrings carry ``>>>`` examples is checked here.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES_WITH_EXAMPLES = [
+    "repro.net.prefix",
+    "repro.trie.trie",
+    "repro.compress.onrtc",
+    "repro.tcam.device",
+    "repro.engine.dred",
+    "repro.swlookup.multibit",
+    "repro.workload.trafficgen",
+    "repro.partition.even",
+    "repro.core.system",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_EXAMPLES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module_name} lost its examples"
+    assert results.failed == 0

@@ -1,0 +1,54 @@
+"""Tests for leaf pushing (the classical overlap eliminator)."""
+
+from repro.compress.verify import forwarding_equal, is_disjoint_table
+from repro.net.prefix import Prefix
+from repro.trie.leafpush import expansion_ratio, leaf_push, leaf_pushed_routes
+from repro.trie.trie import BinaryTrie
+from tests.conftest import random_routes
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+def test_output_is_disjoint(rng):
+    for _ in range(30):
+        trie = BinaryTrie.from_routes(random_routes(rng, 12, max_len=8))
+        assert leaf_push(trie).is_disjoint()
+
+
+def test_forwarding_equivalent(rng):
+    for _ in range(30):
+        trie = BinaryTrie.from_routes(random_routes(rng, 10, max_len=7))
+        assert forwarding_equal(trie, leaf_push(trie))
+
+
+def test_paper_figure2_shape():
+    # p = 1* with child q = 100* having a different hop: pushing splits p.
+    trie = BinaryTrie.from_routes([(bits("1"), 1), (bits("100"), 2)])
+    pushed = leaf_pushed_routes(trie)
+    assert pushed[bits("100")] == 2
+    assert pushed[bits("101")] == 1
+    assert pushed[bits("11")] == 1
+    assert bits("1") not in pushed
+
+
+def test_expansion_ratio_grows_with_punchouts():
+    redundant = BinaryTrie.from_routes([(bits("1"), 1), (bits("11"), 1)])
+    fragmenting = BinaryTrie.from_routes([(bits("1"), 1), (bits("1111"), 2)])
+    assert expansion_ratio(redundant) <= 1.0
+    assert expansion_ratio(fragmenting) > 1.0
+
+
+def test_expansion_ratio_empty_trie():
+    assert expansion_ratio(BinaryTrie()) == 1.0
+
+
+def test_disjoint_input_is_fixed_point():
+    trie = BinaryTrie.from_routes([(bits("00"), 1), (bits("01"), 2)])
+    assert leaf_pushed_routes(trie) == trie.as_dict()
+
+
+def test_real_tables_expand(small_trie):
+    # The motivation for ONRTC: plain leaf pushing inflates real tables.
+    assert expansion_ratio(small_trie) > 1.0

@@ -1,0 +1,109 @@
+"""Tests for trie walks: regions, subtree routes, covering routes."""
+
+from repro.net.prefix import ADDRESS_SPACE, Prefix
+from repro.trie.traversal import (
+    covering_route,
+    iter_nodes,
+    iter_regions,
+    routed_subtree_sizes,
+    subtree_routes,
+)
+from repro.trie.trie import BinaryTrie
+from tests.conftest import random_routes
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+class TestIterRegions:
+    def test_regions_partition_the_space(self, rng):
+        for _ in range(20):
+            trie = BinaryTrie.from_routes(random_routes(rng, 12, max_len=8))
+            regions = list(iter_regions(trie))
+            total = sum(prefix.size for prefix, _ in regions)
+            assert total == ADDRESS_SPACE
+            ordered = sorted(regions, key=lambda r: r[0].network)
+            for (a, _), (b, _) in zip(ordered, ordered[1:]):
+                assert a.broadcast < b.network  # pairwise disjoint
+
+    def test_region_hops_match_lpm(self, rng):
+        for _ in range(20):
+            trie = BinaryTrie.from_routes(random_routes(rng, 10, max_len=7))
+            for prefix, hop in iter_regions(trie):
+                assert trie.lookup(prefix.network) == hop
+                assert trie.lookup(prefix.broadcast) == hop
+
+    def test_empty_trie_single_region(self):
+        regions = list(iter_regions(BinaryTrie()))
+        assert regions == [(Prefix.root(), None)]
+
+    def test_single_route(self):
+        trie = BinaryTrie.from_routes([(bits("1"), 5)])
+        regions = dict(iter_regions(trie))
+        assert regions[bits("1")] == 5
+        assert regions[bits("0")] is None
+
+
+class TestIterNodes:
+    def test_prefixes_match_paths(self):
+        trie = BinaryTrie.from_routes([(bits("10"), 1), (bits("0"), 2)])
+        seen = {prefix for _, prefix in iter_nodes(trie)}
+        assert seen == {
+            Prefix.root(), bits("0"), bits("1"), bits("10"),
+        }
+
+    def test_node_count_matches(self, rng):
+        trie = BinaryTrie.from_routes(random_routes(rng, 15, max_len=9))
+        assert len(list(iter_nodes(trie))) == trie.node_count()
+
+
+class TestSubtreeSizes:
+    def test_counts(self):
+        trie = BinaryTrie.from_routes(
+            [(bits("0"), 1), (bits("00"), 2), (bits("1"), 3)]
+        )
+        sizes = dict(routed_subtree_sizes(trie))
+        assert sizes[Prefix.root()] == 3
+        assert sizes[bits("0")] == 2
+        assert sizes[bits("00")] == 1
+        assert sizes[bits("1")] == 1
+
+    def test_postorder(self):
+        trie = BinaryTrie.from_routes([(bits("00"), 1)])
+        order = [prefix for prefix, _ in routed_subtree_sizes(trie)]
+        assert order.index(bits("00")) < order.index(bits("0"))
+        assert order[-1] == Prefix.root()
+
+
+class TestSubtreeRoutes:
+    def test_collects_descendants(self):
+        trie = BinaryTrie.from_routes(
+            [(bits("1"), 1), (bits("10"), 2), (bits("11"), 3), (bits("0"), 4)]
+        )
+        collected = dict(subtree_routes(trie, bits("1")))
+        assert collected == {bits("1"): 1, bits("10"): 2, bits("11"): 3}
+
+    def test_absent_path(self):
+        trie = BinaryTrie.from_routes([(bits("0"), 1)])
+        assert subtree_routes(trie, bits("11")) == []
+
+    def test_root_collects_everything(self, rng):
+        routes = dict(random_routes(rng, 20, max_len=8))
+        trie = BinaryTrie.from_routes(routes.items())
+        assert dict(subtree_routes(trie, Prefix.root())) == routes
+
+
+class TestCoveringRoute:
+    def test_finds_longest_ancestor(self):
+        trie = BinaryTrie.from_routes([(bits("1"), 1), (bits("10"), 2)])
+        assert covering_route(trie, bits("101")) == (bits("10"), 2)
+        assert covering_route(trie, bits("11")) == (bits("1"), 1)
+
+    def test_self_counts(self):
+        trie = BinaryTrie.from_routes([(bits("10"), 2)])
+        assert covering_route(trie, bits("10")) == (bits("10"), 2)
+
+    def test_none_when_uncovered(self):
+        trie = BinaryTrie.from_routes([(bits("10"), 2)])
+        assert covering_route(trie, bits("0")) is None

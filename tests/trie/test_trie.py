@@ -1,0 +1,206 @@
+"""Unit tests for the binary trie."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.prefix import Prefix
+from repro.trie.trie import BinaryTrie
+from tests.conftest import random_routes
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+class TestBasicMapping:
+    def test_insert_and_get(self):
+        trie = BinaryTrie()
+        assert trie.insert(bits("10"), 7)
+        assert trie.get(bits("10")) == 7
+
+    def test_insert_overwrite_returns_false(self):
+        trie = BinaryTrie()
+        trie.insert(bits("10"), 7)
+        assert not trie.insert(bits("10"), 8)
+        assert trie.get(bits("10")) == 8
+        assert len(trie) == 1
+
+    def test_insert_rejects_none_hop(self):
+        with pytest.raises(ValueError):
+            BinaryTrie().insert(bits("1"), None)
+
+    def test_delete(self):
+        trie = BinaryTrie.from_routes([(bits("10"), 1)])
+        assert trie.delete(bits("10"))
+        assert trie.get(bits("10")) is None
+        assert len(trie) == 0
+
+    def test_delete_missing_returns_false(self):
+        assert not BinaryTrie().delete(bits("10"))
+
+    def test_delete_structural_node_returns_false(self):
+        trie = BinaryTrie.from_routes([(bits("101"), 1)])
+        assert not trie.delete(bits("10"))  # structural only
+
+    def test_contains(self):
+        trie = BinaryTrie.from_routes([(bits("1"), 1)])
+        assert bits("1") in trie
+        assert bits("0") not in trie
+
+    def test_len_tracks_routes(self):
+        trie = BinaryTrie()
+        trie.insert(bits("0"), 1)
+        trie.insert(bits("1"), 2)
+        trie.insert(bits("11"), 3)
+        assert len(trie) == 3
+        trie.delete(bits("11"))
+        assert len(trie) == 2
+
+
+class TestLookup:
+    def test_longest_prefix_wins(self):
+        trie = BinaryTrie.from_routes([(bits("1"), 1), (bits("100"), 2)])
+        assert trie.lookup(0b100 << 29) == 2
+        assert trie.lookup(0b111 << 29) == 1
+
+    def test_no_match(self):
+        trie = BinaryTrie.from_routes([(bits("1"), 1)])
+        assert trie.lookup(0) is None
+
+    def test_default_route(self):
+        trie = BinaryTrie.from_routes([(Prefix.root(), 9)])
+        assert trie.lookup(0) == 9
+        assert trie.lookup((1 << 32) - 1) == 9
+
+    def test_lookup_prefix_returns_match(self):
+        trie = BinaryTrie.from_routes([(bits("1"), 1), (bits("100"), 2)])
+        assert trie.lookup_prefix(0b100 << 29) == (bits("100"), 2)
+        assert trie.lookup_prefix(0b110 << 29) == (bits("1"), 1)
+
+    def test_lookup_prefix_none(self):
+        assert BinaryTrie().lookup_prefix(123) is None
+
+    def test_effective_hop(self):
+        trie = BinaryTrie.from_routes([(bits("1"), 1), (bits("100"), 2)])
+        assert trie.effective_hop(bits("10")) == 1
+        assert trie.effective_hop(bits("100")) == 2
+        assert trie.effective_hop(bits("1000")) == 2
+        assert trie.effective_hop(bits("0")) is None
+
+    def test_lookup_agrees_with_linear_scan(self, rng):
+        routes = random_routes(rng, 40, max_len=12)
+        trie = BinaryTrie.from_routes(routes)
+        for _ in range(300):
+            address = rng.randrange(1 << 32)
+            best = None
+            for prefix, hop in routes:
+                if prefix.contains_address(address):
+                    if best is None or prefix.length > best[0].length:
+                        best = (prefix, hop)
+            assert trie.lookup(address) == (best[1] if best else None)
+
+
+class TestPruning:
+    def test_delete_prunes_leaf_chain(self):
+        trie = BinaryTrie()
+        trie.insert(bits("10101"), 1)
+        assert trie.node_count() == 6
+        trie.delete(bits("10101"))
+        assert trie.node_count() == 1  # only the root remains
+
+    def test_delete_keeps_needed_structure(self):
+        trie = BinaryTrie.from_routes([(bits("10101"), 1), (bits("10"), 2)])
+        trie.delete(bits("10101"))
+        assert trie.node_count() == 3  # root, 1, 10
+        assert trie.get(bits("10")) == 2
+
+    def test_remove_route_reports_pruned(self):
+        trie = BinaryTrie.from_routes([(bits("10101"), 1), (bits("10"), 2)])
+        survivor, pruned = trie.remove_route(bits("10101"))
+        assert len(pruned) == 3  # 101, 1010, 10101
+        assert survivor is trie.find_node(bits("10"))
+
+    def test_remove_route_absent(self):
+        assert BinaryTrie().remove_route(bits("1")) is None
+
+    def test_delete_internal_route_keeps_node(self):
+        trie = BinaryTrie.from_routes([(bits("1"), 1), (bits("11"), 2)])
+        trie.delete(bits("1"))
+        assert trie.get(bits("11")) == 2
+        assert trie.lookup(0b10 << 30) is None
+
+
+class TestIteration:
+    def test_routes_in_address_order(self, rng):
+        routes = random_routes(rng, 30, max_len=10)
+        trie = BinaryTrie.from_routes(routes)
+        listed = trie.prefixes()
+        assert listed == sorted(listed, key=lambda p: p.sort_key())
+        assert set(listed) == {p for p, _ in routes}
+
+    def test_as_dict_round_trip(self, rng):
+        routes = dict(random_routes(rng, 25, max_len=8))
+        trie = BinaryTrie.from_routes(routes.items())
+        assert trie.as_dict() == routes
+
+    def test_next_hops(self):
+        trie = BinaryTrie.from_routes([(bits("0"), 3), (bits("1"), 1)])
+        assert trie.next_hops() == [1, 3]
+
+    def test_copy_is_independent(self):
+        trie = BinaryTrie.from_routes([(bits("0"), 1)])
+        clone = trie.copy()
+        clone.insert(bits("1"), 2)
+        assert len(trie) == 1 and len(clone) == 2
+
+
+class TestOverlapStructure:
+    def test_disjoint_true(self):
+        trie = BinaryTrie.from_routes([(bits("00"), 1), (bits("01"), 2)])
+        assert trie.is_disjoint()
+        assert trie.overlap_count() == 0
+
+    def test_disjoint_false(self):
+        trie = BinaryTrie.from_routes([(bits("0"), 1), (bits("01"), 2)])
+        assert not trie.is_disjoint()
+        assert trie.overlap_count() == 1
+
+    def test_overlap_count_nested_chain(self):
+        trie = BinaryTrie.from_routes(
+            [(bits("1"), 1), (bits("11"), 2), (bits("111"), 3)]
+        )
+        assert trie.overlap_count() == 2
+
+    def test_empty_trie_is_disjoint(self):
+        assert BinaryTrie().is_disjoint()
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 6).flatmap(
+                lambda length: st.tuples(
+                    st.integers(0, (1 << length) - 1 if length else 0),
+                    st.just(length),
+                )
+            ),
+            st.integers(1, 4),
+        ),
+        max_size=20,
+    )
+)
+def test_insert_delete_round_trip(entries):
+    """Inserting then deleting everything restores an empty trie."""
+    trie = BinaryTrie()
+    routes = {}
+    for (value, length), hop in entries:
+        routes[Prefix(value, length)] = hop
+        trie.insert(Prefix(value, length), hop)
+    assert trie.as_dict() == routes
+    for prefix in list(routes):
+        assert trie.delete(prefix)
+    assert len(trie) == 0
+    assert trie.node_count() == 1

@@ -1,0 +1,89 @@
+"""Tests for the TTF3 stage DRed updaters."""
+
+from repro.compress.onrtc import TableDiff
+from repro.engine.dred import DredCache
+from repro.net.prefix import Prefix
+from repro.trie.trie import BinaryTrie
+from repro.update.dred_update import ClplDredUpdater, ClueDredUpdater
+from repro.workload.updategen import UpdateKind, UpdateMessage
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+def announce(pattern, hop):
+    return UpdateMessage(UpdateKind.ANNOUNCE, bits(pattern), hop, 0.0)
+
+
+def withdraw(pattern):
+    return UpdateMessage(UpdateKind.WITHDRAW, bits(pattern), None, 0.0)
+
+
+def banks(count=4, exclude_own=True):
+    return [DredCache(64, index, exclude_own) for index in range(count)]
+
+
+class TestClueDredUpdater:
+    def test_flat_single_op_no_sram(self):
+        updater = ClueDredUpdater(banks())
+        diff = TableDiff(adds=[(bits("1"), 1)])
+        outcome = updater.apply(announce("1", 1), diff)
+        assert outcome.sram_accesses == 0
+        assert outcome.tcam_ops == 1
+
+    def test_removed_entries_probed(self):
+        caches = banks()
+        for cache in caches:
+            cache.insert(bits("10"), 1, owner=(cache.chip_index + 1) % 4)
+        updater = ClueDredUpdater(caches)
+        diff = TableDiff(removes=[(bits("10"), 1)])
+        outcome = updater.apply(withdraw("10"), diff)
+        assert outcome.entries_removed == 4
+        assert all(bits("10") not in cache for cache in caches)
+
+    def test_delete_absent_does_nothing(self):
+        updater = ClueDredUpdater(banks())
+        outcome = updater.apply(
+            withdraw("10"), TableDiff(removes=[(bits("10"), 1)])
+        )
+        assert outcome.entries_removed == 0
+        assert outcome.tcam_ops == 1
+
+    def test_without_diff_probes_withdrawn_prefix(self):
+        caches = banks()
+        caches[0].insert(bits("10"), 1, owner=1)
+        updater = ClueDredUpdater(caches)
+        outcome = updater.apply(withdraw("10"), None)
+        assert outcome.entries_removed == 1
+
+
+class TestClplDredUpdater:
+    def test_sram_walk_charged(self):
+        reference = BinaryTrie.from_routes([(bits("10101010"), 1)])
+        updater = ClplDredUpdater(reference, banks(exclude_own=False))
+        outcome = updater.apply(announce("10101010", 2))
+        assert outcome.sram_accesses >= bits("10101010").length + 1
+
+    def test_overlapping_expansions_invalidated(self):
+        reference = BinaryTrie.from_routes([(bits("1"), 1)])
+        caches = banks(exclude_own=False)
+        for cache in caches:
+            cache.insert(bits("100"), 1, owner=0)   # a cached expansion
+            cache.insert(bits("0"), 2, owner=0)     # unrelated
+        updater = ClplDredUpdater(reference, caches)
+        outcome = updater.apply(announce("10", 3))
+        assert outcome.entries_removed == 4  # 100* from each cache
+        for cache in caches:
+            assert bits("0") in cache
+            assert bits("100") not in cache
+
+    def test_cost_scales_with_damage(self):
+        reference = BinaryTrie.from_routes([(bits("1"), 1)])
+        caches = banks(exclude_own=False)
+        for cache in caches:
+            for value in range(8):
+                cache.insert(Prefix((1 << 3) | value, 4), 1, owner=0)
+        updater = ClplDredUpdater(reference, caches)
+        outcome = updater.apply(withdraw("1"))
+        assert outcome.tcam_ops == outcome.entries_removed == 32

@@ -1,0 +1,137 @@
+"""End-to-end tests of the TTF pipelines — the paper's update story."""
+
+import pytest
+
+from repro.compress.verify import is_disjoint_table
+from repro.tcam.device import MultipleMatchError
+from repro.update.pipeline import (
+    ClplUpdatePipeline,
+    ClueUpdatePipeline,
+    default_dred_banks,
+)
+from repro.update.ttf import UpdateCostModel
+from repro.workload.updategen import UpdateGenerator, UpdateParameters
+
+STRUCTURAL_MIX = UpdateParameters(
+    modify_fraction=0.0,
+    new_prefix_fraction=0.5,
+    withdraw_fraction=0.5,
+)
+
+
+@pytest.fixture(scope="module")
+def reports(small_rib_module):
+    routes = small_rib_module
+    clue = ClueUpdatePipeline(
+        routes, dred_banks=default_dred_banks(4, 512, True)
+    )
+    clpl = ClplUpdatePipeline(
+        routes, dred_banks=default_dred_banks(4, 512, False)
+    )
+    # Warm the DRed banks so TTF3 maintenance has something to invalidate.
+    for prefix, hop in routes[:800]:
+        for bank in clue.dred_stage.caches:
+            bank.insert(prefix, hop, owner=(bank.chip_index + 1) % 4)
+        for bank in clpl.dred_stage.caches:
+            bank.insert(prefix, hop, owner=bank.chip_index)
+    messages = UpdateGenerator(
+        routes, seed=11, parameters=STRUCTURAL_MIX
+    ).take(600)
+    return clue.run(messages), clpl.run(messages), clue, clpl
+
+
+@pytest.fixture(scope="module")
+def small_rib_module():
+    from repro.workload.ribgen import RibParameters, generate_rib
+
+    return generate_rib(42, RibParameters(size=2_000))
+
+
+class TestRelativePerformance:
+    def test_ttf2_clue_is_order_of_magnitude_better(self, reports):
+        clue, clpl, *_ = reports
+        assert clpl.ttf2().mean_us / clue.ttf2().mean_us > 3.0
+
+    def test_ttf3_clue_flat_and_small(self, reports):
+        clue, clpl, *_ = reports
+        assert clue.ttf3().mean_us < 0.06
+        assert clpl.ttf3().mean_us / clue.ttf3().mean_us > 3.0
+
+    def test_ttf1_clue_a_little_longer(self, reports):
+        clue, clpl, *_ = reports
+        assert clue.ttf1().mean_us > clpl.ttf1().mean_us
+        assert clue.ttf1().mean_us < 10 * clpl.ttf1().mean_us
+
+    def test_total_ttf_clpl_much_larger(self, reports):
+        """Figure 14: total TTF of CLPL ≈ 2.3× CLUE's."""
+        clue, clpl, *_ = reports
+        assert clpl.total().mean_us / clue.total().mean_us > 1.5
+
+    def test_clpl_ttf2_in_paper_band(self, reports):
+        """Figure 11: the PLO layout averages ~15 shifts ≈ 0.36 µs."""
+        _, clpl, *_ = reports
+        assert 0.15 <= clpl.ttf2().mean_us <= 0.8
+
+    def test_clue_parallel_23_reading(self, reports):
+        clue, clpl, *_ = reports
+        for sample in clue.samples[:50]:
+            assert sample.ttf23_us == max(sample.ttf2_us, sample.ttf3_us)
+        for sample in clpl.samples[:50]:
+            assert sample.ttf23_us == sample.ttf2_us + sample.ttf3_us
+
+
+class TestStructuralInvariants:
+    def test_tcams_match_tables(self, reports):
+        *_, clue, clpl = reports
+        assert clue.tcam_matches_table()
+        assert clpl.tcam_matches_table()
+
+    def test_clue_tcam_stays_disjoint_and_encoderless(self, reports):
+        *_, clue, _clpl = reports
+        stored = {
+            entry.prefix: entry.next_hop
+            for entry in clue.tcam_stage.updater.entries()
+        }
+        assert is_disjoint_table(stored)
+        # An encoder-less search across the whole chip never multi-matches.
+        for prefix in list(stored)[:200]:
+            try:
+                hit = clue.tcam_stage.device.search(prefix.network)
+            except MultipleMatchError:  # pragma: no cover - failure path
+                pytest.fail("CLUE TCAM produced a multi-match")
+            assert hit is not None and hit.next_hop == stored[prefix]
+
+    def test_lookups_correct_after_churn(self, reports, rng):
+        *_, clue, clpl = reports
+        reference = clue.trie_stage.table.source
+        plo_reference = clpl.trie_stage.trie
+        for _ in range(300):
+            address = rng.randrange(1 << 32)
+            expected_clpl = plo_reference.lookup(address)
+            hit = clpl.tcam_stage.device.search(address)
+            assert (hit.next_hop if hit else None) == expected_clpl
+            expected_clue = reference.lookup(address)
+            if expected_clue is not None:
+                hit = clue.tcam_stage.device.search(address)
+                assert hit is not None and hit.next_hop == expected_clue
+
+    def test_totals_accumulate(self, reports):
+        *_, clue, clpl = reports
+        assert clue.totals.updates == clpl.totals.updates == 600
+        assert clpl.totals.tcam_moves > clue.totals.tcam_moves
+        assert clpl.totals.sram_accesses > 0
+        assert clue.totals.sram_accesses == 0
+
+
+class TestCostModel:
+    def test_model_conversions(self):
+        model = UpdateCostModel()
+        assert model.trie_us(10) == pytest.approx(0.05)
+        assert model.tcam_us(moves=1) == pytest.approx(0.024)
+        assert model.dred_us(10, 1) == pytest.approx(0.094)
+
+    def test_report_windows(self, reports):
+        clue, *_ = reports
+        windows = clue.windowed(lambda s: s.total_us, window_seconds=0.05)
+        assert windows
+        assert sum(window.count for window in windows) == len(clue)

@@ -1,0 +1,82 @@
+"""Tests for the TTF2 stage TCAM mirrors."""
+
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import OnrtcTable
+from repro.net.prefix import Prefix
+from repro.update.tcam_update import ClueTcamMirror, PloTcamMirror
+from repro.workload.updategen import UpdateGenerator, UpdateKind, UpdateMessage
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+class TestPloMirror:
+    def test_tracks_table(self, small_rib):
+        mirror = PloTcamMirror(small_rib[:500])
+        shadow = dict(small_rib[:500])
+        for message in UpdateGenerator(small_rib[:500], seed=1).take(200):
+            mirror.apply(message)
+            if message.kind is UpdateKind.ANNOUNCE:
+                shadow[message.prefix] = message.next_hop
+            else:
+                shadow.pop(message.prefix, None)
+        stored = {e.prefix: e.next_hop for e in mirror.updater.entries()}
+        assert stored == shadow
+
+    def test_structural_updates_cost_many_moves(self, small_rib):
+        """The ~15-shift average behind Figure 11's 0.36 µs."""
+        mirror = PloTcamMirror(small_rib)
+        moves = 0
+        count = 0
+        from repro.workload.updategen import UpdateParameters
+
+        params = UpdateParameters(
+            modify_fraction=0.0,
+            new_prefix_fraction=0.5,
+            withdraw_fraction=0.5,
+        )
+        for message in UpdateGenerator(
+            small_rib, seed=2, parameters=params
+        ).take(300):
+            result = mirror.apply(message)
+            moves += result.moves
+            count += 1
+        assert 5 < moves / count < 33
+
+    def test_modify_in_place_is_free(self):
+        mirror = PloTcamMirror([(bits("10"), 1)])
+        result = mirror.apply(
+            UpdateMessage(UpdateKind.ANNOUNCE, bits("10"), 2, 0.0)
+        )
+        assert result.moves == 0 and result.writes == 1
+
+
+class TestClueMirror:
+    def test_diff_application_tracks_table(self, small_rib):
+        table = OnrtcTable(small_rib[:500], mode=CompressionMode.DONT_CARE)
+        mirror = ClueTcamMirror(table.routes(), capacity=4_000)
+        for message in UpdateGenerator(small_rib[:500], seed=3).take(200):
+            if message.kind is UpdateKind.ANNOUNCE:
+                diff = table.announce(message.prefix, message.next_hop)
+            else:
+                diff = table.withdraw(message.prefix)
+            mirror.apply_diff(diff)
+        stored = {e.prefix: e.next_hop for e in mirror.updater.entries()}
+        assert stored == table.table
+
+    def test_moves_at_most_one_per_entry_change(self, small_rib):
+        table = OnrtcTable(small_rib[:500], mode=CompressionMode.DONT_CARE)
+        mirror = ClueTcamMirror(table.routes(), capacity=4_000)
+        for message in UpdateGenerator(small_rib[:500], seed=4).take(200):
+            if message.kind is UpdateKind.ANNOUNCE:
+                diff = table.announce(message.prefix, message.next_hop)
+            else:
+                diff = table.withdraw(message.prefix)
+            result = mirror.apply_diff(diff)
+            assert result.moves <= diff.entry_changes
+
+    def test_encoder_free_chip(self, small_rib):
+        table = OnrtcTable(small_rib[:200])
+        mirror = ClueTcamMirror(table.routes())
+        assert not mirror.device.priority_encoder

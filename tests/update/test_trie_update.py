@@ -1,0 +1,82 @@
+"""Tests for the TTF1 stage updaters."""
+
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import compress
+from repro.net.prefix import Prefix
+from repro.trie.trie import BinaryTrie
+from repro.update.trie_update import OnrtcTrieUpdater, PlainTrieUpdater
+from repro.workload.updategen import UpdateGenerator, UpdateKind, UpdateMessage
+
+
+def bits(pattern):
+    return Prefix.from_bits(pattern)
+
+
+def announce(pattern, hop, at=0.0):
+    return UpdateMessage(UpdateKind.ANNOUNCE, bits(pattern), hop, at)
+
+
+def withdraw(pattern, at=0.0):
+    return UpdateMessage(UpdateKind.WITHDRAW, bits(pattern), None, at)
+
+
+class TestPlainUpdater:
+    def test_insert_applies(self):
+        updater = PlainTrieUpdater([])
+        outcome = updater.apply(announce("1010", 3))
+        assert updater.trie.get(bits("1010")) == 3
+        assert outcome.nodes_touched == 5  # root + 4 path nodes
+        assert outcome.diff is None
+
+    def test_withdraw_counts_pruning(self):
+        updater = PlainTrieUpdater([(bits("1010"), 3)])
+        outcome = updater.apply(withdraw("1010"))
+        assert outcome.nodes_touched == 5 + 4  # path + pruned chain
+
+    def test_withdraw_absent(self):
+        updater = PlainTrieUpdater([])
+        outcome = updater.apply(withdraw("1"))
+        assert outcome.nodes_touched == 2
+
+    def test_stream_consistency(self, small_rib):
+        updater = PlainTrieUpdater(small_rib)
+        shadow = BinaryTrie.from_routes(small_rib)
+        for message in UpdateGenerator(small_rib, seed=1).take(400):
+            updater.apply(message)
+            if message.kind is UpdateKind.ANNOUNCE:
+                shadow.insert(message.prefix, message.next_hop)
+            else:
+                shadow.delete(message.prefix)
+        assert updater.trie.as_dict() == shadow.as_dict()
+
+
+class TestOnrtcUpdater:
+    def test_diff_returned(self):
+        updater = OnrtcTrieUpdater([], mode=CompressionMode.STRICT)
+        outcome = updater.apply(announce("10", 1))
+        assert outcome.diff is not None
+        assert (bits("10"), 1) in outcome.diff.adds
+
+    def test_work_exceeds_plain(self, small_rib):
+        """CLUE's TTF1 runs a little longer than ground truth (Figure 10)."""
+        plain = PlainTrieUpdater(small_rib)
+        onrtc = OnrtcTrieUpdater(small_rib)
+        plain_total = 0
+        onrtc_total = 0
+        for message in UpdateGenerator(small_rib, seed=2).take(300):
+            plain_total += plain.apply(message).nodes_touched
+            onrtc_total += onrtc.apply(message).nodes_touched
+        assert onrtc_total > plain_total
+
+    def test_table_tracks_compression(self, small_rib):
+        updater = OnrtcTrieUpdater(small_rib)
+        shadow = BinaryTrie.from_routes(small_rib)
+        for message in UpdateGenerator(small_rib, seed=3).take(150):
+            updater.apply(message)
+            if message.kind is UpdateKind.ANNOUNCE:
+                shadow.insert(message.prefix, message.next_hop)
+            else:
+                shadow.delete(message.prefix)
+        assert updater.table.table == compress(
+            shadow, CompressionMode.DONT_CARE
+        )

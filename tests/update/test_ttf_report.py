@@ -1,0 +1,97 @@
+"""Exact-value tests for the TTF report aggregations."""
+
+import pytest
+
+from repro.update.ttf import (
+    TtfReport,
+    TtfSample,
+    UpdateCostModel,
+    ratio_of_means,
+)
+
+
+def sample(ts, t1, t2, t3, parallel=False):
+    return TtfSample(ts, t1, t2, t3, parallel_23=parallel)
+
+
+class TestSample:
+    def test_serial_23(self):
+        assert sample(0, 0.1, 0.2, 0.3).ttf23_us == pytest.approx(0.5)
+
+    def test_parallel_23(self):
+        assert sample(0, 0.1, 0.2, 0.3, parallel=True).ttf23_us == 0.3
+
+    def test_total(self):
+        assert sample(0, 0.1, 0.2, 0.3).total_us == pytest.approx(0.6)
+        assert sample(0, 0.1, 0.2, 0.3, parallel=True).total_us == pytest.approx(0.4)
+
+
+class TestReport:
+    def test_aggregations(self):
+        report = TtfReport("x")
+        report.add(sample(0.0, 0.1, 0.2, 0.3))
+        report.add(sample(1.0, 0.3, 0.4, 0.1))
+        assert len(report) == 2
+        assert report.ttf1().min_us == pytest.approx(0.1)
+        assert report.ttf1().mean_us == pytest.approx(0.2)
+        assert report.ttf1().max_us == pytest.approx(0.3)
+        assert report.ttf2().mean_us == pytest.approx(0.3)
+        assert report.total().mean_us == pytest.approx(0.7)
+
+    def test_empty_report(self):
+        report = TtfReport("empty")
+        assert report.ttf1().mean_us == 0.0
+        assert report.total().max_us == 0.0
+
+    def test_windowed_means(self):
+        report = TtfReport("w")
+        for timestamp, value in ((0.1, 1.0), (0.2, 3.0), (1.1, 5.0)):
+            report.add(sample(timestamp, value, 0, 0))
+        windows = report.windowed(lambda s: s.ttf1_us, 1.0)
+        assert len(windows) == 2
+        assert windows[0].mean_us == pytest.approx(2.0)
+        assert windows[0].count == 2
+        assert windows[1].mean_us == pytest.approx(5.0)
+        assert windows[1].start_seconds == pytest.approx(1.0)
+
+    def test_windowed_skips_empty_buckets(self):
+        report = TtfReport("gap")
+        report.add(sample(0.1, 1.0, 0, 0))
+        report.add(sample(5.1, 2.0, 0, 0))
+        windows = report.windowed(lambda s: s.ttf1_us, 1.0)
+        assert len(windows) == 2
+        assert sum(window.count for window in windows) == 2
+
+    def test_windowed_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            TtfReport("x").windowed(lambda s: s.ttf1_us, 0)
+
+    def test_unsorted_timestamps_handled(self):
+        report = TtfReport("u")
+        report.add(sample(2.5, 4.0, 0, 0))
+        report.add(sample(0.5, 2.0, 0, 0))
+        windows = report.windowed(lambda s: s.ttf1_us, 1.0)
+        assert [window.mean_us for window in windows] == [2.0, 4.0]
+
+
+class TestCostModel:
+    def test_defaults_match_paper_constants(self):
+        model = UpdateCostModel()
+        assert model.tcam.move_ns == 24.0
+        assert model.tcam_us(moves=15) == pytest.approx(0.36)
+
+    def test_dred_cost_components(self):
+        model = UpdateCostModel(sram_access_ns=10.0)
+        assert model.dred_us(5, 2) == pytest.approx((50 + 48) / 1000)
+
+
+class TestRatioOfMeans:
+    def test_basic(self):
+        assert ratio_of_means([1.0, 3.0], [2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_empty_inputs(self):
+        assert ratio_of_means([], [1.0]) is None
+        assert ratio_of_means([1.0], []) is None
+
+    def test_zero_denominator(self):
+        assert ratio_of_means([1.0], [0.0]) is None

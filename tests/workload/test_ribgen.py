@@ -1,0 +1,81 @@
+"""Tests for the synthetic RIB generator (the RIPE stand-in)."""
+
+import pytest
+
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import compression_report
+from repro.net.prefix import Prefix
+from repro.trie.trie import BinaryTrie
+from repro.workload.ribgen import (
+    DEFAULT_LENGTH_DISTRIBUTION,
+    RibParameters,
+    generate_rib,
+    length_histogram,
+    rib_trie,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_table(self):
+        params = RibParameters(size=500)
+        assert generate_rib(5, params) == generate_rib(5, params)
+
+    def test_different_seeds_differ(self):
+        params = RibParameters(size=500)
+        assert generate_rib(5, params) != generate_rib(6, params)
+
+    def test_rib_trie_matches(self):
+        params = RibParameters(size=300)
+        assert rib_trie(1, params).as_dict() == dict(generate_rib(1, params))
+
+
+class TestShape:
+    def test_requested_size(self):
+        table = generate_rib(1, RibParameters(size=1_000))
+        assert len(table) == 1_000
+
+    def test_no_duplicate_prefixes(self):
+        table = generate_rib(2, RibParameters(size=2_000))
+        assert len({prefix for prefix, _ in table}) == len(table)
+
+    def test_hop_alphabet_bounded(self):
+        params = RibParameters(size=1_000, hop_count=8)
+        hops = {hop for _, hop in generate_rib(3, params)}
+        assert hops <= set(range(8))
+
+    def test_length_histogram_peaks_at_24(self):
+        table = generate_rib(4, RibParameters(size=5_000))
+        histogram = length_histogram(table)
+        assert max(histogram, key=histogram.get) == 24
+        assert min(histogram) >= 8
+
+    def test_default_route_option(self):
+        params = RibParameters(size=100, include_default_route=True)
+        table = dict(generate_rib(1, params))
+        assert Prefix.root() in table
+
+    def test_overlap_present(self):
+        """Real tables overlap (aggregates + more-specifics); the generator
+        must reproduce that or ONRTC has nothing to do."""
+        trie = BinaryTrie.from_routes(generate_rib(1, RibParameters(size=2_000)))
+        assert trie.overlap_count() > 0
+
+    def test_distribution_weights_are_positive(self):
+        assert all(w > 0 for w in DEFAULT_LENGTH_DISTRIBUTION.values())
+
+
+class TestCalibration:
+    @pytest.mark.slow
+    def test_onrtc_ratio_in_paper_band(self):
+        """Figure 8 calibration: don't-care ONRTC lands near the paper's
+        ~71% average on calibrated-scale tables."""
+        ratios = []
+        for seed in (1, 2, 3):
+            trie = BinaryTrie.from_routes(
+                generate_rib(seed, RibParameters(size=20_000))
+            )
+            ratios.append(
+                compression_report(trie, CompressionMode.DONT_CARE).ratio
+            )
+        mean_ratio = sum(ratios) / len(ratios)
+        assert 0.60 <= mean_ratio <= 0.82

@@ -1,0 +1,97 @@
+"""Tests for trace (de)serialisation and the Table I datasets."""
+
+import pytest
+
+from repro.workload.datasets import (
+    DEFAULT_SIZE_SCALE,
+    ROUTERS,
+    router_by_id,
+    router_rib,
+)
+from repro.workload.traces import (
+    TraceFormatError,
+    load_packets,
+    load_table,
+    load_updates,
+    save_packets,
+    save_table,
+    save_updates,
+)
+from repro.workload.updategen import UpdateGenerator
+from repro.workload.trafficgen import TrafficGenerator
+
+
+class TestTableTraces:
+    def test_round_trip(self, tmp_path, small_rib):
+        path = tmp_path / "table.txt"
+        save_table(small_rib[:200], path)
+        assert load_table(path) == small_rib[:200]
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "table.txt"
+        path.write_text("# comment\n\n10.0.0.0/8 3\n")
+        table = load_table(path)
+        assert len(table) == 1 and table[0][1] == 3
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("10.0.0.0/8\n")
+        with pytest.raises(TraceFormatError):
+            load_table(path)
+
+
+class TestUpdateTraces:
+    def test_round_trip(self, tmp_path, small_rib):
+        messages = UpdateGenerator(small_rib, seed=1).take(200)
+        path = tmp_path / "updates.txt"
+        save_updates(messages, path)
+        loaded = load_updates(path)
+        assert len(loaded) == 200
+        for original, restored in zip(messages, loaded):
+            assert original.kind == restored.kind
+            assert original.prefix == restored.prefix
+            assert original.next_hop == restored.next_hop
+            assert original.timestamp == pytest.approx(
+                restored.timestamp, abs=1e-6
+            )
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1.0 frobnicate 10.0.0.0/8\n")
+        with pytest.raises(TraceFormatError):
+            load_updates(path)
+
+
+class TestPacketTraces:
+    def test_round_trip(self, tmp_path, small_rib):
+        addresses = TrafficGenerator(small_rib, seed=2).take(300)
+        path = tmp_path / "packets.txt"
+        save_packets(addresses, path)
+        assert load_packets(path) == addresses
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("999.0.0.1\n")
+        with pytest.raises(TraceFormatError):
+            load_packets(path)
+
+
+class TestDatasets:
+    def test_twelve_routers(self):
+        assert len(ROUTERS) == 12
+        assert len({router.router_id for router in ROUTERS}) == 12
+        assert len({router.seed for router in ROUTERS}) == 12
+
+    def test_lookup_by_id(self):
+        assert router_by_id("rrc01").location == "LINX, London"
+        with pytest.raises(KeyError):
+            router_by_id("rrc99")
+
+    def test_rib_scaled_and_deterministic(self):
+        router = router_by_id("rrc01")
+        table = router_rib(router, size_scale=1 / 256)
+        assert len(table) == max(64, int(router.base_size / 256))
+        assert table == router_rib(router, size_scale=1 / 256)
+
+    def test_default_scale_reasonable(self):
+        assert 0 < DEFAULT_SIZE_SCALE <= 1

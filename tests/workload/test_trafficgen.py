@@ -1,0 +1,73 @@
+"""Tests for the synthetic traffic generator (the CAIDA stand-in)."""
+
+from collections import Counter
+
+from repro.trie.trie import BinaryTrie
+from repro.workload.trafficgen import TrafficGenerator, TrafficParameters
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self, small_rib):
+        first = TrafficGenerator(small_rib, seed=1).take(500)
+        second = TrafficGenerator(small_rib, seed=1).take(500)
+        assert first == second
+
+    def test_different_seed_differs(self, small_rib):
+        assert TrafficGenerator(small_rib, seed=1).take(200) != TrafficGenerator(
+            small_rib, seed=2
+        ).take(200)
+
+
+class TestCoverage:
+    def test_addresses_mostly_covered(self, small_rib, small_trie):
+        """Destinations are drawn from announced prefixes, so the table
+        matches them."""
+        stream = TrafficGenerator(small_rib, seed=3)
+        covered = sum(
+            1 for address in stream.take(1_000)
+            if small_trie.lookup(address) is not None
+        )
+        assert covered == 1_000
+
+    def test_iterator_protocol(self, small_rib):
+        stream = TrafficGenerator(small_rib, seed=4)
+        addresses = [next(stream) for _ in range(10)]
+        assert len(addresses) == 10
+
+    def test_empty_table_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TrafficGenerator([], seed=1)
+
+
+class TestSkewAndLocality:
+    def test_zipf_skew(self, small_rib, small_trie):
+        """Few prefixes should carry most of the traffic (Table II)."""
+        stream = TrafficGenerator(small_rib, seed=5)
+        matches = Counter()
+        for address in stream.take(5_000):
+            match = small_trie.lookup_prefix(address)
+            if match:
+                matches[match[0]] += 1
+        total = sum(matches.values())
+        top = sum(count for _, count in matches.most_common(len(small_rib) // 10))
+        assert top / total > 0.5  # top 10% of prefixes > half the packets
+
+    def test_locality_creates_repeats(self, small_rib):
+        local = TrafficGenerator(
+            small_rib, seed=6,
+            parameters=TrafficParameters(locality=0.95),
+        ).take(2_000)
+        scattered = TrafficGenerator(
+            small_rib, seed=6,
+            parameters=TrafficParameters(locality=0.0),
+        ).take(2_000)
+        assert len(set(local)) < len(set(scattered))
+
+    def test_bursts_reshuffle_working_set(self, small_rib):
+        params = TrafficParameters(burst_length_mean=50.0)
+        stream = TrafficGenerator(small_rib, seed=7, parameters=params)
+        first = set(stream.take(1_000))
+        later = set(stream.take(1_000))
+        assert first != later

@@ -1,0 +1,110 @@
+"""Tests for the synthetic BGP update stream."""
+
+import pytest
+
+from repro.trie.trie import BinaryTrie
+from repro.workload.updategen import (
+    UpdateGenerator,
+    UpdateKind,
+    UpdateMessage,
+    UpdateParameters,
+)
+from repro.net.prefix import Prefix
+
+
+class TestMessage:
+    def test_announce_needs_hop(self):
+        with pytest.raises(ValueError):
+            UpdateMessage(UpdateKind.ANNOUNCE, Prefix.root(), None, 0.0)
+
+    def test_withdraw_carries_no_hop(self):
+        with pytest.raises(ValueError):
+            UpdateMessage(UpdateKind.WITHDRAW, Prefix.root(), 3, 0.0)
+
+
+class TestParameters:
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            UpdateParameters(
+                modify_fraction=0.5,
+                new_prefix_fraction=0.5,
+                withdraw_fraction=0.5,
+            )
+
+
+class TestStreamConsistency:
+    def test_deterministic(self, small_rib):
+        first = UpdateGenerator(small_rib, seed=1).take(300)
+        second = UpdateGenerator(small_rib, seed=1).take(300)
+        assert first == second
+
+    def test_withdrawals_target_live_prefixes(self, small_rib):
+        """Replaying the stream against a shadow table never misses."""
+        shadow = BinaryTrie.from_routes(small_rib)
+        for message in UpdateGenerator(small_rib, seed=2).take(1_000):
+            if message.kind is UpdateKind.WITHDRAW:
+                assert shadow.delete(message.prefix)
+            else:
+                shadow.insert(message.prefix, message.next_hop)
+
+    def test_timestamps_monotone(self, small_rib):
+        messages = UpdateGenerator(small_rib, seed=3).take(500)
+        times = [message.timestamp for message in messages]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_mix_roughly_respected(self, small_rib):
+        params = UpdateParameters(
+            modify_fraction=0.5,
+            new_prefix_fraction=0.25,
+            withdraw_fraction=0.25,
+        )
+        messages = UpdateGenerator(small_rib, seed=4, parameters=params).take(
+            2_000
+        )
+        withdraws = sum(
+            1 for m in messages if m.kind is UpdateKind.WITHDRAW
+        )
+        assert 0.15 < withdraws / len(messages) < 0.35
+
+    def test_structural_only_mix(self, small_rib):
+        """The TTF benchmark mix: no in-place modifies."""
+        params = UpdateParameters(
+            modify_fraction=0.0,
+            new_prefix_fraction=0.5,
+            withdraw_fraction=0.5,
+        )
+        shadow = dict(small_rib)
+        for message in UpdateGenerator(
+            small_rib, seed=5, parameters=params
+        ).take(1_000):
+            if message.kind is UpdateKind.ANNOUNCE:
+                assert message.prefix not in shadow  # genuinely new
+                shadow[message.prefix] = message.next_hop
+            else:
+                del shadow[message.prefix]
+
+    def test_bursts_compress_timestamps(self, small_rib):
+        bursty = UpdateParameters(
+            burst_probability=0.5, burst_rate_multiplier=100.0
+        )
+        calm = UpdateParameters(burst_probability=0.0)
+        bursty_span = UpdateGenerator(
+            small_rib, seed=6, parameters=bursty
+        ).take(2_000)[-1].timestamp
+        calm_span = UpdateGenerator(
+            small_rib, seed=6, parameters=calm
+        ).take(2_000)[-1].timestamp
+        assert bursty_span < calm_span
+
+    def test_flap_concentration(self, small_rib):
+        """Most updates touch a small pool of flapping prefixes."""
+        from collections import Counter
+
+        messages = UpdateGenerator(small_rib, seed=7).take(3_000)
+        touched = Counter(message.prefix for message in messages)
+        top_share = sum(
+            count for _, count in touched.most_common(300)
+        ) / len(messages)
+        uniform_share = 300 / len(touched)
+        assert top_share > 2 * uniform_share
