@@ -12,6 +12,9 @@ scripted without writing Python:
     repro-clue simulate --table table.txt --packets packets.txt --scheme clue
     repro-clue gen-updates --table table.txt --count 2000 -o updates.txt
     repro-clue replay-updates --table table.txt --updates updates.txt
+    repro-clue gen-faults --chips 4 --horizon 20000 -o faults.txt
+    repro-clue simulate --table table.txt --faults faults.txt
+    repro-clue inject-faults --table table.txt --faults faults.txt
 """
 
 from __future__ import annotations
@@ -30,7 +33,9 @@ from repro.engine.builders import (
     build_round_robin_engine,
     build_slpl_engine,
 )
+from repro.core import ClueSystem, SystemConfig
 from repro.engine.simulator import EngineConfig
+from repro.faults import FaultInjector, FaultSchedule
 from repro.partition.even import even_partition
 from repro.partition.idbit import idbit_partition
 from repro.partition.subtree import subtree_partition
@@ -42,9 +47,12 @@ from repro.update.pipeline import (
 )
 from repro.workload.ribgen import RibParameters, generate_rib
 from repro.workload.traces import (
+    TraceFormatError,
+    load_faults,
     load_packets,
     load_table,
     load_updates,
+    save_faults,
     save_packets,
     save_table,
     save_updates,
@@ -173,33 +181,110 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         built = build_slpl_engine(routes, training, config)
     else:
         built = build_round_robin_engine(routes, config)
+    if args.faults:
+        schedule = load_faults(args.faults)
+        built.engine.fault_injector = FaultInjector(built.engine, schedule)
     stats = built.engine.run(source, count)
-    print(
-        format_table(
-            ["metric", "value"],
+    rows = [
+        ("scheme", args.scheme),
+        ("packets", stats.completions),
+        ("cycles", stats.cycles),
+        ("speedup", f"{stats.speedup(config.lookup_cycles):.3f}"),
+        (
+            "DRed hit rate",
+            f"{stats.dred_hit_rate:.3f}" if stats.dred_lookups else "n/a",
+        ),
+        ("diverted", stats.diverted),
+        ("control-plane msgs", stats.control_plane_interactions),
+        ("TCAM entries", built.total_tcam_entries),
+        (
+            "per-chip load",
+            " ".join(f"{share:.1%}" for share in stats.chip_load_shares()),
+        ),
+    ]
+    if args.faults:
+        rows.extend(
             [
-                ("scheme", args.scheme),
-                ("packets", stats.completions),
-                ("cycles", stats.cycles),
-                ("speedup", f"{stats.speedup(config.lookup_cycles):.3f}"),
-                (
-                    "DRed hit rate",
-                    f"{stats.dred_hit_rate:.3f}"
-                    if stats.dred_lookups
-                    else "n/a",
-                ),
-                ("diverted", stats.diverted),
-                ("control-plane msgs", stats.control_plane_interactions),
-                ("TCAM entries", built.total_tcam_entries),
-                (
-                    "per-chip load",
-                    " ".join(
-                        f"{share:.1%}" for share in stats.chip_load_shares()
-                    ),
-                ),
-            ],
+                ("chip failures", stats.chip_failures),
+                ("downtime chip-cycles", stats.chip_downtime_cycles),
+                ("availability", f"{stats.availability():.3%}"),
+                ("failed-over packets", stats.failed_over_packets),
+                ("control-path resolutions", stats.control_path_resolutions),
+                ("corrupted entries", stats.corrupted_entries),
+            ]
         )
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_gen_faults(args: argparse.Namespace) -> int:
+    schedule = FaultSchedule.random(
+        seed=args.seed,
+        horizon=args.horizon,
+        chip_count=args.chips,
+        chip_failures=args.chip_failures,
+        corruptions=args.corruptions,
+        stalls=args.stalls,
+        storms=args.storms,
     )
+    save_faults(schedule, args.output)
+    print(f"wrote {len(schedule)} fault events to {args.output}")
+    return 0
+
+
+def _cmd_inject_faults(args: argparse.Namespace) -> int:
+    """Drive the integrated system through a fault schedule and report."""
+    routes = load_table(args.table)
+    schedule = load_faults(args.faults)
+    system = ClueSystem(
+        routes,
+        SystemConfig(
+            engine=EngineConfig(
+                chip_count=args.chips,
+                dred_capacity=args.dred,
+                queue_capacity=args.queue,
+            ),
+            update_queue_capacity=args.update_queue,
+        ),
+    )
+    system.attach_faults(schedule)
+    if args.packets:
+        addresses: List[int] = load_packets(args.packets)
+        count = len(addresses)
+        source = iter(addresses)
+    else:
+        count = args.count
+        source = TrafficGenerator(routes, seed=args.seed)
+    stats = system.process_traffic(source, count)
+    system.drain_updates()
+    audit = system.verify_chips()
+    rebalanced = None
+    if args.rebalance:
+        rebalanced = system.rebalance()
+    rows = [
+        ("packets", stats.completions),
+        ("cycles", stats.cycles),
+        ("speedup", f"{stats.speedup(system.config.engine.lookup_cycles):.3f}"),
+        ("chip failures", stats.chip_failures),
+        ("chip recoveries", stats.chip_recoveries),
+        ("downtime chip-cycles", stats.chip_downtime_cycles),
+        ("availability", f"{stats.availability():.3%}"),
+        ("failed-over packets", stats.failed_over_packets),
+        ("control-path resolutions", stats.control_path_resolutions),
+        ("updates shed", stats.shed_updates),
+        ("TCAM writes deferred", stats.deferred_updates),
+        ("corrupted entries", stats.corrupted_entries),
+        ("audit repairs", audit.repairs),
+    ]
+    if rebalanced is not None:
+        rows.append(
+            (
+                "rebalanced over",
+                f"chips {rebalanced.survivor_chips} "
+                f"(even={rebalanced.is_even})",
+            )
+        )
+    print(format_table(["metric", "value"], rows))
     return 0
 
 
@@ -303,7 +388,48 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--chips", type=int, default=4)
     simulate.add_argument("--dred", type=int, default=1_024)
     simulate.add_argument("--queue", type=int, default=256)
+    simulate.add_argument(
+        "--faults", help="fault schedule file (see gen-faults)"
+    )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    gen_faults = commands.add_parser(
+        "gen-faults", help="generate a random fault schedule"
+    )
+    gen_faults.add_argument("--seed", type=int, default=1)
+    gen_faults.add_argument("--horizon", type=int, default=20_000)
+    gen_faults.add_argument("--chips", type=int, default=4)
+    gen_faults.add_argument("--chip-failures", type=int, default=1)
+    gen_faults.add_argument("--corruptions", type=int, default=2)
+    gen_faults.add_argument("--stalls", type=int, default=2)
+    gen_faults.add_argument("--storms", type=int, default=1)
+    gen_faults.add_argument("-o", "--output", required=True)
+    gen_faults.set_defaults(handler=_cmd_gen_faults)
+
+    inject = commands.add_parser(
+        "inject-faults",
+        help="run the integrated system through a fault schedule",
+    )
+    inject.add_argument("--table", required=True)
+    inject.add_argument("--faults", required=True)
+    inject.add_argument("--packets", help="packet trace file")
+    inject.add_argument("--count", type=int, default=20_000)
+    inject.add_argument("--seed", type=int, default=1)
+    inject.add_argument("--chips", type=int, default=4)
+    inject.add_argument("--dred", type=int, default=1_024)
+    inject.add_argument("--queue", type=int, default=256)
+    inject.add_argument(
+        "--update-queue",
+        type=int,
+        default=256,
+        help="bounded BGP update queue capacity (storm backpressure)",
+    )
+    inject.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="re-partition over the surviving chips after the run",
+    )
+    inject.set_defaults(handler=_cmd_inject_faults)
 
     replay = commands.add_parser(
         "replay-updates", help="run an update trace through a TTF pipeline"
@@ -322,10 +448,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Operational errors — malformed trace files, unreadable paths, invalid
+    parameter values — are reported as one ``error:`` line on stderr with
+    exit code 2 instead of a raw traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (TraceFormatError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

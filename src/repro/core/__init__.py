@@ -2,6 +2,12 @@
 
 from repro.core.config import SystemConfig
 from repro.core.metrics import SystemReport
-from repro.core.system import ClueSystem, RebalanceReport
+from repro.core.system import ChipAuditReport, ClueSystem, RebalanceReport
 
-__all__ = ["ClueSystem", "RebalanceReport", "SystemConfig", "SystemReport"]
+__all__ = [
+    "ChipAuditReport",
+    "ClueSystem",
+    "RebalanceReport",
+    "SystemConfig",
+    "SystemReport",
+]

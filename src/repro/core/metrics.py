@@ -22,6 +22,8 @@ class SystemReport:
     engine_stats: Optional[EngineStats] = None
     ttf: Optional[TtfReport] = None
     tcam_entries_per_chip: Optional[List[int]] = None
+    #: Entries the self-healing audit (verify_chips) has repaired.
+    chip_repairs: Optional[int] = None
 
     def summary_lines(self, lookup_cycles: int = 4) -> List[str]:
         """Human-readable one-liners, used by examples and benches."""
@@ -44,6 +46,22 @@ class SystemReport:
                 f"DRed hit rate {stats.dred_hit_rate:.1%}, "
                 f"loads {['%.1f%%' % (100 * s) for s in stats.chip_load_shares()]}"
             )
+        if self.engine_stats is not None and (
+            self.engine_stats.chip_failures
+            or self.engine_stats.shed_updates
+            or self.engine_stats.corrupted_entries
+        ):
+            stats = self.engine_stats
+            lines.append(
+                f"faults: {stats.chip_failures} chip failures "
+                f"({stats.chip_downtime_cycles} downtime chip-cycles, "
+                f"availability {stats.availability():.1%}), "
+                f"{stats.failed_over_packets} packets failed over, "
+                f"{stats.shed_updates} updates shed, "
+                f"{stats.deferred_updates} TCAM writes deferred"
+            )
+        if self.chip_repairs:
+            lines.append(f"audit: {self.chip_repairs} entries repaired")
         if self.ttf is not None and len(self.ttf):
             lines.append(
                 f"update: TTF mean {self.ttf.total().mean_us:.3f} us "

@@ -21,7 +21,7 @@ withdraw), exactly as in the hardware design.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.metrics import SystemReport
@@ -30,13 +30,15 @@ from repro.engine.builders import map_partitions_to_chips
 from repro.engine.schemes import CluePolicy
 from repro.engine.simulator import LookupEngine
 from repro.engine.stats import EngineStats
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
 from repro.net.prefix import Prefix
 from repro.partition.even import even_partition
 from repro.partition.index_logic import RangeIndex
 from repro.trie.trie import BinaryTrie
-from repro.update.pipeline import ClueUpdatePipeline
+from repro.update.pipeline import ClueUpdatePipeline, UpdateScheduler
 from repro.update.ttf import TtfSample
-from repro.workload.updategen import UpdateMessage
+from repro.workload.updategen import UpdateGenerator, UpdateMessage
 
 Route = Tuple[Prefix, int]
 
@@ -48,10 +50,32 @@ class RebalanceReport:
     moved_entries: int
     flushed_dred_entries: int
     partition_sizes: List[int]
+    #: Chips the table was spread over (failed chips are excluded).
+    survivor_chips: List[int]
 
     @property
     def is_even(self) -> bool:
         return max(self.partition_sizes) - min(self.partition_sizes) <= 1
+
+
+@dataclass
+class ChipAuditReport:
+    """Outcome of one :meth:`ClueSystem.verify_chips` pass."""
+
+    chips_checked: List[int]
+    entries_checked: int = 0
+    hops_repaired: int = 0
+    stray_removed: int = 0
+    missing_restored: int = 0
+
+    @property
+    def repairs(self) -> int:
+        """Total drift corrected (or merely detected with ``repair=False``)."""
+        return self.hops_repaired + self.stray_removed + self.missing_restored
+
+    @property
+    def clean(self) -> bool:
+        return self.repairs == 0
 
 
 class ClueSystem:
@@ -110,6 +134,19 @@ class ClueSystem:
         self.pipeline.dred_stage.caches = [
             chip.dred for chip in self.engine.chips if chip.dred is not None
         ]
+        # Backpressured admission path for update storms (the direct
+        # apply_update() path stays available for calm streams).
+        self.scheduler = UpdateScheduler(
+            self.pipeline,
+            capacity=self.config.update_queue_capacity,
+            high_watermark=self.config.storm_high_watermark,
+            low_watermark=self.config.storm_low_watermark,
+            on_diff=self._apply_diff_to_chips,
+        )
+        # Round-robin cursor of the incremental chip audit.
+        self._audit_cursor = 0
+        #: Running total of entries verify_chips() has repaired.
+        self.audit_repairs = 0
 
     # ------------------------------------------------------------------
     # Data plane
@@ -173,6 +210,145 @@ class ClueSystem:
         return [self.apply_update(message) for message in messages]
 
     # ------------------------------------------------------------------
+    # Backpressured update path (storm survival)
+    # ------------------------------------------------------------------
+
+    def offer_update(self, message: UpdateMessage) -> bool:
+        """Admit one update through the bounded queue; False = shed."""
+        accepted = self.scheduler.offer(message)
+        self._sync_scheduler_stats()
+        return accepted
+
+    def pump_updates(self, budget: int = 8) -> int:
+        """Apply up to ``budget`` queued updates (storm mode may defer
+        their TCAM writes); returns how many ran."""
+        applied = self.scheduler.pump(budget)
+        self._sync_scheduler_stats()
+        return applied
+
+    def drain_updates(self) -> int:
+        """Empty the update queue and flush any deferred TCAM writes."""
+        applied = self.scheduler.drain()
+        self._sync_scheduler_stats()
+        return applied
+
+    def _sync_scheduler_stats(self) -> None:
+        stats = self.engine.stats
+        stats.shed_updates = self.scheduler.stats.shed
+        stats.deferred_updates = self.scheduler.stats.deferred
+
+    # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+
+    def fail_chip(self, chip_index: int) -> None:
+        """Take one chip down; its traffic fails over to survivors' DReds.
+
+        The control plane keeps mirroring table diffs into the dead chip's
+        shadow table, so :meth:`recover_chip` brings it back consistent.
+        Call :meth:`rebalance` to re-spread the table over the survivors
+        once the outage looks long-lived.
+        """
+        self.engine.kill_chip(chip_index)
+
+    def recover_chip(self, chip_index: int) -> None:
+        """Bring a failed chip back into service."""
+        self.engine.revive_chip(chip_index)
+
+    def attach_faults(
+        self,
+        schedule: FaultSchedule,
+        storm_seed: Optional[int] = None,
+    ) -> FaultInjector:
+        """Arm a fault schedule against the live engine.
+
+        Storm events synthesise ``count`` BGP updates (seeded, against the
+        current table) and push them through the backpressured scheduler —
+        shedding and TCAM-write deferral happen exactly as they would under
+        a real burst.  Returns the injector (also installed on the engine).
+        """
+        generator = UpdateGenerator(
+            list(self.pipeline.trie_stage.table.source.routes()),
+            seed=schedule.seed if storm_seed is None else storm_seed,
+        )
+
+        def storm_sink(cycle: int, count: int) -> None:
+            del cycle
+            for message in generator.take(count):
+                self.offer_update(message)
+            self.pump_updates(budget=count)
+
+        injector = FaultInjector(self.engine, schedule, storm_sink=storm_sink)
+        self.engine.fault_injector = injector
+        return injector
+
+    def verify_chips(
+        self,
+        chips: Optional[Sequence[int]] = None,
+        repair: bool = True,
+    ) -> ChipAuditReport:
+        """Cross-check chip tables against the compressed table; heal drift.
+
+        For every audited chip, the expected content is derived from the
+        control plane's compressed table and the live index (an entry
+        belongs to each chip whose range it covers).  Three kinds of drift
+        are detected — wrong next hop (e.g. injected slot corruption),
+        stray entries, and missing entries — and repaired in place when
+        ``repair`` is true.  ``chips=None`` audits everything; pass a
+        subset (or use :meth:`audit_step`) to spread the scan over idle
+        windows.
+        """
+        chip_count = self.config.engine.chip_count
+        targets = sorted(set(chips if chips is not None else range(chip_count)))
+        table = self.pipeline.trie_stage.table.table
+        expected: List[dict] = [dict() for _ in range(chip_count)]
+        target_set = set(targets)
+        for prefix, hop in table.items():
+            for chip_index in self._chips_covering(prefix):
+                if chip_index in target_set:
+                    expected[chip_index][prefix] = hop
+        report = ChipAuditReport(chips_checked=targets)
+        for chip_index in targets:
+            chip = self.engine.chips[chip_index]
+            actual = chip.table.as_dict()
+            wanted = expected[chip_index]
+            report.entries_checked += len(actual.keys() | wanted.keys())
+            for prefix, hop in wanted.items():
+                stored = actual.get(prefix)
+                if stored is None:
+                    report.missing_restored += 1
+                    if repair:
+                        chip.table.insert(prefix, hop)
+                elif stored != hop:
+                    report.hops_repaired += 1
+                    if repair:
+                        chip.table.insert(prefix, hop)
+            for prefix in actual:
+                if prefix not in wanted:
+                    report.stray_removed += 1
+                    if repair:
+                        chip.table.delete(prefix)
+        if repair:
+            self.audit_repairs += report.repairs
+        return report
+
+    def audit_step(self, repair: bool = True) -> ChipAuditReport:
+        """Audit the next chip in round-robin order (incremental form)."""
+        chip_index = self._audit_cursor
+        self._audit_cursor = (chip_index + 1) % self.config.engine.chip_count
+        return self.verify_chips(chips=[chip_index], repair=repair)
+
+    def check_dred_exclusion(self) -> bool:
+        """CLUE's invariant: DRed *i* never holds chip *i*'s own prefixes."""
+        for chip in self.engine.chips:
+            if chip.dred is None:
+                continue
+            for prefix in chip.dred._entries:
+                if chip.table.get(prefix) is not None:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
     # Maintenance (idle-time re-optimisation)
     # ------------------------------------------------------------------
 
@@ -202,14 +378,25 @@ class ClueSystem:
         many entries had to move between chips.  DRed banks are flushed —
         ownership changes would otherwise break the exclusion invariant —
         and simply refill from traffic.
+
+        Failed chips are excluded: after a chip death the table is re-spread
+        exactly evenly over the N−1 survivors (disjointness makes the
+        re-split O(M) with no covering redundancy); a later rebalance after
+        :meth:`recover_chip` folds the chip back in.
         """
+        survivors = self.engine.alive_chips
+        if not survivors:
+            raise RuntimeError("cannot rebalance with every chip failed")
         compressed = self.pipeline.trie_stage.table.routes()
-        partition_count = self.config.partition_count
+        partition_count = len(survivors) * self.config.partitions_per_chip
         new_result = even_partition(compressed, partition_count)
         new_index = RangeIndex.from_partition(new_result)
-        new_mapping = map_partitions_to_chips(
-            partition_count, self.config.engine.chip_count, None
-        )
+        new_mapping = [
+            survivors[local]
+            for local in map_partitions_to_chips(
+                partition_count, len(survivors), None
+            )
+        ]
 
         old_homes = {
             prefix: chip_index
@@ -243,6 +430,7 @@ class ClueSystem:
             moved_entries=moved,
             flushed_dred_entries=flushed,
             partition_sizes=new_result.sizes(),
+            survivor_chips=survivors,
         )
 
     # ------------------------------------------------------------------
@@ -264,4 +452,5 @@ class ClueSystem:
             tcam_entries_per_chip=[
                 len(chip.table) for chip in self.engine.chips
             ],
+            chip_repairs=self.audit_repairs,
         )

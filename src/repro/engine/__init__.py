@@ -11,7 +11,7 @@ from repro.engine.builders import (
 )
 from repro.engine.dred import DredCache, DredEntry
 from repro.engine.events import Completion, LookupKind, Packet
-from repro.engine.queues import BoundedFifo
+from repro.engine.queues import BoundedFifo, UpdateQueue
 from repro.engine.reorder import ReorderBuffer
 from repro.engine.rrcme import Expansion, minimal_expansion
 from repro.engine.schemes import (
@@ -46,6 +46,7 @@ __all__ = [
     "SlplPolicy",
     "Timeline",
     "TimelineSample",
+    "UpdateQueue",
     "build_clpl_engine",
     "build_clue_engine",
     "build_round_robin_engine",

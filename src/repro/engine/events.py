@@ -27,7 +27,8 @@ class Packet:
     ``tag`` is the sequence number attached in step III (used by the
     reorder buffer); ``home`` the chip index the Indexing Logic named in
     step II.  ``dred_attempts`` counts how often the packet bounced off a
-    DRed miss back to rule (a).
+    DRed miss back to rule (a); ``failed_over`` is set once the packet has
+    been re-homed away from a dead chip (counted once per packet).
     """
 
     tag: int
@@ -35,6 +36,7 @@ class Packet:
     home: int
     arrival_cycle: int
     dred_attempts: int = 0
+    failed_over: bool = False
 
 
 @dataclass(frozen=True)

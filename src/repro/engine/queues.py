@@ -52,3 +52,58 @@ class BoundedFifo(Generic[T]):
     def peek(self) -> Optional[T]:
         """The oldest item without removing it."""
         return self._items[0] if self._items else None
+
+
+class UpdateQueue(Generic[T]):
+    """Bounded control-plane update queue with shed/defer accounting.
+
+    Unlike :class:`BoundedFifo` (whose full signal *diverts* packets), an
+    update queue under a BGP storm must make a load-shedding decision:
+    an offer to a full queue is refused and counted as *shed* — the caller
+    (peer session) is expected to re-advertise later.  The ``deferred``
+    counter tracks items whose expensive side effects (TCAM writes) the
+    scheduler postponed; both feed the storm-mode statistics.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("update queue capacity must be positive")
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self.offered = 0
+        self.accepted = 0
+        self.shed = 0
+        self.deferred = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction in [0, 1] — the storm-mode trigger signal."""
+        return len(self._items) / self.capacity
+
+    def offer(self, item: T) -> bool:
+        """Admit an item if there is room; False means it was shed."""
+        self.offered += 1
+        if self.is_full:
+            self.shed += 1
+            return False
+        self._items.append(item)
+        self.accepted += 1
+        if len(self._items) > self.peak_occupancy:
+            self.peak_occupancy = len(self._items)
+        return True
+
+    def pop(self) -> T:
+        """Dequeue the oldest update."""
+        return self._items.popleft()

@@ -75,6 +75,12 @@ class CluePolicy(SchemePolicy):
         for other in engine.chips:
             if other.index == chip_index:
                 continue
+            # A range-spanning entry is replicated into several chips'
+            # main partitions; caching it in those chips' DReds would
+            # break the exclusion rule (and waste a slot on a prefix the
+            # chip can already answer in MAIN).
+            if other.table.get(prefix) is not None:
+                continue
             if other.dred.insert(prefix, next_hop, owner=chip_index):
                 engine.stats.dred_insertions += 1
 

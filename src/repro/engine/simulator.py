@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Deque, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.dred import DredCache
 from repro.engine.events import Completion, LookupKind, Packet
@@ -45,14 +45,25 @@ class EngineConfig:
     dred_capacity: int = 1024
     arrivals_per_cycle: float = 1.0
     max_dred_attempts: int = 64
+    #: Extra cycles a control-path (SRAM) resolution costs when a dead
+    #: chip's traffic misses in a survivor's DRed.
+    control_path_cycles: int = 8
 
     def __post_init__(self) -> None:
         if self.chip_count < 1:
             raise ValueError("need at least one chip")
         if self.lookup_cycles < 1:
             raise ValueError("lookups take at least one cycle")
+        if self.queue_capacity < 1:
+            raise ValueError("queue capacity must be at least one slot")
+        if self.dred_capacity < 1:
+            raise ValueError("DRed capacity must be at least one prefix")
+        if self.max_dred_attempts < 1:
+            raise ValueError("allow at least one DRed attempt")
         if self.arrivals_per_cycle <= 0:
             raise ValueError("arrival rate must be positive")
+        if self.control_path_cycles < 0:
+            raise ValueError("control-path penalty must be non-negative")
 
 
 class ChipState:
@@ -78,6 +89,8 @@ class ChipState:
             else None
         )
         self.busy_until = 0
+        #: False while the chip is failed (see LookupEngine.kill_chip).
+        self.alive = True
 
 
 class LookupEngine:
@@ -131,19 +144,23 @@ class LookupEngine:
         self._arrival_credit = 0.0
         #: Optional per-cycle observer (see :mod:`repro.engine.timeline`).
         self.on_cycle: Optional[Callable[[int], None]] = None
+        #: Optional fault source consulted each cycle (see
+        #: :class:`repro.faults.injector.FaultInjector` — anything with a
+        #: ``tick(cycle)`` method fits).
+        self.fault_injector: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Dispatch (Figure 1, steps II-V)
     # ------------------------------------------------------------------
 
     def idlest_chip(self, exclude: Optional[int]) -> Optional[int]:
-        """The chip with the shortest non-full queue (rule (b))."""
+        """The alive chip with the shortest non-full queue (rule (b))."""
         best: Optional[int] = None
         best_depth = -1
         for chip in self.chips:
             if exclude is not None and chip.index == exclude:
                 continue
-            if chip.queue.is_full:
+            if not chip.alive or chip.queue.is_full:
                 continue
             depth = len(chip.queue)
             if best is None or depth < best_depth:
@@ -153,6 +170,8 @@ class LookupEngine:
 
     def _try_dispatch(self, packet: Packet) -> bool:
         home = self.chips[packet.home]
+        if not home.alive:
+            return self._dispatch_failover(packet)
         if not home.queue.is_full:
             home.queue.push((packet, LookupKind.MAIN))
             return True
@@ -169,6 +188,36 @@ class LookupEngine:
             return False
         chip.queue.push((packet, kind))
         self.stats.diverted += 1
+        return True
+
+    def _dispatch_failover(self, packet: Packet) -> bool:
+        """Re-home a dead chip's packet onto a survivor (degraded mode).
+
+        DRed schemes serve the orphaned range from a survivor's DRed; a
+        miss there escalates to the control path (see :meth:`_serve_chip`),
+        which warms the DRed so subsequent hits stay on the data plane —
+        exactly the disjointness dividend: the dead chip's entries are
+        cacheable as-is, no recomputation needed.  Non-DRed schemes fall
+        back to their ordinary divert rule (full duplication can serve
+        anything anywhere; SLPL can only fail over its hot set).
+        """
+        if self.scheme.uses_dred:
+            target_index = self.idlest_chip(exclude=packet.home)
+            if target_index is None:
+                return False
+            kind = LookupKind.DRED
+        else:
+            target = self.scheme.divert(self, packet)
+            if target is None:
+                return False
+            target_index, kind = target
+        chip = self.chips[target_index]
+        if chip.queue.is_full:
+            return False
+        chip.queue.push((packet, kind))
+        if not packet.failed_over:
+            packet.failed_over = True
+            self.stats.failed_over_packets += 1
         return True
 
     def _drain(self) -> None:
@@ -188,6 +237,8 @@ class LookupEngine:
     # ------------------------------------------------------------------
 
     def _serve_chip(self, chip: ChipState) -> Optional[Completion]:
+        if not chip.alive:
+            return None
         if chip.busy_until > self._cycle or chip.queue.is_empty:
             return None
         packet, kind = chip.queue.pop()
@@ -223,10 +274,53 @@ class LookupEngine:
                 chip.index, kind, packet.arrival_cycle,
             )
         self.stats.dred_misses += 1
+        home_chip = self.chips[packet.home]
+        if not home_chip.alive:
+            return self._resolve_via_control_path(packet, chip, done_at, kind)
         self.stats.bounced += 1
         packet.dred_attempts += 1
         self._pending.append(packet)  # rule (c): back through rule (a)
         return None
+
+    def _resolve_via_control_path(
+        self,
+        packet: Packet,
+        chip: ChipState,
+        done_at: int,
+        kind: LookupKind,
+    ) -> Completion:
+        """Answer a failed-over DRed miss from the control plane.
+
+        Bouncing back to rule (a) would livelock: the home chip is dead, so
+        no MAIN lookup will ever warm the DReds for its range.  Instead the
+        control plane's SRAM copy of the table answers (at a latency
+        penalty) and the matching entry — a disjoint compressed entry, so
+        cacheable verbatim — is pushed into the serving chip's DRed, keeping
+        later packets for the range on the data plane.
+        """
+        self.stats.control_path_resolutions += 1
+        home_chip = self.chips[packet.home]
+        match = home_chip.table.lookup_prefix(packet.address)
+        if match is None and self.reference is not None:
+            match = self.reference.lookup_prefix(packet.address)
+        next_hop: Optional[int] = None
+        if match is not None:
+            prefix, next_hop = match
+            # Warm the survivor's DRed with the dead chip's entry unless the
+            # survivor already holds it in MAIN (a range-spanning replica) —
+            # caching those would break the DRed-exclusion invariant.
+            if chip.dred is not None and chip.table.get(prefix) is None:
+                if chip.dred.insert(prefix, next_hop, owner=packet.home):
+                    self.stats.dred_insertions += 1
+        return Completion(
+            packet.tag,
+            packet.address,
+            next_hop,
+            done_at + self.config.control_path_cycles,
+            chip.index,
+            kind,
+            packet.arrival_cycle,
+        )
 
     # ------------------------------------------------------------------
     # Main loop
@@ -259,6 +353,13 @@ class LookupEngine:
                     f"simulation exceeded its cycle budget "
                     f"({self.stats.completions}/{target} done)"
                 )
+            # Step 0: scheduled faults strike before anything else happens
+            # this cycle (chip deaths, corruption, stalls, storms).
+            if self.fault_injector is not None:
+                self.fault_injector.tick(self._cycle)
+            dead_chips = sum(1 for chip in self.chips if not chip.alive)
+            if dead_chips:
+                self.stats.chip_downtime_cycles += dead_chips
             # Step I: arrivals for this cycle.
             self._arrival_credit += config.arrivals_per_cycle
             while self._arrival_credit >= 1.0 and injected < packet_count:
@@ -292,6 +393,46 @@ class LookupEngine:
             self._cycle += 1
             self.stats.cycles = self._cycle
         return self.stats
+
+    # ------------------------------------------------------------------
+    # Chip failure and recovery
+    # ------------------------------------------------------------------
+
+    def kill_chip(self, chip_index: int) -> None:
+        """Fail one chip: it stops serving until :meth:`revive_chip`.
+
+        Jobs already queued at the chip are orphaned back to the front of
+        the dispatch backlog (their queue order preserved) and re-homed by
+        the failover rule on the next drain.  Idempotent on a dead chip.
+        """
+        chip = self.chips[chip_index]
+        if not chip.alive:
+            return
+        chip.alive = False
+        chip.busy_until = self._cycle
+        self.stats.chip_failures += 1
+        orphans = []
+        while not chip.queue.is_empty:
+            packet, _kind = chip.queue.pop()
+            orphans.append(packet)
+        self._pending.extendleft(reversed(orphans))
+
+    def revive_chip(self, chip_index: int) -> None:
+        """Bring a failed chip back; its table content is whatever the
+        control plane maintained while it was down (callers that stop
+        mirroring updates into dead chips must reload/rebalance first).
+        Idempotent on an alive chip."""
+        chip = self.chips[chip_index]
+        if chip.alive:
+            return
+        chip.alive = True
+        chip.busy_until = self._cycle
+        self.stats.chip_recoveries += 1
+
+    @property
+    def alive_chips(self) -> List[int]:
+        """Indices of the chips currently serving."""
+        return [chip.index for chip in self.chips if chip.alive]
 
     # ------------------------------------------------------------------
     # Update interference

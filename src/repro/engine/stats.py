@@ -34,6 +34,15 @@ class EngineStats:
     per_chip_dred: List[int] = field(default_factory=list)
     latencies_sum: int = 0
     latency_max: int = 0
+    # -- fault-tolerance counters (see repro.faults) -------------------
+    chip_failures: int = 0
+    chip_recoveries: int = 0
+    chip_downtime_cycles: int = 0
+    failed_over_packets: int = 0
+    control_path_resolutions: int = 0
+    corrupted_entries: int = 0
+    shed_updates: int = 0
+    deferred_updates: int = 0
 
     # ------------------------------------------------------------------
 
@@ -66,3 +75,10 @@ class EngineStats:
     def mean_latency(self) -> float:
         """Average arrival-to-completion latency in cycles."""
         return self.latencies_sum / self.completions if self.completions else 0.0
+
+    def availability(self) -> float:
+        """Fraction of chip-cycles the chips were alive."""
+        chip_cycles = self.cycles * max(1, len(self.per_chip_lookups))
+        if not chip_cycles:
+            return 1.0
+        return 1.0 - self.chip_downtime_cycles / chip_cycles

@@ -26,6 +26,7 @@ class TimelineSample:
     backlog: int
     completions: int
     dred_hit_rate: float
+    dead_chips: int = 0
 
 
 class Timeline:
@@ -57,6 +58,9 @@ class Timeline:
                 backlog=len(engine._pending),
                 completions=engine.stats.completions,
                 dred_hit_rate=engine.stats.dred_hit_rate,
+                dead_chips=sum(
+                    1 for chip in engine.chips if not chip.alive
+                ),
             )
         )
 

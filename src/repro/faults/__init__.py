@@ -1,0 +1,18 @@
+"""Fault injection and graceful degradation for the forwarding plane."""
+
+from repro.faults.injector import STORM_STALL_CYCLES, FaultInjector
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    merge_schedules,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "STORM_STALL_CYCLES",
+    "merge_schedules",
+]

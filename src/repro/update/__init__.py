@@ -9,6 +9,8 @@ from repro.update.pipeline import (
     ClplUpdatePipeline,
     ClueUpdatePipeline,
     PipelineTotals,
+    SchedulerStats,
+    UpdateScheduler,
     default_dred_banks,
 )
 from repro.update.tcam_update import ClueTcamMirror, PloTcamMirror
@@ -41,12 +43,14 @@ __all__ = [
     "PipelineTotals",
     "PlainTrieUpdater",
     "PloTcamMirror",
+    "SchedulerStats",
     "TrieUpdateOutcome",
     "TtfReport",
     "TtfSample",
     "TtfSummary",
     "TtfWindow",
     "UpdateCostModel",
+    "UpdateScheduler",
     "default_dred_banks",
     "ratio_of_means",
 ]

@@ -16,9 +16,11 @@ from repro.workload.ribgen import (
 )
 from repro.workload.traces import (
     TraceFormatError,
+    load_faults,
     load_packets,
     load_table,
     load_updates,
+    save_faults,
     save_packets,
     save_table,
     save_updates,
@@ -46,12 +48,14 @@ __all__ = [
     "UpdateParameters",
     "generate_rib",
     "length_histogram",
+    "load_faults",
     "load_packets",
     "load_table",
     "load_updates",
     "rib_trie",
     "router_by_id",
     "router_rib",
+    "save_faults",
     "save_packets",
     "save_table",
     "save_updates",

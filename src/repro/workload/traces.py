@@ -6,7 +6,11 @@ formats are deliberately trivial:
 * routing table — ``<prefix> <next_hop>`` per line;
 * update trace — ``<timestamp> announce <prefix> <hop>`` or
   ``<timestamp> withdraw <prefix>``;
-* packet trace — one dotted-quad destination per line.
+* packet trace — one dotted-quad destination per line;
+* fault schedule — optional ``seed <n>`` line, then
+  ``<cycle> chip-down <chip>`` / ``<cycle> chip-up <chip>`` /
+  ``<cycle> corrupt <chip>`` / ``<cycle> stall <chip> <cycles>`` /
+  ``<cycle> storm <updates>``.
 
 Lines starting with ``#`` are comments everywhere.
 """
@@ -16,6 +20,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, List, Sequence, Tuple, Union
 
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
 from repro.net.prefix import Prefix, format_address, parse_address
 from repro.workload.updategen import UpdateKind, UpdateMessage
 
@@ -129,3 +134,63 @@ def load_packets(path: PathLike) -> List[int]:
         except ValueError as exc:
             raise TraceFormatError(f"{path}:{number}: {exc}") from exc
     return addresses
+
+
+# -- fault schedules ---------------------------------------------------------
+
+
+def save_faults(schedule: FaultSchedule, path: PathLike) -> None:
+    """Write a fault schedule (see :mod:`repro.faults.schedule`)."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("# repro fault schedule v1\n")
+        handle.write(f"seed {schedule.seed}\n")
+        for event in schedule.events:
+            if event.kind is FaultKind.STALL:
+                handle.write(
+                    f"{event.cycle} stall {event.chip} {event.duration}\n"
+                )
+            elif event.kind is FaultKind.STORM:
+                handle.write(f"{event.cycle} storm {event.count}\n")
+            else:
+                handle.write(
+                    f"{event.cycle} {event.kind.value} {event.chip}\n"
+                )
+
+
+def load_faults(path: PathLike) -> FaultSchedule:
+    """Read a fault schedule written by :func:`save_faults`."""
+    events: List[FaultEvent] = []
+    seed = 0
+    for number, line in _lines(path):
+        parts = line.split()
+        try:
+            if parts[0] == "seed" and len(parts) == 2:
+                seed = int(parts[1])
+                continue
+            cycle = int(parts[0])
+            keyword = parts[1] if len(parts) > 1 else ""
+            if keyword in ("chip-down", "chip-up", "corrupt") and len(parts) == 3:
+                kind = FaultKind(keyword)
+                events.append(FaultEvent(cycle, kind, chip=int(parts[2])))
+            elif keyword == "stall" and len(parts) == 4:
+                events.append(
+                    FaultEvent(
+                        cycle,
+                        FaultKind.STALL,
+                        chip=int(parts[2]),
+                        duration=int(parts[3]),
+                    )
+                )
+            elif keyword == "storm" and len(parts) == 3:
+                events.append(
+                    FaultEvent(cycle, FaultKind.STORM, count=int(parts[2]))
+                )
+            else:
+                raise TraceFormatError(
+                    f"{path}:{number}: unrecognised fault line"
+                )
+        except (ValueError, IndexError) as exc:
+            if isinstance(exc, TraceFormatError):
+                raise
+            raise TraceFormatError(f"{path}:{number}: {exc}") from exc
+    return FaultSchedule(events=events, seed=seed)

@@ -196,3 +196,112 @@ class TestPartitionSimulateReplay:
             )
             == 0
         )
+
+
+class TestFaults:
+    @pytest.fixture()
+    def fault_file(self, tmp_path):
+        path = tmp_path / "faults.txt"
+        code = main(
+            [
+                "gen-faults",
+                "--seed",
+                "5",
+                "--horizon",
+                "8000",
+                "--chips",
+                "4",
+                "-o",
+                str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_gen_faults_roundtrips(self, fault_file):
+        from repro.workload.traces import load_faults
+
+        schedule = load_faults(fault_file)
+        assert len(schedule) > 0
+        assert schedule.seed == 5
+
+    def test_simulate_with_faults(self, table_file, fault_file, capsys):
+        code = main(
+            [
+                "simulate",
+                "--table",
+                str(table_file),
+                "--faults",
+                str(fault_file),
+                "--count",
+                "10000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chip failures" in out
+        assert "availability" in out
+
+    def test_inject_faults_with_rebalance(
+        self, table_file, fault_file, capsys
+    ):
+        code = main(
+            [
+                "inject-faults",
+                "--table",
+                str(table_file),
+                "--faults",
+                str(fault_file),
+                "--count",
+                "10000",
+                "--rebalance",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "audit repairs" in out
+        assert "rebalanced over" in out
+        assert "even=True" in out
+
+
+class TestErrorHandling:
+    def test_malformed_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "faults.txt"
+        bad.write_text("10 explode 1\n")
+        code = main(
+            [
+                "inject-faults",
+                "--table",
+                str(bad),
+                "--faults",
+                str(bad),
+            ]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert str(bad) in captured.err
+
+    def test_invalid_value_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "gen-faults",
+                "--horizon",
+                "0",
+                "-o",
+                str(tmp_path / "faults.txt"),
+            ]
+        )
+        assert code == 2
+        assert "error: horizon" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "simulate",
+                "--table",
+                str(tmp_path / "does-not-exist.txt"),
+            ]
+        )
+        assert code == 2
+        assert "error: " in capsys.readouterr().err

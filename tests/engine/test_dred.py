@@ -116,3 +116,58 @@ class TestMaintenance:
         cache = DredCache(4, 0, False)
         cache.insert(bits("1"), 1, owner=3)
         assert cache.lookup(1 << 31).owner == 3
+
+
+class TestExclusionUnderChurn:
+    """CLUE's invariant must survive prefixes changing home chips.
+
+    Warm DReds with traffic, churn the table so entries migrate between
+    partitions, rebalance (ownership reshuffles), then run more traffic:
+    no chip's DRed may ever hold a prefix that its own main partition
+    answers.
+    """
+
+    def test_exclusion_survives_partition_moves(self):
+        from repro.core import ClueSystem, SystemConfig
+        from repro.engine.simulator import EngineConfig
+        from repro.workload.ribgen import RibParameters, generate_rib
+        from repro.workload.trafficgen import TrafficGenerator
+        from repro.workload.updategen import UpdateGenerator, UpdateParameters
+
+        routes = generate_rib(31, RibParameters(size=1_200))
+        system = ClueSystem(
+            routes,
+            SystemConfig(
+                engine=EngineConfig(
+                    chip_count=4, queue_capacity=8, dred_capacity=128
+                )
+            ),
+        )
+        traffic = TrafficGenerator(routes, seed=32)
+        # Warm the DReds, then churn the table so prefixes are added and
+        # removed across partition boundaries.
+        system.process_traffic(traffic, 2_000)
+        assert system.check_dred_exclusion()
+        assert system.engine.verify_completions()
+        system.engine.reorder.released.clear()
+        updates = UpdateGenerator(
+            routes,
+            seed=33,
+            parameters=UpdateParameters(
+                modify_fraction=0.2,
+                new_prefix_fraction=0.5,
+                withdraw_fraction=0.3,
+            ),
+        )
+        system.apply_updates(updates.take(300))
+        assert system.check_dred_exclusion()
+        # Rebalance moves prefixes to new home chips — a prefix cached in
+        # some DRed may suddenly be owned by that very chip, which is why
+        # rebalance flushes the banks.
+        report = system.rebalance()
+        assert report.flushed_dred_entries >= 0
+        assert system.check_dred_exclusion()
+        # Refill under the new ownership and re-check.
+        system.process_traffic(traffic, 2_000)
+        assert system.check_dred_exclusion()
+        assert system.engine.verify_completions()

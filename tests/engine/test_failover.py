@@ -1,0 +1,95 @@
+"""Failover acceptance: chip death mid-run must not lose or corrupt packets."""
+
+import pytest
+
+from repro.engine.builders import build_clue_engine, build_round_robin_engine
+from repro.engine.simulator import EngineConfig
+from repro.faults import FaultInjector, FaultSchedule
+from repro.workload.ribgen import RibParameters, generate_rib
+from repro.workload.trafficgen import TrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def routes():
+    return generate_rib(9, RibParameters(size=2_000))
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_capacity": 0},
+            {"dred_capacity": 0},
+            {"max_dred_attempts": 0},
+            {"control_path_cycles": -1},
+        ],
+    )
+    def test_bad_values_fail_fast(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(**kwargs)
+
+
+class TestChipDeathMidRun:
+    def test_every_packet_completes_correctly(self, routes):
+        built = build_clue_engine(routes, EngineConfig(chip_count=4))
+        engine = built.engine
+        schedule = FaultSchedule(seed=1).chip_down(500, chip=1)
+        engine.fault_injector = FaultInjector(engine, schedule)
+        traffic = TrafficGenerator(routes, seed=4)
+        stats = engine.run(traffic, 8_000)
+        # Conservation: everything injected completed, correctly.
+        assert stats.completions == stats.arrivals == 8_000
+        assert engine.verify_completions()
+        # The dead chip's range was actually failed over.
+        assert stats.failed_over_packets > 0
+        assert stats.control_path_resolutions > 0
+        assert stats.chip_failures == 1
+        assert stats.chip_downtime_cycles > 0
+        assert stats.availability() < 1.0
+
+    def test_dead_chip_serves_nothing(self, routes):
+        built = build_clue_engine(routes, EngineConfig(chip_count=4))
+        engine = built.engine
+        engine.kill_chip(2)
+        before = engine.stats.per_chip_lookups[2]
+        engine.run(TrafficGenerator(routes, seed=5), 2_000)
+        assert engine.stats.per_chip_lookups[2] == before
+        assert engine.verify_completions()
+
+    def test_recovery_restores_service(self, routes):
+        built = build_clue_engine(routes, EngineConfig(chip_count=4))
+        engine = built.engine
+        schedule = (
+            FaultSchedule(seed=2).chip_down(200, chip=0).chip_up(1_500, chip=0)
+        )
+        engine.fault_injector = FaultInjector(engine, schedule)
+        stats = engine.run(TrafficGenerator(routes, seed=6), 6_000)
+        assert engine.verify_completions()
+        assert stats.chip_recoveries == 1
+        # After revival the chip serves its home range again.
+        served_after = stats.per_chip_lookups[0]
+        assert served_after > 0
+
+    def test_failover_warms_dred(self, routes):
+        """Control-path resolutions taper off as survivors' DReds warm."""
+        built = build_clue_engine(routes, EngineConfig(chip_count=4))
+        engine = built.engine
+        engine.kill_chip(1)
+        engine.run(TrafficGenerator(routes, seed=7), 2_000)
+        first = engine.stats.control_path_resolutions
+        engine.run(TrafficGenerator(routes, seed=7), 2_000)
+        second = engine.stats.control_path_resolutions - first
+        assert second < first
+        assert engine.verify_completions()
+
+    def test_round_robin_failover(self, routes):
+        """Full duplication fails over with MAIN lookups (no DRed)."""
+        built = build_round_robin_engine(
+            routes, EngineConfig(chip_count=4)
+        )
+        engine = built.engine
+        engine.kill_chip(3)
+        stats = engine.run(TrafficGenerator(routes, seed=8), 2_000)
+        assert stats.completions == 2_000
+        assert engine.verify_completions()
+        assert stats.failed_over_packets > 0

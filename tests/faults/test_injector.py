@@ -1,0 +1,109 @@
+"""Tests for the FaultInjector against a live engine."""
+
+from repro.engine.builders import build_clue_engine
+from repro.engine.simulator import EngineConfig
+from repro.faults import FaultInjector, FaultSchedule
+from repro.workload.ribgen import RibParameters, generate_rib
+
+
+def small_engine(chips=4):
+    routes = generate_rib(3, RibParameters(size=400))
+    return build_clue_engine(
+        routes,
+        EngineConfig(chip_count=chips, queue_capacity=16, dred_capacity=64),
+        partitions_per_chip=2,
+    ).engine
+
+
+class TestTick:
+    def test_applies_due_events_in_order(self):
+        engine = small_engine()
+        schedule = FaultSchedule().chip_down(5, chip=1).chip_up(9, chip=1)
+        injector = FaultInjector(engine, schedule)
+        assert injector.tick(0) == 0
+        assert injector.tick(5) == 1
+        assert not engine.chips[1].alive
+        assert injector.tick(20) == 1
+        assert engine.chips[1].alive
+        assert injector.exhausted
+
+    def test_late_tick_catches_up(self):
+        engine = small_engine()
+        schedule = FaultSchedule().chip_down(2, chip=0).chip_down(4, chip=1)
+        injector = FaultInjector(engine, schedule)
+        assert injector.tick(100) == 2
+        assert len(injector.applied) == 2
+
+
+class TestChipEvents:
+    def test_kill_requeues_orphans(self):
+        engine = small_engine()
+        chip = engine.chips[2]
+        from repro.engine.events import LookupKind, Packet
+
+        chip.queue.push((Packet(0, 1, 2, 0), LookupKind.MAIN))
+        chip.queue.push((Packet(1, 2, 2, 0), LookupKind.MAIN))
+        engine.kill_chip(2)
+        assert chip.queue.is_empty
+        assert [packet.tag for packet in engine._pending] == [0, 1]
+        assert engine.stats.chip_failures == 1
+
+    def test_kill_and_revive_idempotent(self):
+        engine = small_engine()
+        engine.kill_chip(1)
+        engine.kill_chip(1)
+        assert engine.stats.chip_failures == 1
+        engine.revive_chip(1)
+        engine.revive_chip(1)
+        assert engine.stats.chip_recoveries == 1
+        assert engine.alive_chips == [0, 1, 2, 3]
+
+
+class TestCorruption:
+    def test_corrupt_flips_one_hop(self):
+        engine = small_engine()
+        before = dict(engine.chips[0].table.routes())
+        schedule = FaultSchedule(seed=5).corrupt(0, chip=0)
+        FaultInjector(engine, schedule).tick(0)
+        after = dict(engine.chips[0].table.routes())
+        assert before.keys() == after.keys()
+        changed = [p for p in before if before[p] != after[p]]
+        assert len(changed) == 1
+        assert engine.stats.corrupted_entries == 1
+
+    def test_corruption_is_seed_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            engine = small_engine()
+            schedule = FaultSchedule(seed=5).corrupt(0, chip=0)
+            FaultInjector(engine, schedule).tick(0)
+            outcomes.append(dict(engine.chips[0].table.routes()))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestStallAndStorm:
+    def test_stall_blocks_chip(self):
+        engine = small_engine()
+        schedule = FaultSchedule().stall(0, chip=3, cycles=40)
+        FaultInjector(engine, schedule).tick(0)
+        assert engine.chips[3].busy_until >= 40
+
+    def test_storm_without_sink_stalls_survivors(self):
+        engine = small_engine()
+        engine.kill_chip(0)
+        schedule = FaultSchedule().storm(0, count=30)
+        FaultInjector(engine, schedule).tick(0)
+        assert engine.chips[0].busy_until == 0  # dead chip untouched
+        assert all(engine.chips[i].busy_until == 10 for i in (1, 2, 3))
+
+    def test_storm_sink_receives_burst(self):
+        engine = small_engine()
+        calls = []
+        schedule = FaultSchedule().storm(7, count=123)
+        injector = FaultInjector(
+            engine, schedule, storm_sink=lambda cycle, count: calls.append(
+                (cycle, count)
+            )
+        )
+        injector.tick(10)
+        assert calls == [(7, 123)]

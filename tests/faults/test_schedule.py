@@ -1,0 +1,141 @@
+"""Tests for fault schedules: validation, ordering, determinism, traces."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultSchedule, merge_schedules
+from repro.workload.traces import TraceFormatError, load_faults, save_faults
+
+
+class TestEventValidation:
+    def test_negative_cycle(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1, FaultKind.STORM, count=1)
+
+    @pytest.mark.parametrize(
+        "kind",
+        [FaultKind.CHIP_DOWN, FaultKind.CHIP_UP, FaultKind.CORRUPT],
+    )
+    def test_chip_events_need_chip(self, kind):
+        with pytest.raises(ValueError):
+            FaultEvent(0, kind)
+
+    def test_stall_needs_window(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0, FaultKind.STALL, chip=0, duration=0)
+
+    def test_storm_needs_updates(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0, FaultKind.STORM, count=0)
+
+
+class TestScheduleBuilding:
+    def test_builders_keep_cycle_order(self):
+        schedule = (
+            FaultSchedule()
+            .chip_up(600, chip=1)
+            .chip_down(100, chip=1)
+            .storm(300, count=50)
+        )
+        assert [event.cycle for event in schedule] == [100, 300, 600]
+
+    def test_tie_is_stable(self):
+        schedule = FaultSchedule().chip_down(5, chip=0).corrupt(5, chip=1)
+        kinds = [event.kind for event in schedule.events]
+        assert kinds == [FaultKind.CHIP_DOWN, FaultKind.CORRUPT]
+
+    def test_constructor_sorts(self):
+        events = [
+            FaultEvent(9, FaultKind.STORM, count=1),
+            FaultEvent(2, FaultKind.CHIP_DOWN, chip=0),
+        ]
+        assert FaultSchedule(events=events).events[0].cycle == 2
+
+    def test_introspection(self):
+        schedule = (
+            FaultSchedule().chip_down(10, chip=2).stall(40, chip=0, cycles=8)
+        )
+        assert schedule.chips_touched() == [0, 2]
+        assert schedule.last_cycle() == 40
+        assert len(schedule) == 2
+
+    def test_merge(self):
+        a = FaultSchedule(seed=3).chip_down(50, chip=0)
+        b = FaultSchedule(seed=9).storm(10, count=5)
+        merged = merge_schedules([a, b])
+        assert [event.cycle for event in merged] == [10, 50]
+        assert merged.seed == 3
+
+
+class TestRandomGeneration:
+    def test_deterministic(self):
+        one = FaultSchedule.random(seed=7, horizon=1000, chip_count=4)
+        two = FaultSchedule.random(seed=7, horizon=1000, chip_count=4)
+        assert one.events == two.events
+        assert one.seed == 7
+
+    def test_seed_changes_schedule(self):
+        one = FaultSchedule.random(seed=1, horizon=10_000, chip_count=4)
+        two = FaultSchedule.random(seed=2, horizon=10_000, chip_count=4)
+        assert one.events != two.events
+
+    def test_counts_respected(self):
+        schedule = FaultSchedule.random(
+            seed=5,
+            horizon=100_000,
+            chip_count=4,
+            chip_failures=2,
+            corruptions=3,
+            stalls=1,
+            storms=2,
+        )
+        kinds = [event.kind for event in schedule]
+        assert kinds.count(FaultKind.CHIP_DOWN) == 2
+        assert kinds.count(FaultKind.CORRUPT) == 3
+        assert kinds.count(FaultKind.STALL) == 1
+        assert kinds.count(FaultKind.STORM) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.random(seed=0, horizon=0, chip_count=4)
+        with pytest.raises(ValueError):
+            FaultSchedule.random(seed=0, horizon=10, chip_count=0)
+
+
+class TestTraceFormat:
+    def test_roundtrip(self, tmp_path):
+        schedule = (
+            FaultSchedule(seed=11)
+            .chip_down(100, chip=2)
+            .chip_up(700, chip=2)
+            .corrupt(40, chip=1)
+            .stall(250, chip=0, cycles=32)
+            .storm(500, count=300)
+        )
+        path = tmp_path / "faults.txt"
+        save_faults(schedule, path)
+        loaded = load_faults(path)
+        assert loaded.events == schedule.events
+        assert loaded.seed == 11
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "faults.txt"
+        path.write_text("# comment\n\nseed 4\n10 chip-down 1\n")
+        loaded = load_faults(path)
+        assert loaded.seed == 4
+        assert len(loaded) == 1
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "10 explode 1",
+            "10 chip-down",
+            "ten chip-down 1",
+            "10 stall 1",
+            "10 storm",
+        ],
+    )
+    def test_malformed_lines(self, tmp_path, line):
+        path = tmp_path / "faults.txt"
+        path.write_text(line + "\n")
+        with pytest.raises(TraceFormatError):
+            load_faults(path)

@@ -1,0 +1,135 @@
+"""Stateful property test interleaving faults, updates and traffic.
+
+Hypothesis drives a live ClueSystem through chip deaths and recoveries,
+slot corruption with self-healing audits, rebalances and routing churn,
+checking after every step that completed lookups still match the
+control-plane LPM and that CLUE's DRed-exclusion invariant holds.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import ClueSystem, SystemConfig
+from repro.engine.simulator import EngineConfig
+from repro.net.prefix import Prefix
+from repro.workload.ribgen import RibParameters, generate_rib
+from repro.workload.trafficgen import TrafficGenerator
+from repro.workload.updategen import UpdateKind, UpdateMessage
+
+prefix_strategy = st.integers(4, 24).flatmap(
+    lambda length: st.builds(
+        Prefix,
+        st.integers(0, (1 << length) - 1),
+        st.just(length),
+    )
+)
+
+CHIPS = 3
+
+
+class FaultMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.routes = generate_rib(77, RibParameters(size=300))
+        self.system = ClueSystem(
+            self.routes,
+            SystemConfig(
+                engine=EngineConfig(
+                    chip_count=CHIPS, queue_capacity=16, dred_capacity=64
+                ),
+                partitions_per_chip=2,
+            ),
+        )
+        self.traffic = TrafficGenerator(self.routes, seed=78)
+        self.clock = 0.0
+        self.corrupt_seed = 0
+
+    def alive(self):
+        return self.system.engine.alive_chips
+
+    # -- routing churn -------------------------------------------------
+
+    @rule(prefix=prefix_strategy, hop=st.integers(0, 7))
+    def announce(self, prefix, hop):
+        self.clock += 0.001
+        self.system.apply_update(
+            UpdateMessage(UpdateKind.ANNOUNCE, prefix, hop, self.clock)
+        )
+
+    @rule(prefix=prefix_strategy)
+    def withdraw(self, prefix):
+        self.clock += 0.001
+        self.system.apply_update(
+            UpdateMessage(UpdateKind.WITHDRAW, prefix, None, self.clock)
+        )
+
+    # -- data plane ----------------------------------------------------
+
+    @rule()
+    def traffic_burst(self):
+        self.system.process_traffic(self.traffic, 150)
+        assert self.system.engine.verify_completions()
+        self.system.engine.reorder.released.clear()
+
+    @rule()
+    def rebalance(self):
+        report = self.system.rebalance()
+        assert report.is_even
+        assert report.survivor_chips == self.alive()
+
+    # -- faults --------------------------------------------------------
+
+    @precondition(lambda self: len(self.alive()) >= 2)
+    @rule(pick=st.integers(0, CHIPS - 1))
+    def fail_chip(self, pick):
+        alive = self.alive()
+        self.system.fail_chip(alive[pick % len(alive)])
+
+    @precondition(lambda self: len(self.alive()) < CHIPS)
+    @rule(pick=st.integers(0, CHIPS - 1))
+    def recover_chip(self, pick):
+        dead = [
+            index
+            for index in range(CHIPS)
+            if index not in self.alive()
+        ]
+        self.system.recover_chip(dead[pick % len(dead)])
+
+    @rule(chip=st.integers(0, CHIPS - 1))
+    def corrupt_and_heal(self, chip):
+        victim = self.system.engine.chips[chip]
+        if len(victim.table) == 0:
+            return
+        from repro.faults import FaultInjector, FaultSchedule
+
+        self.corrupt_seed += 1
+        schedule = FaultSchedule(seed=self.corrupt_seed).corrupt(
+            0, chip=chip
+        )
+        FaultInjector(self.system.engine, schedule).tick(0)
+        report = self.system.verify_chips(chips=[chip])
+        assert report.repairs >= 1
+
+    # -- invariants ----------------------------------------------------
+
+    @invariant()
+    def dred_exclusion_holds(self):
+        assert self.system.check_dred_exclusion()
+
+    @invariant()
+    def audit_stays_clean(self):
+        # No rule leaves silent drift behind: outside an injected-and-
+        # healed corruption window the audit finds nothing to fix.
+        assert self.system.verify_chips(repair=False).clean
+
+
+TestFaultMachine = FaultMachine.TestCase
+TestFaultMachine.settings = settings(
+    max_examples=8, stateful_step_count=15, deadline=None
+)
