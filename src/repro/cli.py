@@ -15,6 +15,10 @@ scripted without writing Python:
     repro-clue gen-faults --chips 4 --horizon 20000 -o faults.txt
     repro-clue simulate --table table.txt --faults faults.txt
     repro-clue inject-faults --table table.txt --faults faults.txt
+    repro-clue simulate --table table.txt --journal state/ \\
+        --checkpoint-every 100 --crash-at 350
+    repro-clue verify-snapshot --dir state/
+    repro-clue restore --dir state/
 """
 
 from __future__ import annotations
@@ -37,6 +41,8 @@ from repro.core import ClueSystem, SystemConfig
 from repro.engine.simulator import EngineConfig
 from repro.faults import FaultInjector, FaultSchedule
 from repro.partition.even import even_partition
+from repro.persist import PersistenceManager, load_snapshot
+from repro.persist.snapshot import SnapshotStore
 from repro.partition.idbit import idbit_partition
 from repro.partition.subtree import subtree_partition
 from repro.trie.trie import BinaryTrie
@@ -157,6 +163,13 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.journal:
+        return _run_durable_simulation(args)
+    if args.crash_at is not None or args.checkpoint_every:
+        raise ValueError(
+            "--crash-at/--checkpoint-every need --journal (the crash "
+            "drill journals state so a later restore can recover it)"
+        )
     routes = load_table(args.table)
     config = EngineConfig(
         chip_count=args.chips,
@@ -182,7 +195,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         built = build_round_robin_engine(routes, config)
     if args.faults:
-        schedule = load_faults(args.faults)
+        schedule = load_faults(args.faults).validate(args.chips)
         built.engine.fault_injector = FaultInjector(built.engine, schedule)
     stats = built.engine.run(source, count)
     rows = [
@@ -217,6 +230,111 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_durable_simulation(args: argparse.Namespace) -> int:
+    """``simulate --journal``: drive the update path with crash consistency.
+
+    Every update is journaled before it touches the pipeline; state is
+    checkpointed every ``--checkpoint-every`` operations.  ``--crash-at K``
+    kills the control plane (ungracefully, like SIGKILL) after K updates —
+    the state directory is then exactly what ``restore`` must recover from.
+    """
+    if args.scheme != "clue":
+        raise ValueError(
+            "--journal requires --scheme clue (only the integrated CLUE "
+            "system has a crash-consistent control plane)"
+        )
+    routes = load_table(args.table)
+    if args.updates:
+        messages = load_updates(args.updates)
+    else:
+        messages = UpdateGenerator(routes, seed=args.seed).take(
+            args.update_count
+        )
+    system = ClueSystem(
+        routes,
+        SystemConfig(
+            engine=EngineConfig(
+                chip_count=args.chips,
+                dred_capacity=args.dred,
+                queue_capacity=args.queue,
+            )
+        ),
+    )
+    manager = PersistenceManager(
+        system,
+        args.journal,
+        checkpoint_every=args.checkpoint_every,
+        sync_interval=args.sync_every,
+    )
+    for index, message in enumerate(messages):
+        if args.crash_at is not None and index == args.crash_at:
+            manager.crash(power_loss=args.power_loss)
+            print(
+                f"crashed after {index} of {len(messages)} updates "
+                f"(journal seq {system.recovery_stats.journal_records}); "
+                f"recover with: repro-clue restore --dir {args.journal}"
+            )
+            return 0
+        manager.offer_update(message)
+        if index % 4 == 0:
+            manager.pump_updates(budget=4)
+    manager.drain_updates()
+    manager.checkpoint()
+    manager.close()
+    for line in system.report().summary_lines(
+        lookup_cycles=system.config.engine.lookup_cycles
+    ):
+        print(line)
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Recover a state directory and write a fresh checkpoint."""
+    manager, report = PersistenceManager.restore(args.dir)
+    path = manager.checkpoint()
+    manager.close()
+    print(report.summary())
+    print(f"checkpointed to {path}")
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    """Rebuild the system from a state directory and prove it healthy."""
+    manager, report = PersistenceManager.restore(
+        args.dir, audit_sample=args.audit_sample
+    )
+    print(report.summary())
+    if args.fingerprint:
+        print(f"fingerprint: {manager.system.state_fingerprint()}")
+    for line in manager.system.report().summary_lines():
+        print(line)
+    manager.close()
+    return 0 if report.audit is None or report.audit.ok else 1
+
+
+def _cmd_verify_snapshot(args: argparse.Namespace) -> int:
+    """Check snapshot integrity without touching the journal.
+
+    Verifies the digest, rebuilds the system from the snapshot alone and
+    runs the full invariant audit on the result.
+    """
+    if args.snapshot:
+        paths = [args.snapshot]
+    else:
+        paths = SnapshotStore(f"{args.dir}/snapshots").paths()
+        if not paths:
+            raise ValueError(f"no snapshots under {args.dir}")
+    failures = 0
+    for path in paths:
+        seq, state = load_snapshot(path)
+        system = ClueSystem.from_state(state)
+        audit = system.audit_invariants(sample_size=args.audit_sample)
+        status = "ok" if audit.ok else f"INVARIANTS BROKEN: {audit.summary()}"
+        print(f"{path}: seq {seq}, digest ok, invariants {status}")
+        failures += 0 if audit.ok else 1
+    return 1 if failures else 0
+
+
 def _cmd_gen_faults(args: argparse.Namespace) -> int:
     schedule = FaultSchedule.random(
         seed=args.seed,
@@ -235,7 +353,7 @@ def _cmd_gen_faults(args: argparse.Namespace) -> int:
 def _cmd_inject_faults(args: argparse.Namespace) -> int:
     """Drive the integrated system through a fault schedule and report."""
     routes = load_table(args.table)
-    schedule = load_faults(args.faults)
+    schedule = load_faults(args.faults).validate(args.chips)
     system = ClueSystem(
         routes,
         SystemConfig(
@@ -391,7 +509,81 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--faults", help="fault schedule file (see gen-faults)"
     )
+    durability = simulate.add_argument_group(
+        "durability (crash drill; requires --scheme clue)"
+    )
+    durability.add_argument(
+        "--journal",
+        metavar="DIR",
+        help="journal every update into DIR before applying it",
+    )
+    durability.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="snapshot state every N journaled operations",
+    )
+    durability.add_argument(
+        "--crash-at",
+        type=int,
+        help="kill the control plane after N updates (drill for restore)",
+    )
+    durability.add_argument(
+        "--power-loss",
+        action="store_true",
+        help="crash also destroys the unsynced journal tail",
+    )
+    durability.add_argument(
+        "--updates", help="update trace to apply (default: generated)"
+    )
+    durability.add_argument(
+        "--update-count",
+        type=int,
+        default=1_000,
+        help="updates to generate when --updates is not given",
+    )
+    durability.add_argument(
+        "--sync-every",
+        type=int,
+        default=64,
+        help="fsync the journal every N records",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    checkpoint = commands.add_parser(
+        "checkpoint",
+        help="recover a journaled state directory and snapshot it",
+    )
+    checkpoint.add_argument("--dir", required=True)
+    checkpoint.set_defaults(handler=_cmd_checkpoint)
+
+    restore = commands.add_parser(
+        "restore",
+        help="rebuild the system from snapshot + journal and audit it",
+    )
+    restore.add_argument("--dir", required=True)
+    restore.add_argument(
+        "--audit-sample",
+        type=int,
+        default=256,
+        help="addresses sampled by the equivalence audit",
+    )
+    restore.add_argument(
+        "--fingerprint",
+        action="store_true",
+        help="print the recovered state's SHA-256 fingerprint",
+    )
+    restore.set_defaults(handler=_cmd_restore)
+
+    verify_snapshot = commands.add_parser(
+        "verify-snapshot",
+        help="verify snapshot digests and re-prove the invariants",
+    )
+    location = verify_snapshot.add_mutually_exclusive_group(required=True)
+    location.add_argument("--snapshot", help="one snapshot file")
+    location.add_argument("--dir", help="state directory (all snapshots)")
+    verify_snapshot.add_argument("--audit-sample", type=int, default=256)
+    verify_snapshot.set_defaults(handler=_cmd_verify_snapshot)
 
     gen_faults = commands.add_parser(
         "gen-faults", help="generate a random fault schedule"

@@ -11,6 +11,44 @@ from repro.update.ttf import TtfReport
 
 
 @dataclass
+class RecoveryStats:
+    """Durability and audit counters for one system lifetime.
+
+    ``time_to_recovered_us`` is the TTF-style headline of the crash
+    story: wall time from "restore requested" to "state rebuilt, journal
+    suffix replayed, invariants re-proved" — the update-path analogue of
+    the paper's time-to-forward.
+    """
+
+    #: Operations appended to the write-ahead journal.
+    journal_records: int = 0
+    #: fsync batches issued by the journal.
+    journal_syncs: int = 0
+    #: Checkpoints written.
+    snapshots_written: int = 0
+    #: Successful restores performed into this process.
+    restores: int = 0
+    #: Journal records replayed by those restores.
+    replayed_updates: int = 0
+    #: Wall time of the most recent restore (load + rebuild + replay).
+    time_to_recovered_us: float = 0.0
+    #: Invariant-audit passes (full or incremental).
+    audit_runs: int = 0
+    #: Invariant violations those audits recorded.
+    audit_violations: int = 0
+
+    @property
+    def active(self) -> bool:
+        """True once any durability or audit machinery has run."""
+        return bool(
+            self.journal_records
+            or self.snapshots_written
+            or self.restores
+            or self.audit_runs
+        )
+
+
+@dataclass
 class SystemReport:
     """What one integrated run produced, for printing or assertions.
 
@@ -24,6 +62,8 @@ class SystemReport:
     tcam_entries_per_chip: Optional[List[int]] = None
     #: Entries the self-healing audit (verify_chips) has repaired.
     chip_repairs: Optional[int] = None
+    #: Durability counters (journal/checkpoint/restore/invariant audit).
+    recovery: Optional[RecoveryStats] = None
 
     def summary_lines(self, lookup_cycles: int = 4) -> List[str]:
         """Human-readable one-liners, used by examples and benches."""
@@ -62,6 +102,26 @@ class SystemReport:
             )
         if self.chip_repairs:
             lines.append(f"audit: {self.chip_repairs} entries repaired")
+        if self.recovery is not None and self.recovery.active:
+            recovery = self.recovery
+            line = (
+                f"durability: {recovery.journal_records} journaled ops "
+                f"({recovery.journal_syncs} fsync batches), "
+                f"{recovery.snapshots_written} snapshots"
+            )
+            if recovery.restores:
+                line += (
+                    f", {recovery.restores} restores "
+                    f"({recovery.replayed_updates} replayed, "
+                    f"time to recovered "
+                    f"{recovery.time_to_recovered_us:.0f} us)"
+                )
+            if recovery.audit_runs:
+                line += (
+                    f", invariant audits {recovery.audit_runs} "
+                    f"({recovery.audit_violations} violations)"
+                )
+            lines.append(line)
         if self.ttf is not None and len(self.ttf):
             lines.append(
                 f"update: TTF mean {self.ttf.total().mean_us:.3f} us "

@@ -20,19 +20,22 @@ withdraw), exactly as in the hardware design.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.compress.labels import CompressionMode
 from repro.core.config import SystemConfig
-from repro.core.metrics import SystemReport
+from repro.core.metrics import RecoveryStats, SystemReport
 from repro.compress.onrtc import CompressionReport, TableDiff
 from repro.engine.builders import map_partitions_to_chips
 from repro.engine.schemes import CluePolicy
-from repro.engine.simulator import LookupEngine
+from repro.engine.simulator import EngineConfig, LookupEngine
 from repro.engine.stats import EngineStats
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
 from repro.net.prefix import Prefix
+from repro.partition.base import Partition, PartitionResult
 from repro.partition.even import even_partition
 from repro.partition.index_logic import RangeIndex
 from repro.trie.trie import BinaryTrie
@@ -41,6 +44,9 @@ from repro.update.ttf import TtfSample
 from repro.workload.updategen import UpdateGenerator, UpdateMessage
 
 Route = Tuple[Prefix, int]
+
+#: Version of the :meth:`ClueSystem.capture_state` layout.
+STATE_VERSION = 1
 
 
 @dataclass
@@ -147,6 +153,12 @@ class ClueSystem:
         self._audit_cursor = 0
         #: Running total of entries verify_chips() has repaired.
         self.audit_repairs = 0
+        #: Durability and invariant-audit counters (journal/checkpoint/
+        #: restore machinery fills these in; see repro.persist).
+        self.recovery_stats = RecoveryStats()
+        # Persistent incremental auditor (keeps its rotation cursor and
+        # candidate-trie cache across invariant_step calls).
+        self._invariant_auditor = None
 
     # ------------------------------------------------------------------
     # Data plane
@@ -434,6 +446,360 @@ class ClueSystem:
         )
 
     # ------------------------------------------------------------------
+    # Durability (snapshot capture / restore / fingerprint)
+    # ------------------------------------------------------------------
+
+    def capture_state(self) -> Dict:
+        """The full control-plane state as a JSON-ready dict.
+
+        Everything the crash-consistency contract covers is here: the
+        source trie (ground truth), the compressed table it determines,
+        the live partitioning (boundaries + chip mapping, which drift
+        from the config after :meth:`rebalance`), per-chip TCAM content
+        and liveness, DRed content *in LRU order*, and the scheduler's
+        queue, storm flag and deferred-diff batch.  Data-plane counters
+        (engine stats, TTF samples) are metrics, not state, and are not
+        captured.
+
+        Raises :class:`ValueError` under ``lazy_compression`` — the lazy
+        table depends on update history, so rebuilding it from the source
+        trie would not be deterministic.
+        """
+        from repro.persist import codec
+
+        if self.config.lazy_compression:
+            raise ValueError(
+                "state capture requires exact ONRTC maintenance "
+                "(lazy_compression must be off); the lazy table is a "
+                "function of update history, not of the trie"
+            )
+        table = self.pipeline.trie_stage.table
+        return {
+            "version": STATE_VERSION,
+            "config": self._config_state(),
+            "source_routes": codec.encode_routes(table.source.routes()),
+            "compressed": codec.encode_routes(table.table.items()),
+            "boundaries": list(self.index.boundaries),
+            "partition_to_chip": list(self.partition_to_chip),
+            "chips": self._chip_states(),
+            "scheduler": self._scheduler_state(include_stats=True),
+            "audit_repairs": self.audit_repairs,
+            "audit_cursor": self._audit_cursor,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Dict, config: Optional[SystemConfig] = None
+    ) -> "ClueSystem":
+        """Rebuild a system from a :meth:`capture_state` dict.
+
+        The compressed table is *recomputed* from the snapshot's source
+        routes (ONRTC is a pure function of the trie) and verified
+        against the snapshot's recorded table — a mismatch means the
+        snapshot is internally inconsistent and raises
+        :class:`ValueError`, which the restore path treats like any
+        other corrupt snapshot (fall back to an older one).
+
+        ``config`` overrides the serialized configuration; note the cost
+        model (TTF conversion constants) is not serialized — pass a
+        config to restore a non-default one.
+        """
+        from repro.persist import codec
+
+        try:
+            version = int(state["version"])
+            if version != STATE_VERSION:
+                raise ValueError(
+                    f"snapshot state v{version} unsupported "
+                    f"(this build reads v{STATE_VERSION})"
+                )
+            if config is None:
+                config = cls._config_from_state(state["config"])
+            system = cls(codec.decode_routes(state["source_routes"]), config)
+            recompressed = codec.encode_routes(
+                system.pipeline.trie_stage.table.table.items()
+            )
+            if recompressed != state["compressed"]:
+                raise ValueError(
+                    "snapshot is internally inconsistent: its compressed "
+                    "table is not the deterministic recompression of its "
+                    "source trie"
+                )
+            system._restore_partitions(state)
+            system._restore_chips(state["chips"])
+            system._restore_scheduler(state["scheduler"])
+            system.audit_repairs = int(state.get("audit_repairs", 0))
+            system._audit_cursor = int(state.get("audit_cursor", 0))
+            return system
+        except (KeyError, TypeError, IndexError) as exc:
+            raise ValueError(f"malformed snapshot state: {exc!r}") from exc
+
+    def state_fingerprint(self) -> str:
+        """SHA-256 over the state the crash-recovery contract guarantees.
+
+        Counters and metrics are excluded on purpose: a restored system
+        replaying a journal suffix must converge to the same *forwarding
+        behaviour* as the uninterrupted run — tables, partitioning, DRed
+        content, queue content and deferred TCAM writes — not to the
+        same bean counts.
+        """
+        from repro.persist import codec
+        from repro.persist.snapshot import state_digest
+
+        table = self.pipeline.trie_stage.table
+        return state_digest(
+            {
+                "compressed": codec.encode_routes(table.table.items()),
+                "boundaries": list(self.index.boundaries),
+                "partition_to_chip": list(self.partition_to_chip),
+                "chips": self._chip_states(),
+                "scheduler": self._scheduler_state(include_stats=False),
+            }
+        )
+
+    # -- capture/restore helpers ---------------------------------------
+
+    def _config_state(self) -> Dict:
+        engine = self.config.engine
+        return {
+            "engine": {
+                "chip_count": engine.chip_count,
+                "lookup_cycles": engine.lookup_cycles,
+                "queue_capacity": engine.queue_capacity,
+                "dred_capacity": engine.dred_capacity,
+                "arrivals_per_cycle": engine.arrivals_per_cycle,
+                "max_dred_attempts": engine.max_dred_attempts,
+                "control_path_cycles": engine.control_path_cycles,
+            },
+            "partitions_per_chip": self.config.partitions_per_chip,
+            "compression_mode": self.config.compression_mode.name,
+            "update_queue_capacity": self.config.update_queue_capacity,
+            "storm_high_watermark": self.config.storm_high_watermark,
+            "storm_low_watermark": self.config.storm_low_watermark,
+        }
+
+    @staticmethod
+    def _config_from_state(data: Dict) -> SystemConfig:
+        engine = data["engine"]
+        try:
+            mode = CompressionMode[data["compression_mode"]]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown compression mode {data['compression_mode']!r}"
+            ) from exc
+        return SystemConfig(
+            engine=EngineConfig(
+                chip_count=int(engine["chip_count"]),
+                lookup_cycles=int(engine["lookup_cycles"]),
+                queue_capacity=int(engine["queue_capacity"]),
+                dred_capacity=int(engine["dred_capacity"]),
+                arrivals_per_cycle=float(engine["arrivals_per_cycle"]),
+                max_dred_attempts=int(engine["max_dred_attempts"]),
+                control_path_cycles=int(engine["control_path_cycles"]),
+            ),
+            partitions_per_chip=int(data["partitions_per_chip"]),
+            compression_mode=mode,
+            update_queue_capacity=int(data["update_queue_capacity"]),
+            storm_high_watermark=float(data["storm_high_watermark"]),
+            storm_low_watermark=float(data["storm_low_watermark"]),
+        )
+
+    def _chip_states(self) -> List[Dict]:
+        from repro.persist import codec
+
+        chips = []
+        for chip in self.engine.chips:
+            dred = None
+            if chip.dred is not None:
+                # OrderedDict iteration == LRU order; eviction behaviour
+                # after restore depends on preserving it exactly.
+                dred = [
+                    [str(prefix), entry.next_hop, entry.owner]
+                    for prefix, entry in chip.dred._entries.items()
+                ]
+            chips.append(
+                {
+                    "table": codec.encode_routes(chip.table.routes()),
+                    "alive": chip.alive,
+                    "dred": dred,
+                }
+            )
+        return chips
+
+    def _scheduler_state(self, include_stats: bool) -> Dict:
+        from repro.persist import codec
+
+        scheduler = self.scheduler
+        queue = scheduler.queue
+        state = {
+            "queue": [codec.encode_message(m) for m in queue.items()],
+            "storm_mode": scheduler.storm_mode,
+            "deferred": [
+                [seq, codec.encode_diff(diff)]
+                for seq, diff in scheduler.pending_diffs()
+            ],
+            "defer_seq": scheduler._defer_seq,
+        }
+        if include_stats:
+            state["queue_counters"] = [
+                queue.offered,
+                queue.accepted,
+                queue.shed,
+                queue.deferred,
+                queue.peak_occupancy,
+            ]
+            state["stats"] = {
+                field.name: getattr(scheduler.stats, field.name)
+                for field in dataclasses.fields(scheduler.stats)
+            }
+        return state
+
+    def _restore_partitions(self, state: Dict) -> None:
+        boundaries = [int(b) for b in state["boundaries"]]
+        self.index = RangeIndex(boundaries)
+        self.partition_to_chip = [int(c) for c in state["partition_to_chip"]]
+        # The partition objects are rederivable: bucket the compressed
+        # table by the restored boundaries.
+        partitions = [Partition(index) for index in range(len(boundaries))]
+        for route in self.pipeline.trie_stage.table.routes():
+            partitions[self.index.home_of(route[0].network)].routes.append(
+                route
+            )
+        self.partition_result = PartitionResult(
+            algorithm="clue-even", partitions=partitions
+        )
+
+    def _restore_chips(self, chip_states: List[Dict]) -> None:
+        from repro.persist import codec
+
+        if len(chip_states) != len(self.engine.chips):
+            raise ValueError(
+                f"snapshot has {len(chip_states)} chips, "
+                f"engine has {len(self.engine.chips)}"
+            )
+        for chip, chip_state in zip(self.engine.chips, chip_states):
+            chip.table = BinaryTrie.from_routes(
+                codec.decode_routes(chip_state["table"])
+            )
+            chip.table_slots = len(chip.table)
+            # Set liveness directly: kill_chip() would count a fresh
+            # failure in the engine stats.
+            chip.alive = bool(chip_state["alive"])
+            if chip.dred is not None:
+                for prefix in list(chip.dred._entries):
+                    chip.dred.delete(prefix)
+                for text, hop, owner in chip_state.get("dred") or []:
+                    chip.dred.insert(Prefix.parse(text), int(hop), int(owner))
+
+    def _restore_scheduler(self, state: Dict) -> None:
+        from repro.persist import codec
+
+        scheduler = self.scheduler
+        for text in state["queue"]:
+            scheduler.queue.offer(codec.decode_message(text))
+        scheduler.storm_mode = bool(state["storm_mode"])
+        deferred = [
+            (int(seq), codec.decode_diff(diff))
+            for seq, diff in state["deferred"]
+        ]
+        scheduler.restore_deferred(deferred, int(state["defer_seq"]))
+        if deferred:
+            self._rewind_tcam_mirror([diff for _seq, diff in deferred])
+        if "queue_counters" in state:
+            queue = scheduler.queue
+            (
+                queue.offered,
+                queue.accepted,
+                queue.shed,
+                queue.deferred,
+                queue.peak_occupancy,
+            ) = [int(value) for value in state["queue_counters"]]
+        for name, value in state.get("stats", {}).items():
+            setattr(scheduler.stats, name, value)
+        self._sync_scheduler_stats()
+
+    def _rewind_tcam_mirror(self, deferred: List[TableDiff]) -> None:
+        """Rebuild the TCAM mirror *behind* the trie by the deferred batch.
+
+        A snapshot taken in storm mode records a trie that is ahead of
+        the TCAM mirror by exactly the deferred diffs; the constructor,
+        however, builds the mirror from the *current* table.  Undo the
+        deferred diffs in reverse order to recover the mirror's true
+        (stale) content, so the replayed flush applies them cleanly.
+        """
+        from repro.update.tcam_update import ClueTcamMirror
+
+        content = dict(self.pipeline.trie_stage.table.table)
+        for diff in reversed(deferred):
+            for prefix, _hop in diff.adds:
+                if content.pop(prefix, None) is None:
+                    raise ValueError(
+                        f"deferred diff adds {prefix}, which the snapshot "
+                        f"table does not contain"
+                    )
+            for prefix, hop in diff.removes:
+                content[prefix] = hop
+        self.pipeline.tcam_stage = ClueTcamMirror(
+            sorted(content.items(), key=lambda route: route[0].sort_key())
+        )
+
+    # ------------------------------------------------------------------
+    # Invariant auditing (see repro.persist.audit)
+    # ------------------------------------------------------------------
+
+    def audit_invariants(
+        self, sample_size: int = 256, seed: int = 0, halt: bool = False
+    ):
+        """Full invariant pass: disjointness, trie↔table equivalence on
+        sampled addresses, partition coverage/evenness, DRed exclusion.
+
+        Violations land in :attr:`recovery_stats`; with ``halt`` a broken
+        invariant raises :class:`~repro.persist.audit.InvariantViolationError`.
+        """
+        from repro.persist.audit import InvariantAuditor
+
+        auditor = InvariantAuditor(self, sample_size=sample_size, seed=seed)
+        report = auditor.run(halt=False)
+        self.recovery_stats.audit_runs += 1
+        self.recovery_stats.audit_violations += len(report.violations)
+        if halt and not report.ok:
+            from repro.persist.audit import InvariantViolationError
+
+            raise InvariantViolationError(report)
+        return report
+
+    def invariant_step(self, budget: int = 64, halt: bool = False):
+        """One bounded increment of the invariant audit (round-robin over
+        the checks, the way :meth:`audit_step` spreads the chip scan)."""
+        from repro.persist.audit import InvariantAuditor, InvariantViolationError
+
+        if self._invariant_auditor is None:
+            self._invariant_auditor = InvariantAuditor(self)
+        report = self._invariant_auditor.step(budget=budget)
+        self.recovery_stats.audit_runs += 1
+        self.recovery_stats.audit_violations += len(report.violations)
+        if halt and not report.ok:
+            raise InvariantViolationError(report)
+        return report
+
+    def enable_continuous_audit(
+        self, period: int = 1024, budget: int = 64, halt: bool = False
+    ) -> None:
+        """Audit invariants every ``period`` engine cycles while traffic
+        runs (chains with any observer already on ``engine.on_cycle``)."""
+        if period < 1:
+            raise ValueError("audit period must be positive")
+        previous = self.engine.on_cycle
+
+        def observer(cycle: int) -> None:
+            if previous is not None:
+                previous(cycle)
+            if cycle and cycle % period == 0:
+                self.invariant_step(budget=budget, halt=halt)
+
+        self.engine.on_cycle = observer
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
 
@@ -453,4 +819,5 @@ class ClueSystem:
                 len(chip.table) for chip in self.engine.chips
             ],
             chip_repairs=self.audit_repairs,
+            recovery=self.recovery_stats,
         )

@@ -107,3 +107,7 @@ class UpdateQueue(Generic[T]):
     def pop(self) -> T:
         """Dequeue the oldest update."""
         return self._items.popleft()
+
+    def items(self) -> list:
+        """A copy of the queued items, oldest first (snapshot capture)."""
+        return list(self._items)

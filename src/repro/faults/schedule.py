@@ -135,6 +135,25 @@ class FaultSchedule:
         """Cycle of the latest event (0 for an empty schedule)."""
         return self.events[-1].cycle if self.events else 0
 
+    def validate(self, chip_count: int) -> "FaultSchedule":
+        """Check every chip index fits a ``chip_count``-chip engine.
+
+        A schedule written for a bigger box would otherwise surface as an
+        ``IndexError`` deep inside the injector mid-run; the CLI calls
+        this up front so the mismatch reports as a one-line operational
+        error instead.  Returns ``self`` for chaining.
+        """
+        if chip_count < 1:
+            raise ValueError("need at least one chip")
+        for event in self.events:
+            if event.chip is not None and event.chip >= chip_count:
+                raise ValueError(
+                    f"fault event at cycle {event.cycle} targets chip "
+                    f"{event.chip}, but the engine only has "
+                    f"{chip_count} chip(s)"
+                )
+        return self
+
     # -- generation --------------------------------------------------------
 
     @classmethod

@@ -1,0 +1,51 @@
+"""Crash consistency for the CLUE control plane.
+
+The paper's O(1) TCAM update only holds while the compressed table stays
+pairwise disjoint; a control-plane process that dies mid-update would
+silently break that invariant and, with it, priority-encoder-free lookup.
+This package makes the control plane killable at any point:
+
+* :mod:`repro.persist.journal` — a checksummed, length-prefixed
+  write-ahead journal of every update operation, with fsync batching,
+  segment rotation and torn-tail truncation;
+* :mod:`repro.persist.snapshot` — versioned, digest-protected snapshots
+  of the full control-plane state;
+* :mod:`repro.persist.audit` — the invariant auditor that re-proves
+  disjointness, forwarding equivalence, partition coverage and DRed
+  exclusion after every restore (and incrementally during simulation);
+* :mod:`repro.persist.manager` — :class:`PersistenceManager`, which ties
+  journal + snapshots to a live :class:`~repro.core.system.ClueSystem`
+  (journal-before-apply, checkpoint-every-N) and rebuilds a byte-identical
+  system from disk via :meth:`PersistenceManager.restore`.
+"""
+
+from repro.persist.audit import (
+    AuditReport,
+    InvariantAuditor,
+    InvariantViolation,
+    InvariantViolationError,
+)
+from repro.persist.journal import Journal, JournalError, JournalRecord
+from repro.persist.manager import PersistenceManager, RecoveryReport
+from repro.persist.snapshot import (
+    SnapshotError,
+    SnapshotStore,
+    load_snapshot,
+    save_snapshot,
+)
+
+__all__ = [
+    "AuditReport",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "InvariantViolationError",
+    "Journal",
+    "JournalError",
+    "JournalRecord",
+    "PersistenceManager",
+    "RecoveryReport",
+    "SnapshotError",
+    "SnapshotStore",
+    "load_snapshot",
+    "save_snapshot",
+]

@@ -1,0 +1,344 @@
+"""PersistenceManager — crash consistency for a live :class:`ClueSystem`.
+
+The write path is classic redo logging: every control-plane operation is
+appended to the :class:`~repro.persist.journal.Journal` *before* it runs
+(`journal-before-apply`), and every ``checkpoint_every`` operations the
+full state is serialized through :class:`~repro.persist.snapshot.SnapshotStore`.
+Restore loads the newest valid snapshot, rebuilds the system
+deterministically (:meth:`ClueSystem.from_state`), replays the journal
+suffix with ``seq`` greater than the snapshot's, re-proves the control
+plane's invariants, and reports a TTF-style *time to recovered*.
+
+Replay is exact because every journaled operation is deterministic given
+the state it runs against: ONRTC diffs are pure functions of the trie,
+the scheduler's storm entry/exit depends only on queue occupancy, and
+DRed invalidation depends only on the diff.  Internal storm-exit flushes
+are *not* replayed from the journal (they recur on their own inside the
+replayed ``pump``/``drain``); their journaled ``flush-auto`` markers are
+instead used to verify the replay reproduced the exact same batching.
+
+Operations must be routed through the manager (it wraps the system's
+update entry points); anything applied behind its back is invisible to
+the journal and unrecoverable — same contract as any WAL.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.persist import codec
+from repro.persist.audit import AuditReport
+from repro.persist.journal import Journal, JournalError
+from repro.persist.snapshot import SnapshotError, SnapshotStore, load_snapshot
+
+PathLike = Union[str, Path]
+
+JOURNAL_DIR = "journal"
+SNAPSHOT_DIR = "snapshots"
+
+#: Journal record kinds the replay path executes.
+_REPLAYED_KINDS = ("apply", "offer", "pump", "drain", "flush")
+#: Kinds recorded for verification/bookkeeping only.
+_MARKER_KINDS = ("flush-auto", "checkpoint")
+
+
+@dataclass
+class RecoveryReport:
+    """What one :meth:`PersistenceManager.restore` did."""
+
+    snapshot_path: str
+    snapshot_seq: int
+    #: Journal records replayed on top of the snapshot.
+    replayed_records: int
+    #: Snapshots that were skipped as corrupt/inconsistent (newest first).
+    skipped_snapshots: List[str] = field(default_factory=list)
+    #: Wall time from "restore requested" to "invariants re-proved".
+    time_to_recovered_us: float = 0.0
+    #: The post-restore invariant audit.
+    audit: Optional[AuditReport] = None
+
+    def summary(self) -> str:
+        lines = [
+            f"restored from {self.snapshot_path} (seq {self.snapshot_seq}), "
+            f"{self.replayed_records} journal records replayed, "
+            f"time to recovered {self.time_to_recovered_us:.0f} us"
+        ]
+        for skipped in self.skipped_snapshots:
+            lines.append(f"  skipped snapshot: {skipped}")
+        if self.audit is not None:
+            lines.append(f"  invariants: {self.audit.summary()}")
+        return "\n".join(lines)
+
+
+class PersistenceManager:
+    """Journal-before-apply wrapper plus checkpoint/restore for one system.
+
+    ``checkpoint_every=N`` snapshots the state after every N journaled
+    operations (0 disables automatic checkpoints).  A fresh manager takes
+    an initial checkpoint immediately: the journal alone cannot bootstrap
+    a system (the initial RIB is not an update), so restore always needs
+    at least one snapshot beneath the log.
+    """
+
+    def __init__(
+        self,
+        system,
+        directory: PathLike,
+        sync_interval: int = 64,
+        segment_records: int = 4096,
+        checkpoint_every: int = 0,
+        keep_snapshots: int = 2,
+        initial_checkpoint: bool = True,
+        _journal: Optional[Journal] = None,
+        _snapshots: Optional[SnapshotStore] = None,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        self.system = system
+        self.directory = Path(directory)
+        self.checkpoint_every = checkpoint_every
+        resuming = _journal is not None
+        if not resuming:
+            self._guard_fresh_directory()
+        self.journal = _journal or Journal(
+            self.directory / JOURNAL_DIR,
+            segment_records=segment_records,
+            sync_interval=sync_interval,
+        )
+        self.snapshots = _snapshots or SnapshotStore(
+            self.directory / SNAPSHOT_DIR, keep=keep_snapshots
+        )
+        self._ops_since_checkpoint = 0
+        # Storm-exit (and any other non-empty) flushes are journaled as
+        # verification markers the moment the scheduler reports them.
+        self.system.scheduler.on_flush = self._record_flush
+        if not resuming and initial_checkpoint:
+            self.checkpoint()
+
+    def _guard_fresh_directory(self) -> None:
+        """Refuse to silently shadow existing state with a new journal."""
+        for sub in (JOURNAL_DIR, SNAPSHOT_DIR):
+            path = self.directory / sub
+            if path.is_dir() and any(path.iterdir()):
+                raise ValueError(
+                    f"persistent state already exists under {path}; "
+                    f"use PersistenceManager.restore() to resume it"
+                )
+
+    # -- journal-before-apply update path ------------------------------
+
+    def _append(self, kind: str, payload: str = "") -> None:
+        self.journal.append(kind, payload)
+        stats = self.system.recovery_stats
+        stats.journal_records += 1
+        stats.journal_syncs = self.journal.sync_count
+
+    def _journal_op(self, kind: str, payload: str = "") -> None:
+        self._append(kind, payload)
+        self._ops_since_checkpoint += 1
+
+    def _record_flush(self, count: int) -> None:
+        self._append("flush-auto", str(count))
+
+    def apply_update(self, message):
+        """Journal, then run one update through the direct pipeline path."""
+        self._journal_op("apply", codec.encode_message(message))
+        sample = self.system.apply_update(message)
+        self._maybe_checkpoint()
+        return sample
+
+    def offer_update(self, message) -> bool:
+        """Journal, then admit one update through the bounded queue."""
+        self._journal_op("offer", codec.encode_message(message))
+        accepted = self.system.offer_update(message)
+        self._maybe_checkpoint()
+        return accepted
+
+    def pump_updates(self, budget: int = 8) -> int:
+        """Journal, then apply up to ``budget`` queued updates."""
+        self._journal_op("pump", str(budget))
+        applied = self.system.pump_updates(budget)
+        self._maybe_checkpoint()
+        return applied
+
+    def drain_updates(self) -> int:
+        """Journal, then empty the queue and flush deferred TCAM writes."""
+        self._journal_op("drain")
+        applied = self.system.drain_updates()
+        self._maybe_checkpoint()
+        return applied
+
+    def flush_updates(self) -> int:
+        """Journal an explicit flush boundary, then flush deferred diffs."""
+        self._journal_op("flush")
+        return self.system.scheduler.flush()
+
+    # -- checkpointing --------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self.checkpoint_every
+            and self._ops_since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+
+    def checkpoint(self) -> Path:
+        """Snapshot the state at the current journal position.
+
+        The journal is synced first so the snapshot never claims a
+        position the log cannot prove; afterwards, segments made wholly
+        obsolete by the *oldest retained* snapshot are truncated away.
+        """
+        self.journal.sync()
+        state = self.system.capture_state()
+        seq = self.journal.last_seq
+        path = self.snapshots.write(state, seq)
+        self._append("checkpoint", str(seq))
+        self.journal.sync()
+        self.journal.truncate_through(self.snapshots.oldest_seq())
+        self.system.recovery_stats.snapshots_written += 1
+        self._ops_since_checkpoint = 0
+        return path
+
+    def sync(self) -> None:
+        """Force-fsync the journal (everything so far is durable)."""
+        self.journal.sync()
+        self.system.recovery_stats.journal_syncs = self.journal.sync_count
+
+    def close(self) -> None:
+        """Durable shutdown (no checkpoint; the journal is enough)."""
+        self.journal.close()
+
+    def crash(self, power_loss: bool = False) -> None:
+        """Die ungracefully, for crash drills.
+
+        ``power_loss=True`` additionally destroys the unsynced journal
+        tail — the strictest model restore must survive.
+        """
+        self.journal.crash(power_loss=power_loss)
+
+    # -- restore --------------------------------------------------------
+
+    @classmethod
+    def restore(
+        cls,
+        directory: PathLike,
+        config=None,
+        sync_interval: int = 64,
+        segment_records: int = 4096,
+        checkpoint_every: int = 0,
+        keep_snapshots: int = 2,
+        audit_sample: int = 256,
+        halt_on_violation: bool = False,
+    ) -> Tuple["PersistenceManager", RecoveryReport]:
+        """Rebuild the system from disk; returns ``(manager, report)``.
+
+        Walks snapshots newest-first: a snapshot that fails its digest,
+        or turns out internally inconsistent when rebuilt, is skipped and
+        the predecessor is tried (the journal retains the longer suffix
+        that predecessor needs).  Raises
+        :class:`~repro.persist.snapshot.SnapshotError` when no snapshot
+        is usable and :class:`~repro.persist.journal.JournalError` when
+        the journal itself is damaged or replay diverges.
+        """
+        from repro.core.system import ClueSystem
+
+        start = time.perf_counter()
+        directory = Path(directory)
+        snapshots = SnapshotStore(directory / SNAPSHOT_DIR, keep=keep_snapshots)
+        # Opening the journal performs WAL recovery (torn-tail truncation).
+        journal = Journal(
+            directory / JOURNAL_DIR,
+            segment_records=segment_records,
+            sync_interval=sync_interval,
+        )
+        skipped: List[str] = []
+        system = None
+        used_seq = 0
+        used_path: Optional[Path] = None
+        replayed = 0
+        for path in reversed(snapshots.paths()):
+            try:
+                seq, state = load_snapshot(path)
+                candidate = ClueSystem.from_state(state, config)
+            except ValueError as exc:
+                # SnapshotError (bad digest/header) and from_state's
+                # inconsistency errors both land here: fall back.
+                skipped.append(f"{path.name}: {exc}")
+                continue
+            replayed = cls._replay(candidate, journal, after_seq=seq)
+            system, used_seq, used_path = candidate, seq, path
+            break
+        if system is None:
+            detail = "; ".join(skipped) if skipped else "none found"
+            raise SnapshotError(
+                f"no usable snapshot under {directory}: {detail}"
+            )
+        audit = system.audit_invariants(
+            sample_size=audit_sample, halt=halt_on_violation
+        )
+        elapsed_us = (time.perf_counter() - start) * 1e6
+        stats = system.recovery_stats
+        stats.restores += 1
+        stats.replayed_updates += replayed
+        stats.time_to_recovered_us = elapsed_us
+        manager = cls(
+            system,
+            directory,
+            checkpoint_every=checkpoint_every,
+            _journal=journal,
+            _snapshots=snapshots,
+        )
+        manager._ops_since_checkpoint = replayed
+        report = RecoveryReport(
+            snapshot_path=str(used_path),
+            snapshot_seq=used_seq,
+            replayed_records=replayed,
+            skipped_snapshots=skipped,
+            time_to_recovered_us=elapsed_us,
+            audit=audit,
+        )
+        return manager, report
+
+    @staticmethod
+    def _replay(system, journal: Journal, after_seq: int) -> int:
+        """Re-execute the journal suffix; returns executed record count.
+
+        ``flush-auto`` markers are skipped (the flushes they mark recur
+        inside the replayed operations) but their counts verify that the
+        replay reproduced the original TCAM flush batching exactly.
+        """
+        replayed = 0
+        expected_flushed = system.scheduler.stats.flushed_diffs
+        for record in journal.records(after_seq=after_seq):
+            kind, payload = record.kind, record.payload
+            if kind == "apply":
+                system.apply_update(codec.decode_message(payload))
+            elif kind == "offer":
+                system.offer_update(codec.decode_message(payload))
+            elif kind == "pump":
+                system.pump_updates(int(payload))
+            elif kind == "drain":
+                system.drain_updates()
+            elif kind == "flush":
+                system.scheduler.flush()
+            elif kind == "flush-auto":
+                expected_flushed += int(payload)
+                continue
+            elif kind == "checkpoint":
+                continue
+            else:
+                raise JournalError(
+                    f"record {record.seq}: unknown kind {kind!r}"
+                )
+            replayed += 1
+        actual_flushed = system.scheduler.stats.flushed_diffs
+        if actual_flushed != expected_flushed:
+            raise JournalError(
+                f"replay diverged from the journal: {actual_flushed} "
+                f"TCAM diffs flushed vs {expected_flushed} journaled"
+            )
+        return replayed

@@ -1,0 +1,174 @@
+"""Versioned, digest-protected snapshots of control-plane state.
+
+A snapshot file is one ASCII header line followed by canonical JSON::
+
+    clue-snapshot v1 seq=<journal-seq> sha256=<hex digest of the JSON>
+    {"boundaries": [...], "chips": [...], ...}
+
+The digest covers the whole payload, so any flipped byte is detected at
+load time; the ``seq`` names the journal position the state corresponds
+to, so :class:`~repro.persist.manager.PersistenceManager` knows exactly
+which journal suffix to replay on top.  Files are written to a temp name
+and atomically renamed — a crash mid-checkpoint leaves the previous
+snapshot untouched, which is what the fallback path in
+:meth:`SnapshotStore.valid_snapshots` relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple, Union
+
+SNAPSHOT_VERSION = 1
+
+_MAGIC = "clue-snapshot"
+_FILE_PREFIX = "snap-"
+_FILE_SUFFIX = ".ckpt"
+
+PathLike = Union[str, Path]
+
+
+class SnapshotError(ValueError):
+    """A snapshot file is missing, corrupt, or from an unknown version."""
+
+
+def dumps_state(state: Dict) -> bytes:
+    """Canonical JSON bytes (sorted keys, no whitespace jitter)."""
+    return json.dumps(
+        state, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+
+
+def state_digest(state: Dict) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``state``."""
+    return hashlib.sha256(dumps_state(state)).hexdigest()
+
+
+def save_snapshot(path: PathLike, state: Dict, seq: int) -> None:
+    """Write ``state`` at journal position ``seq``; atomic and fsynced."""
+    path = Path(path)
+    payload = dumps_state(state)
+    digest = hashlib.sha256(payload).hexdigest()
+    header = f"{_MAGIC} v{SNAPSHOT_VERSION} seq={seq} sha256={digest}\n"
+    temp = path.with_suffix(path.suffix + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(header.encode("ascii"))
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+def load_snapshot(path: PathLike) -> Tuple[int, Dict]:
+    """Read and verify one snapshot; returns ``(seq, state)``.
+
+    Raises :class:`SnapshotError` on a missing file, malformed header,
+    unknown version, or digest mismatch.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise SnapshotError(f"{path}: truncated snapshot (no header)")
+    try:
+        header = raw[:newline].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise SnapshotError(f"{path}: undecodable header") from exc
+    parts = header.split()
+    if (
+        len(parts) != 4
+        or parts[0] != _MAGIC
+        or not parts[2].startswith("seq=")
+        or not parts[3].startswith("sha256=")
+    ):
+        raise SnapshotError(f"{path}: malformed snapshot header")
+    if parts[1] != f"v{SNAPSHOT_VERSION}":
+        raise SnapshotError(
+            f"{path}: unsupported snapshot version {parts[1]} "
+            f"(this build reads v{SNAPSHOT_VERSION})"
+        )
+    try:
+        seq = int(parts[2][len("seq=") :])
+    except ValueError as exc:
+        raise SnapshotError(f"{path}: bad sequence in header") from exc
+    digest = parts[3][len("sha256=") :]
+    payload = raw[newline + 1 :]
+    if hashlib.sha256(payload).hexdigest() != digest:
+        raise SnapshotError(f"{path}: digest mismatch (corrupt payload)")
+    try:
+        state = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"{path}: undecodable payload: {exc}") from exc
+    return seq, state
+
+
+class SnapshotStore:
+    """A directory of numbered snapshots with retention and fallback.
+
+    ``keep`` bounds how many snapshots are retained — more than one, so a
+    snapshot that turns out corrupt at restore time still has a
+    predecessor to fall back to (the journal retains the matching suffix,
+    see :meth:`repro.persist.journal.Journal.truncate_through`).
+    """
+
+    def __init__(self, directory: PathLike, keep: int = 2) -> None:
+        if keep < 1:
+            raise ValueError("must retain at least one snapshot")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+
+    def paths(self) -> List[Path]:
+        """Snapshot files, oldest first."""
+        return sorted(self.directory.glob(f"{_FILE_PREFIX}*{_FILE_SUFFIX}"))
+
+    def write(self, state: Dict, seq: int) -> Path:
+        """Persist one snapshot and prune beyond the retention bound."""
+        path = self.directory / f"{_FILE_PREFIX}{seq:010d}{_FILE_SUFFIX}"
+        save_snapshot(path, state, seq)
+        for stale in self.paths()[: -self.keep]:
+            stale.unlink()
+        return path
+
+    def oldest_seq(self) -> int:
+        """Journal position of the oldest retained snapshot (0 when none).
+
+        The journal must keep every record after this point — older ones
+        can never be replayed and are safe to truncate.
+        """
+        paths = self.paths()
+        if not paths:
+            return 0
+        name = paths[0].name
+        try:
+            return int(name[len(_FILE_PREFIX) : -len(_FILE_SUFFIX)])
+        except ValueError:
+            return 0
+
+    def valid_snapshots(self) -> Iterator[Tuple[int, Dict, Path]]:
+        """Yield loadable snapshots newest-first, skipping corrupt files."""
+        for path in reversed(self.paths()):
+            try:
+                seq, state = load_snapshot(path)
+            except SnapshotError:
+                continue
+            yield seq, state, path
+
+    def load_latest(self) -> Tuple[int, Dict, Path]:
+        """The newest valid snapshot.
+
+        Raises :class:`SnapshotError` when the directory holds none (or
+        only corrupt ones).
+        """
+        for seq, state, path in self.valid_snapshots():
+            return seq, state, path
+        raise SnapshotError(
+            f"no valid snapshot in {self.directory} "
+            f"({len(self.paths())} file(s) present)"
+        )

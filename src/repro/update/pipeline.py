@@ -130,6 +130,7 @@ class SchedulerStats:
 
     offered: int = 0
     applied: int = 0
+    pump_calls: int = 0
     shed: int = 0
     deferred: int = 0
     flushed_diffs: int = 0
@@ -184,9 +185,16 @@ class UpdateScheduler:
         self.high_watermark = high_watermark
         self.low_watermark = low_watermark
         self.on_diff = on_diff
+        #: Called with the batch size after every non-empty flush — the
+        #: persistence layer journals these boundaries so a replay can
+        #: verify it reproduced the same batching.
+        self.on_flush: Optional[Callable[[int], None]] = None
         self.storm_mode = False
         self.stats = SchedulerStats()
-        self._deferred_diffs: List[TableDiff] = []
+        # Deferred diffs carry the admission order they were produced in;
+        # flush() asserts it is preserved (TCAM writes must not reorder).
+        self._deferred_diffs: List[Tuple[int, TableDiff]] = []
+        self._defer_seq = 0
 
     # ------------------------------------------------------------------
 
@@ -203,6 +211,9 @@ class UpdateScheduler:
         """Apply up to ``budget`` queued updates; returns how many ran."""
         if budget < 0:
             raise ValueError("pump budget must be non-negative")
+        # Counted even when nothing runs: recovery derives the driving
+        # cadence from durable state, so every call must be visible.
+        self.stats.pump_calls += 1
         applied = 0
         while applied < budget and not self.queue.is_empty:
             message = self.queue.pop()
@@ -229,15 +240,39 @@ class UpdateScheduler:
 
         After a flush ``pipeline.tcam_matches_table()`` holds again — the
         lazy discipline trades a bounded staleness window of the *mirror*
-        (never of the lookup path) for storm survival.
+        (never of the lookup path) for storm survival.  Diffs are applied
+        strictly in the order their updates were admitted (asserted): the
+        ONRTC diffs are not commutative, so reordering could leave the
+        mirror diverged from the table.
         """
         flushed = 0
-        for diff in self._deferred_diffs:
+        previous_seq = 0
+        for seq, diff in self._deferred_diffs:
+            assert seq > previous_seq, (
+                "deferred TCAM diffs must be flushed in offer order "
+                f"(saw seq {seq} after {previous_seq})"
+            )
+            previous_seq = seq
             self.pipeline.tcam_stage.apply_diff(diff)
             flushed += 1
         self._deferred_diffs.clear()
         self.stats.flushed_diffs += flushed
+        if flushed and self.on_flush is not None:
+            self.on_flush(flushed)
         return flushed
+
+    # -- persistence hooks -------------------------------------------------
+
+    def pending_diffs(self) -> List[Tuple[int, TableDiff]]:
+        """A copy of the deferred (seq, diff) batch, oldest first."""
+        return list(self._deferred_diffs)
+
+    def restore_deferred(
+        self, diffs: Sequence[Tuple[int, TableDiff]], next_seq: int
+    ) -> None:
+        """Reload a deferred batch captured by :meth:`pending_diffs`."""
+        self._deferred_diffs = list(diffs)
+        self._defer_seq = next_seq
 
     # ------------------------------------------------------------------
 
@@ -247,7 +282,8 @@ class UpdateScheduler:
         assert outcome.diff is not None
         self.pipeline.last_diff = outcome.diff
         self.pipeline.dred_stage.apply(message, outcome.diff)
-        self._deferred_diffs.append(outcome.diff)
+        self._defer_seq += 1
+        self._deferred_diffs.append((self._defer_seq, outcome.diff))
         self.stats.deferred += 1
         self.queue.deferred += 1
         self.pipeline.totals.updates += 1

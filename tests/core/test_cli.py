@@ -264,6 +264,100 @@ class TestFaults:
         assert "even=True" in out
 
 
+class TestDurability:
+    def test_crash_drill_round_trip(self, tmp_path, table_file, capsys):
+        """simulate --crash-at, then verify-snapshot, then restore."""
+        state = tmp_path / "state"
+        code = main(
+            [
+                "simulate",
+                "--table",
+                str(table_file),
+                "--journal",
+                str(state),
+                "--checkpoint-every",
+                "40",
+                "--crash-at",
+                "90",
+                "--update-count",
+                "120",
+            ]
+        )
+        assert code == 0
+        assert "crashed after 90" in capsys.readouterr().out
+
+        assert main(["verify-snapshot", "--dir", str(state)]) == 0
+        verified = capsys.readouterr().out
+        assert "digest ok" in verified and "invariants ok" in verified
+
+        code = main(["restore", "--dir", str(state), "--fingerprint"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "fingerprint: " in out
+
+    def test_journal_run_to_completion(self, tmp_path, table_file, capsys):
+        state = tmp_path / "state"
+        code = main(
+            [
+                "simulate",
+                "--table",
+                str(table_file),
+                "--journal",
+                str(state),
+                "--update-count",
+                "80",
+            ]
+        )
+        assert code == 0
+        assert "durability" in capsys.readouterr().out
+        # The completed run left a restorable directory behind.
+        assert main(["checkpoint", "--dir", str(state)]) == 0
+        assert "checkpointed to" in capsys.readouterr().out
+
+    def test_crash_flags_need_journal(self, table_file, capsys):
+        code = main(
+            [
+                "simulate",
+                "--table",
+                str(table_file),
+                "--crash-at",
+                "10",
+            ]
+        )
+        assert code == 2
+        assert "need --journal" in capsys.readouterr().err
+
+    def test_restore_missing_directory_exits_2(self, tmp_path, capsys):
+        code = main(["restore", "--dir", str(tmp_path / "nowhere")])
+        assert code == 2
+        assert "error: no usable snapshot" in capsys.readouterr().err
+
+    def test_verify_corrupt_snapshot_exits_2(
+        self, tmp_path, table_file, capsys
+    ):
+        state = tmp_path / "state"
+        main(
+            [
+                "simulate",
+                "--table",
+                str(table_file),
+                "--journal",
+                str(state),
+                "--update-count",
+                "40",
+            ]
+        )
+        capsys.readouterr()
+        snapshot = sorted((state / "snapshots").glob("*.ckpt"))[-1]
+        data = bytearray(snapshot.read_bytes())
+        data[-8] ^= 0xFF
+        snapshot.write_bytes(bytes(data))
+        code = main(["verify-snapshot", "--snapshot", str(snapshot)])
+        assert code == 2
+        assert "error: " in capsys.readouterr().err
+
+
 class TestErrorHandling:
     def test_malformed_trace_exits_2(self, tmp_path, capsys):
         bad = tmp_path / "faults.txt"
@@ -305,3 +399,25 @@ class TestErrorHandling:
         )
         assert code == 2
         assert "error: " in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["simulate", "inject-faults"])
+    def test_fault_chip_out_of_range_exits_2(
+        self, tmp_path, table_file, command, capsys
+    ):
+        faults = tmp_path / "faults.txt"
+        faults.write_text("seed 1\n10 chip-down 7\n")
+        code = main(
+            [
+                command,
+                "--table",
+                str(table_file),
+                "--faults",
+                str(faults),
+                "--chips",
+                "4",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "targets chip 7" in err

@@ -1,0 +1,176 @@
+"""Write-ahead journal: framing, recovery, rotation, crash semantics."""
+
+import struct
+
+import pytest
+
+from repro.persist.journal import (
+    Journal,
+    JournalError,
+    JournalRecord,
+    SEGMENT_PREFIX,
+)
+
+
+def segments(tmp_path):
+    return sorted(tmp_path.glob(f"{SEGMENT_PREFIX}*"))
+
+
+class TestAppendRead:
+    def test_round_trip(self, tmp_path):
+        journal = Journal(tmp_path)
+        journal.append("apply", "announce 10.0.0.0/8 3 0.5")
+        journal.append("drain")
+        journal.close()
+
+        records = list(Journal(tmp_path).records())
+        assert [r.seq for r in records] == [1, 2]
+        assert records[0].kind == "apply"
+        assert records[0].payload == "announce 10.0.0.0/8 3 0.5"
+        assert records[1].kind == "drain"
+        assert records[1].payload == ""
+
+    def test_sequence_resumes_after_reopen(self, tmp_path):
+        journal = Journal(tmp_path)
+        journal.append("a")
+        journal.close()
+        journal = Journal(tmp_path)
+        record = journal.append("b")
+        assert record.seq == 2
+        journal.close()
+
+    def test_records_after_seq(self, tmp_path):
+        journal = Journal(tmp_path)
+        for _ in range(5):
+            journal.append("op")
+        assert [r.seq for r in journal.records(after_seq=3)] == [4, 5]
+        journal.close()
+
+    def test_non_ascii_payload_rejected(self, tmp_path):
+        journal = Journal(tmp_path)
+        with pytest.raises(UnicodeEncodeError):
+            journal.append("op", "café")
+        journal.close()
+
+
+class TestRotation:
+    def test_segments_rotate(self, tmp_path):
+        journal = Journal(tmp_path, segment_records=3)
+        for _ in range(8):
+            journal.append("op")
+        journal.close()
+        assert len(segments(tmp_path)) == 3
+        assert [r.seq for r in Journal(tmp_path).records()] == list(
+            range(1, 9)
+        )
+
+    def test_truncate_through_keeps_needed_suffix(self, tmp_path):
+        journal = Journal(tmp_path, segment_records=3)
+        for _ in range(10):
+            journal.append("op")
+        # seq 1..3 | 4..6 | 7..9 | 10 (open)
+        assert journal.truncate_through(6) == 2
+        assert journal.first_seq() == 7
+        # Open segment is never deleted, even if fully covered.
+        assert journal.truncate_through(100) == 1
+        assert journal.first_seq() == 10
+        journal.close()
+
+
+class TestRecovery:
+    def test_torn_tail_truncated(self, tmp_path):
+        journal = Journal(tmp_path)
+        for _ in range(4):
+            journal.append("op")
+        journal.close()
+        path = segments(tmp_path)[-1]
+        with open(path, "ab") as handle:
+            handle.write(struct.pack(">II", 40, 0xDEAD) + b"hal")  # torn
+
+        recovered = Journal(tmp_path)
+        assert recovered.last_seq == 4
+        assert len(recovered) == 4
+        recovered.close()
+
+    def test_crc_mismatch_truncates_rest(self, tmp_path):
+        journal = Journal(tmp_path)
+        for _ in range(4):
+            journal.append("op")
+        journal.close()
+        path = segments(tmp_path)[-1]
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the final record
+        path.write_bytes(bytes(data))
+
+        recovered = Journal(tmp_path)
+        assert recovered.last_seq == 3
+        recovered.close()
+
+    def test_corrupt_non_final_segment_raises(self, tmp_path):
+        journal = Journal(tmp_path, segment_records=2)
+        for _ in range(6):
+            journal.append("op")
+        journal.close()
+        first = segments(tmp_path)[0]
+        data = bytearray(first.read_bytes())
+        data[-1] ^= 0xFF
+        first.write_bytes(bytes(data))
+        with pytest.raises(JournalError, match="non-final segment"):
+            Journal(tmp_path)
+
+    def test_sequence_gap_raises(self, tmp_path):
+        journal = Journal(tmp_path, segment_records=2)
+        for _ in range(6):
+            journal.append("op")
+        journal.close()
+        segments(tmp_path)[1].unlink()  # drop seq 3..4
+        with pytest.raises(JournalError, match="sequence gap"):
+            Journal(tmp_path)
+
+
+class TestDurability:
+    def test_fsync_batching(self, tmp_path):
+        journal = Journal(tmp_path, sync_interval=4)
+        for _ in range(10):
+            journal.append("op")
+        assert journal.sync_count == 2
+        assert journal.durable_seq == 8
+        journal.sync()
+        assert journal.durable_seq == 10
+        journal.close()
+
+    def test_process_crash_loses_nothing(self, tmp_path):
+        journal = Journal(tmp_path, sync_interval=64)
+        for _ in range(10):
+            journal.append("op")
+        journal.crash(power_loss=False)
+        assert Journal(tmp_path).last_seq == 10
+
+    def test_power_loss_loses_unsynced_tail_only(self, tmp_path):
+        journal = Journal(tmp_path, sync_interval=4)
+        for _ in range(10):
+            journal.append("op")
+        journal.crash(power_loss=True)
+        assert Journal(tmp_path).last_seq == 8  # last sync at seq 8
+
+    def test_closed_journal_refuses_appends(self, tmp_path):
+        journal = Journal(tmp_path)
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.append("op")
+
+
+class TestRecordCodec:
+    def test_encode_decode(self):
+        record = JournalRecord(7, "apply", "announce 10.0.0.0/8 3 0.25")
+        assert JournalRecord.decode(record.encode()) == record
+
+    def test_payloadless(self):
+        record = JournalRecord(1, "drain")
+        assert JournalRecord.decode(record.encode()) == record
+
+    def test_garbage_raises(self):
+        with pytest.raises(JournalError):
+            JournalRecord.decode(b"\xff\xfe not text")
+        with pytest.raises(JournalError):
+            JournalRecord.decode(b"12")  # seq but no kind

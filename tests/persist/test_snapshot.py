@@ -1,0 +1,97 @@
+"""Snapshot format: digests, versioning, retention, fallback."""
+
+import pytest
+
+from repro.persist.snapshot import (
+    SnapshotError,
+    SnapshotStore,
+    load_snapshot,
+    save_snapshot,
+    state_digest,
+)
+
+STATE = {"table": [["10.0.0.0/8", 3]], "boundaries": [0, 1 << 31]}
+
+
+class TestFileFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "snap.ckpt"
+        save_snapshot(path, STATE, seq=42)
+        seq, state = load_snapshot(path)
+        assert seq == 42
+        assert state == STATE
+
+    def test_digest_detects_any_flip(self, tmp_path):
+        path = tmp_path / "snap.ckpt"
+        save_snapshot(path, STATE, seq=1)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="digest|header|version|seq"):
+            load_snapshot(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(tmp_path / "absent.ckpt")
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "snap.ckpt"
+        path.write_bytes(b"not a snapshot\n{}")
+        with pytest.raises(SnapshotError, match="malformed"):
+            load_snapshot(path)
+
+    def test_unknown_version(self, tmp_path):
+        path = tmp_path / "snap.ckpt"
+        save_snapshot(path, STATE, seq=1)
+        data = path.read_bytes().replace(b" v1 ", b" v9 ", 1)
+        path.write_bytes(data)
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(path)
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "snap.ckpt"
+        path.write_bytes(b"clue-snapshot v1")  # no newline
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(path)
+
+    def test_state_digest_is_canonical(self):
+        # Key order must not matter: the digest covers canonical JSON.
+        assert state_digest({"a": 1, "b": 2}) == state_digest(
+            {"b": 2, "a": 1}
+        )
+
+
+class TestStore:
+    def test_retention(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        for seq in (10, 20, 30):
+            store.write(STATE, seq)
+        assert [p.name for p in store.paths()] == [
+            "snap-0000000020.ckpt",
+            "snap-0000000030.ckpt",
+        ]
+        assert store.oldest_seq() == 20
+
+    def test_load_latest(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=3)
+        store.write({"n": 1}, 10)
+        store.write({"n": 2}, 20)
+        seq, state, path = store.load_latest()
+        assert (seq, state["n"]) == (20, 2)
+        assert path.name == "snap-0000000020.ckpt"
+
+    def test_fallback_skips_corrupt(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=3)
+        store.write({"n": 1}, 10)
+        newest = store.write({"n": 2}, 20)
+        newest.write_bytes(b"garbage")
+        seq, state, _path = store.load_latest()
+        assert (seq, state["n"]) == (10, 1)
+
+    def test_no_valid_snapshot_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(SnapshotError, match="no valid snapshot"):
+            store.load_latest()
+        store.write(STATE, 5).write_bytes(b"garbage")
+        with pytest.raises(SnapshotError, match="1 file"):
+            store.load_latest()

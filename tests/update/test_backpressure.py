@@ -132,6 +132,64 @@ class TestSchedulerStorm:
         assert scheduler.queue.is_empty
         assert pipeline.tcam_matches_table()
 
+    def test_flush_applies_in_offer_order(self, routes):
+        pipeline = ClueUpdatePipeline(routes)
+        scheduler = UpdateScheduler(
+            pipeline, capacity=16, high_watermark=0.25, low_watermark=0.0
+        )
+        for message in structural_updates(routes, 12):
+            scheduler.offer(message)
+        # Keep occupancy above the low watermark so the batch stays pending.
+        scheduler.pump(budget=8)
+        pending = scheduler.pending_diffs()
+        assert pending, "storm should have deferred diffs"
+        sequences = [seq for seq, _diff in pending]
+        assert sequences == sorted(sequences)  # admission order, tagged
+        assert scheduler.flush() == len(pending)
+        assert scheduler.pending_diffs() == []
+        assert pipeline.tcam_matches_table()
+
+    def test_reordered_deferred_batch_is_rejected(self, routes):
+        pipeline = ClueUpdatePipeline(routes)
+        scheduler = UpdateScheduler(
+            pipeline, capacity=16, high_watermark=0.25, low_watermark=0.0
+        )
+        for message in structural_updates(routes, 8):
+            scheduler.offer(message)
+        scheduler.pump(budget=6)
+        pending = scheduler.pending_diffs()
+        assert len(pending) >= 2
+        scheduler.restore_deferred(list(reversed(pending)), len(pending))
+        with pytest.raises(AssertionError, match="offer order"):
+            scheduler.flush()
+
+    def test_on_flush_reports_batch_size(self, routes):
+        pipeline = ClueUpdatePipeline(routes)
+        scheduler = UpdateScheduler(
+            pipeline, capacity=8, high_watermark=0.5, low_watermark=0.25
+        )
+        batches = []
+        scheduler.on_flush = batches.append
+        for message in structural_updates(routes, 8):
+            scheduler.offer(message)
+        scheduler.pump(budget=8)  # storm exit flushes automatically
+        assert batches == [scheduler.stats.flushed_diffs]
+        scheduler.flush()  # empty flush must not fire the hook
+        assert len(batches) == 1
+
+    def test_pending_diffs_round_trip(self, routes):
+        pipeline = ClueUpdatePipeline(routes)
+        scheduler = UpdateScheduler(
+            pipeline, capacity=16, high_watermark=0.25, low_watermark=0.0
+        )
+        for message in structural_updates(routes, 6):
+            scheduler.offer(message)
+        scheduler.pump(budget=4)
+        saved = scheduler.pending_diffs()
+        scheduler.restore_deferred(saved, next_seq=len(saved))
+        assert scheduler.pending_diffs() == saved
+        assert scheduler.flush() == len(saved)
+
     def test_dred_invalidation_not_deferred(self, routes):
         """Storm mode must still purge stale DRed entries immediately."""
         from repro.engine.dred import DredCache
