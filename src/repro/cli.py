@@ -38,6 +38,7 @@ from repro.engine.builders import (
     build_slpl_engine,
 )
 from repro.core import ClueSystem, SystemConfig
+from repro.engine.fastlpm import LOOKUP_BACKENDS
 from repro.engine.simulator import EngineConfig
 from repro.faults import FaultInjector, FaultSchedule
 from repro.partition.even import even_partition
@@ -163,6 +164,26 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if not args.profile:
+        return _run_simulate(args)
+    # Perf work starts from data: wrap the identical run in cProfile and
+    # leave both a machine-readable .pstats file and a human top-20 behind.
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = _run_simulate(args)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+        print(f"profile written to {args.profile}")
+    return status
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
     if args.journal:
         return _run_durable_simulation(args)
     if args.crash_at is not None or args.checkpoint_every:
@@ -175,6 +196,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         chip_count=args.chips,
         dred_capacity=args.dred,
         queue_capacity=args.queue,
+        lookup_backend=args.backend,
     )
     if args.packets:
         addresses: List[int] = load_packets(args.packets)
@@ -257,6 +279,7 @@ def _run_durable_simulation(args: argparse.Namespace) -> int:
                 chip_count=args.chips,
                 dred_capacity=args.dred,
                 queue_capacity=args.queue,
+                lookup_backend=args.backend,
             )
         ),
     )
@@ -506,6 +529,19 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--chips", type=int, default=4)
     simulate.add_argument("--dred", type=int, default=1_024)
     simulate.add_argument("--queue", type=int, default=256)
+    simulate.add_argument(
+        "--backend",
+        choices=LOOKUP_BACKENDS,
+        default="trie",
+        help="chip table implementation: reference trie, flattened "
+        "stride table, or both cross-checked per lookup",
+    )
+    simulate.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="profile the run with cProfile: dump stats to FILE and "
+        "print the top-20 cumulative entries",
+    )
     simulate.add_argument(
         "--faults", help="fault schedule file (see gen-faults)"
     )

@@ -38,7 +38,6 @@ from repro.net.prefix import Prefix
 from repro.partition.base import Partition, PartitionResult
 from repro.partition.even import even_partition
 from repro.partition.index_logic import RangeIndex
-from repro.trie.trie import BinaryTrie
 from repro.update.pipeline import ClueUpdatePipeline, UpdateScheduler
 from repro.update.ttf import TtfSample
 from repro.workload.updategen import UpdateGenerator, UpdateMessage
@@ -135,6 +134,12 @@ class ClueSystem:
             config=self.config.engine,
             reference=self.pipeline.trie_stage.table.source,
         )
+        # ONRTC + even partitioning produce pairwise-disjoint chip tables
+        # (boundary-spanning entries are exact replicas); certify that so
+        # the engine's fused loop can take its O(1) DRed path.  The
+        # certificate is content-addressed (table ids + mutation counters)
+        # and self-invalidates on the first pipeline update.
+        self.engine.mark_tables_disjoint()
         # Share the engine's DRed banks with the update pipeline so table
         # changes invalidate live cached entries.
         self.pipeline.dred_stage.caches = [
@@ -428,8 +433,7 @@ class ClueSystem:
 
         flushed = 0
         for chip_index, chip in enumerate(self.engine.chips):
-            chip.table = BinaryTrie.from_routes(new_tables[chip_index])
-            chip.table_slots = len(chip.table)
+            chip.load_routes(new_tables[chip_index])
             if chip.dred is not None:
                 flushed += len(chip.dred)
                 for prefix in list(chip.dred._entries):
@@ -438,6 +442,9 @@ class ClueSystem:
         self.partition_result = new_result
         self.index = new_index
         self.partition_to_chip = new_mapping
+        # Freshly re-partitioned disjoint content: renew the certificate
+        # (load_routes swapped the tables, invalidating the old one).
+        self.engine.mark_tables_disjoint()
         return RebalanceReport(
             moved_entries=moved,
             flushed_dred_entries=flushed,
@@ -570,6 +577,7 @@ class ClueSystem:
                 "arrivals_per_cycle": engine.arrivals_per_cycle,
                 "max_dred_attempts": engine.max_dred_attempts,
                 "control_path_cycles": engine.control_path_cycles,
+                "lookup_backend": engine.lookup_backend,
             },
             "partitions_per_chip": self.config.partitions_per_chip,
             "compression_mode": self.config.compression_mode.name,
@@ -596,6 +604,8 @@ class ClueSystem:
                 arrivals_per_cycle=float(engine["arrivals_per_cycle"]),
                 max_dred_attempts=int(engine["max_dred_attempts"]),
                 control_path_cycles=int(engine["control_path_cycles"]),
+                # Absent in v1 snapshots written before the backend knob.
+                lookup_backend=str(engine.get("lookup_backend", "trie")),
             ),
             partitions_per_chip=int(data["partitions_per_chip"]),
             compression_mode=mode,
@@ -678,10 +688,7 @@ class ClueSystem:
                 f"engine has {len(self.engine.chips)}"
             )
         for chip, chip_state in zip(self.engine.chips, chip_states):
-            chip.table = BinaryTrie.from_routes(
-                codec.decode_routes(chip_state["table"])
-            )
-            chip.table_slots = len(chip.table)
+            chip.load_routes(codec.decode_routes(chip_state["table"]))
             # Set liveness directly: kill_chip() would count a fresh
             # failure in the engine stats.
             chip.alive = bool(chip_state["alive"])

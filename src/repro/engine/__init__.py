@@ -11,6 +11,13 @@ from repro.engine.builders import (
 )
 from repro.engine.dred import DredCache, DredEntry
 from repro.engine.events import Completion, LookupKind, Packet
+from repro.engine.fastlpm import (
+    LOOKUP_BACKENDS,
+    BackendMismatchError,
+    FastLpmTable,
+    VerifyingLpmTable,
+    make_lookup_table,
+)
 from repro.engine.queues import BoundedFifo, UpdateQueue
 from repro.engine.reorder import ReorderBuffer
 from repro.engine.rrcme import Expansion, minimal_expansion
@@ -26,6 +33,7 @@ from repro.engine.stats import EngineStats
 from repro.engine.timeline import Timeline, TimelineSample
 
 __all__ = [
+    "BackendMismatchError",
     "BoundedFifo",
     "BuiltEngine",
     "ChipState",
@@ -37,6 +45,8 @@ __all__ = [
     "EngineConfig",
     "EngineStats",
     "Expansion",
+    "FastLpmTable",
+    "LOOKUP_BACKENDS",
     "LookupEngine",
     "LookupKind",
     "Packet",
@@ -47,10 +57,12 @@ __all__ = [
     "Timeline",
     "TimelineSample",
     "UpdateQueue",
+    "VerifyingLpmTable",
     "build_clpl_engine",
     "build_clue_engine",
     "build_round_robin_engine",
     "build_slpl_engine",
+    "make_lookup_table",
     "map_partitions_to_chips",
     "measure_partition_load",
     "minimal_expansion",

@@ -46,6 +46,43 @@ from repro.trie.trie import BinaryTrie
 Route = Tuple[Prefix, int]
 
 
+class FlatHomeIndex:
+    """Step II (Indexing Logic) flattened to one array index per packet.
+
+    CLUE's range table is a binary search over partition boundaries; on the
+    simulator's hot path that bisect (plus the partition→chip mapping hop)
+    runs once per arriving packet.  The same trick as the DIR-24-8 lookup
+    backend applies: precompute the answer per /16 block.  Blocks that a
+    partition boundary splits keep a ``-1`` sentinel and fall back to the
+    exact bisect — there are at most ``partition_count - 1`` such blocks.
+
+    The instance is callable with the same signature as the lambda it
+    replaces; the engine's fused loop recognises the ``home_l1`` attribute
+    and indexes the array directly.
+    """
+
+    __slots__ = ("index", "mapping", "home_l1")
+
+    def __init__(self, index: RangeIndex, mapping: Sequence[int]) -> None:
+        self.index = index
+        self.mapping = list(mapping)
+        home_l1 = [-1] * (1 << 16)
+        fences = list(index.boundaries) + [1 << 32]
+        for partition in range(len(index.boundaries)):
+            start, end = fences[partition], fences[partition + 1]
+            chip = self.mapping[partition]
+            first_block = (start + 0xFFFF) >> 16  # first fully-covered /16
+            for block in range(first_block, end >> 16):
+                home_l1[block] = chip
+        self.home_l1 = home_l1
+
+    def __call__(self, address: int) -> int:
+        chip = self.home_l1[address >> 16]
+        if chip >= 0:
+            return chip
+        return self.mapping[self.index.home_of(address)]
+
+
 @dataclass
 class BuiltEngine:
     """A configured engine plus the setup artefacts benchmarks report."""
@@ -135,11 +172,14 @@ def build_clue_engine(
     tables = _chip_tables(result, mapping, config.chip_count)
     engine = LookupEngine(
         tables,
-        home_of=lambda address: mapping[index.home_of(address)],
+        home_of=FlatHomeIndex(index, mapping),
         scheme=CluePolicy(),
         config=config,
         reference=reference,
     )
+    # ONRTC output is pairwise disjoint (boundary-spanning entries are
+    # exact replicas), so certify it for the engine's O(1) DRed path.
+    engine.mark_tables_disjoint()
     return BuiltEngine(
         engine=engine,
         scheme=engine.scheme,

@@ -20,9 +20,10 @@ Two properties distinguish the schemes and are both modelled here:
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.prefix import ADDRESS_WIDTH, Prefix
 
@@ -55,11 +56,22 @@ class DredCache:
         self.chip_index = chip_index
         self.exclude_own = exclude_own
         self._entries: "OrderedDict[Prefix, DredEntry]" = OrderedDict()
-        # Per-length membership for O(32) longest-prefix lookup.
+        # Per-length membership for longest-prefix lookup.
         self._by_length: Dict[int, Dict[int, Prefix]] = {}
+        # Occupied lengths, ascending.  A routing-table-shaped cache holds
+        # a handful of distinct lengths, so scanning this (longest first)
+        # beats probing all 33 possible lengths on every lookup.
+        self._lengths: List[int] = []
+        # Probe plan for the LPM scan: ``(shift, bucket)`` pairs, longest
+        # length first, with the shift precomputed (``address >> shift`` is
+        # the bucket key; length 0 shifts the whole address away, so its
+        # key is 0 as required).  Kept in lockstep with ``_lengths`` so the
+        # hot lookup needs no per-probe dict indirection.
+        self._probe: List[Tuple[int, Dict[int, Prefix]]] = []
         self.hits = 0
         self.misses = 0
         self.insertions = 0
+        self.refreshes = 0
         self.evictions = 0
 
     # ------------------------------------------------------------------
@@ -77,17 +89,19 @@ class DredCache:
 
     # ------------------------------------------------------------------
 
+    @property
+    def occupied_lengths(self) -> Tuple[int, ...]:
+        """The distinct prefix lengths currently cached, ascending."""
+        return tuple(self._lengths)
+
     def lookup(self, address: int) -> Optional[DredEntry]:
         """LPM over cached prefixes; updates recency and hit statistics."""
-        for length in range(ADDRESS_WIDTH, -1, -1):
-            bucket = self._by_length.get(length)
-            if not bucket:
-                continue
-            key = address >> (ADDRESS_WIDTH - length) if length else 0
-            prefix = bucket.get(key)
+        entries = self._entries
+        for shift, bucket in self._probe:
+            prefix = bucket.get(address >> shift)
             if prefix is not None:
-                entry = self._entries[prefix]
-                self._entries.move_to_end(prefix)
+                entry = entries[prefix]
+                entries.move_to_end(prefix)
                 self.hits += 1
                 return entry
         self.misses += 1
@@ -100,14 +114,34 @@ class DredCache:
         """
         if self.exclude_own and owner == self.chip_index:
             return False
-        if prefix in self._entries:
-            self._entries[prefix] = DredEntry(prefix, next_hop, owner)
-            self._entries.move_to_end(prefix)
+        entries = self._entries
+        existing = entries.get(prefix)
+        if existing is not None:
+            self.refreshes += 1
+            if existing.next_hop == next_hop and existing.owner == owner:
+                # Pure recency refresh — the overwhelmingly common case on
+                # the engine's hot path (every main hit re-offers the same
+                # hot prefixes).  The stored entry is already correct.
+                entries.move_to_end(prefix)
+                return True
+            entries[prefix] = DredEntry(prefix, next_hop, owner)
+            entries.move_to_end(prefix)
+            # Re-point the length index at the refreshing Prefix object:
+            # value-equal keys make a stale reference functionally
+            # invisible, but the index and entry map must stay in lockstep
+            # for the eviction bookkeeping to be auditable.
+            self._by_length[prefix.length][prefix.value] = prefix
             return True
         while len(self._entries) >= self.capacity:
             self._evict()
         self._entries[prefix] = DredEntry(prefix, next_hop, owner)
-        bucket = self._by_length.setdefault(prefix.length, {})
+        bucket = self._by_length.get(prefix.length)
+        if bucket is None:
+            bucket = self._by_length[prefix.length] = {}
+            insort(self._lengths, prefix.length)
+            shift = ADDRESS_WIDTH - prefix.length
+            # _probe sorts longest-first == ascending shift.
+            insort(self._probe, (shift, bucket), key=lambda pair: pair[0])
         bucket[prefix.value] = prefix
         self.insertions += 1
         return True
@@ -150,3 +184,5 @@ class DredCache:
             bucket.pop(prefix.value, None)
             if not bucket:
                 del self._by_length[prefix.length]
+                self._lengths.remove(prefix.length)
+                self._probe.remove((ADDRESS_WIDTH - prefix.length, bucket))

@@ -38,12 +38,14 @@ class BoundedFifo(Generic[T]):
 
     def push(self, item: T) -> None:
         """Enqueue; the caller must have checked :attr:`is_full`."""
-        if self.is_full:
+        items = self._items
+        depth = len(items)
+        if depth >= self.capacity:
             raise OverflowError("queue is full")
-        self._items.append(item)
+        items.append(item)
         self.total_enqueued += 1
-        if len(self._items) > self.peak_occupancy:
-            self.peak_occupancy = len(self._items)
+        if depth >= self.peak_occupancy:
+            self.peak_occupancy = depth + 1
 
     def pop(self) -> T:
         """Dequeue the oldest item."""

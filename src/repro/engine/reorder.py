@@ -27,12 +27,23 @@ class ReorderBuffer:
 
     def offer(self, completion: Completion) -> List[Completion]:
         """Add one completion; returns everything releasable in order."""
-        self._pending[completion.tag] = completion
-        if len(self._pending) > self.peak_occupancy:
-            self.peak_occupancy = len(self._pending)
+        pending = self._pending
+        if completion.tag == self._next_tag and not pending:
+            # In-order fast path (the steady state): the completion would
+            # enter the buffer and leave it in the same call, so short-cut
+            # the dict churn.  Peak occupancy still records the momentary
+            # occupancy of one that the slow path would have seen.
+            if self.peak_occupancy == 0:
+                self.peak_occupancy = 1
+            self._next_tag += 1
+            self.released.append(completion)
+            return [completion]
+        pending[completion.tag] = completion
+        if len(pending) > self.peak_occupancy:
+            self.peak_occupancy = len(pending)
         releasable: List[Completion] = []
-        while self._next_tag in self._pending:
-            releasable.append(self._pending.pop(self._next_tag))
+        while self._next_tag in pending:
+            releasable.append(pending.pop(self._next_tag))
             self._next_tag += 1
         self.released.extend(releasable)
         return releasable

@@ -8,8 +8,10 @@ interaction counts that differentiate CLUE's DRed maintenance from CLPL's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
 
 
 @dataclass
@@ -82,3 +84,21 @@ class EngineStats:
         if not chip_cycles:
             return 1.0
         return 1.0 - self.chip_downtime_cycles / chip_cycles
+
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Every counter as plain ints/lists (JSON- and diff-friendly)."""
+        return asdict(self)
+
+    def fingerprint(self) -> str:
+        """Digest over *every* counter, canonically serialised.
+
+        Two runs fingerprint equal iff all counters (including the
+        per-chip breakdowns and latency aggregates) are identical.  This
+        is the equivalence bar between lookup backends and between the
+        cycle-by-cycle and event-skipping run loops: byte-identical
+        statistics, not merely matching headline numbers.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()

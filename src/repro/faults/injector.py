@@ -63,6 +63,19 @@ class FaultInjector:
         """True once every scheduled event has been applied."""
         return self._position >= len(self._events)
 
+    @property
+    def next_cycle(self) -> Optional[int]:
+        """Cycle of the next unapplied event, or None when exhausted.
+
+        The engine's event-driven run loop uses this to skip idle cycles
+        without skipping *over* a scheduled fault; a fault source that
+        cannot promise its next firing cycle must simply not define the
+        attribute, which disables skipping entirely.
+        """
+        if self._position >= len(self._events):
+            return None
+        return self._events[self._position].cycle
+
     def tick(self, cycle: int) -> int:
         """Apply every event due at or before ``cycle``; returns how many."""
         fired = 0

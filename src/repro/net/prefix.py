@@ -39,7 +39,7 @@ class Prefix:
     True
     """
 
-    __slots__ = ("_value", "_length")
+    __slots__ = ("_value", "_length", "_hash")
 
     def __init__(self, value: int, length: int) -> None:
         if not 0 <= length <= ADDRESS_WIDTH:
@@ -50,6 +50,10 @@ class Prefix:
             raise PrefixError("the zero-length prefix must have value 0")
         self._value = value
         self._length = length
+        # Prefixes key the DRed caches and chip tables on the simulator's
+        # hot path, where the same object is hashed millions of times —
+        # cache the (unchanged) tuple hash instead of recomputing it.
+        self._hash = hash((value, length))
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -250,7 +254,7 @@ class Prefix:
         return self._value == other._value and self._length == other._length
 
     def __hash__(self) -> int:
-        return hash((self._value, self._length))
+        return self._hash
 
     def __lt__(self, other: "Prefix") -> bool:
         return self.sort_key() < other.sort_key()

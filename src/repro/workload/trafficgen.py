@@ -18,6 +18,7 @@ Both knobs are explicit so benches can sweep them.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -80,8 +81,6 @@ class TrafficGenerator:
 
     def _sample_fresh(self) -> int:
         """Draw a fresh destination: Zipf prefix, uniform host inside it."""
-        from bisect import bisect_left
-
         point = self._rng.random()
         rank = bisect_left(self._cumulative, point)
         rank = min(rank, len(self._prefixes) - 1)
@@ -119,5 +118,47 @@ class TrafficGenerator:
         return address
 
     def take(self, count: int) -> List[int]:
-        """The next ``count`` destination addresses as a list."""
-        return [self.next_packet() for _ in range(count)]
+        """The next ``count`` destination addresses as a list.
+
+        Batched fast path: one bound-locals loop instead of ``count``
+        :meth:`next_packet` calls.  Draws from the RNG in exactly the same
+        order, so ``take(n)`` and ``n`` single draws from the same seed
+        produce identical streams (pinned by a regression test).
+        """
+        rng = self._rng
+        rand = rng.random
+        randrange = rng.randrange
+        getrandbits = rng.getrandbits
+        cumulative = self._cumulative
+        prefixes = self._prefixes
+        working_set = self._working_set
+        locality = self.params.locality
+        capacity = self.params.working_set_size
+        last_rank = len(prefixes) - 1
+        until = self._until_burst_end
+        out: List[int] = []
+        append_out = out.append
+        for _ in range(count):
+            if until <= 0:
+                # Reshuffle mutates the working set in place, so the local
+                # binding stays valid; only the burst counter needs syncing.
+                self._reshuffle_working_set()
+                until = self._until_burst_end
+            until -= 1
+            size = len(working_set)
+            if size and rand() < locality:
+                append_out(working_set[randrange(size)])
+                continue
+            rank = bisect_left(cumulative, rand())
+            if rank > last_rank:
+                rank = last_rank
+            prefix = prefixes[rank]
+            host_bits = 32 - prefix.length
+            address = prefix.network | (getrandbits(host_bits) if host_bits else 0)
+            if size >= capacity:
+                working_set[randrange(size)] = address
+            else:
+                working_set.append(address)
+            append_out(address)
+        self._until_burst_end = until
+        return out

@@ -171,3 +171,113 @@ class TestExclusionUnderChurn:
         system.process_traffic(traffic, 2_000)
         assert system.check_dred_exclusion()
         assert system.engine.verify_completions()
+
+
+def assert_index_consistent(cache):
+    """The length index, probe plan and entry map must stay in lockstep."""
+    indexed = {
+        prefix
+        for bucket in cache._by_length.values()
+        for prefix in bucket.values()
+    }
+    assert indexed == set(cache._entries)
+    assert list(cache.occupied_lengths) == sorted(cache._by_length)
+    # One probe pair per occupied length, ascending shift (longest first),
+    # each aliasing the live bucket object.
+    assert [shift for shift, _ in cache._probe] == [
+        32 - length for length in sorted(cache._by_length, reverse=True)
+    ]
+    for shift, bucket in cache._probe:
+        assert bucket is cache._by_length[32 - shift]
+
+
+class TestRefreshPath:
+    """Regressions for insert()'s refresh fast path (engine hot path)."""
+
+    def test_pure_recency_refresh_keeps_entry_object(self):
+        cache = DredCache(4, 0, False)
+        cache.insert(bits("10"), 2, owner=1)
+        before = cache._entries[bits("10")]
+        cache.insert(bits("01"), 1, owner=1)
+        assert cache.insert(bits("10"), 2, owner=1)  # identical re-offer
+        assert cache._entries[bits("10")] is before  # no reallocation
+        assert cache.refreshes == 1 and cache.insertions == 2
+        # Recency moved: "01" is now the LRU victim.
+        cache.insert(bits("110"), 3, owner=1)
+        cache.insert(bits("111"), 4, owner=1)
+        cache.insert(bits("000"), 5, owner=1)  # capacity 4: evicts one
+        assert bits("01") not in cache._entries
+        assert bits("10") in cache._entries
+        assert_index_consistent(cache)
+
+    def test_hop_change_replaces_entry_and_reindexes(self):
+        cache = DredCache(4, 0, False)
+        cache.insert(bits("10"), 2, owner=1)
+        cache.insert(bits("10"), 9, owner=1)  # hop changed
+        entry = cache.lookup(0b10 << 30)
+        assert entry.next_hop == 9
+        assert cache.refreshes == 1
+        assert_index_consistent(cache)
+
+    def test_owner_change_replaces_entry(self):
+        cache = DredCache(4, 0, False)
+        cache.insert(bits("10"), 2, owner=1)
+        cache.insert(bits("10"), 2, owner=3)  # replica owner flip
+        assert cache._entries[bits("10")].owner == 3
+        assert cache.refreshes == 1
+        assert_index_consistent(cache)
+
+    def test_refresh_never_evicts(self):
+        cache = DredCache(2, 0, False)
+        cache.insert(bits("0"), 1, owner=1)
+        cache.insert(bits("1"), 2, owner=1)
+        cache.insert(bits("0"), 7, owner=1)  # full cache, refresh only
+        assert cache.evictions == 0 and len(cache) == 2
+
+
+class TestOccupiedLengthIndex:
+    """The probe plan must track insert/refresh/evict/delete churn."""
+
+    def test_lengths_appear_and_disappear(self):
+        cache = DredCache(8, 0, False)
+        assert cache.occupied_lengths == ()
+        cache.insert(bits("1"), 1, owner=1)
+        cache.insert(bits("1010"), 2, owner=1)
+        cache.insert(bits("10101010"), 3, owner=1)
+        assert cache.occupied_lengths == (1, 4, 8)
+        cache.delete(bits("1010"))
+        assert cache.occupied_lengths == (1, 8)
+        assert_index_consistent(cache)
+
+    def test_eviction_updates_index(self):
+        cache = DredCache(2, 0, False)
+        cache.insert(bits("1"), 1, owner=1)
+        cache.insert(bits("10"), 2, owner=1)
+        cache.insert(bits("101"), 3, owner=1)  # evicts the /1
+        assert cache.evictions == 1
+        assert cache.occupied_lengths == (2, 3)
+        # The evicted length no longer matches anything.
+        assert cache.lookup(0b11 << 30) is None
+        assert_index_consistent(cache)
+
+    def test_index_consistent_under_random_churn(self):
+        import random
+
+        rng = random.Random(7)
+        cache = DredCache(8, 0, False)
+        pool = [
+            Prefix(rng.randrange(1 << length), length)
+            for length in (2, 4, 6, 8, 10)
+            for _ in range(4)
+        ]
+        for step in range(400):
+            prefix = rng.choice(pool)
+            action = rng.random()
+            if action < 0.6:
+                cache.insert(prefix, rng.randint(1, 5), owner=rng.randint(1, 3))
+            elif action < 0.8:
+                cache.delete(prefix)
+            else:
+                cache.lookup(rng.randrange(1 << 32))
+            assert_index_consistent(cache)
+        assert cache.evictions > 0  # churn actually exercised eviction

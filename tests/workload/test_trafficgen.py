@@ -71,3 +71,41 @@ class TestSkewAndLocality:
         first = set(stream.take(1_000))
         later = set(stream.take(1_000))
         assert first != later
+
+
+class TestTakeBatchEquivalence:
+    """take(n) is a fast path, not a different stream: it must draw from
+    the RNG in exactly the order n single next_packet() calls would."""
+
+    def test_take_matches_single_draws(self, small_rib):
+        batched = TrafficGenerator(small_rib, seed=11).take(3_000)
+        single_stream = TrafficGenerator(small_rib, seed=11)
+        singles = [single_stream.next_packet() for _ in range(3_000)]
+        assert batched == singles
+
+    def test_take_matches_across_parameters(self, small_rib):
+        for params in (
+            TrafficParameters(locality=0.0),
+            TrafficParameters(locality=0.95),
+            TrafficParameters(burst_length_mean=3.0),
+            TrafficParameters(zipf_exponent=1.4),
+        ):
+            batched = TrafficGenerator(
+                small_rib, seed=13, parameters=params
+            ).take(1_000)
+            stream = TrafficGenerator(small_rib, seed=13, parameters=params)
+            assert batched == [stream.next_packet() for _ in range(1_000)]
+
+    def test_interleaving_preserves_the_stream(self, small_rib):
+        """Mixing take() chunks and single draws still yields one stream."""
+        mixed_stream = TrafficGenerator(small_rib, seed=17)
+        mixed = mixed_stream.take(100)
+        mixed += [next(mixed_stream) for _ in range(57)]
+        mixed += mixed_stream.take(343)
+        reference = TrafficGenerator(small_rib, seed=17).take(500)
+        assert mixed == reference
+
+    def test_take_zero_and_empty_prefix_of_stream(self, small_rib):
+        stream = TrafficGenerator(small_rib, seed=19)
+        assert stream.take(0) == []
+        assert len(stream.take(5)) == 5
