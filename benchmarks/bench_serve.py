@@ -1,0 +1,220 @@
+"""Serving-plane throughput — batched lookups over loopback TCP.
+
+Measures what the ROADMAP's north star actually asks of the system: a
+network front end sustaining lookup traffic.  A :class:`ServerThread`
+runs the full serving plane (framing, shard routing, the turbo engine)
+in-process; the load generator drives one pipelined connection with
+pre-encoded batches and reports sustained lookups/sec plus p50/p99
+request latency.  Numbers are conservative: client and server share one
+interpreter, so the GIL taxes the server with the client's decode work.
+
+Runs two ways:
+
+* ``python benchmarks/bench_serve.py`` — the full ≥100k lookups/sec gate
+  that produces the committed ``BENCH_serve.json``;
+* ``python benchmarks/bench_serve.py --quick`` — CI's serve-smoke: a
+  small run checked against the ``floor_lookups_per_sec`` stored in the
+  committed JSON (a deliberate 10x-below-measured bound that trips on
+  real regressions, not runner jitter).
+
+Also collected by ``pytest benchmarks/`` as a quick-mode test.
+"""
+
+import argparse
+import gc
+import json
+import sys
+from pathlib import Path
+
+if __package__ is None and __name__ == "__main__":
+    # Standalone invocation: make src/ importable without installation.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.summarize import format_table
+from repro.core.config import SystemConfig
+from repro.engine.simulator import EngineConfig
+from repro.serve import ServeConfig, ServerThread, ShardSet
+from repro.serve.loadgen import generate_batches, run_load
+from repro.workload.ribgen import RibParameters, generate_rib
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+RESULT_FILE = RESULTS_DIR / "BENCH_serve.json"
+QUICK_RESULT_FILE = RESULTS_DIR / "BENCH_serve_quick.json"
+
+#: Same table every engine-level bench uses (rrc01 stand-in).
+RIB_SEED = 101
+RIB_SIZE = 8_000
+TRAFFIC_SEED = 61
+
+BATCH_SIZE = 1_024
+WINDOW = 4
+FULL_BATCHES = 200
+QUICK_BATCHES = 40
+#: The acceptance gate for the full run.
+REQUIRED_LOOKUPS_PER_SEC = 100_000
+
+
+def system_config():
+    """Fast-backend CLUE settings (the paper's 4-chip configuration)."""
+    return SystemConfig(
+        engine=EngineConfig(
+            chip_count=4,
+            lookup_cycles=4,
+            queue_capacity=256,
+            dred_capacity=1_024,
+            lookup_backend="fast",
+        )
+    )
+
+
+def run_configuration(rib, batches, shard_count):
+    """Serve the RIB with ``shard_count`` workers and measure one load."""
+    shards = ShardSet.build(rib, shard_count=shard_count, config=system_config())
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        with ServerThread(shards, ServeConfig(inflight_window=WINDOW)) as thread:
+            report = run_load(
+                "127.0.0.1", thread.server.port, batches, window=WINDOW
+            )
+            thread.stop()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    if report.busy:
+        raise AssertionError(
+            f"{report.busy} BUSY responses under a window-matched load"
+        )
+    expected = sum(len(batch) for batch in batches)
+    if report.lookups != expected:
+        raise AssertionError(
+            f"served {report.lookups} lookups, sent {expected}"
+        )
+    return {
+        "shards": shard_count,
+        "requests": report.requests,
+        "lookups": report.lookups,
+        "duration_s": round(report.duration_s, 4),
+        "lookups_per_sec": round(report.lookups_per_sec, 1),
+        "p50_us": round(report.p50_us, 1),
+        "p99_us": round(report.p99_us, 1),
+    }
+
+
+def run_bench(batch_count, rib=None):
+    """Measure the single-shard primary and a 2-shard secondary."""
+    if rib is None:
+        rib = generate_rib(RIB_SEED, RibParameters(size=RIB_SIZE))
+    rib = list(rib)
+    batches = generate_batches(rib, batch_count, BATCH_SIZE, seed=TRAFFIC_SEED)
+    single = run_configuration(rib, batches, shard_count=1)
+    sharded = run_configuration(rib, batches, shard_count=2)
+    return {
+        "workload": {
+            "rib_seed": RIB_SEED,
+            "rib_size": len(rib),
+            "traffic_seed": TRAFFIC_SEED,
+            "batches": batch_count,
+            "batch_size": BATCH_SIZE,
+            "window": WINDOW,
+            "backend": "fast",
+        },
+        # The single-shard numbers are the headline: the gate, the CI
+        # floor and the README all read these keys.
+        "lookups_per_sec": single["lookups_per_sec"],
+        "p50_us": single["p50_us"],
+        "p99_us": single["p99_us"],
+        "configurations": {"single": single, "sharded2": sharded},
+    }
+
+
+def render(payload):
+    rows = [
+        (
+            name,
+            entry["shards"],
+            f"{entry['lookups_per_sec']:,.0f}",
+            f"{entry['p50_us']:,.0f}",
+            f"{entry['p99_us']:,.0f}",
+        )
+        for name, entry in payload["configurations"].items()
+    ]
+    return format_table(
+        ["configuration", "shards", "lookups/sec", "p50 us", "p99 us"], rows
+    )
+
+
+def stored_floor():
+    if not RESULT_FILE.exists():
+        return None
+    return json.loads(RESULT_FILE.read_text()).get("floor_lookups_per_sec")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: small run, stored-floor check instead of 100k gate",
+    )
+    args = parser.parse_args(argv)
+
+    batch_count = QUICK_BATCHES if args.quick else FULL_BATCHES
+    try:
+        payload = run_bench(batch_count)
+    except AssertionError as exc:
+        print(f"bench failed: {exc}", file=sys.stderr)
+        return 1
+    print(render(payload))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if args.quick:
+        floor = stored_floor()
+        payload["floor_lookups_per_sec"] = floor
+        QUICK_RESULT_FILE.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="ascii"
+        )
+        rate = payload["lookups_per_sec"]
+        if floor is not None and rate < floor:
+            print(
+                f"serving plane regressed: {rate:,.0f} lookups/sec below "
+                f"the stored floor {floor:,.0f}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    rate = payload["lookups_per_sec"]
+    if rate < REQUIRED_LOOKUPS_PER_SEC:
+        print(
+            f"serving plane only {rate:,.0f} lookups/sec "
+            f"(gate: {REQUIRED_LOOKUPS_PER_SEC:,.0f})",
+            file=sys.stderr,
+        )
+        return 1
+    # The CI floor: deliberately far below the measured rate so it only
+    # trips on order-of-magnitude regressions, not runner variance.
+    previous = stored_floor()
+    payload["floor_lookups_per_sec"] = (
+        previous if previous is not None else round(rate / 10.0)
+    )
+    RESULT_FILE.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="ascii"
+    )
+    print(f"wrote {RESULT_FILE}")
+    return 0
+
+
+def test_serve_throughput(record, bench_rib):
+    """Pytest entry point: quick-mode load over loopback on the bench RIB."""
+    payload = run_bench(QUICK_BATCHES, rib=bench_rib)
+    record("serve_throughput", render(payload))
+    assert payload["configurations"]["single"]["lookups"] == (
+        QUICK_BATCHES * BATCH_SIZE
+    )
+    assert payload["lookups_per_sec"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

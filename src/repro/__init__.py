@@ -8,4 +8,4 @@ pillars: :mod:`repro.compress` (ONRTC), :mod:`repro.engine` (parallel TCAM
 lookup with dynamic redundancy), :mod:`repro.update` (TTF pipeline).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -24,6 +24,8 @@ scripted without writing Python:
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -71,6 +73,18 @@ _MODES = {
     "strict": CompressionMode.STRICT,
     "dontcare": CompressionMode.DONT_CARE,
 }
+
+
+def _package_version() -> str:
+    """Installed distribution version; source-tree fallback for dev runs."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        import repro
+
+        return repro.__version__
 
 
 def _cmd_gen_rib(args: argparse.Namespace) -> int:
@@ -458,10 +472,156 @@ def _cmd_replay_updates(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_shard_set(args: argparse.Namespace):
+    """Build or restore the :class:`ShardSet` a serve command targets."""
+    from repro.serve import ShardSet
+
+    config = SystemConfig(
+        engine=EngineConfig(
+            chip_count=args.chips,
+            dred_capacity=args.dred,
+            queue_capacity=args.queue,
+            lookup_backend=args.backend,
+        ),
+        update_queue_capacity=args.update_queue,
+    )
+    if getattr(args, "restore", False):
+        if not args.journal:
+            raise ValueError("--restore needs --journal DIR to recover from")
+        shards, reports = ShardSet.restore(
+            args.journal,
+            config=config,
+            checkpoint_every=args.checkpoint_every,
+            sync_interval=args.sync_every,
+        )
+        for report in reports:
+            print(report.summary())
+        return shards
+    if not args.table:
+        raise ValueError("serve needs --table (or --journal with --restore)")
+    routes = load_table(args.table)
+    return ShardSet.build(
+        routes,
+        shard_count=args.shards,
+        config=config,
+        journal_dir=args.journal,
+        checkpoint_every=args.checkpoint_every,
+        sync_interval=args.sync_every,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the network serving plane until SIGTERM drains it."""
+    from repro.serve import ClueServer, ServeConfig
+
+    if args.faults and args.journal:
+        schedule = load_faults(args.faults).validate(args.chips)
+        if schedule.has_storms:
+            raise ValueError(
+                "--faults schedules with update storms bypass the journal; "
+                "drop --journal or remove the storm events"
+            )
+    shards = _build_shard_set(args)
+    if args.faults:
+        schedule = load_faults(args.faults).validate(args.chips)
+        for worker in shards.workers:
+            worker.system.attach_faults(schedule)
+    server = ClueServer(
+        shards,
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            inflight_window=args.window,
+            drain_grace=args.drain_grace,
+            pump_budget=args.pump_budget,
+            port_file=args.port_file,
+        ),
+    )
+
+    async def _run() -> int:
+        await server.start()
+        print(
+            f"serving on {args.host}:{server.port} "
+            f"({len(shards.workers)} shard(s), "
+            f"{'durable' if shards.durable else 'in-memory'}); "
+            f"SIGTERM drains",
+            flush=True,
+        )
+        await server.wait_stopped()
+        return 0
+
+    return asyncio.run(_run())
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Loopback throughput/latency of the serving plane (BENCH_serve)."""
+    from repro.serve import (
+        ServeConfig,
+        ServerThread,
+        ShardSet,
+        generate_batches,
+        run_load,
+    )
+
+    routes = load_table(args.table)
+    config = SystemConfig(
+        engine=EngineConfig(
+            chip_count=args.chips,
+            dred_capacity=args.dred,
+            queue_capacity=args.queue,
+            lookup_backend=args.backend,
+        ),
+        update_queue_capacity=args.update_queue,
+    )
+    shards = ShardSet.build(routes, shard_count=args.shards, config=config)
+    batches = generate_batches(
+        routes, args.batches, args.batch_size, seed=args.seed
+    )
+    with ServerThread(
+        shards, ServeConfig(inflight_window=max(args.window, 1))
+    ) as thread:
+        report = run_load(
+            "127.0.0.1", thread.server.port, batches, window=args.window
+        )
+        thread.stop()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("requests", report.requests),
+                ("lookups", report.lookups),
+                ("busy", report.busy),
+                ("duration (s)", f"{report.duration_s:.3f}"),
+                ("lookups/sec", f"{report.lookups_per_sec:,.0f}"),
+                ("p50 latency (us)", f"{report.p50_us:.0f}"),
+                ("p99 latency (us)", f"{report.p99_us:.0f}"),
+            ],
+        )
+    )
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.floor and report.lookups_per_sec < args.floor:
+        print(
+            f"FAIL: {report.lookups_per_sec:,.0f} lookups/sec below the "
+            f"{args.floor:,.0f} floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-clue",
         description="CLUE (ICDCS 2012) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -671,6 +831,95 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--chips", type=int, default=4)
     replay.add_argument("--dred", type=int, default=1_024)
     replay.set_defaults(handler=_cmd_replay_updates)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the network serving plane (lookup/update RPC over TCP)",
+    )
+    serve.add_argument("--table", help="routing table (omit with --restore)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 = ephemeral (see --port-file)"
+    )
+    serve.add_argument(
+        "--port-file", help="write the bound port to this file after binding"
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1, help="address-range shard workers"
+    )
+    serve.add_argument("--chips", type=int, default=4)
+    serve.add_argument("--dred", type=int, default=1_024)
+    serve.add_argument("--queue", type=int, default=256)
+    serve.add_argument(
+        "--update-queue",
+        type=int,
+        default=256,
+        help="bounded BGP update queue per shard (storm backpressure)",
+    )
+    serve.add_argument("--backend", choices=LOOKUP_BACKENDS, default="fast")
+    serve.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="per-connection inflight request window (beyond it: BUSY)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=5.0,
+        help="seconds drain waits for clients to close before force-close",
+    )
+    serve.add_argument(
+        "--pump-budget",
+        type=int,
+        help="scheduler pump budget per update batch (default: batch size)",
+    )
+    serve.add_argument(
+        "--faults",
+        help="fault schedule armed on every shard (storms need no journal)",
+    )
+    serve_durability = serve.add_argument_group("durability")
+    serve_durability.add_argument(
+        "--journal",
+        metavar="DIR",
+        help="journal every update under DIR/shard-<i> before acking",
+    )
+    serve_durability.add_argument(
+        "--restore",
+        action="store_true",
+        help="recover state from --journal instead of loading --table",
+    )
+    serve_durability.add_argument("--checkpoint-every", type=int, default=0)
+    serve_durability.add_argument("--sync-every", type=int, default=64)
+    serve.set_defaults(handler=_cmd_serve)
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="measure loopback serving throughput and latency",
+    )
+    bench_serve.add_argument("--table", required=True)
+    bench_serve.add_argument("--batches", type=int, default=200)
+    bench_serve.add_argument("--batch-size", type=int, default=1_024)
+    bench_serve.add_argument(
+        "--window", type=int, default=4, help="pipelined requests in flight"
+    )
+    bench_serve.add_argument("--shards", type=int, default=1)
+    bench_serve.add_argument("--chips", type=int, default=4)
+    bench_serve.add_argument("--dred", type=int, default=1_024)
+    bench_serve.add_argument("--queue", type=int, default=256)
+    bench_serve.add_argument("--update-queue", type=int, default=256)
+    bench_serve.add_argument(
+        "--backend", choices=LOOKUP_BACKENDS, default="fast"
+    )
+    bench_serve.add_argument("--seed", type=int, default=1)
+    bench_serve.add_argument(
+        "--floor",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) below this lookups/sec",
+    )
+    bench_serve.add_argument("-o", "--output", help="write the JSON report")
+    bench_serve.set_defaults(handler=_cmd_bench_serve)
 
     return parser
 

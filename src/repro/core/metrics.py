@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Optional
 
 from repro.compress.onrtc import CompressionReport
 from repro.engine.stats import EngineStats
@@ -47,6 +47,21 @@ class RecoveryStats:
             or self.audit_runs
         )
 
+    def as_dict(self) -> Dict[str, object]:
+        """Every counter as JSON-ready scalars."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RecoveryStats":
+        """Inverse of :meth:`as_dict` (strict: unknown keys raise)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RecoveryStats fields: {sorted(unknown)}"
+            )
+        return cls(**data)  # type: ignore[arg-type]
+
 
 @dataclass
 class SystemReport:
@@ -64,6 +79,49 @@ class SystemReport:
     chip_repairs: Optional[int] = None
     #: Durability counters (journal/checkpoint/restore/invariant audit).
     recovery: Optional[RecoveryStats] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready nested dict (the admin STATS payload's shape).
+
+        Engine and recovery stats round-trip exactly through their own
+        ``from_dict`` constructors; compression and TTF are summarised
+        (the raw TTF samples stay server-side — shipping every sample
+        over the wire would scale with update count).
+        """
+        data: Dict[str, object] = {
+            "compression": {
+                "original_entries": self.compression.original_entries,
+                "compressed_entries": self.compression.compressed_entries,
+                "mode": self.compression.mode.name,
+            },
+            "engine_stats": (
+                self.engine_stats.as_dict()
+                if self.engine_stats is not None
+                else None
+            ),
+            "tcam_entries_per_chip": (
+                list(self.tcam_entries_per_chip)
+                if self.tcam_entries_per_chip is not None
+                else None
+            ),
+            "chip_repairs": self.chip_repairs,
+            "recovery": (
+                self.recovery.as_dict() if self.recovery is not None else None
+            ),
+        }
+        if self.ttf is not None and len(self.ttf):
+            total = self.ttf.total()
+            data["ttf"] = {
+                "samples": len(self.ttf),
+                "total_mean_us": total.mean_us,
+                "total_max_us": total.max_us,
+                "ttf1_mean_us": self.ttf.ttf1().mean_us,
+                "ttf2_mean_us": self.ttf.ttf2().mean_us,
+                "ttf3_mean_us": self.ttf.ttf3().mean_us,
+            }
+        else:
+            data["ttf"] = None
+        return data
 
     def summary_lines(self, lookup_cycles: int = 4) -> List[str]:
         """Human-readable one-liners, used by examples and benches."""

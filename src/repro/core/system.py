@@ -182,6 +182,27 @@ class ClueSystem:
         """Run a packet burst through the parallel engine."""
         return self.engine.run(addresses, packet_count)
 
+    def process_lookups(
+        self, addresses: Sequence[int]
+    ) -> List[Optional[int]]:
+        """Answer a batch of lookups through the engine, in arrival order.
+
+        This is the RPC-shaped data path (see :mod:`repro.serve`): the
+        batch runs through the same parallel engine as
+        :meth:`process_traffic` — DRed redundancy, diversion, statistics
+        and all — and the per-address next hops are harvested from the
+        reorder buffer (``None`` = no matching route).  The harvested
+        completions are released from the buffer so a long-lived serving
+        process stays bounded in memory.
+        """
+        addresses = list(addresses)
+        released = self.engine.reorder.released
+        start = len(released)
+        self.engine.run(iter(addresses), len(addresses))
+        hops = [completion.next_hop for completion in released[start:]]
+        del released[start:]
+        return hops
+
     # ------------------------------------------------------------------
     # Control plane
     # ------------------------------------------------------------------

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List
 
 
@@ -90,6 +90,23 @@ class EngineStats:
     def as_dict(self) -> Dict[str, object]:
         """Every counter as plain ints/lists (JSON- and diff-friendly)."""
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EngineStats":
+        """Inverse of :meth:`as_dict` (strict: unknown keys raise).
+
+        Serving-plane stats snapshots travel as JSON; round-tripping
+        through this constructor preserves :meth:`fingerprint` exactly,
+        which is what lets a client-side snapshot be compared against an
+        in-process run.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown EngineStats fields: {sorted(unknown)}"
+            )
+        return cls(**data)  # type: ignore[arg-type]
 
     def fingerprint(self) -> str:
         """Digest over *every* counter, canonically serialised.

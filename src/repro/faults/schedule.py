@@ -125,6 +125,20 @@ class FaultSchedule:
     def __iter__(self):
         return iter(self.events)
 
+    @property
+    def has_storms(self) -> bool:
+        """True when any event injects a BGP update storm.
+
+        Storm events push synthesized updates straight into the
+        scheduler, *behind* any write-ahead journal wrapping the system —
+        so a durable serving plane must refuse schedules with storms
+        (chip deaths, corruption and stalls never touch the journal and
+        stay allowed).
+        """
+        return any(
+            event.kind is FaultKind.STORM for event in self.events
+        )
+
     def chips_touched(self) -> List[int]:
         """Distinct chip indices named by any event, sorted."""
         return sorted(

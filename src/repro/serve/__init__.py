@@ -1,0 +1,36 @@
+"""The network serving plane: CLUE as a servable system.
+
+``repro.serve`` turns the in-process reproduction into a line-rate-ish
+TCP service: batched LPM lookups and durable route updates over a
+length-prefixed binary protocol, answered by range-sharded
+:class:`~repro.core.system.ClueSystem` workers with per-connection
+backpressure and SIGTERM-clean graceful drain.  See DESIGN.md §11.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError, ServerBusyError
+from repro.serve.loadgen import LoadReport, generate_batches, run_load
+from repro.serve.protocol import ProtocolError, UpdateAck
+from repro.serve.router import ShardPlan, ShardRouter, plan_shards
+from repro.serve.server import ClueServer, ServeConfig, ServerThread
+from repro.serve.shard import ShardSet, ShardWorker
+from repro.serve.stats import ServeStats
+
+__all__ = [
+    "ClueServer",
+    "LoadReport",
+    "ProtocolError",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServeStats",
+    "ServerBusyError",
+    "ServerThread",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardSet",
+    "ShardWorker",
+    "UpdateAck",
+    "generate_batches",
+    "plan_shards",
+    "run_load",
+]

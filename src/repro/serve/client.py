@@ -1,0 +1,149 @@
+"""Pure-python blocking client for the serving plane.
+
+The simple methods (:meth:`lookup`, :meth:`update`, the admin calls) are
+strict request/response.  For pipelining — several requests in flight on
+one connection — use the raw primitives :meth:`send` / :meth:`recv`:
+the server answers strictly in request order, so responses match up
+positionally (that is what the load generator does).
+
+``MSG_BUSY`` surfaces as :class:`ServerBusyError`: the server refused
+the request — inflight window exceeded, or a drain in progress — and
+retrying later (or slower) is the client's job, mirroring how shed BGP
+updates rely on re-advertisement.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional, Sequence
+
+from repro.serve import protocol
+from repro.serve.protocol import Frame, ProtocolError, UpdateAck
+from repro.workload.updategen import UpdateMessage
+
+
+class ServeClientError(Exception):
+    """The server answered MSG_ERROR."""
+
+
+class ServerBusyError(Exception):
+    """The server refused the request (backpressure or drain)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class ServeClient:
+    """One TCP connection to a :class:`~repro.serve.server.ClueServer`."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._next_request_id = 0
+
+    # -- raw pipelining primitives --------------------------------------
+
+    def send(self, msg_type: int, payload: bytes = b"") -> int:
+        """Fire one request without waiting; returns its request id."""
+        request_id = self._next_request_id
+        self._next_request_id = (request_id + 1) & 0xFFFFFFFF
+        self._sock.sendall(protocol.encode_frame(msg_type, request_id, payload))
+        return request_id
+
+    def recv(self) -> Frame:
+        """The next response frame, in request order."""
+        frame = protocol.read_frame_blocking(self._sock)
+        if frame is None:
+            raise ProtocolError("server closed the connection")
+        return frame
+
+    # -- request/response -----------------------------------------------
+
+    def _call(self, msg_type: int, payload: bytes = b"") -> Frame:
+        request_id = self.send(msg_type, payload)
+        frame = self.recv()
+        if frame.request_id != request_id:
+            raise ProtocolError(
+                f"response for request {frame.request_id}, "
+                f"expected {request_id}"
+            )
+        if frame.type == protocol.MSG_BUSY:
+            raise ServerBusyError(protocol.decode_text(frame.payload))
+        if frame.type == protocol.MSG_ERROR:
+            raise ServeClientError(protocol.decode_text(frame.payload))
+        return frame
+
+    def _admin(self, msg_type: int) -> Dict:
+        frame = self._call(msg_type)
+        if frame.type != protocol.MSG_ADMIN_OK:
+            raise ProtocolError(f"unexpected response type {frame.type:#x}")
+        data = protocol.decode_json(frame.payload)
+        if not isinstance(data, dict):
+            raise ProtocolError("admin response is not a JSON object")
+        return data
+
+    def lookup(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        """Batched LPM; ``None`` per address means no matching route."""
+        frame = self._call(
+            protocol.MSG_LOOKUP, protocol.encode_addresses(addresses)
+        )
+        if frame.type != protocol.MSG_LOOKUP_OK:
+            raise ProtocolError(f"unexpected response type {frame.type:#x}")
+        hops = protocol.decode_hops(frame.payload)
+        if len(hops) != len(addresses):
+            raise ProtocolError(
+                f"{len(hops)} hops for {len(addresses)} addresses"
+            )
+        return hops
+
+    def update(self, messages: Sequence[UpdateMessage]) -> UpdateAck:
+        """Send one update batch; the ack reports acceptance/durability."""
+        frame = self._call(
+            protocol.MSG_UPDATE, protocol.encode_updates(messages)
+        )
+        if frame.type != protocol.MSG_UPDATE_OK:
+            raise ProtocolError(f"unexpected response type {frame.type:#x}")
+        return protocol.decode_update_ack(frame.payload)
+
+    # -- admin ----------------------------------------------------------
+
+    def stats(self) -> Dict:
+        return self._admin(protocol.MSG_STATS)
+
+    def health(self) -> Dict:
+        return self._admin(protocol.MSG_HEALTH)
+
+    def checkpoint(self) -> Dict:
+        return self._admin(protocol.MSG_CHECKPOINT)
+
+    def fingerprint(self) -> str:
+        return str(self._admin(protocol.MSG_FINGERPRINT)["fingerprint"])
+
+    def drain(self) -> Dict:
+        """Ask the server to drain gracefully (same path as SIGTERM)."""
+        return self._admin(protocol.MSG_DRAIN)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def half_close(self) -> None:
+        """Signal EOF to the server while still reading responses.
+
+        The drain handshake: a client that half-closes lets the server
+        finish every admitted request and then release the connection.
+        """
+        self._sock.shutdown(socket.SHUT_WR)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

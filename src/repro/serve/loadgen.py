@@ -1,0 +1,117 @@
+"""Loopback load generator: the measuring stick of the serving plane.
+
+Drives one pipelined connection with pre-encoded lookup batches and
+reports sustained lookups/sec plus p50/p99 request latency.  Payloads
+are encoded before the clock starts, so the number measures the server
+(framing, shard routing, engine) plus the wire — not the generator.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.prefix import Prefix
+from repro.serve import protocol
+from repro.serve.client import ServeClient
+from repro.workload.trafficgen import TrafficGenerator
+
+Route = Tuple[Prefix, int]
+
+
+@dataclass
+class LoadReport:
+    """One load-generation run, ready for ``BENCH_serve.json``."""
+
+    requests: int
+    lookups: int
+    busy: int
+    duration_s: float
+    lookups_per_sec: float
+    p50_us: float
+    p99_us: float
+    batch_size: int
+    window: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    position = int(round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[position]
+
+
+def generate_batches(
+    routes: Sequence[Route],
+    batch_count: int,
+    batch_size: int,
+    seed: int = 1,
+) -> List[List[int]]:
+    """Zipf-skewed destination addresses, pre-split into batches."""
+    generator = TrafficGenerator(routes, seed=seed)
+    return [generator.take(batch_size) for _ in range(batch_count)]
+
+
+def run_load(
+    host: str,
+    port: int,
+    batches: Sequence[Sequence[int]],
+    window: int = 4,
+) -> LoadReport:
+    """Send every batch through one pipelined connection and measure.
+
+    ``window`` requests ride in flight at once; responses arrive in
+    request order, so latency is measured per request id.  BUSY answers
+    are counted, not retried — with a window at or below the server's
+    inflight window there should be none.
+    """
+    if window < 1:
+        raise ValueError("window must be at least one request")
+    payloads = [protocol.encode_addresses(batch) for batch in batches]
+    latencies: List[float] = []
+    lookups = 0
+    busy = 0
+    with ServeClient(host, port) as client:
+        send_times: Dict[int, float] = {}
+        started = time.perf_counter()
+        in_flight = 0
+        next_batch = 0
+        done = 0
+        while done < len(payloads):
+            while in_flight < window and next_batch < len(payloads):
+                request_id = client.send(
+                    protocol.MSG_LOOKUP, payloads[next_batch]
+                )
+                send_times[request_id] = time.perf_counter()
+                next_batch += 1
+                in_flight += 1
+            frame = client.recv()
+            now = time.perf_counter()
+            latencies.append(now - send_times.pop(frame.request_id))
+            if frame.type == protocol.MSG_BUSY:
+                busy += 1
+            elif frame.type == protocol.MSG_LOOKUP_OK:
+                lookups += len(frame.payload) // 4
+            else:
+                raise protocol.ProtocolError(
+                    f"unexpected response type {frame.type:#x}"
+                )
+            in_flight -= 1
+            done += 1
+        duration = time.perf_counter() - started
+    latencies.sort()
+    return LoadReport(
+        requests=len(payloads),
+        lookups=lookups,
+        busy=busy,
+        duration_s=duration,
+        lookups_per_sec=lookups / duration if duration else 0.0,
+        p50_us=_percentile(latencies, 0.50) * 1e6,
+        p99_us=_percentile(latencies, 0.99) * 1e6,
+        batch_size=max(len(batch) for batch in batches) if batches else 0,
+        window=window,
+    )

@@ -1,0 +1,294 @@
+"""Wire protocol of the serving plane (see DESIGN.md §11).
+
+Every message travels in one length-prefixed binary frame::
+
+    u32  length      payload size + 5 (type byte + request id), big-endian
+    u8   type        message type (MSG_* constants)
+    u32  request_id  caller-chosen correlation id, echoed in the response
+    ...  payload     type-specific body
+
+Data-plane payloads are packed arrays (``struct``, network byte order) so
+a 1024-address lookup batch is one 4 KiB frame, not 1024 round trips —
+the batching that lets a python loopback server clear 100k lookups/sec.
+Admin payloads are UTF-8 JSON: they are rare, and the flexibility is
+worth more than the bytes.
+
+The module is deliberately transport-agnostic: frame codecs work on
+``bytes``, with one async reader for the server (``asyncio`` streams)
+and one blocking reader for the pure-python client (raw sockets).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.net.prefix import Prefix
+from repro.workload.updategen import UpdateKind, UpdateMessage
+
+#: Hard cap on one frame's payload; a length beyond it means a corrupt or
+#: hostile stream, not a big batch (1M lookups still fit in 4 MiB).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct("!IBI")  # length, type, request_id
+#: One update record: kind, network, prefix length, next hop, timestamp.
+_UPDATE_RECORD = struct.Struct("!BIBid")
+_UPDATE_ACK = struct.Struct("!IIIB")  # accepted, shed, applied, durable
+
+# -- message types ------------------------------------------------------
+
+MSG_LOOKUP = 0x01
+MSG_LOOKUP_OK = 0x02
+MSG_UPDATE = 0x03
+MSG_UPDATE_OK = 0x04
+MSG_STATS = 0x10
+MSG_HEALTH = 0x11
+MSG_CHECKPOINT = 0x12
+MSG_FINGERPRINT = 0x13
+MSG_DRAIN = 0x14
+MSG_ADMIN_OK = 0x1F
+MSG_BUSY = 0x20
+MSG_ERROR = 0x21
+
+#: Requests a server accepts (everything else is answered MSG_ERROR).
+REQUEST_TYPES = frozenset(
+    (
+        MSG_LOOKUP,
+        MSG_UPDATE,
+        MSG_STATS,
+        MSG_HEALTH,
+        MSG_CHECKPOINT,
+        MSG_FINGERPRINT,
+        MSG_DRAIN,
+    )
+)
+
+#: Sentinel next hop meaning "no matching route" in MSG_LOOKUP_OK.
+NO_ROUTE = -1
+
+
+class ProtocolError(ValueError):
+    """The byte stream violates the framing contract."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame."""
+
+    type: int
+    request_id: int
+    payload: bytes
+
+
+# -- frame codec --------------------------------------------------------
+
+
+def encode_frame(msg_type: int, request_id: int, payload: bytes = b"") -> bytes:
+    """One wire-ready frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame cap"
+        )
+    return _HEADER.pack(len(payload) + 5, msg_type, request_id) + payload
+
+
+def _decode_header(header: bytes) -> Tuple[int, int, int]:
+    """Returns ``(payload_length, type, request_id)``."""
+    length, msg_type, request_id = _HEADER.unpack(header)
+    if length < 5:
+        raise ProtocolError(f"frame length {length} below the 5-byte header")
+    if length - 5 > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length - 5} payload bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return length - 5, msg_type, request_id
+
+
+async def read_frame_async(reader) -> Optional[Frame]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF.
+
+    EOF in the *middle* of a frame is a protocol violation — the peer
+    died mid-send — and raises :class:`ProtocolError`.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ProtocolError("connection closed mid-header") from exc
+        return None
+    payload_length, msg_type, request_id = _decode_header(header)
+    try:
+        payload = await reader.readexactly(payload_length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-payload") from exc
+    return Frame(msg_type, request_id, payload)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count and not chunks:
+                return b""
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_blocking(sock: socket.socket) -> Optional[Frame]:
+    """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if not header:
+        return None
+    payload_length, msg_type, request_id = _decode_header(header)
+    payload = _recv_exactly(sock, payload_length) if payload_length else b""
+    if payload_length and not payload:
+        raise ProtocolError("connection closed mid-payload")
+    return Frame(msg_type, request_id, payload)
+
+
+# -- data-plane payloads ------------------------------------------------
+
+
+def encode_addresses(addresses: Sequence[int]) -> bytes:
+    """MSG_LOOKUP payload: packed u32 destination addresses."""
+    return struct.pack(f"!{len(addresses)}I", *addresses)
+
+
+def decode_addresses(payload: bytes) -> List[int]:
+    if len(payload) % 4:
+        raise ProtocolError(
+            f"lookup payload of {len(payload)} bytes is not a u32 array"
+        )
+    return list(struct.unpack(f"!{len(payload) // 4}I", payload))
+
+
+def encode_hops(hops: Sequence[Optional[int]]) -> bytes:
+    """MSG_LOOKUP_OK payload: packed i32 next hops, ``-1`` = no route."""
+    return struct.pack(
+        f"!{len(hops)}i", *(NO_ROUTE if hop is None else hop for hop in hops)
+    )
+
+
+def decode_hops(payload: bytes) -> List[Optional[int]]:
+    if len(payload) % 4:
+        raise ProtocolError(
+            f"lookup response of {len(payload)} bytes is not an i32 array"
+        )
+    return [
+        None if hop == NO_ROUTE else hop
+        for hop in struct.unpack(f"!{len(payload) // 4}i", payload)
+    ]
+
+
+def encode_updates(messages: Sequence[UpdateMessage]) -> bytes:
+    """MSG_UPDATE payload: fixed-size records, one per message."""
+    parts = []
+    for message in messages:
+        withdraw = message.kind is UpdateKind.WITHDRAW
+        parts.append(
+            _UPDATE_RECORD.pack(
+                1 if withdraw else 0,
+                message.prefix.network,
+                message.prefix.length,
+                NO_ROUTE if withdraw else message.next_hop,
+                message.timestamp,
+            )
+        )
+    return b"".join(parts)
+
+
+def decode_updates(payload: bytes) -> List[UpdateMessage]:
+    record = _UPDATE_RECORD
+    if len(payload) % record.size:
+        raise ProtocolError(
+            f"update payload of {len(payload)} bytes is not a multiple "
+            f"of the {record.size}-byte record"
+        )
+    messages = []
+    for offset in range(0, len(payload), record.size):
+        kind, network, length, hop, timestamp = record.unpack_from(
+            payload, offset
+        )
+        if kind not in (0, 1):
+            raise ProtocolError(f"unknown update kind {kind}")
+        try:
+            prefix = Prefix.from_network(network, length)
+        except ValueError as exc:
+            raise ProtocolError(f"bad update prefix: {exc}") from exc
+        messages.append(
+            UpdateMessage(
+                UpdateKind.WITHDRAW if kind else UpdateKind.ANNOUNCE,
+                prefix,
+                None if kind else hop,
+                timestamp,
+            )
+        )
+    return messages
+
+
+@dataclass(frozen=True)
+class UpdateAck:
+    """MSG_UPDATE_OK: what happened to one update batch.
+
+    ``durable`` means the batch was journaled and fsynced before this
+    ack was sent — the crash-consistency contract of PR 2 extended over
+    the wire.  ``shed`` counts messages the bounded update queue refused
+    (storm backpressure); the client's retry path is BGP re-advertisement,
+    exactly as for in-process :meth:`ClueSystem.offer_update`.
+    """
+
+    accepted: int
+    shed: int
+    applied: int
+    durable: bool
+
+
+def encode_update_ack(ack: UpdateAck) -> bytes:
+    return _UPDATE_ACK.pack(
+        ack.accepted, ack.shed, ack.applied, 1 if ack.durable else 0
+    )
+
+
+def decode_update_ack(payload: bytes) -> UpdateAck:
+    if len(payload) != _UPDATE_ACK.size:
+        raise ProtocolError(
+            f"update ack of {len(payload)} bytes, expected {_UPDATE_ACK.size}"
+        )
+    accepted, shed, applied, durable = _UPDATE_ACK.unpack(payload)
+    return UpdateAck(accepted, shed, applied, bool(durable))
+
+
+# -- admin payloads -----------------------------------------------------
+
+
+def encode_json(data: object) -> bytes:
+    return json.dumps(data, sort_keys=True).encode("utf-8")
+
+
+def decode_json(payload: bytes) -> object:
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON payload: {exc}") from exc
+
+
+def encode_text(text: str) -> bytes:
+    return text.encode("utf-8")
+
+
+def decode_text(payload: bytes) -> str:
+    try:
+        return payload.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"malformed text payload: {exc}") from exc

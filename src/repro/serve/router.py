@@ -1,0 +1,116 @@
+"""Shard routing: which worker owns which slice of the address space.
+
+The serving plane scales the same way the paper scales chips: split the
+address space into contiguous ranges and give each worker one range.  The
+boundaries come from even-partitioning the ONRTC-compressed *full* table
+(compression makes the entries disjoint, which is what even partitioning
+requires), so shards hold near-equal TCAM populations rather than
+near-equal address spans.
+
+Raw routes are then replicated to every shard whose range they overlap —
+a wide covering route can span several shards, and each shard must hold
+it or lookups homed there would miss.  Within its own range every shard
+therefore answers exactly what the unsharded system would: for any
+address, all routes containing that address live in its home shard, so
+the shard-local longest match *is* the global longest match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import compress
+from repro.net.prefix import Prefix
+from repro.partition.even import even_partition
+from repro.partition.index_logic import RangeIndex
+from repro.trie.trie import BinaryTrie
+
+Route = Tuple[Prefix, int]
+
+
+class ShardRouter:
+    """Maps addresses and prefixes to shard indices."""
+
+    def __init__(self, boundaries: Sequence[int]) -> None:
+        self.index = RangeIndex(boundaries)
+
+    @property
+    def boundaries(self) -> List[int]:
+        return self.index.boundaries
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.index.boundaries)
+
+    def shard_of(self, address: int) -> int:
+        """The home shard of one destination address."""
+        return self.index.home_of(address)
+
+    def shards_covering(self, prefix: Prefix) -> range:
+        """Every shard whose address range the prefix overlaps."""
+        return range(
+            self.index.home_of(prefix.network),
+            self.index.home_of(prefix.broadcast) + 1,
+        )
+
+
+@dataclass
+class ShardPlan:
+    """One computed sharding: boundaries plus each shard's route subset."""
+
+    router: ShardRouter
+    routes_per_shard: List[List[Route]]
+
+    @property
+    def replicated_routes(self) -> int:
+        """Extra copies created by boundary-spanning routes."""
+        total = sum(len(routes) for routes in self.routes_per_shard)
+        distinct = len(
+            {prefix for routes in self.routes_per_shard for prefix, _ in routes}
+        )
+        return total - distinct
+
+
+def plan_shards(
+    routes: Sequence[Route],
+    shard_count: int,
+    mode: CompressionMode = CompressionMode.DONT_CARE,
+) -> ShardPlan:
+    """Split a routing table into ``shard_count`` range shards.
+
+    Boundaries are derived from the compressed table (disjoint, so the
+    even split is exact); the *raw* routes are what each shard receives —
+    every shard then runs its own full CLUE pipeline (compression,
+    partitioning, DRed) over its subset.
+    """
+    if shard_count < 1:
+        raise ValueError("need at least one shard")
+    routes = list(routes)
+    if not routes:
+        raise ValueError("cannot shard an empty routing table")
+    if shard_count == 1:
+        return ShardPlan(ShardRouter([0]), [routes])
+    compressed = sorted(
+        compress(BinaryTrie.from_routes(routes), mode).items(),
+        key=lambda route: route[0].sort_key(),
+    )
+    if shard_count > len(compressed):
+        raise ValueError(
+            f"{shard_count} shards over {len(compressed)} compressed "
+            f"entries; use fewer shards or a bigger table"
+        )
+    result = even_partition(compressed, shard_count)
+    router = ShardRouter(RangeIndex.from_partition(result).boundaries)
+    routes_per_shard: List[List[Route]] = [[] for _ in range(shard_count)]
+    for route in routes:
+        for shard in router.shards_covering(route[0]):
+            routes_per_shard[shard].append(route)
+    for shard, subset in enumerate(routes_per_shard):
+        if not subset:
+            raise ValueError(
+                f"shard {shard} received no routes; the even partition "
+                f"should make this impossible"
+            )
+    return ShardPlan(router, routes_per_shard)

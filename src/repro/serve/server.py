@@ -1,0 +1,342 @@
+"""The asyncio serving plane: lookups and durable updates over TCP.
+
+One event loop owns every shard (python's GIL would serialise the CPU
+work anyway; a single loop keeps the update path deterministic, which
+the crash-consistency contract needs).  Each connection gets a bounded
+inflight window: requests beyond it are answered ``MSG_BUSY`` instead of
+queueing without limit — the same shed-don't-stall philosophy as the
+PR 1 update-storm backpressure, applied one layer up.  Responses always
+leave in request order, BUSY included, so a pipelining client can match
+them positionally.
+
+Graceful drain (SIGTERM or an admin DRAIN request):
+
+1. stop accepting connections;
+2. answer BUSY to newly arriving data-plane requests, finish everything
+   already admitted to a window, and read each connection to EOF (a
+   grace period bounds how long a silent client can hold the process);
+3. flush every shard — queued updates, deferred storm diffs, a final
+   checkpoint, journal close;
+4. exit 0.
+
+Nothing admitted is dropped: every request is acked or explicitly
+refused, which the serve-smoke CI job asserts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.serve import protocol
+from repro.serve.protocol import Frame, ProtocolError
+from repro.serve.shard import ShardSet
+from repro.serve.stats import ServeStats
+
+
+@dataclass
+class ServeConfig:
+    """Network-layer knobs (the CLUE knobs live in :class:`SystemConfig`)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Unanswered data-plane requests one connection may have queued;
+    #: the next one is answered BUSY ("window").
+    inflight_window: int = 8
+    #: Seconds drain waits for clients to close before force-closing.
+    drain_grace: float = 5.0
+    #: Scheduler pump budget per update batch (None = the batch size);
+    #: small budgets let the queue back up, holding storm mode open.
+    pump_budget: Optional[int] = None
+    #: File to write the bound port to (ephemeral-port discovery).
+    port_file: Optional[str] = None
+
+
+class ClueServer:
+    """Serves one :class:`ShardSet` until told to drain."""
+
+    def __init__(self, shards: ShardSet, config: Optional[ServeConfig] = None):
+        self.shards = shards
+        self.config = config or ServeConfig()
+        self.stats = ServeStats()
+        self.draining = False
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._stopped: Optional[asyncio.Event] = None
+        self._shutdown_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self, install_signal_handlers: bool = True) -> None:
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.port_file:
+            with open(self.config.port_file, "w", encoding="ascii") as handle:
+                handle.write(f"{self.port}\n")
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self._request_shutdown)
+                except NotImplementedError:  # pragma: no cover - non-POSIX
+                    pass
+
+    def _request_shutdown(self) -> None:
+        if self._shutdown_task is None:
+            self._shutdown_task = asyncio.get_running_loop().create_task(
+                self.shutdown()
+            )
+
+    async def shutdown(self) -> None:
+        """Graceful drain; idempotent."""
+        if self.draining:
+            return
+        self.draining = True
+        assert self._server is not None and self._stopped is not None
+        self._server.close()
+        await self._server.wait_closed()
+        if self._connections:
+            _done, pending = await asyncio.wait(
+                set(self._connections), timeout=self.config.drain_grace
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self.shards.drain()
+        self._stopped.set()
+
+    async def run(self, install_signal_handlers: bool = True) -> int:
+        """Start, serve until drained, return the process exit code."""
+        await self.start(install_signal_handlers=install_signal_handlers)
+        assert self._stopped is not None
+        await self._stopped.wait()
+        return 0
+
+    async def wait_stopped(self) -> None:
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        self.stats.connections_total += 1
+        self.stats.connections_active += 1
+        window = self.config.inflight_window
+        # The queue carries (frame, busy_reason) in arrival order; the
+        # writer coroutine answers strictly in that order.  Its bound is
+        # above the window so BUSY verdicts never stall the reader, yet
+        # a client that stops reading responses still hits TCP
+        # backpressure here instead of growing an unbounded buffer.
+        queue: asyncio.Queue = asyncio.Queue(maxsize=window * 4 + 8)
+        state = {"inflight": 0, "dead": False}
+        responder = asyncio.create_task(self._respond_loop(writer, queue, state))
+        try:
+            while not state["dead"]:
+                try:
+                    frame = await protocol.read_frame_async(reader)
+                except (ProtocolError, ConnectionError, OSError):
+                    self.stats.protocol_errors += 1
+                    break
+                if frame is None:
+                    break
+                busy_reason = None
+                if frame.type in (protocol.MSG_LOOKUP, protocol.MSG_UPDATE):
+                    if self.draining:
+                        busy_reason = "draining"
+                    elif state["inflight"] >= window:
+                        busy_reason = "window"
+                    else:
+                        state["inflight"] += 1
+                await queue.put((frame, busy_reason))
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await queue.put(None)
+            try:
+                await responder
+            except asyncio.CancelledError:
+                pass
+            self.stats.connections_active -= 1
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond_loop(self, writer, queue, state: Dict) -> None:
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            frame, busy_reason = item
+            if state["dead"]:
+                continue  # keep consuming so the reader never blocks
+            if busy_reason is not None:
+                self.stats.busy_responses += 1
+                response = protocol.encode_frame(
+                    protocol.MSG_BUSY,
+                    frame.request_id,
+                    protocol.encode_text(busy_reason),
+                )
+            else:
+                response = self._dispatch(frame)
+                if frame.type in (protocol.MSG_LOOKUP, protocol.MSG_UPDATE):
+                    state["inflight"] -= 1
+            writer.write(response)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                state["dead"] = True
+
+    # -- request dispatch (synchronous on purpose) ----------------------
+
+    def _dispatch(self, frame: Frame) -> bytes:
+        self.stats.requests_total += 1
+        try:
+            if frame.type == protocol.MSG_LOOKUP:
+                return self._do_lookup(frame)
+            if frame.type == protocol.MSG_UPDATE:
+                return self._do_update(frame)
+            self.stats.admin_requests += 1
+            if frame.type == protocol.MSG_STATS:
+                return self._admin_ok(frame, self._stats_snapshot())
+            if frame.type == protocol.MSG_HEALTH:
+                return self._admin_ok(frame, self._health_snapshot())
+            if frame.type == protocol.MSG_CHECKPOINT:
+                return self._do_checkpoint(frame)
+            if frame.type == protocol.MSG_FINGERPRINT:
+                return self._admin_ok(
+                    frame,
+                    {
+                        "fingerprint": self.shards.fingerprint(),
+                        "shards": self.shards.shard_fingerprints(),
+                    },
+                )
+            if frame.type == protocol.MSG_DRAIN:
+                self._request_shutdown()
+                return self._admin_ok(frame, {"draining": True})
+            return self._error(frame, f"unknown request type {frame.type:#x}")
+        except ProtocolError as exc:
+            self.stats.protocol_errors += 1
+            return self._error(frame, str(exc))
+
+    def _do_lookup(self, frame: Frame) -> bytes:
+        addresses = protocol.decode_addresses(frame.payload)
+        self.stats.lookup_requests += 1
+        self.stats.lookups_total += len(addresses)
+        hops = self.shards.lookup(addresses)
+        return protocol.encode_frame(
+            protocol.MSG_LOOKUP_OK, frame.request_id, protocol.encode_hops(hops)
+        )
+
+    def _do_update(self, frame: Frame) -> bytes:
+        messages = protocol.decode_updates(frame.payload)
+        self.stats.update_requests += 1
+        self.stats.updates_total += len(messages)
+        ack = self.shards.update(messages, self.config.pump_budget)
+        self.stats.updates_accepted += ack.accepted
+        self.stats.updates_shed += ack.shed
+        return protocol.encode_frame(
+            protocol.MSG_UPDATE_OK,
+            frame.request_id,
+            protocol.encode_update_ack(ack),
+        )
+
+    def _do_checkpoint(self, frame: Frame) -> bytes:
+        if not self.shards.durable:
+            return self._error(frame, "server runs without a journal")
+        return self._admin_ok(frame, {"checkpoints": self.shards.checkpoint()})
+
+    def _stats_snapshot(self) -> Dict[str, object]:
+        return {
+            "serve": self.stats.as_dict(),
+            "shards": self.shards.stats(),
+            "draining": self.draining,
+        }
+
+    def _health_snapshot(self) -> Dict[str, object]:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "shards": len(self.shards.workers),
+            "durable": self.shards.durable,
+            "port": self.port,
+        }
+
+    @staticmethod
+    def _admin_ok(frame: Frame, data: Dict[str, object]) -> bytes:
+        return protocol.encode_frame(
+            protocol.MSG_ADMIN_OK, frame.request_id, protocol.encode_json(data)
+        )
+
+    @staticmethod
+    def _error(frame: Frame, message: str) -> bytes:
+        return protocol.encode_frame(
+            protocol.MSG_ERROR, frame.request_id, protocol.encode_text(message)
+        )
+
+
+class ServerThread:
+    """A :class:`ClueServer` on a background thread (tests and benches).
+
+    The asyncio loop lives entirely on the thread; :meth:`start` blocks
+    until the port is bound, :meth:`stop` runs the same graceful drain
+    SIGTERM would and joins the thread.
+    """
+
+    def __init__(self, shards: ShardSet, config: Optional[ServeConfig] = None):
+        self.server = ClueServer(shards, config)
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.exit_code: Optional[int] = None
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self.server.start(install_signal_handlers=False)
+        self._ready.set()
+        await self.server.wait_stopped()
+        self.exit_code = 0
+
+    def start(self) -> int:
+        """Start serving; returns the bound port."""
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread failed to start")
+        assert self.server.port is not None
+        return self.server.port
+
+    def stop(self, timeout: float = 30.0) -> int:
+        """Graceful drain, then join; returns the exit code (0)."""
+        assert self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self._loop
+        )
+        future.result(timeout=timeout)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread failed to stop")
+        assert self.exit_code is not None
+        return self.exit_code
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if self._thread.is_alive():
+            self.stop()

@@ -1,0 +1,293 @@
+"""Shard workers: one :class:`ClueSystem` per address-range shard.
+
+A :class:`ShardSet` is the serving plane's whole forwarding state — the
+routing of batches to shards, the per-shard CLUE systems, and (in
+durable mode) one :class:`PersistenceManager` per shard journaling into
+``<dir>/shard-<i>``.  It is deliberately synchronous and deterministic:
+the network server calls into it from a single event loop, and the
+crash-drill reference run calls the *same* methods with the same batches
+— byte-identical state fingerprints on both sides come from sharing this
+code path, not from careful bookkeeping in two places.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import SystemConfig
+from repro.core.system import ClueSystem
+from repro.net.prefix import Prefix
+from repro.persist.manager import PersistenceManager
+from repro.serve.protocol import UpdateAck
+from repro.serve.router import ShardRouter, plan_shards
+from repro.workload.updategen import UpdateMessage
+
+Route = Tuple[Prefix, int]
+PathLike = Union[str, Path]
+
+#: Metadata file written next to the per-shard state directories.
+META_FILE = "serve.json"
+META_VERSION = 1
+
+
+class ShardWorker:
+    """One shard: a CLUE system plus its optional durability manager."""
+
+    def __init__(
+        self,
+        index: int,
+        system: ClueSystem,
+        manager: Optional[PersistenceManager] = None,
+    ) -> None:
+        self.index = index
+        self.system = system
+        self.manager = manager
+
+    @property
+    def durable(self) -> bool:
+        return self.manager is not None
+
+    def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        return self.system.process_lookups(addresses)
+
+    def update_batch(
+        self,
+        messages: Sequence[UpdateMessage],
+        pump_budget: Optional[int] = None,
+    ) -> UpdateAck:
+        """Offer a batch through the backpressured path; pump once.
+
+        Durable shards group-commit (journal + single fsync) before
+        returning, so the resulting ack may be forwarded to the client
+        as-is.  The pump budget defaults to the batch size; a smaller
+        budget (``--pump-budget``) lets the queue back up — that is how
+        the crash drill holds the scheduler in storm mode.
+        """
+        messages = list(messages)
+        if self.manager is not None:
+            accepted, shed, applied = self.manager.commit_batch(
+                messages, budget=pump_budget
+            )
+            return UpdateAck(accepted, shed, applied, durable=True)
+        accepted = 0
+        for message in messages:
+            if self.system.offer_update(message):
+                accepted += 1
+        budget = pump_budget if pump_budget is not None else max(1, len(messages))
+        applied = self.system.pump_updates(budget)
+        return UpdateAck(accepted, len(messages) - accepted, applied, False)
+
+    def checkpoint(self) -> Optional[str]:
+        if self.manager is None:
+            return None
+        return str(self.manager.checkpoint())
+
+    def report_dict(self) -> Dict[str, object]:
+        report = self.system.report().as_dict()
+        report["shard"] = self.index
+        report["durable"] = self.durable
+        return report
+
+    def drain(self) -> int:
+        """Flush everything queued or deferred; durable shards also
+        checkpoint and close (part of graceful shutdown)."""
+        if self.manager is not None:
+            applied = self.manager.drain_updates()
+            self.manager.checkpoint()
+            self.manager.close()
+            return applied
+        return self.system.drain_updates()
+
+
+class ShardSet:
+    """All shards of one serving instance, plus the router between them."""
+
+    def __init__(self, router: ShardRouter, workers: List[ShardWorker]) -> None:
+        if len(workers) != router.shard_count:
+            raise ValueError(
+                f"{len(workers)} workers for {router.shard_count} shards"
+            )
+        self.router = router
+        self.workers = workers
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        routes: Sequence[Route],
+        shard_count: int = 1,
+        config: Optional[SystemConfig] = None,
+        journal_dir: Optional[PathLike] = None,
+        checkpoint_every: int = 0,
+        sync_interval: int = 64,
+    ) -> "ShardSet":
+        """Shard a routing table and build one CLUE system per shard.
+
+        With ``journal_dir`` each shard journals into its own
+        ``shard-<i>`` subdirectory and a ``serve.json`` metadata file
+        records the sharding so :meth:`restore` can rebuild the same
+        topology without the original table.
+        """
+        config = config or SystemConfig()
+        plan = plan_shards(routes, shard_count, mode=config.compression_mode)
+        workers = []
+        for index, subset in enumerate(plan.routes_per_shard):
+            system = ClueSystem(subset, config)
+            manager = None
+            if journal_dir is not None:
+                manager = PersistenceManager(
+                    system,
+                    Path(journal_dir) / f"shard-{index}",
+                    checkpoint_every=checkpoint_every,
+                    sync_interval=sync_interval,
+                )
+            workers.append(ShardWorker(index, system, manager))
+        shard_set = cls(plan.router, workers)
+        if journal_dir is not None:
+            shard_set._write_meta(Path(journal_dir))
+        return shard_set
+
+    def _write_meta(self, directory: Path) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "version": META_VERSION,
+            "shards": len(self.workers),
+            "boundaries": self.router.boundaries,
+        }
+        (directory / META_FILE).write_text(
+            json.dumps(meta, sort_keys=True), encoding="ascii"
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        journal_dir: PathLike,
+        config: Optional[SystemConfig] = None,
+        checkpoint_every: int = 0,
+        sync_interval: int = 64,
+    ) -> Tuple["ShardSet", List[object]]:
+        """Rebuild every shard from its journal + snapshots.
+
+        Returns ``(shard_set, recovery_reports)``; shard topology comes
+        from ``serve.json``, per-shard state from the usual snapshot +
+        journal-replay recovery of :class:`PersistenceManager`.
+        """
+        directory = Path(journal_dir)
+        meta_path = directory / META_FILE
+        if not meta_path.is_file():
+            raise ValueError(f"no {META_FILE} under {directory}")
+        try:
+            meta = json.loads(meta_path.read_text(encoding="ascii"))
+            version = int(meta["version"])
+            shard_count = int(meta["shards"])
+            boundaries = [int(b) for b in meta["boundaries"]]
+        except (KeyError, TypeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"malformed {meta_path}: {exc!r}") from exc
+        if version != META_VERSION:
+            raise ValueError(
+                f"{meta_path} is v{version}; this build reads v{META_VERSION}"
+            )
+        workers = []
+        reports = []
+        for index in range(shard_count):
+            manager, report = PersistenceManager.restore(
+                directory / f"shard-{index}",
+                config=config,
+                checkpoint_every=checkpoint_every,
+                sync_interval=sync_interval,
+            )
+            workers.append(ShardWorker(index, manager.system, manager))
+            reports.append(report)
+        return cls(ShardRouter(boundaries), workers), reports
+
+    # -- data plane -----------------------------------------------------
+
+    def lookup(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        """Answer one batch, routing each address to its home shard.
+
+        Results come back in request order regardless of how the batch
+        scattered over shards.
+        """
+        if len(self.workers) == 1:
+            return self.workers[0].lookup_batch(addresses)
+        shard_of = self.router.shard_of
+        buckets: List[List[int]] = [[] for _ in self.workers]
+        positions: List[List[int]] = [[] for _ in self.workers]
+        for position, address in enumerate(addresses):
+            shard = shard_of(address)
+            buckets[shard].append(address)
+            positions[shard].append(position)
+        results: List[Optional[int]] = [None] * len(addresses)
+        for shard, worker in enumerate(self.workers):
+            if not buckets[shard]:
+                continue
+            for position, hop in zip(
+                positions[shard], worker.lookup_batch(buckets[shard])
+            ):
+                results[position] = hop
+        return results
+
+    # -- control plane --------------------------------------------------
+
+    def update(
+        self,
+        messages: Sequence[UpdateMessage],
+        pump_budget: Optional[int] = None,
+    ) -> UpdateAck:
+        """Route one update batch to the shards each prefix overlaps.
+
+        Shards are visited in index order with each shard's sub-batch in
+        arrival order — a deterministic function of the batch, which the
+        crash drill relies on.  A boundary-spanning prefix is delivered
+        to every covering shard, so the aggregated counters are
+        per-shard deliveries (same convention as the unsharded system's
+        chip replication).
+        """
+        if len(self.workers) == 1:
+            return self.workers[0].update_batch(messages, pump_budget)
+        batches: List[List[UpdateMessage]] = [[] for _ in self.workers]
+        for message in messages:
+            for shard in self.router.shards_covering(message.prefix):
+                batches[shard].append(message)
+        accepted = shed = applied = 0
+        durable = True
+        for shard, worker in enumerate(self.workers):
+            if not batches[shard]:
+                continue
+            ack = worker.update_batch(batches[shard], pump_budget)
+            accepted += ack.accepted
+            shed += ack.shed
+            applied += ack.applied
+            durable = durable and ack.durable
+        return UpdateAck(accepted, shed, applied, durable)
+
+    # -- admin ----------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        return all(worker.durable for worker in self.workers)
+
+    def shard_fingerprints(self) -> List[str]:
+        return [worker.system.state_fingerprint() for worker in self.workers]
+
+    def fingerprint(self) -> str:
+        """One digest over every shard's state fingerprint, in order."""
+        digest = hashlib.sha256()
+        for fingerprint in self.shard_fingerprints():
+            digest.update(fingerprint.encode("ascii"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def checkpoint(self) -> List[Optional[str]]:
+        return [worker.checkpoint() for worker in self.workers]
+
+    def stats(self) -> List[Dict[str, object]]:
+        return [worker.report_dict() for worker in self.workers]
+
+    def drain(self) -> int:
+        """Flush every shard (queued updates, deferred diffs, journals)."""
+        return sum(worker.drain() for worker in self.workers)

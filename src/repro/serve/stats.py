@@ -1,0 +1,33 @@
+"""Serving-plane counters (the layer above :class:`EngineStats`).
+
+These count *requests*, not packets: the engine's own statistics keep
+accumulating inside each shard's :class:`ClueSystem` and travel in the
+same admin STATS snapshot, so a client can reconcile the two layers
+(``lookups_total`` here vs ``completions`` down in the engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+
+@dataclass
+class ServeStats:
+    """Counters accumulated by one :class:`~repro.serve.server.ClueServer`."""
+
+    connections_total: int = 0
+    connections_active: int = 0
+    requests_total: int = 0
+    lookup_requests: int = 0
+    lookups_total: int = 0
+    update_requests: int = 0
+    updates_total: int = 0
+    updates_accepted: int = 0
+    updates_shed: int = 0
+    admin_requests: int = 0
+    busy_responses: int = 0
+    protocol_errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)

@@ -421,3 +421,88 @@ class TestErrorHandling:
         err = capsys.readouterr().err
         assert err.startswith("error: ")
         assert "targets chip 7" in err
+
+
+class TestExitCodeConventions:
+    """Every subcommand: usage errors exit 2, operational failures exit 1."""
+
+    def all_subcommands(self):
+        import argparse
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        action = next(
+            a
+            for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        return sorted(action.choices)
+
+    def test_every_subcommand_rejects_unknown_flags_with_2(self, capsys):
+        commands = self.all_subcommands()
+        assert "serve" in commands and "bench-serve" in commands
+        for command in commands:
+            with pytest.raises(SystemExit) as excinfo:
+                main([command, "--definitely-not-a-real-flag"])
+            assert excinfo.value.code == 2, command
+            capsys.readouterr()
+
+    def test_version_flag_exits_0(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro-clue ")
+
+    def test_serve_without_table_or_restore_exits_2(self, capsys):
+        assert main(["serve"]) == 2
+        assert "error: " in capsys.readouterr().err
+
+    def test_serve_restore_without_journal_exits_2(self, capsys):
+        assert main(["serve", "--restore"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_serve_missing_table_file_exits_2(self, tmp_path, capsys):
+        code = main(["serve", "--table", str(tmp_path / "missing.txt")])
+        assert code == 2
+        assert "error: " in capsys.readouterr().err
+
+    def test_bench_serve_below_floor_exits_1(self, table_file, capsys):
+        code = main(
+            [
+                "bench-serve",
+                "--table",
+                str(table_file),
+                "--batches",
+                "2",
+                "--batch-size",
+                "32",
+                "--floor",
+                "1e12",
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_bench_serve_writes_report(self, table_file, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        code = main(
+            [
+                "bench-serve",
+                "--table",
+                str(table_file),
+                "--batches",
+                "2",
+                "--batch-size",
+                "32",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["lookups"] == 64
+        assert report["busy"] == 0

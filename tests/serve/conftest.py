@@ -1,0 +1,21 @@
+"""Shared fixtures for the serving-plane tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.engine.simulator import EngineConfig
+from repro.workload.ribgen import RibParameters, generate_rib
+
+
+@pytest.fixture(scope="session")
+def serve_rib():
+    """A small table every serve test shares (build cost dominates)."""
+    return generate_rib(3, RibParameters(size=1_000))
+
+
+@pytest.fixture()
+def fast_config():
+    """Fast-backend CLUE settings sized for quick test builds."""
+    return SystemConfig(engine=EngineConfig(lookup_backend="fast"))

@@ -1,0 +1,167 @@
+"""Wire-protocol codecs: frames, payloads, caps and malformed input."""
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.serve import protocol
+from repro.serve.protocol import (
+    Frame,
+    ProtocolError,
+    UpdateAck,
+    decode_addresses,
+    decode_hops,
+    decode_json,
+    decode_text,
+    decode_update_ack,
+    decode_updates,
+    encode_addresses,
+    encode_frame,
+    encode_hops,
+    encode_json,
+    encode_text,
+    encode_update_ack,
+    encode_updates,
+    read_frame_blocking,
+)
+from repro.workload.updategen import UpdateKind, UpdateMessage
+
+
+def roundtrip_blocking(data: bytes):
+    """Push raw bytes through a socketpair and read frames back."""
+    left, right = socket.socketpair()
+    try:
+        left.sendall(data)
+        left.shutdown(socket.SHUT_WR)
+        frames = []
+        while True:
+            frame = read_frame_blocking(right)
+            if frame is None:
+                return frames
+            frames.append(frame)
+    finally:
+        left.close()
+        right.close()
+
+
+class TestFraming:
+    def test_roundtrip_blocking(self):
+        data = encode_frame(protocol.MSG_LOOKUP, 7, b"abc") + encode_frame(
+            protocol.MSG_HEALTH, 8
+        )
+        frames = roundtrip_blocking(data)
+        assert frames == [
+            Frame(protocol.MSG_LOOKUP, 7, b"abc"),
+            Frame(protocol.MSG_HEALTH, 8, b""),
+        ]
+
+    def test_roundtrip_async(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(protocol.MSG_STATS, 42, b"xy"))
+            reader.feed_eof()
+            first = await protocol.read_frame_async(reader)
+            second = await protocol.read_frame_async(reader)
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert first == Frame(protocol.MSG_STATS, 42, b"xy")
+        assert second is None
+
+    def test_async_eof_mid_frame_raises(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(protocol.MSG_STATS, 1, b"full")[:6])
+            reader.feed_eof()
+            return await protocol.read_frame_async(reader)
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(run())
+
+    def test_blocking_eof_mid_frame_raises(self):
+        with pytest.raises(ProtocolError):
+            roundtrip_blocking(encode_frame(protocol.MSG_STATS, 1, b"full")[:6])
+
+    def test_oversized_length_rejected(self):
+        header = struct.pack(
+            "!IBI", protocol.MAX_FRAME_BYTES + 6, protocol.MSG_LOOKUP, 0
+        )
+        with pytest.raises(ProtocolError):
+            roundtrip_blocking(header)
+
+    def test_undersized_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            roundtrip_blocking(struct.pack("!IBI", 4, protocol.MSG_LOOKUP, 0))
+
+    def test_encode_rejects_oversized_payload(self):
+        class HugePayload(bytes):
+            def __len__(self):
+                return protocol.MAX_FRAME_BYTES + 1
+
+        with pytest.raises(ProtocolError):
+            encode_frame(protocol.MSG_LOOKUP, 0, HugePayload())
+
+
+class TestPayloads:
+    def test_addresses_roundtrip(self):
+        addresses = [0, 1, 0xFFFFFFFF, 0x0A000001]
+        assert decode_addresses(encode_addresses(addresses)) == addresses
+        assert decode_addresses(b"") == []
+
+    def test_addresses_misaligned(self):
+        with pytest.raises(ProtocolError):
+            decode_addresses(b"abc")
+
+    def test_hops_roundtrip_with_misses(self):
+        hops = [3, None, 0, 250]
+        assert decode_hops(encode_hops(hops)) == hops
+
+    def test_hops_misaligned(self):
+        with pytest.raises(ProtocolError):
+            decode_hops(b"abcde")
+
+    def test_updates_roundtrip(self):
+        messages = [
+            UpdateMessage(
+                UpdateKind.ANNOUNCE, Prefix.parse("10.1.0.0/16"), 5, 1.25
+            ),
+            UpdateMessage(
+                UpdateKind.WITHDRAW, Prefix.parse("10.1.2.0/24"), None, 2.5
+            ),
+            UpdateMessage(UpdateKind.ANNOUNCE, Prefix.parse("0.0.0.0/0"), 1, 0.0),
+        ]
+        assert decode_updates(encode_updates(messages)) == messages
+
+    def test_updates_bad_kind(self):
+        payload = bytearray(encode_updates([
+            UpdateMessage(UpdateKind.ANNOUNCE, Prefix.parse("1.0.0.0/8"), 1, 0.0)
+        ]))
+        payload[0] = 9
+        with pytest.raises(ProtocolError):
+            decode_updates(bytes(payload))
+
+    def test_updates_bad_prefix(self):
+        payload = struct.pack("!BIBid", 0, 0x0A000001, 8, 1, 0.0)
+        with pytest.raises(ProtocolError):  # host bits below the mask
+            decode_updates(payload)
+
+    def test_updates_misaligned(self):
+        with pytest.raises(ProtocolError):
+            decode_updates(b"\x00" * 17)
+
+    def test_update_ack_roundtrip(self):
+        ack = UpdateAck(accepted=7, shed=2, applied=5, durable=True)
+        assert decode_update_ack(encode_update_ack(ack)) == ack
+        with pytest.raises(ProtocolError):
+            decode_update_ack(b"\x00" * 5)
+
+    def test_json_and_text(self):
+        assert decode_json(encode_json({"a": [1, 2]})) == {"a": [1, 2]}
+        assert decode_text(encode_text("drainage")) == "drainage"
+        with pytest.raises(ProtocolError):
+            decode_json(b"{nope")
+        with pytest.raises(ProtocolError):
+            decode_text(b"\xff\xfe")

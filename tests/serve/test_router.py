@@ -1,0 +1,55 @@
+"""Shard planning: range boundaries, replication, LPM equivalence."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.serve.router import plan_shards
+from repro.trie.trie import BinaryTrie
+from repro.workload.trafficgen import TrafficGenerator
+
+
+class TestPlanShards:
+    def test_single_shard_takes_everything(self, serve_rib):
+        plan = plan_shards(serve_rib, 1)
+        assert plan.router.boundaries == [0]
+        assert plan.routes_per_shard == [list(serve_rib)]
+
+    def test_boundaries_cover_address_zero(self, serve_rib):
+        plan = plan_shards(serve_rib, 4)
+        assert plan.router.boundaries[0] == 0
+        assert plan.router.shard_count == 4
+        assert plan.router.boundaries == sorted(plan.router.boundaries)
+
+    def test_every_route_lands_in_each_covering_shard(self, serve_rib):
+        plan = plan_shards(serve_rib, 4)
+        for prefix, hop in serve_rib:
+            covering = plan.router.shards_covering(prefix)
+            for shard in range(plan.router.shard_count):
+                present = (prefix, hop) in plan.routes_per_shard[shard]
+                assert present == (shard in covering)
+
+    def test_default_route_replicates_everywhere(self, serve_rib):
+        routes = list(serve_rib) + [(Prefix.parse("0.0.0.0/0"), 99)]
+        plan = plan_shards(routes, 3)
+        for subset in plan.routes_per_shard:
+            assert (Prefix.parse("0.0.0.0/0"), 99) in subset
+        assert plan.replicated_routes >= 2
+
+    def test_shard_local_lpm_equals_global_lpm(self, serve_rib):
+        """The core invariant: home-shard longest match == global match."""
+        plan = plan_shards(serve_rib, 4)
+        reference = BinaryTrie.from_routes(serve_rib)
+        tries = [
+            BinaryTrie.from_routes(subset) for subset in plan.routes_per_shard
+        ]
+        for address in TrafficGenerator(serve_rib, seed=7).take(2_000):
+            home = plan.router.shard_of(address)
+            assert tries[home].lookup(address) == reference.lookup(address)
+
+    def test_rejects_bad_inputs(self, serve_rib):
+        with pytest.raises(ValueError):
+            plan_shards(serve_rib, 0)
+        with pytest.raises(ValueError):
+            plan_shards([], 1)
+        with pytest.raises(ValueError):
+            plan_shards(serve_rib[:4], 10_000)

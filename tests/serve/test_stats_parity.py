@@ -1,0 +1,89 @@
+"""Stats round-trips and the serve-vs-in-process fingerprint pin.
+
+The regression pin is the contract the admin endpoint rests on: the
+numbers a client reads over the wire are byte-for-byte the numbers the
+in-process system would report for the same workload — serialization
+loses nothing and the serving layer perturbs nothing.
+"""
+
+import json
+
+import pytest
+
+from repro.core.metrics import RecoveryStats
+from repro.core.system import ClueSystem
+from repro.engine.stats import EngineStats
+from repro.serve import ServeClient, ServeConfig, ServerThread, ShardSet
+from repro.workload.trafficgen import TrafficGenerator
+
+
+class TestRoundTrips:
+    def test_engine_stats_json_round_trip(self, serve_rib, fast_config):
+        system = ClueSystem(serve_rib, fast_config)
+        system.process_lookups(
+            TrafficGenerator(serve_rib, seed=29).take(512)
+        )
+        stats = system.engine.stats
+        assert stats.completions == 512
+
+        wire = json.dumps(stats.as_dict())
+        restored = EngineStats.from_dict(json.loads(wire))
+        assert restored == stats
+        assert restored.fingerprint() == stats.fingerprint()
+
+    def test_engine_stats_from_dict_rejects_unknown_keys(self):
+        data = EngineStats().as_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError):
+            EngineStats.from_dict(data)
+
+    def test_recovery_stats_round_trip(self):
+        stats = RecoveryStats(
+            journal_records=9, snapshots_written=2, replayed_updates=7
+        )
+        restored = RecoveryStats.from_dict(
+            json.loads(json.dumps(stats.as_dict()))
+        )
+        assert restored == stats
+        with pytest.raises(ValueError):
+            RecoveryStats.from_dict({"nope": 1})
+
+    def test_system_report_as_dict_is_json_ready(self, serve_rib, fast_config):
+        system = ClueSystem(serve_rib, fast_config)
+        system.process_lookups(TrafficGenerator(serve_rib, seed=31).take(64))
+        report = system.report().as_dict()
+        json.dumps(report)  # must not raise
+        assert report["compression"]["original_entries"] == len(serve_rib)
+        assert report["compression"]["mode"] == "DONT_CARE"
+        assert report["engine_stats"]["completions"] == 64
+        assert len(report["tcam_entries_per_chip"]) == (
+            fast_config.engine.chip_count
+        )
+
+
+class TestServeParityPin:
+    def test_stats_fingerprint_identical_serve_vs_inprocess(
+        self, serve_rib, fast_config
+    ):
+        """Same workload, two transports, one fingerprint per shard."""
+        batches = [
+            TrafficGenerator(serve_rib, seed=37).take(256) for _ in range(4)
+        ]
+
+        served = ShardSet.build(serve_rib, shard_count=2, config=fast_config)
+        with ServerThread(served, ServeConfig()) as thread:
+            with ServeClient("127.0.0.1", thread.server.port) as conn:
+                for batch in batches:
+                    conn.lookup(batch)
+                over_wire = conn.stats()["shards"]
+
+        local = ShardSet.build(serve_rib, shard_count=2, config=fast_config)
+        for batch in batches:
+            local.lookup(batch)
+
+        assert len(over_wire) == len(local.workers)
+        for shard, worker in zip(over_wire, local.workers):
+            wire_stats = EngineStats.from_dict(shard["engine_stats"])
+            assert wire_stats.fingerprint() == (
+                worker.system.engine.stats.fingerprint()
+            )
