@@ -27,6 +27,7 @@ import argparse
 import asyncio
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.summarize import format_percent, format_table
@@ -514,18 +515,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the network serving plane until SIGTERM drains it."""
     from repro.serve import ClueServer, ServeConfig
 
-    if args.faults and args.journal:
-        schedule = load_faults(args.faults).validate(args.chips)
-        if schedule.has_storms:
+    ship_fingerprints = not args.no_ship_fingerprints
+    if args.backup:
+        if args.table or args.restore or args.faults or args.replicate_to:
             raise ValueError(
-                "--faults schedules with update storms bypass the journal; "
-                "drop --journal or remove the storm events"
+                "--backup runs a pure replica: it takes no --table, "
+                "--restore, --faults or --replicate-to"
             )
-    shards = _build_shard_set(args)
-    if args.faults:
-        schedule = load_faults(args.faults).validate(args.chips)
-        for worker in shards.workers:
-            worker.system.attach_faults(schedule)
+        shards = None
+    else:
+        schedule = None
+        if args.faults:
+            schedule = load_faults(args.faults).validate(args.chips)
+            if schedule.has_process_kills:
+                raise ValueError(
+                    "--faults schedules with kill-primary/kill-backup "
+                    "events belong to 'repro-clue chaos'; strip them with "
+                    "FaultSchedule.engine_only() first"
+                )
+            if args.journal and schedule.has_storms:
+                raise ValueError(
+                    "--faults schedules with update storms bypass the "
+                    "journal; drop --journal or remove the storm events"
+                )
+            if args.replicate_to and ship_fingerprints:
+                # Chip faults mutate state outside the journal, so the
+                # replicas legitimately diverge; keep replicating, stop
+                # comparing fingerprints in-protocol.
+                ship_fingerprints = False
+        if args.replicate_to and not args.journal:
+            raise ValueError(
+                "--replicate-to ships the journal, so it needs --journal"
+            )
+        shards = _build_shard_set(args)
+        if schedule is not None:
+            for worker in shards.workers:
+                worker.system.attach_faults(schedule)
     server = ClueServer(
         shards,
         ServeConfig(
@@ -535,15 +560,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             drain_grace=args.drain_grace,
             pump_budget=args.pump_budget,
             port_file=args.port_file,
+            replicate_to=args.replicate_to,
+            ack_mode=args.ack_mode,
+            ship_fingerprints=ship_fingerprints,
+            backup_dir=args.backup,
+            auto_promote=not args.no_auto_promote,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            backup_checkpoint_every=args.checkpoint_every,
+            backup_sync_interval=args.sync_every,
         ),
     )
 
     async def _run() -> int:
         await server.start()
+        if shards is None:
+            detail = f"backup replica under {args.backup}"
+        else:
+            detail = (
+                f"{len(shards.workers)} shard(s), "
+                f"{'durable' if shards.durable else 'in-memory'}"
+            )
+            if args.replicate_to:
+                detail += f", replicating to {args.replicate_to}"
         print(
-            f"serving on {args.host}:{server.port} "
-            f"({len(shards.workers)} shard(s), "
-            f"{'durable' if shards.durable else 'in-memory'}); "
+            f"serving on {args.host}:{server.port} ({detail}); "
             f"SIGTERM drains",
             flush=True,
         )
@@ -553,8 +594,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return asyncio.run(_run())
 
 
+def _cmd_failover(args: argparse.Namespace) -> int:
+    """Tell a backup replica to promote itself right now."""
+    from repro.serve import ServeClient
+
+    with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+        result = client.failover()
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0 if result.get("promoted") or result.get("role") == "primary" else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the cluster chaos campaign against real server processes."""
+    from repro.serve.chaos import ChaosConfig, run_campaign
+
+    config = ChaosConfig(
+        quick=args.quick,
+        seed=args.seed,
+        workdir=args.workdir,
+    )
+    results = run_campaign(config, scenarios=args.scenario or None)
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as handle:
+            json.dump(
+                [result.as_dict() for result in results],
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    failed = [result for result in results if not result.ok]
+    print(
+        f"chaos: {len(results) - len(failed)}/{len(results)} scenarios ok"
+    )
+    return 1 if failed else 0
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     """Loopback throughput/latency of the serving plane (BENCH_serve)."""
+    import contextlib
+    import tempfile
+
     from repro.serve import (
         ServeConfig,
         ServerThread,
@@ -573,21 +654,59 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         ),
         update_queue_capacity=args.update_queue,
     )
-    shards = ShardSet.build(routes, shard_count=args.shards, config=config)
     batches = generate_batches(
         routes, args.batches, args.batch_size, seed=args.seed
     )
-    with ServerThread(
-        shards, ServeConfig(inflight_window=max(args.window, 1))
-    ) as thread:
+    with contextlib.ExitStack() as stack:
+        backup_port = None
+        if args.replicate:
+            # A replicated bench measures the whole HA write path: a
+            # durable primary journaling to disk and shipping to a live
+            # backup replica, acking per --ack-mode.
+            workdir = Path(
+                stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="bench-serve-")
+                )
+            )
+            backup = stack.enter_context(
+                ServerThread(
+                    None,
+                    ServeConfig(
+                        backup_dir=str(workdir / "backup"),
+                        auto_promote=False,
+                    ),
+                )
+            )
+            backup_port = backup.server.port
+            shards = ShardSet.build(
+                routes,
+                shard_count=args.shards,
+                config=config,
+                journal_dir=workdir / "journal",
+            )
+            serve_config = ServeConfig(
+                inflight_window=max(args.window, 1),
+                replicate_to=f"127.0.0.1:{backup_port}",
+                ack_mode=args.ack_mode,
+            )
+        else:
+            shards = ShardSet.build(
+                routes, shard_count=args.shards, config=config
+            )
+            serve_config = ServeConfig(inflight_window=max(args.window, 1))
+        thread = stack.enter_context(ServerThread(shards, serve_config))
         report = run_load(
             "127.0.0.1", thread.server.port, batches, window=args.window
         )
         thread.stop()
+    mode = (
+        f"replicated ({args.ack_mode})" if args.replicate else "standalone"
+    )
     print(
         format_table(
             ["metric", "value"],
             [
+                ("mode", mode),
                 ("requests", report.requests),
                 ("lookups", report.lookups),
                 ("busy", report.busy),
@@ -891,7 +1010,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_durability.add_argument("--checkpoint-every", type=int, default=0)
     serve_durability.add_argument("--sync-every", type=int, default=64)
+    serve_ha = serve.add_argument_group("high availability")
+    serve_ha.add_argument(
+        "--replicate-to",
+        metavar="HOST:PORT",
+        help="ship committed journal records to a backup replica "
+        "(requires --journal)",
+    )
+    serve_ha.add_argument(
+        "--ack-mode",
+        choices=("primary", "quorum"),
+        default="primary",
+        help="primary: ack after local fsync, ship async; quorum: ack "
+        "only after the backup has applied and synced the batch",
+    )
+    serve_ha.add_argument(
+        "--no-ship-fingerprints",
+        action="store_true",
+        help="skip in-protocol fingerprint comparison (implied by "
+        "--faults, whose chip faults diverge state outside the journal)",
+    )
+    serve_ha.add_argument(
+        "--backup",
+        metavar="DIR",
+        help="run as a backup replica storing epochs under DIR "
+        "(instead of serving a table)",
+    )
+    serve_ha.add_argument(
+        "--no-auto-promote",
+        action="store_true",
+        help="backup only promotes on an explicit 'failover' command",
+    )
+    serve_ha.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="seconds between primary->backup heartbeats",
+    )
+    serve_ha.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=5.0,
+        help="backup promotes after this long without hearing the primary",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    failover = commands.add_parser(
+        "failover",
+        help="tell a backup replica to promote itself to primary",
+    )
+    failover.add_argument("--host", default="127.0.0.1")
+    failover.add_argument("--port", type=int, required=True)
+    failover.add_argument("--timeout", type=float, default=30.0)
+    failover.set_defaults(handler=_cmd_failover)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="kill-and-verify campaign against real replica processes",
+    )
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: smaller RIB, fewer batches",
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--workdir",
+        help="keep scenario state under this directory (default: a "
+        "temporary directory, removed afterwards)",
+    )
+    chaos.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    chaos.add_argument("-o", "--output", help="write the JSON verdicts")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     bench_serve = commands.add_parser(
         "bench-serve",
@@ -912,6 +1107,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=LOOKUP_BACKENDS, default="fast"
     )
     bench_serve.add_argument("--seed", type=int, default=1)
+    bench_serve.add_argument(
+        "--replicate",
+        action="store_true",
+        help="journal to a temp dir and ship to a live backup replica",
+    )
+    bench_serve.add_argument(
+        "--ack-mode",
+        choices=("primary", "quorum"),
+        default="primary",
+        help="with --replicate: when the primary acks updates",
+    )
     bench_serve.add_argument(
         "--floor",
         type=float,

@@ -585,6 +585,37 @@ class ClueSystem:
             }
         )
 
+    def control_fingerprint(self) -> str:
+        """SHA-256 over the state the *journal alone* determines.
+
+        The replication watermark check compares primary and backup after
+        each shipped batch, but only updates travel in the journal —
+        lookups mutate DRed (LRU order, evictions) on the primary without
+        leaving a record, so the full :meth:`state_fingerprint` diverges
+        between replicas the moment lookup traffic interleaves with
+        shipping.  This digest drops DRed content and covers exactly what
+        replaying the shipped records must reproduce: the compressed
+        table, the partitioning, per-chip TCAM content and liveness, and
+        the scheduler's queue/storm/deferred-diff state.
+        """
+        from repro.persist import codec
+        from repro.persist.snapshot import state_digest
+
+        table = self.pipeline.trie_stage.table
+        chips = [
+            {"table": chip["table"], "alive": chip["alive"]}
+            for chip in self._chip_states()
+        ]
+        return state_digest(
+            {
+                "compressed": codec.encode_routes(table.table.items()),
+                "boundaries": list(self.index.boundaries),
+                "partition_to_chip": list(self.partition_to_chip),
+                "chips": chips,
+                "scheduler": self._scheduler_state(include_stats=False),
+            }
+        )
+
     # -- capture/restore helpers ---------------------------------------
 
     def _config_state(self) -> Dict:

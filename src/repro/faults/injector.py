@@ -103,6 +103,12 @@ class FaultInjector:
             self.engine.inject_stall(event.chip, event.duration)
         elif event.kind is FaultKind.STORM:
             self._storm(event)
+        elif event.kind in (FaultKind.KILL_PRIMARY, FaultKind.KILL_BACKUP):
+            raise ValueError(
+                f"{event.kind.value} is a process-level fault; strip it "
+                f"with FaultSchedule.engine_only() — only the chaos "
+                f"runner may execute it"
+            )
         else:  # pragma: no cover - exhaustive over FaultKind
             raise ValueError(f"unknown fault kind {event.kind!r}")
 

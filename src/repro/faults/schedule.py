@@ -39,6 +39,17 @@ class FaultKind(Enum):
     CORRUPT = "corrupt"
     STALL = "stall"
     STORM = "storm"
+    #: Process-level kills (SIGKILL a whole replica).  These are *cluster*
+    #: faults: the chaos runner interprets them against live server
+    #: processes; the in-engine injector refuses them, and
+    #: :meth:`FaultSchedule.engine_only` strips them before a schedule is
+    #: handed to ``--faults``.
+    KILL_PRIMARY = "kill-primary"
+    KILL_BACKUP = "kill-backup"
+
+
+#: Kinds the chaos runner executes against processes, not the engine.
+PROCESS_KINDS = frozenset({FaultKind.KILL_PRIMARY, FaultKind.KILL_BACKUP})
 
 
 @dataclass(frozen=True)
@@ -117,6 +128,12 @@ class FaultSchedule:
     def storm(self, cycle: int, count: int) -> "FaultSchedule":
         return self.add(FaultEvent(cycle, FaultKind.STORM, count=count))
 
+    def kill_primary(self, cycle: int) -> "FaultSchedule":
+        return self.add(FaultEvent(cycle, FaultKind.KILL_PRIMARY))
+
+    def kill_backup(self, cycle: int) -> "FaultSchedule":
+        return self.add(FaultEvent(cycle, FaultKind.KILL_BACKUP))
+
     # -- introspection ----------------------------------------------------
 
     def __len__(self) -> int:
@@ -137,6 +154,22 @@ class FaultSchedule:
         """
         return any(
             event.kind is FaultKind.STORM for event in self.events
+        )
+
+    @property
+    def has_process_kills(self) -> bool:
+        """True when any event kills a whole replica process."""
+        return any(event.kind in PROCESS_KINDS for event in self.events)
+
+    def process_kills(self) -> List[FaultEvent]:
+        """The process-level events, in cycle order (chaos runner input)."""
+        return [e for e in self.events if e.kind in PROCESS_KINDS]
+
+    def engine_only(self) -> "FaultSchedule":
+        """A copy without process-level events, safe for ``--faults``."""
+        return FaultSchedule(
+            events=[e for e in self.events if e.kind not in PROCESS_KINDS],
+            seed=self.seed,
         )
 
     def chips_touched(self) -> List[int]:

@@ -112,6 +112,9 @@ class PersistenceManager:
             self.directory / SNAPSHOT_DIR, keep=keep_snapshots
         )
         self._ops_since_checkpoint = 0
+        #: In-memory tail of appended records a replication shipper has
+        #: not collected yet (None = shipping disabled).
+        self._ship_log: Optional[List[Tuple[int, str, str]]] = None
         # Storm-exit (and any other non-empty) flushes are journaled as
         # verification markers the moment the scheduler reports them.
         self.system.scheduler.on_flush = self._record_flush
@@ -131,7 +134,9 @@ class PersistenceManager:
     # -- journal-before-apply update path ------------------------------
 
     def _append(self, kind: str, payload: str = "") -> None:
-        self.journal.append(kind, payload)
+        record = self.journal.append(kind, payload)
+        if self._ship_log is not None:
+            self._ship_log.append((record.seq, kind, payload))
         stats = self.system.recovery_stats
         stats.journal_records += 1
         stats.journal_syncs = self.journal.sync_count
@@ -199,6 +204,51 @@ class PersistenceManager:
         applied = self.pump_updates(budget)
         self.sync()
         return accepted, len(messages) - accepted, applied
+
+    # -- journal shipping (replication export) --------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence of the newest journaled record."""
+        return self.journal.last_seq
+
+    def begin_shipping(self) -> int:
+        """Start buffering appended records for a replication shipper.
+
+        Returns the journal sequence a bootstrap snapshot taken *now*
+        covers; every record appended after this call accumulates in an
+        in-memory tail — shipping one batch then costs O(batch), not a
+        re-read of every segment — until :meth:`collect_shipment` drains
+        it.  The journal is synced first so the shipped stream never
+        outruns primary durability.
+        """
+        self.journal.sync()
+        self._ship_log = []
+        return self.journal.last_seq
+
+    def collect_shipment(self) -> List[Tuple[int, str, str]]:
+        """Drain the buffered tail as ``[(seq, kind, payload), ...]``."""
+        if self._ship_log is None:
+            return []
+        batch, self._ship_log = self._ship_log, []
+        return batch
+
+    def end_shipping(self) -> None:
+        """Stop buffering (the shipper detached)."""
+        self._ship_log = None
+
+    def export_since(self, seq: int) -> List[Tuple[int, str, str]]:
+        """Journal records with sequence > ``seq``, read from disk.
+
+        The catch-up path: a shipper that lost its buffer (reconnect)
+        re-reads the suffix the backup is missing.  Records truncated
+        away by a checkpoint are gone — callers needing older history
+        must re-bootstrap from a snapshot instead.
+        """
+        return [
+            (record.seq, record.kind, record.payload)
+            for record in self.journal.records(after_seq=seq)
+        ]
 
     # -- checkpointing --------------------------------------------------
 

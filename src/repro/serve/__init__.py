@@ -5,24 +5,61 @@ TCP service: batched LPM lookups and durable route updates over a
 length-prefixed binary protocol, answered by range-sharded
 :class:`~repro.core.system.ClueSystem` workers with per-connection
 backpressure and SIGTERM-clean graceful drain.  See DESIGN.md §11.
+
+For high availability (DESIGN.md §12) a primary ships its committed
+journal to a :class:`~repro.serve.replicate.BackupReplica`
+(``--replicate-to`` / ``--backup``); clients wrap a
+:class:`~repro.serve.router.ReplicaMap` in an :class:`HAClient` and
+survive a primary kill transparently.  ``repro-clue chaos`` proves it.
 """
 
-from repro.serve.client import ServeClient, ServeClientError, ServerBusyError
+from repro.serve.client import (
+    FailoverError,
+    HAClient,
+    ServeClient,
+    ServeClientError,
+    ServeTimeoutError,
+    ServerBusyError,
+)
 from repro.serve.loadgen import LoadReport, generate_batches, run_load
-from repro.serve.protocol import ProtocolError, UpdateAck
-from repro.serve.router import ShardPlan, ShardRouter, plan_shards
+from repro.serve.protocol import ProtocolError, ReplicateAck, UpdateAck
+from repro.serve.replicate import (
+    BackupReplica,
+    JournalShipper,
+    PromotionReport,
+    ReplicationConfig,
+    ReplicationError,
+)
+from repro.serve.router import (
+    ReplicaEndpoint,
+    ReplicaMap,
+    ShardPlan,
+    ShardRouter,
+    plan_shards,
+)
 from repro.serve.server import ClueServer, ServeConfig, ServerThread
 from repro.serve.shard import ShardSet, ShardWorker
 from repro.serve.stats import ServeStats
 
 __all__ = [
+    "BackupReplica",
     "ClueServer",
+    "FailoverError",
+    "HAClient",
+    "JournalShipper",
     "LoadReport",
+    "PromotionReport",
     "ProtocolError",
+    "ReplicaEndpoint",
+    "ReplicaMap",
+    "ReplicateAck",
+    "ReplicationConfig",
+    "ReplicationError",
     "ServeClient",
     "ServeClientError",
     "ServeConfig",
     "ServeStats",
+    "ServeTimeoutError",
     "ServerBusyError",
     "ServerThread",
     "ShardPlan",

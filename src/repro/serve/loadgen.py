@@ -4,17 +4,28 @@ Drives one pipelined connection with pre-encoded lookup batches and
 reports sustained lookups/sec plus p50/p99 request latency.  Payloads
 are encoded before the clock starts, so the number measures the server
 (framing, shard routing, engine) plus the wire — not the generator.
+
+BUSY answers are counted by reason, because they mean opposite things:
+``window`` is the generator outpacing the server's inflight window (a
+pacing problem — count it, never retry), while ``draining`` and
+``backup`` mean this endpoint will not serve at all.  Given a
+:class:`~repro.serve.router.ReplicaMap`, the generator reacts to the
+second kind by re-resolving the primary and replaying the unanswered
+batches there instead of hammering a server that told it to go away.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.prefix import Prefix
 from repro.serve import protocol
-from repro.serve.client import ServeClient
+from repro.serve.client import HAClient, ServeClient, ServeTimeoutError
+from repro.serve.protocol import ProtocolError
+from repro.serve.router import ReplicaMap
 from repro.workload.trafficgen import TrafficGenerator
 
 Route = Tuple[Prefix, int]
@@ -33,6 +44,15 @@ class LoadReport:
     p99_us: float
     batch_size: int
     window: int
+    #: The two shed reasons, separately: pacing vs placement.
+    busy_window: int = 0
+    busy_draining: int = 0
+    #: BUSY("backup") — landed on a replica that owns no range yet.
+    busy_backup: int = 0
+    #: Times the generator re-resolved the primary and reconnected.
+    failovers: int = 0
+    #: Requests replayed against a new primary after a redirect.
+    retried: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -61,49 +81,100 @@ def run_load(
     port: int,
     batches: Sequence[Sequence[int]],
     window: int = 4,
+    replicas: Optional[ReplicaMap] = None,
 ) -> LoadReport:
     """Send every batch through one pipelined connection and measure.
 
     ``window`` requests ride in flight at once; responses arrive in
-    request order, so latency is measured per request id.  BUSY answers
-    are counted, not retried — with a window at or below the server's
-    inflight window there should be none.
+    request order, so latency is measured per request id.  Without a
+    replica map every BUSY is terminal for its batch (counted, not
+    retried); with one, redirect-class BUSYs and connection failures
+    trigger failover — the unanswered batches replay against whichever
+    replica has become primary, so the run completes across a kill.
     """
     if window < 1:
         raise ValueError("window must be at least one request")
     payloads = [protocol.encode_addresses(batch) for batch in batches]
     latencies: List[float] = []
     lookups = 0
-    busy = 0
-    with ServeClient(host, port) as client:
-        send_times: Dict[int, float] = {}
-        started = time.perf_counter()
-        in_flight = 0
-        next_batch = 0
-        done = 0
-        while done < len(payloads):
-            while in_flight < window and next_batch < len(payloads):
-                request_id = client.send(
-                    protocol.MSG_LOOKUP, payloads[next_batch]
-                )
-                send_times[request_id] = time.perf_counter()
-                next_batch += 1
-                in_flight += 1
-            frame = client.recv()
+    busy_window = busy_draining = busy_backup = 0
+    failovers = 0
+    retried = 0
+    pending: Deque[int] = deque(range(len(payloads)))
+    outstanding: Dict[int, Tuple[int, float]] = {}
+    completed = 0
+
+    ha: Optional[HAClient] = None
+    if replicas is not None:
+        ha = HAClient(replicas)
+        client = ha.connect()
+    else:
+        client = ServeClient(host, port)
+
+    def fail_over(requeue: bool) -> None:
+        nonlocal client, failovers, retried
+        assert ha is not None
+        if requeue:
+            # Unanswered requests died with the connection; their
+            # batches replay on the new primary (idempotent lookups).
+            for index, _started in outstanding.values():
+                pending.appendleft(index)
+            retried += len(outstanding)
+        outstanding.clear()
+        ha.drop()
+        client = ha.connect()  # raises FailoverError when nobody serves
+        failovers += 1
+
+    started = time.perf_counter()
+    try:
+        while completed < len(payloads):
+            try:
+                while len(outstanding) < window and pending:
+                    index = pending.popleft()
+                    request_id = client.send(protocol.MSG_LOOKUP, payloads[index])
+                    outstanding[request_id] = (index, time.perf_counter())
+                frame = client.recv()
+            except (ProtocolError, ServeTimeoutError, ConnectionError, OSError):
+                if ha is None:
+                    raise
+                fail_over(requeue=True)
+                continue
             now = time.perf_counter()
-            latencies.append(now - send_times.pop(frame.request_id))
+            index, sent_at = outstanding.pop(frame.request_id)
             if frame.type == protocol.MSG_BUSY:
-                busy += 1
+                reason = protocol.decode_text(frame.payload)
+                if reason == "window":
+                    busy_window += 1
+                    latencies.append(now - sent_at)
+                    completed += 1
+                else:
+                    if reason == "backup":
+                        busy_backup += 1
+                    else:
+                        busy_draining += 1
+                    if ha is None:
+                        latencies.append(now - sent_at)
+                        completed += 1
+                    else:
+                        pending.appendleft(index)
+                        retried += 1
+                        fail_over(requeue=True)
             elif frame.type == protocol.MSG_LOOKUP_OK:
+                latencies.append(now - sent_at)
                 lookups += len(frame.payload) // 4
+                completed += 1
             else:
                 raise protocol.ProtocolError(
                     f"unexpected response type {frame.type:#x}"
                 )
-            in_flight -= 1
-            done += 1
         duration = time.perf_counter() - started
+    finally:
+        if ha is not None:
+            ha.close()
+        else:
+            client.close()
     latencies.sort()
+    busy = busy_window + busy_draining + busy_backup
     return LoadReport(
         requests=len(payloads),
         lookups=lookups,
@@ -114,4 +185,9 @@ def run_load(
         p99_us=_percentile(latencies, 0.99) * 1e6,
         batch_size=max(len(batch) for batch in batches) if batches else 0,
         window=window,
+        busy_window=busy_window,
+        busy_draining=busy_draining,
+        busy_backup=busy_backup,
+        failovers=failovers,
+        retried=retried,
     )

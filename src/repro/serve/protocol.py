@@ -24,7 +24,7 @@ import json
 import socket
 import struct
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.prefix import Prefix
 from repro.workload.updategen import UpdateKind, UpdateMessage
@@ -36,7 +36,8 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 _HEADER = struct.Struct("!IBI")  # length, type, request_id
 #: One update record: kind, network, prefix length, next hop, timestamp.
 _UPDATE_RECORD = struct.Struct("!BIBid")
-_UPDATE_ACK = struct.Struct("!IIIB")  # accepted, shed, applied, durable
+#: accepted, shed, applied, durable, replicated
+_UPDATE_ACK = struct.Struct("!IIIBB")
 
 # -- message types ------------------------------------------------------
 
@@ -52,6 +53,9 @@ MSG_DRAIN = 0x14
 MSG_ADMIN_OK = 0x1F
 MSG_BUSY = 0x20
 MSG_ERROR = 0x21
+MSG_REPLICATE = 0x30
+MSG_REPLICATE_OK = 0x31
+MSG_FAILOVER = 0x32
 
 #: Requests a server accepts (everything else is answered MSG_ERROR).
 REQUEST_TYPES = frozenset(
@@ -63,6 +67,8 @@ REQUEST_TYPES = frozenset(
         MSG_CHECKPOINT,
         MSG_FINGERPRINT,
         MSG_DRAIN,
+        MSG_REPLICATE,
+        MSG_FAILOVER,
     )
 )
 
@@ -246,17 +252,29 @@ class UpdateAck:
     the wire.  ``shed`` counts messages the bounded update queue refused
     (storm backpressure); the client's retry path is BGP re-advertisement,
     exactly as for in-process :meth:`ClueSystem.offer_update`.
+
+    ``replicated`` is the replication watermark promise: the batch was
+    applied *and acknowledged by the backup replica* before this ack was
+    sent.  It is only ever ``True`` under ``ack_mode=quorum``; a primary
+    ack never claims more than the backup has confirmed, so an update the
+    client must survive primary loss should be retried until the ack
+    carries ``replicated=True``.
     """
 
     accepted: int
     shed: int
     applied: int
     durable: bool
+    replicated: bool = False
 
 
 def encode_update_ack(ack: UpdateAck) -> bytes:
     return _UPDATE_ACK.pack(
-        ack.accepted, ack.shed, ack.applied, 1 if ack.durable else 0
+        ack.accepted,
+        ack.shed,
+        ack.applied,
+        1 if ack.durable else 0,
+        1 if ack.replicated else 0,
     )
 
 
@@ -265,8 +283,81 @@ def decode_update_ack(payload: bytes) -> UpdateAck:
         raise ProtocolError(
             f"update ack of {len(payload)} bytes, expected {_UPDATE_ACK.size}"
         )
-    accepted, shed, applied, durable = _UPDATE_ACK.unpack(payload)
-    return UpdateAck(accepted, shed, applied, bool(durable))
+    accepted, shed, applied, durable, replicated = _UPDATE_ACK.unpack(payload)
+    return UpdateAck(accepted, shed, applied, bool(durable), bool(replicated))
+
+
+# -- replication payloads -----------------------------------------------
+#
+# Journal shipping rides the same length-prefixed frames as everything
+# else.  One MSG_REPLICATE frame carries either the bootstrap (full shard
+# states at a journal watermark), one shard's batch of journal records,
+# or a bare heartbeat; MSG_REPLICATE_OK answers each with the backup's
+# applied watermark.  Payloads are JSON: replication moves control-plane
+# records, which are rare and small next to lookup traffic, and the
+# journal records themselves are already ASCII text.
+
+REPLICATE_BOOTSTRAP = "bootstrap"
+REPLICATE_RECORDS = "records"
+REPLICATE_HEARTBEAT = "heartbeat"
+
+
+def encode_replicate(data: Dict) -> bytes:
+    """MSG_REPLICATE payload; ``data['kind']`` picks the variant."""
+    if data.get("kind") not in (
+        REPLICATE_BOOTSTRAP,
+        REPLICATE_RECORDS,
+        REPLICATE_HEARTBEAT,
+    ):
+        raise ProtocolError(f"unknown replicate kind {data.get('kind')!r}")
+    return encode_json(data)
+
+
+def decode_replicate(payload: bytes) -> Dict:
+    data = decode_json(payload)
+    if not isinstance(data, dict):
+        raise ProtocolError("replicate payload is not a JSON object")
+    kind = data.get("kind")
+    if kind not in (
+        REPLICATE_BOOTSTRAP,
+        REPLICATE_RECORDS,
+        REPLICATE_HEARTBEAT,
+    ):
+        raise ProtocolError(f"unknown replicate kind {kind!r}")
+    if kind == REPLICATE_RECORDS:
+        try:
+            int(data["shard"])
+            for seq, record_kind, record_payload in data["records"]:
+                int(seq), str(record_kind), str(record_payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed record batch: {exc!r}") from exc
+    return data
+
+
+@dataclass(frozen=True)
+class ReplicateAck:
+    """MSG_REPLICATE_OK: the backup's applied watermark for one shard.
+
+    ``applied_seq`` is the primary journal sequence the backup has fully
+    applied *and locally journaled*; the primary's quorum ack to its
+    client never claims beyond this.  Bootstrap acks use shard ``-1``
+    and ``applied_seq`` = the highest bootstrap watermark.
+    """
+
+    shard: int
+    applied_seq: int
+
+
+def encode_replicate_ack(ack: ReplicateAck) -> bytes:
+    return encode_json({"shard": ack.shard, "applied_seq": ack.applied_seq})
+
+
+def decode_replicate_ack(payload: bytes) -> ReplicateAck:
+    data = decode_json(payload)
+    try:
+        return ReplicateAck(int(data["shard"]), int(data["applied_seq"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed replicate ack: {exc!r}") from exc
 
 
 # -- admin payloads -----------------------------------------------------

@@ -17,8 +17,8 @@ the shard-local longest match *is* the global longest match.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 from repro.compress.labels import CompressionMode
 from repro.compress.onrtc import compress
@@ -53,6 +53,70 @@ class ShardRouter:
         return range(
             self.index.home_of(prefix.network),
             self.index.home_of(prefix.broadcast) + 1,
+        )
+
+
+@dataclass
+class ReplicaEndpoint:
+    """One server of a replica pair, as a client sees it."""
+
+    host: str
+    port: int
+    #: ``primary`` | ``backup`` | ``syncing`` | ``following`` |
+    #: ``promoting`` | ``unknown`` | ``dead`` — updated from health
+    #: probes; ``unknown`` endpoints are still worth probing.
+    role: str = "unknown"
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass
+class ReplicaMap:
+    """Client-side replica topology: which endpoints may own the range.
+
+    Pure bookkeeping — probing is the client's job (it owns sockets);
+    the map just remembers the last role each endpoint reported so
+    failover tries the most likely primary first.
+    """
+
+    endpoints: List[ReplicaEndpoint] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, spec: str) -> "ReplicaMap":
+        """``host:port,host:port,...`` (host defaults to 127.0.0.1)."""
+        endpoints = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            host, _, port = part.rpartition(":")
+            endpoints.append(ReplicaEndpoint(host or "127.0.0.1", int(port)))
+        if not endpoints:
+            raise ValueError(f"no endpoints in replica spec {spec!r}")
+        return cls(endpoints)
+
+    def note_role(self, host: str, port: int, role: str) -> None:
+        for endpoint in self.endpoints:
+            if endpoint.host == host and endpoint.port == port:
+                endpoint.role = role
+                return
+        self.endpoints.append(ReplicaEndpoint(host, port, role))
+
+    def primary(self) -> Optional[ReplicaEndpoint]:
+        """The endpoint that last reported itself primary, if any."""
+        for endpoint in self.endpoints:
+            if endpoint.role == "primary":
+                return endpoint
+        return None
+
+    def candidates(self) -> List[ReplicaEndpoint]:
+        """Probe order: known primary first, dead endpoints last."""
+        rank = {"primary": 0, "promoting": 1, "following": 2,
+                "backup": 2, "syncing": 3, "unknown": 1, "dead": 4}
+        return sorted(
+            self.endpoints, key=lambda e: rank.get(e.role, 1)
         )
 
 

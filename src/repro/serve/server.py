@@ -9,6 +9,16 @@ PR 1 update-storm backpressure, applied one layer up.  Responses always
 leave in request order, BUSY included, so a pipelining client can match
 them positionally.
 
+Replication (DESIGN.md §12): a primary started with ``replicate_to``
+ships every committed journal batch to a backup through a
+:class:`~repro.serve.replicate.JournalShipper`; a server started with
+``backup_dir`` refuses the data plane (``BUSY "backup"``) and feeds a
+:class:`~repro.serve.replicate.BackupReplica` from incoming
+``MSG_REPLICATE`` frames instead.  The backup promotes itself — and
+starts serving as an ordinary primary — when the replication feed hits
+EOF (the primary died), when the heartbeat goes silent past
+``heartbeat_timeout``, or when an admin sends ``MSG_FAILOVER``.
+
 Graceful drain (SIGTERM or an admin DRAIN request):
 
 1. stop accepting connections;
@@ -16,7 +26,8 @@ Graceful drain (SIGTERM or an admin DRAIN request):
    already admitted to a window, and read each connection to EOF (a
    grace period bounds how long a silent client can hold the process);
 3. flush every shard — queued updates, deferred storm diffs, a final
-   checkpoint, journal close;
+   checkpoint, journal close — and ship the trailing records to the
+   backup, so a planned drain hands over a fully caught-up replica;
 4. exit 0.
 
 Nothing admitted is dropped: every request is acked or explicitly
@@ -26,13 +37,24 @@ refused, which the serve-smoke CI job asserts.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import signal
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Dict, Optional, Set
 
 from repro.serve import protocol
 from repro.serve.protocol import Frame, ProtocolError
+from repro.serve.replicate import (
+    ROLE_FOLLOWING,
+    ROLE_PRIMARY,
+    BackupReplica,
+    JournalShipper,
+    ReplicationConfig,
+    ReplicationError,
+)
 from repro.serve.shard import ShardSet
 from repro.serve.stats import ServeStats
 
@@ -53,26 +75,93 @@ class ServeConfig:
     pump_budget: Optional[int] = None
     #: File to write the bound port to (ephemeral-port discovery).
     port_file: Optional[str] = None
+    #: ``host:port`` of a backup to ship committed journal records to.
+    replicate_to: Optional[str] = None
+    #: ``primary`` or ``quorum`` — when a client ack claims replication.
+    ack_mode: str = "primary"
+    #: Ship control fingerprints for continuous divergence checks; turn
+    #: off when un-journaled chip faults are armed on the primary.
+    ship_fingerprints: bool = True
+    #: Start as a backup replica journaling epochs under this directory
+    #: (mutually exclusive with serving a shard set from the start).
+    backup_dir: Optional[str] = None
+    #: Backup: promote automatically on feed EOF / heartbeat timeout.
+    auto_promote: bool = True
+    #: Primary: seconds between replication heartbeats.
+    heartbeat_interval: float = 1.0
+    #: Backup: seconds of feed silence before the watchdog promotes.
+    heartbeat_timeout: float = 5.0
+    #: Backup-side persistence cadence (mirrors ShardSet.build knobs).
+    backup_checkpoint_every: int = 0
+    backup_sync_interval: int = 64
 
 
 class ClueServer:
-    """Serves one :class:`ShardSet` until told to drain."""
+    """Serves one :class:`ShardSet` until told to drain.
 
-    def __init__(self, shards: ShardSet, config: Optional[ServeConfig] = None):
-        self.shards = shards
+    ``shards`` may be ``None`` only for a backup (``backup_dir`` set):
+    the shard set then arrives over the wire with the bootstrap frame
+    and becomes servable at promotion.
+    """
+
+    def __init__(
+        self,
+        shards: Optional[ShardSet],
+        config: Optional[ServeConfig] = None,
+    ):
         self.config = config or ServeConfig()
+        self.shards = shards
         self.stats = ServeStats()
         self.draining = False
         self.port: Optional[int] = None
+        self.replica: Optional[BackupReplica] = None
+        self.shipper: Optional[JournalShipper] = None
+        if self.config.backup_dir is not None:
+            if shards is not None:
+                raise ValueError("a backup bootstraps over the wire; "
+                                 "do not pass shards")
+            if self.config.replicate_to is not None:
+                raise ValueError("chained replication is not supported")
+            self.replica = BackupReplica(
+                Path(self.config.backup_dir),
+                checkpoint_every=self.config.backup_checkpoint_every,
+                sync_interval=self.config.backup_sync_interval,
+            )
+        elif shards is None:
+            raise ValueError("a server needs shards unless it is a backup")
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: Set[asyncio.Task] = set()
         self._stopped: Optional[asyncio.Event] = None
         self._shutdown_task: Optional[asyncio.Task] = None
+        self._background: Set[asyncio.Task] = set()
+        self._live_feeds: Set[int] = set()
+
+    @property
+    def role(self) -> str:
+        """``primary`` | ``syncing`` | ``following`` | ``promoting``."""
+        if self.replica is not None and self.replica.role != ROLE_PRIMARY:
+            return self.replica.role
+        return ROLE_PRIMARY
 
     # -- lifecycle ------------------------------------------------------
 
     async def start(self, install_signal_handlers: bool = True) -> None:
         self._stopped = asyncio.Event()
+        if self.config.replicate_to is not None:
+            assert self.shards is not None
+            host, _, port = self.config.replicate_to.rpartition(":")
+            self.shipper = JournalShipper(
+                host or "127.0.0.1",
+                int(port),
+                self.shards,
+                ReplicationConfig(
+                    ack_mode=self.config.ack_mode,
+                    ship_fingerprints=self.config.ship_fingerprints,
+                ),
+            )
+            # The first connect must succeed: starting a "replicated"
+            # service with no backup listening is an operator error.
+            self.shipper.connect()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -80,6 +169,10 @@ class ClueServer:
         if self.config.port_file:
             with open(self.config.port_file, "w", encoding="ascii") as handle:
                 handle.write(f"{self.port}\n")
+        if self.shipper is not None:
+            self._spawn(self._heartbeat_loop())
+        if self.replica is not None and self.config.auto_promote:
+            self._spawn(self._watchdog_loop())
         if install_signal_handlers:
             loop = asyncio.get_running_loop()
             for signum in (signal.SIGTERM, signal.SIGINT):
@@ -87,6 +180,11 @@ class ClueServer:
                     loop.add_signal_handler(signum, self._request_shutdown)
                 except NotImplementedError:  # pragma: no cover - non-POSIX
                     pass
+
+    def _spawn(self, coro) -> None:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
 
     def _request_shutdown(self) -> None:
         if self._shutdown_task is None:
@@ -102,6 +200,10 @@ class ClueServer:
         assert self._server is not None and self._stopped is not None
         self._server.close()
         await self._server.wait_closed()
+        for task in list(self._background):
+            task.cancel()
+        if self._background:
+            await asyncio.gather(*self._background, return_exceptions=True)
         if self._connections:
             _done, pending = await asyncio.wait(
                 set(self._connections), timeout=self.config.drain_grace
@@ -110,7 +212,13 @@ class ClueServer:
                 task.cancel()
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
-        self.shards.drain()
+        if self.shards is not None:
+            self.shards.drain()
+        if self.shipper is not None:
+            # The drain wrote trailing records (queue flush, final
+            # checkpoint); hand the backup a fully caught-up journal.
+            self.shipper.ship()
+            self.shipper.close()
         self._stopped.set()
 
     async def run(self, install_signal_handlers: bool = True) -> int:
@@ -123,6 +231,57 @@ class ClueServer:
     async def wait_stopped(self) -> None:
         assert self._stopped is not None
         await self._stopped.wait()
+
+    # -- replication background tasks -----------------------------------
+
+    async def _heartbeat_loop(self) -> None:
+        """Primary: keep the replication link warm and acks drained."""
+        while not self.draining:
+            await asyncio.sleep(self.config.heartbeat_interval)
+            if self.shipper is not None and not self.draining:
+                self.shipper.heartbeat()
+
+    async def _watchdog_loop(self) -> None:
+        """Backup: promote when the feed goes silent too long."""
+        timeout = self.config.heartbeat_timeout
+        while not self.draining:
+            await asyncio.sleep(max(0.05, min(1.0, timeout / 4)))
+            replica = self.replica
+            if replica is None or replica.role != ROLE_FOLLOWING:
+                continue
+            if time.monotonic() - replica.last_feed > timeout:
+                self._try_promote("heartbeat timeout")
+
+    def _try_promote(self, reason: str) -> Optional[Dict[str, object]]:
+        """Promote if still eligible; never raises (watchdog/EOF path)."""
+        replica = self.replica
+        if (
+            replica is None
+            or replica.role != ROLE_FOLLOWING
+            or self.draining
+        ):
+            return None
+        try:
+            return self._promote(reason)
+        except ReplicationError as exc:
+            print(f"promotion refused ({reason}): {exc}", flush=True)
+            return None
+
+    def _promote(self, reason: str) -> Dict[str, object]:
+        assert self.replica is not None
+        try:
+            report = self.replica.promote(reason)
+        except ReplicationError:
+            self.stats.replication_errors += 1
+            raise
+        self.shards = self.replica.shard_set
+        self.stats.promotions += 1
+        print(
+            f"promoted to primary ({reason}): epoch {report.epoch}, "
+            f"watermarks {report.watermarks}",
+            flush=True,
+        )
+        return report.as_dict()
 
     # -- connection handling --------------------------------------------
 
@@ -139,7 +298,7 @@ class ClueServer:
         # a client that stops reading responses still hits TCP
         # backpressure here instead of growing an unbounded buffer.
         queue: asyncio.Queue = asyncio.Queue(maxsize=window * 4 + 8)
-        state = {"inflight": 0, "dead": False}
+        state = {"inflight": 0, "dead": False, "feed": False}
         responder = asyncio.create_task(self._respond_loop(writer, queue, state))
         try:
             while not state["dead"]:
@@ -154,6 +313,10 @@ class ClueServer:
                 if frame.type in (protocol.MSG_LOOKUP, protocol.MSG_UPDATE):
                     if self.draining:
                         busy_reason = "draining"
+                    elif self.role != ROLE_PRIMARY:
+                        # A backup owns no address range yet; shed with
+                        # a reason the client can turn into failover.
+                        busy_reason = "backup"
                     elif state["inflight"] >= window:
                         busy_reason = "window"
                     else:
@@ -169,6 +332,12 @@ class ClueServer:
                 pass
             self.stats.connections_active -= 1
             self._connections.discard(task)
+            if state["feed"]:
+                self._live_feeds.discard(id(state))
+                if not self._live_feeds and self.config.auto_promote:
+                    # The primary's replication connection died (SIGKILL
+                    # closes the socket); take over its address range.
+                    self._try_promote("replication feed lost")
             writer.close()
             try:
                 await writer.wait_closed()
@@ -191,7 +360,7 @@ class ClueServer:
                     protocol.encode_text(busy_reason),
                 )
             else:
-                response = self._dispatch(frame)
+                response = self._dispatch(frame, state)
                 if frame.type in (protocol.MSG_LOOKUP, protocol.MSG_UPDATE):
                     state["inflight"] -= 1
             writer.write(response)
@@ -202,13 +371,15 @@ class ClueServer:
 
     # -- request dispatch (synchronous on purpose) ----------------------
 
-    def _dispatch(self, frame: Frame) -> bytes:
+    def _dispatch(self, frame: Frame, state: Optional[Dict] = None) -> bytes:
         self.stats.requests_total += 1
         try:
             if frame.type == protocol.MSG_LOOKUP:
                 return self._do_lookup(frame)
             if frame.type == protocol.MSG_UPDATE:
                 return self._do_update(frame)
+            if frame.type == protocol.MSG_REPLICATE:
+                return self._do_replicate(frame, state)
             self.stats.admin_requests += 1
             if frame.type == protocol.MSG_STATS:
                 return self._admin_ok(frame, self._stats_snapshot())
@@ -217,13 +388,9 @@ class ClueServer:
             if frame.type == protocol.MSG_CHECKPOINT:
                 return self._do_checkpoint(frame)
             if frame.type == protocol.MSG_FINGERPRINT:
-                return self._admin_ok(
-                    frame,
-                    {
-                        "fingerprint": self.shards.fingerprint(),
-                        "shards": self.shards.shard_fingerprints(),
-                    },
-                )
+                return self._do_fingerprint(frame)
+            if frame.type == protocol.MSG_FAILOVER:
+                return self._do_failover(frame)
             if frame.type == protocol.MSG_DRAIN:
                 self._request_shutdown()
                 return self._admin_ok(frame, {"draining": True})
@@ -233,6 +400,7 @@ class ClueServer:
             return self._error(frame, str(exc))
 
     def _do_lookup(self, frame: Frame) -> bytes:
+        assert self.shards is not None  # data plane is shed for backups
         addresses = protocol.decode_addresses(frame.payload)
         self.stats.lookup_requests += 1
         self.stats.lookups_total += len(addresses)
@@ -242,10 +410,17 @@ class ClueServer:
         )
 
     def _do_update(self, frame: Frame) -> bytes:
+        assert self.shards is not None
         messages = protocol.decode_updates(frame.payload)
         self.stats.update_requests += 1
         self.stats.updates_total += len(messages)
         ack = self.shards.update(messages, self.config.pump_budget)
+        if self.shipper is not None:
+            # Post-fsync, pre-client-ack: the watermark ordering the
+            # protocol promises.  ship() returns the quorum verdict.
+            replicated = self.shipper.ship()
+            if self.config.ack_mode == "quorum" and replicated and ack.durable:
+                ack = replace(ack, replicated=True)
         self.stats.updates_accepted += ack.accepted
         self.stats.updates_shed += ack.shed
         return protocol.encode_frame(
@@ -254,25 +429,92 @@ class ClueServer:
             protocol.encode_update_ack(ack),
         )
 
+    def _do_replicate(self, frame: Frame, state: Optional[Dict]) -> bytes:
+        self.stats.replicate_requests += 1
+        if self.replica is None:
+            return self._error(frame, "not a backup (start with --backup)")
+        if self.draining:
+            return self._error(frame, "draining")
+        try:
+            data = protocol.decode_replicate(frame.payload)
+            if (
+                data["kind"] == protocol.REPLICATE_BOOTSTRAP
+                and self.replica.role == ROLE_PRIMARY
+            ):
+                raise ReplicationError(
+                    "already promoted to primary; refusing demotion"
+                )
+            ack = self.replica.handle(data)
+            if data["kind"] == protocol.REPLICATE_BOOTSTRAP and state is not None:
+                state["feed"] = True
+                self._live_feeds.add(id(state))
+        except (ProtocolError, ReplicationError) as exc:
+            self.stats.replication_errors += 1
+            return self._error(frame, str(exc))
+        return protocol.encode_frame(
+            protocol.MSG_REPLICATE_OK,
+            frame.request_id,
+            protocol.encode_replicate_ack(ack),
+        )
+
+    def _do_failover(self, frame: Frame) -> bytes:
+        if self.replica is None:
+            return self._error(frame, "not a backup")
+        if self.replica.role == ROLE_PRIMARY:
+            return self._admin_ok(frame, {"promoted": False, "role": "primary"})
+        try:
+            report = self._promote("admin failover")
+        except ReplicationError as exc:
+            return self._error(frame, f"promotion refused: {exc}")
+        return self._admin_ok(frame, {"promoted": True, **report})
+
     def _do_checkpoint(self, frame: Frame) -> bytes:
-        if not self.shards.durable:
+        if self.shards is None or not self.shards.durable:
             return self._error(frame, "server runs without a journal")
         return self._admin_ok(frame, {"checkpoints": self.shards.checkpoint()})
+
+    def _do_fingerprint(self, frame: Frame) -> bytes:
+        if self.shards is None:
+            return self._error(frame, "no shards yet (backup is syncing)")
+        return self._admin_ok(
+            frame,
+            {
+                "fingerprint": self.shards.fingerprint(),
+                "shards": self.shards.shard_fingerprints(),
+            },
+        )
 
     def _stats_snapshot(self) -> Dict[str, object]:
         return {
             "serve": self.stats.as_dict(),
-            "shards": self.shards.stats(),
+            "shards": self.shards.stats() if self.shards is not None else [],
             "draining": self.draining,
         }
 
     def _health_snapshot(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "status": "draining" if self.draining else "ok",
-            "shards": len(self.shards.workers),
-            "durable": self.shards.durable,
+            "role": self.role,
+            "shards": len(self.shards.workers) if self.shards is not None else 0,
+            "durable": self.shards.durable if self.shards is not None else False,
             "port": self.port,
+            "replicas": self._replica_map(),
         }
+        if self.shipper is not None:
+            data["replication"] = self.shipper.snapshot()
+        elif self.replica is not None:
+            data["replication"] = self.replica.snapshot()
+        return data
+
+    def _replica_map(self) -> list:
+        """``[host, port, role]`` rows a client can fail over across."""
+        entries = [[self.config.host, self.port, self.role]]
+        if self.shipper is not None:
+            entries.append(
+                [self.shipper.host, self.shipper.port,
+                 "backup" if self.shipper.alive else "dead"]
+            )
+        return entries
 
     @staticmethod
     def _admin_ok(frame: Frame, data: Dict[str, object]) -> bytes:
@@ -295,10 +537,15 @@ class ServerThread:
     SIGTERM would and joins the thread.
     """
 
-    def __init__(self, shards: ShardSet, config: Optional[ServeConfig] = None):
+    def __init__(
+        self,
+        shards: Optional[ShardSet],
+        config: Optional[ServeConfig] = None,
+    ):
         self.server = ClueServer(shards, config)
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self.exit_code: Optional[int] = None
 
@@ -307,7 +554,12 @@ class ServerThread:
 
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
-        await self.server.start(install_signal_handlers=False)
+        try:
+            await self.server.start(install_signal_handlers=False)
+        except BaseException as exc:  # surface to start() instead of dying
+            self._startup_error = exc
+            self._ready.set()
+            return
         self._ready.set()
         await self.server.wait_stopped()
         self.exit_code = 0
@@ -317,16 +569,22 @@ class ServerThread:
         self._thread.start()
         if not self._ready.wait(timeout=30):
             raise RuntimeError("server thread failed to start")
+        if self._startup_error is not None:
+            raise self._startup_error
         assert self.server.port is not None
         return self.server.port
 
     def stop(self, timeout: float = 30.0) -> int:
         """Graceful drain, then join; returns the exit code (0)."""
         assert self._loop is not None
-        future = asyncio.run_coroutine_threadsafe(
-            self.server.shutdown(), self._loop
-        )
-        future.result(timeout=timeout)
+        coro = self.server.shutdown()
+        try:
+            future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+            future.result(timeout=timeout)
+        except (RuntimeError, concurrent.futures.CancelledError):
+            # The loop already finished: an admin drain (or SIGTERM)
+            # stopped the server before we asked.  Just join below.
+            coro.close()
         self._thread.join(timeout=timeout)
         if self._thread.is_alive():
             raise RuntimeError("server thread failed to stop")

@@ -28,6 +28,9 @@ class ServeStats:
     admin_requests: int = 0
     busy_responses: int = 0
     protocol_errors: int = 0
+    replicate_requests: int = 0
+    replication_errors: int = 0
+    promotions: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)

@@ -10,7 +10,8 @@ formats are deliberately trivial:
 * fault schedule — optional ``seed <n>`` line, then
   ``<cycle> chip-down <chip>`` / ``<cycle> chip-up <chip>`` /
   ``<cycle> corrupt <chip>`` / ``<cycle> stall <chip> <cycles>`` /
-  ``<cycle> storm <updates>``.
+  ``<cycle> storm <updates>`` / ``<cycle> kill-primary`` /
+  ``<cycle> kill-backup``.
 
 Lines starting with ``#`` are comments everywhere.
 """
@@ -151,6 +152,8 @@ def save_faults(schedule: FaultSchedule, path: PathLike) -> None:
                 )
             elif event.kind is FaultKind.STORM:
                 handle.write(f"{event.cycle} storm {event.count}\n")
+            elif event.kind in (FaultKind.KILL_PRIMARY, FaultKind.KILL_BACKUP):
+                handle.write(f"{event.cycle} {event.kind.value}\n")
             else:
                 handle.write(
                     f"{event.cycle} {event.kind.value} {event.chip}\n"
@@ -185,6 +188,10 @@ def load_faults(path: PathLike) -> FaultSchedule:
                 events.append(
                     FaultEvent(cycle, FaultKind.STORM, count=int(parts[2]))
                 )
+            elif (
+                keyword in ("kill-primary", "kill-backup") and len(parts) == 2
+            ):
+                events.append(FaultEvent(cycle, FaultKind(keyword)))
             else:
                 raise TraceFormatError(
                     f"{path}:{number}: unrecognised fault line"

@@ -1,0 +1,121 @@
+"""Chaos campaign machinery: process-kill faults and one real scenario.
+
+The fault taxonomy gains process-level kills that only the chaos runner
+may execute — the in-engine injector must refuse them, the trace format
+must round-trip them, and ``serve --faults`` must reject them up front.
+One quick scenario runs for real (subprocess replicas and all); the full
+matrix is CI's ``chaos-smoke`` job and ``repro-clue chaos``.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import PROCESS_KINDS, FaultKind, FaultSchedule
+from repro.net.prefix import Prefix
+from repro.serve.chaos import (
+    ChaosConfig,
+    apply_to_reference,
+    run_campaign,
+)
+from repro.trie.trie import BinaryTrie
+from repro.workload.traces import load_faults, save_faults, save_table
+from repro.workload.updategen import UpdateKind, UpdateMessage
+
+
+class TestProcessKillFaults:
+    def test_builders_and_engine_only_split(self):
+        schedule = (
+            FaultSchedule(seed=3)
+            .chip_down(10, 0)
+            .kill_primary(5)
+            .kill_backup(20)
+        )
+        assert schedule.has_process_kills
+        assert [e.kind for e in schedule.process_kills()] == [
+            FaultKind.KILL_PRIMARY,
+            FaultKind.KILL_BACKUP,
+        ]
+        stripped = schedule.engine_only()
+        assert not stripped.has_process_kills
+        assert [e.kind for e in stripped.events] == [FaultKind.CHIP_DOWN]
+        assert stripped.seed == schedule.seed
+        # The original is untouched: engine_only is a copy.
+        assert len(schedule.events) == 3
+
+    def test_injector_refuses_process_kills(self):
+        schedule = FaultSchedule().kill_primary(0)
+        injector = FaultInjector(engine=None, schedule=schedule)
+        with pytest.raises(ValueError, match="engine_only"):
+            injector.tick(0)
+
+    def test_trace_roundtrip(self, tmp_path):
+        schedule = (
+            FaultSchedule(seed=9)
+            .kill_primary(100)
+            .stall(50, 1, 16)
+            .kill_backup(200)
+        )
+        path = tmp_path / "faults.txt"
+        save_faults(schedule, path)
+        loaded = load_faults(path)
+        assert loaded.seed == 9
+        assert [(e.cycle, e.kind) for e in loaded.events] == [
+            (50, FaultKind.STALL),
+            (100, FaultKind.KILL_PRIMARY),
+            (200, FaultKind.KILL_BACKUP),
+        ]
+
+    def test_serve_rejects_process_kill_schedules(self, tmp_path, capsys):
+        table = tmp_path / "table.txt"
+        save_table([(Prefix.parse("10.0.0.0/8"), 1)], table)
+        faults = tmp_path / "faults.txt"
+        save_faults(FaultSchedule().kill_primary(10), faults)
+        code = main(
+            ["serve", "--table", str(table), "--faults", str(faults)]
+        )
+        assert code == 2
+        assert "chaos" in capsys.readouterr().err
+
+    def test_process_kinds_frozen(self):
+        assert PROCESS_KINDS == {
+            FaultKind.KILL_PRIMARY,
+            FaultKind.KILL_BACKUP,
+        }
+
+
+class TestReferenceModel:
+    def test_apply_mirrors_announce_and_withdraw(self):
+        trie = BinaryTrie()
+        prefix = Prefix.parse("10.0.0.0/8")
+        apply_to_reference(
+            trie, [UpdateMessage(UpdateKind.ANNOUNCE, prefix, 7, 0.0)]
+        )
+        assert trie.lookup(prefix.network) == 7
+        apply_to_reference(
+            trie, [UpdateMessage(UpdateKind.WITHDRAW, prefix, None, 1.0)]
+        )
+        assert trie.lookup(prefix.network) is None
+
+
+class TestCampaign:
+    def test_unknown_scenario_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_campaign(ChaosConfig(quick=True), scenarios=["no-such"])
+
+    def test_kill_during_promotion_scenario_end_to_end(self, tmp_path):
+        """One real scenario: kill the primary, kill the backup while it
+        promotes, restore the backup's epoch journal, verify all three
+        invariants (zero acked loss, LPM equality, byte-identical
+        replay).  Subprocess replicas bind port 0 and their ports are
+        parsed from the startup line."""
+        config = ChaosConfig(quick=True, workdir=tmp_path / "chaos")
+        results = run_campaign(
+            config, scenarios=["kill-during-promotion"], log=lambda _m: None
+        )
+        assert len(results) == 1
+        result = results[0]
+        assert result.ok, result.detail
+        assert result.acked_batches == config.batches
+        assert result.fingerprint_match is True
+        assert result.checked_addresses > 0

@@ -1,0 +1,96 @@
+"""Load generator: shed-reason accounting and replica-aware retries."""
+
+from repro.serve import (
+    ReplicaMap,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+    ShardSet,
+    generate_batches,
+    run_load,
+)
+
+
+class TestBusyAccounting:
+    def test_backup_busy_counted_separately_without_replicas(
+        self, tmp_path, serve_rib
+    ):
+        """Without a replica map a BUSY("backup") is terminal for its
+        batch, and lands in busy_backup — not lumped into one counter."""
+        backup = ServerThread(
+            None,
+            ServeConfig(backup_dir=str(tmp_path / "backup"), auto_promote=False),
+        )
+        port = backup.start()
+        try:
+            batches = generate_batches(serve_rib, 5, 16)
+            report = run_load("127.0.0.1", port, batches)
+        finally:
+            backup.stop()
+        assert report.lookups == 0
+        assert report.busy_backup == 5
+        assert report.busy == 5
+        assert report.busy_draining == 0
+        assert report.busy_window == 0
+        assert report.failovers == 0
+
+    def test_healthy_primary_serves_everything(self, serve_rib, fast_config):
+        shards = ShardSet.build(serve_rib, config=fast_config)
+        with ServerThread(shards, ServeConfig()) as thread:
+            batches = generate_batches(serve_rib, 10, 32)
+            report = run_load("127.0.0.1", thread.server.port, batches)
+            thread.stop()
+        assert report.lookups == 10 * 32
+        assert report.busy == 0
+        assert report.retried == 0
+
+    def test_replica_map_resolves_past_the_backup(
+        self, tmp_path, serve_rib, fast_config
+    ):
+        """Given a replica map whose first endpoint is a backup, the
+        generator resolves the actual primary and completes the run."""
+        backup = ServerThread(
+            None,
+            ServeConfig(backup_dir=str(tmp_path / "backup"), auto_promote=False),
+        )
+        backup_port = backup.start()
+        shards = ShardSet.build(serve_rib, config=fast_config)
+        primary = ServerThread(shards, ServeConfig())
+        primary_port = primary.start()
+        try:
+            replicas = ReplicaMap.parse(
+                f"127.0.0.1:{backup_port},127.0.0.1:{primary_port}"
+            )
+            batches = generate_batches(serve_rib, 6, 16)
+            report = run_load(
+                "127.0.0.1", backup_port, batches, replicas=replicas
+            )
+        finally:
+            primary.stop()
+            backup.stop()
+        assert report.lookups == 6 * 16
+        assert report.busy == 0
+        # The map learned who is who along the way.
+        roles = {e.port: e.role for e in replicas.endpoints}
+        assert roles[primary_port] == "primary"
+
+
+class TestDrainRedirect:
+    def test_draining_server_sheds_with_reason(self, serve_rib, fast_config):
+        """A draining server turns into busy_draining, not silent loss.
+
+        The flag is set directly (a real drain also closes the
+        listener, which would race the generator's dial) — the point is
+        the per-reason accounting of the BUSY verdicts.
+        """
+        shards = ShardSet.build(serve_rib, config=fast_config)
+        with ServerThread(shards, ServeConfig()) as thread:
+            port = thread.server.port
+            thread.server.draining = True
+            batches = generate_batches(serve_rib, 4, 8)
+            report = run_load("127.0.0.1", port, batches)
+            thread.server.draining = False
+            thread.stop()
+        assert report.lookups == 0
+        assert report.busy_draining == 4
+        assert report.busy_backup == 0

@@ -158,6 +158,16 @@ class TestPayloads:
         with pytest.raises(ProtocolError):
             decode_update_ack(b"\x00" * 5)
 
+    def test_update_ack_carries_replication_flag(self):
+        ack = UpdateAck(
+            accepted=3, shed=0, applied=3, durable=True, replicated=True
+        )
+        decoded = decode_update_ack(encode_update_ack(ack))
+        assert decoded == ack
+        assert decoded.replicated is True
+        # The default stays conservative: not replicated until proven.
+        assert UpdateAck(1, 0, 1, True).replicated is False
+
     def test_json_and_text(self):
         assert decode_json(encode_json({"a": [1, 2]})) == {"a": [1, 2]}
         assert decode_text(encode_text("drainage")) == "drainage"
@@ -165,3 +175,51 @@ class TestPayloads:
             decode_json(b"{nope")
         with pytest.raises(ProtocolError):
             decode_text(b"\xff\xfe")
+
+
+class TestReplicationFrames:
+    def test_replicate_records_roundtrip(self):
+        data = {
+            "kind": protocol.REPLICATE_RECORDS,
+            "shard": 1,
+            "records": [[7, "offer", "announce 10.0.0.0/8 3"]],
+        }
+        assert protocol.decode_replicate(protocol.encode_replicate(data)) == data
+
+    def test_replicate_rejects_unknown_kind(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_replicate({"kind": "gossip"})
+        with pytest.raises(ProtocolError):
+            protocol.decode_replicate(encode_json({"kind": "gossip"}))
+
+    def test_replicate_rejects_malformed_record_batch(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_replicate(
+                encode_json(
+                    {
+                        "kind": protocol.REPLICATE_RECORDS,
+                        "shard": 0,
+                        "records": [["not-a-seq", "offer"]],
+                    }
+                )
+            )
+
+    def test_replicate_ack_roundtrip(self):
+        ack = protocol.ReplicateAck(shard=2, applied_seq=41)
+        decoded = protocol.decode_replicate_ack(
+            protocol.encode_replicate_ack(ack)
+        )
+        assert decoded == ack
+        with pytest.raises(ProtocolError):
+            protocol.decode_replicate_ack(encode_json({"shard": 1}))
+
+    def test_message_types_are_distinct(self):
+        assert len(
+            {
+                protocol.MSG_REPLICATE,
+                protocol.MSG_REPLICATE_OK,
+                protocol.MSG_FAILOVER,
+                protocol.MSG_UPDATE,
+                protocol.MSG_DRAIN,
+            }
+        ) == 5

@@ -6,10 +6,10 @@ the process exit code only exist at that level.
 """
 
 import os
+import re
 import signal
 import subprocess
 import sys
-import time
 from pathlib import Path
 
 import pytest
@@ -46,31 +46,38 @@ def table_file(serve_rib, tmp_path_factory):
     return path
 
 
+#: Every drill binds port 0; the bound port comes from this startup
+#: line, so no port files and no fixed ports anywhere in the tests.
+STARTUP_RE = re.compile(r"serving on \S*?:(\d+)")
+
+
 def spawn_server(tmp_path, *extra_args):
-    """Start `python -m repro serve` and wait for its port file."""
-    port_file = tmp_path / f"port-{len(extra_args)}-{os.getpid()}.txt"
+    """Start `python -m repro serve` on port 0 and parse the bound port
+    from the startup line.
+
+    Lines printed before the startup banner (e.g. restore recovery
+    reports) are kept on ``process.startup_lines`` for assertions.
+    """
+    del tmp_path  # kept for call-site symmetry with the old port-file API
     env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
     process = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve",
-            "--port", "0", "--port-file", str(port_file), *extra_args,
-        ],
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
         env=env,
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
     )
-    deadline = time.monotonic() + 60
-    while not port_file.exists():
-        if process.poll() is not None:
-            raise AssertionError(
-                f"server died during startup:\n{process.stderr.read()}"
-            )
-        if time.monotonic() > deadline:
-            process.kill()
-            raise AssertionError("server never wrote its port file")
-        time.sleep(0.05)
-    return process, int(port_file.read_text().strip())
+    process.startup_lines = []
+    for line in process.stdout:
+        process.startup_lines.append(line)
+        match = STARTUP_RE.search(line)
+        if match:
+            return process, int(match.group(1))
+    raise AssertionError(
+        "server died during startup:\n"
+        + "".join(process.startup_lines)
+        + process.stderr.read()
+    )
 
 
 def finish(process, timeout=60):
@@ -167,7 +174,8 @@ class TestCrashDrill:
             restarted.send_signal(signal.SIGTERM)
         returncode, stdout, stderr = finish(restarted)
         assert returncode == 0, stderr
-        assert "restored" in stdout or "replay" in stdout.lower()
+        banner = "".join(restarted.startup_lines) + stdout
+        assert "restored" in banner or "replay" in banner.lower()
 
         reference = ShardSet.build(
             serve_rib, shard_count=2, config=cli_config(update_queue=32)
