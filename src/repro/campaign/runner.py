@@ -1,0 +1,537 @@
+"""Campaign execution: one executor per topology, one oracle layer for all.
+
+Every executor follows the same phase discipline, because two of the
+oracles are order-sensitive:
+
+1. **Update phase** — the workload profile's update stream is driven
+   through the topology's *acked* entry point (journaled offers for
+   durable cells), each accepted update mirrored onto the reference
+   trie, then the cell is quiesced (drain/flush) so nothing is left
+   half-applied in a queue.
+2. **Replay checkpoint** — durable cells capture the live state
+   fingerprint and the fingerprint of a clean restore over a *copy* of
+   the state directory, *before any traffic*: lookups legitimately
+   mutate the DRed LRU outside the journal, so this is the last moment
+   byte-identical replay is a valid demand.
+3. **Traffic phase** — the workload profile's packet stream runs
+   through the data path, advancing engine cycles so the armed fault
+   schedule actually fires.
+4. **Heal (optional)** — profiles modelling a box with its background
+   audit on (``self_heal``) run one ``verify_chips`` repair pass.
+5. **Judgement** — the shared oracle layer (:mod:`repro.campaign.oracles`).
+
+A cell that raises mid-flight is *captured*, not propagated: its result
+carries the error and the campaign moves on — CI wants every cell's
+verdict, not the first traceback.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.oracles import (
+    FAIL,
+    PASS,
+    SKIP,
+    CellEvidence,
+    OracleVerdict,
+    judge,
+)
+from repro.campaign.spec import Cell, CampaignSpec
+from repro.core.config import SystemConfig
+from repro.core.system import ClueSystem
+from repro.engine.simulator import EngineConfig
+from repro.faults.profiles import FaultProfile, fault_profile
+from repro.net.prefix import Prefix
+from repro.persist.manager import PersistenceManager
+from repro.trie.trie import BinaryTrie
+from repro.workload.profiles import WorkloadProfile, workload_profile
+from repro.workload.ribgen import RibParameters, generate_rib
+from repro.workload.updategen import UpdateKind, UpdateMessage
+
+Route = Tuple[Prefix, int]
+
+
+@dataclass
+class CellResult:
+    """One cell's verdict plus everything needed to reproduce it."""
+
+    cell_id: str
+    ok: bool
+    verdicts: List[OracleVerdict] = field(default_factory=list)
+    error: str = ""
+    duration_s: float = 0.0
+    acked_updates: int = 0
+    shed_updates: int = 0
+    packets: int = 0
+    repro: str = ""
+
+    @property
+    def failed_oracles(self) -> List[str]:
+        return [v.name for v in self.verdicts if v.status == FAIL]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "cell": self.cell_id,
+            "ok": self.ok,
+            "oracles": [v.as_dict() for v in self.verdicts],
+            "failed_oracles": self.failed_oracles,
+            "error": self.error,
+            "duration_s": round(self.duration_s, 3),
+            "acked_updates": self.acked_updates,
+            "shed_updates": self.shed_updates,
+            "packets": self.packets,
+            "repro": self.repro,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced."""
+
+    name: str
+    spec_path: str
+    results: List[CellResult] = field(default_factory=list)
+    excluded: List[Tuple[str, str]] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def failed(self) -> List[CellResult]:
+        return [result for result in self.results if not result.ok]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "campaign": self.name,
+            "spec": self.spec_path,
+            "ok": self.ok,
+            "cells": len(self.results),
+            "failed_cells": len(self.failed),
+            "excluded": [
+                {"cell": cell_id, "reason": reason}
+                for cell_id, reason in self.excluded
+            ],
+            "duration_s": round(self.duration_s, 3),
+            "results": [result.as_dict() for result in self.results],
+        }
+
+
+# -- shared cell machinery -----------------------------------------------
+
+
+class _CellContext:
+    """Derived per-cell state every executor starts from."""
+
+    def __init__(self, cell: Cell) -> None:
+        self.cell = cell
+        self.workload: WorkloadProfile = workload_profile(cell.workload)
+        self.fault: FaultProfile = fault_profile(cell.fault)
+        self.routes: List[Route] = generate_rib(
+            cell.seed, RibParameters(size=cell.budget.rib_size)
+        )
+        self.reference = BinaryTrie.from_routes(self.routes)
+        self.updates: List[UpdateMessage] = self.workload.take_updates(
+            self.routes, cell.seed + 1, cell.budget.updates
+        )
+        self.batches = max(
+            1, (len(self.updates) + cell.budget.batch_size - 1)
+            // cell.budget.batch_size,
+        )
+        self.schedule = self.fault.build(
+            cell.seed, cell.budget.chips, self.batches
+        ).validate(cell.budget.chips)
+        self.acked_updates = 0
+        self.shed_updates = 0
+        #: Prefixes of acked updates, newest ack wins (for spot checks).
+        self._acked: Dict[Prefix, Optional[int]] = {}
+
+    def system_config(self) -> SystemConfig:
+        budget = self.cell.budget
+        return SystemConfig(
+            engine=EngineConfig(
+                chip_count=budget.chips,
+                dred_capacity=128,
+                queue_capacity=128,
+                lookup_backend=self.cell.backend,
+            ),
+            update_queue_capacity=1024,
+        )
+
+    def update_batches(self) -> List[List[UpdateMessage]]:
+        size = self.cell.budget.batch_size
+        return [
+            self.updates[start : start + size]
+            for start in range(0, len(self.updates), size)
+        ]
+
+    def mirror(self, message: UpdateMessage) -> None:
+        """One *acked* update: apply to the reference, remember for spot checks."""
+        if message.kind is UpdateKind.ANNOUNCE:
+            assert message.next_hop is not None
+            self.reference.insert(message.prefix, message.next_hop)
+            self._acked[message.prefix] = message.next_hop
+        else:
+            self.reference.remove_route(message.prefix)
+            self._acked[message.prefix] = None
+        self.acked_updates += 1
+
+    def acked_prefixes(self, cap: int = 128) -> List[Tuple[Prefix, Optional[int]]]:
+        items = list(self._acked.items())
+        return items[-cap:]
+
+    def traffic(self) -> List[int]:
+        return self.workload.traffic_generator(
+            self.routes, self.cell.seed + 2
+        ).take(self.cell.budget.packets)
+
+
+def _capture_replay(
+    manager: PersistenceManager, state_dir: Path, scratch: Path
+) -> Tuple[str, str]:
+    """(live, replayed-from-copy) fingerprints at the quiesce point."""
+    live = manager.system.state_fingerprint()
+    manager.sync()
+    if scratch.exists():
+        shutil.rmtree(scratch)
+    shutil.copytree(state_dir, scratch)
+    restored, _report = PersistenceManager.restore(scratch)
+    try:
+        replayed = restored.system.state_fingerprint()
+    finally:
+        restored.close()
+    return live, replayed
+
+
+# -- in-process executor -------------------------------------------------
+
+
+def _run_inproc(cell: Cell, workdir: Path) -> CellEvidence:
+    """``inproc`` and ``inproc-durable``: one bare ClueSystem."""
+    ctx = _CellContext(cell)
+    system = ClueSystem(ctx.routes, ctx.system_config())
+    manager: Optional[PersistenceManager] = None
+    state_dir = workdir / "state"
+    if cell.durable:
+        manager = PersistenceManager(
+            system,
+            state_dir,
+            checkpoint_every=max(8, len(ctx.updates) // 2),
+        )
+    if ctx.schedule.events:
+        system.attach_faults(ctx.schedule)
+
+    # Phase 1: acked updates, mirrored per accepted offer, then quiesce.
+    offer = manager.offer_update if manager is not None else system.offer_update
+    pump = manager.pump_updates if manager is not None else system.pump_updates
+    for batch in ctx.update_batches():
+        for message in batch:
+            if offer(message):
+                ctx.mirror(message)
+            else:
+                ctx.shed_updates += 1
+        pump(max(1, len(batch)))
+    if manager is not None:
+        manager.drain_updates()
+    else:
+        system.drain_updates()
+
+    # Phase 2: replay checkpoint, strictly before traffic.
+    replay = None
+    if manager is not None:
+        replay = _capture_replay(manager, state_dir, workdir / "replay-copy")
+
+    # Phase 3: traffic through the data path (fault schedule fires here).
+    packets = ctx.traffic()
+    for start in range(0, len(packets), 256):
+        system.process_lookups(packets[start : start + 256])
+
+    # Phase 4: optional healing audit (models the PR 1 background repair).
+    if ctx.fault.self_heal:
+        system.verify_chips(repair=True)
+
+    storage_audits = []
+    if manager is not None:
+        storage_audits.append(manager.verify_storage())
+        manager.close()
+    return CellEvidence(
+        cell=cell,
+        reference=ctx.reference,
+        lookup_fn=system.process_lookups,
+        systems=[system],
+        acked_prefixes=ctx.acked_prefixes(),
+        acked_updates=ctx.acked_updates,
+        shed_updates=ctx.shed_updates,
+        external_updates=ctx.fault.external_updates,
+        replay=replay,
+        storage_audits=storage_audits,
+    )
+
+
+# -- in-process network serve executor -----------------------------------
+
+
+def _run_serve(cell: Cell, workdir: Path, shard_count: int) -> CellEvidence:
+    """``serve-1``/``serve-2``: a real TCP server over a journaled ShardSet."""
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, ServerThread
+    from repro.serve.shard import ShardSet
+
+    ctx = _CellContext(cell)
+    state_dir = workdir / "state"
+    shards = ShardSet.build(
+        ctx.routes,
+        shard_count=shard_count,
+        config=ctx.system_config(),
+        journal_dir=state_dir,
+    )
+    engine_schedule = ctx.schedule.engine_only()
+    if engine_schedule.events:
+        for worker in shards.workers:
+            worker.system.attach_faults(engine_schedule)
+
+    evidence_systems = [worker.system for worker in shards.workers]
+    with ServerThread(shards, ServeConfig()) as thread:
+        client = ServeClient("127.0.0.1", thread.server.port, timeout=30.0)
+        try:
+            # Phase 1: acked update batches over the wire, then MSG_FLUSH.
+            for batch in ctx.update_batches():
+                ack = client.update(batch)
+                if ack.shed:
+                    # Acceptance is aggregated over the wire, so a shed
+                    # makes the acked set ambiguous; budgets are sized
+                    # to keep the bounded queue from ever shedding.
+                    raise RuntimeError(
+                        f"update queue shed {ack.shed} of {len(batch)}; "
+                        f"shrink budget.batch_size or updates"
+                    )
+                for message in batch:
+                    ctx.mirror(message)
+            client.flush()
+
+            # Phase 2: replay checkpoint before any traffic.
+            live = client.fingerprint()
+            scratch = workdir / "replay-copy"
+            if scratch.exists():
+                shutil.rmtree(scratch)
+            shutil.copytree(state_dir, scratch)
+            restored, _reports = ShardSet.restore(scratch)
+            try:
+                replayed = restored.fingerprint()
+            finally:
+                for worker in restored.workers:
+                    if worker.manager is not None:
+                        worker.manager.close()
+            replay = (live, replayed)
+
+            # Phase 3: traffic over the wire.
+            packets = ctx.traffic()
+            for start in range(0, len(packets), 256):
+                client.lookup(packets[start : start + 256])
+
+            # Phase 4: healing audit, directly on the in-process shards.
+            if ctx.fault.self_heal:
+                for worker in shards.workers:
+                    worker.system.verify_chips(repair=True)
+
+            # Judgement needs the live server: collect the differential
+            # evidence now, against the network data path.
+            evidence = CellEvidence(
+                cell=cell,
+                reference=ctx.reference,
+                lookup_fn=client.lookup,
+                systems=evidence_systems,
+                acked_prefixes=ctx.acked_prefixes(),
+                acked_updates=ctx.acked_updates,
+                shed_updates=ctx.shed_updates,
+                external_updates=ctx.fault.external_updates,
+                replay=replay,
+            )
+            evidence.prechecked = {
+                name: verdict
+                for name, verdict in (
+                    ("zero-acked-loss", _precheck(evidence, "zero-acked-loss")),
+                    ("lpm-equivalence", _precheck(evidence, "lpm-equivalence")),
+                )
+            }
+        finally:
+            client.close()
+    # The drain (ServerThread exit) checkpointed and closed each journal;
+    # audit the final on-disk state it left behind.
+    evidence.storage_audits = [
+        worker.manager.verify_storage()
+        for worker in shards.workers
+        if worker.manager is not None
+    ]
+    evidence.lookup_fn = None  # the server is gone; prechecks stand in
+    return evidence
+
+
+def _precheck(evidence: CellEvidence, oracle_name: str) -> OracleVerdict:
+    """Run one network-dependent oracle while the server is still up."""
+    from repro.campaign import oracles as oracle_module
+
+    return oracle_module._ORACLES[oracle_name](evidence)
+
+
+# -- subprocess HA executor ----------------------------------------------
+
+
+def _run_ha(cell: Cell, workdir: Path) -> CellEvidence:
+    """``ha``: primary + backup subprocesses, SIGKILL mid-drive."""
+    from repro.serve.chaos import ChaosConfig, ChaosError, run_cell
+
+    ctx = _CellContext(cell)
+    budget = cell.budget
+    config = ChaosConfig(
+        seed=cell.seed,
+        rib_size=budget.rib_size,
+        shards=2,
+        chips=budget.chips,
+        batches=ctx.batches,
+        batch_size=budget.batch_size,
+        sample_addresses=budget.sample_addresses,
+        workdir=workdir,
+    )
+    # The chaos cluster regenerates the identical RIB from config.seed;
+    # hand it the workload profile's update stream over those routes.
+    generator = ctx.workload.update_generator(ctx.routes, cell.seed + 1)
+    try:
+        result = run_cell(
+            config,
+            workdir,
+            cell.id.replace("/", "_"),
+            ctx.schedule,
+            generator=generator,
+            backend=cell.backend,
+        )
+    except ChaosError as exc:
+        raise RuntimeError(str(exc)) from exc
+    detail = (
+        f"{result.acked_updates} acked updates across "
+        f"{result.failovers} failover(s)"
+    )
+    sub_detail = "engine internals died with the killed process"
+    prechecked = {
+        "zero-acked-loss": OracleVerdict(
+            "zero-acked-loss",
+            PASS,
+            f"survivor serves every acked update ({detail})",
+        ),
+        "lpm-equivalence": OracleVerdict(
+            "lpm-equivalence",
+            PASS,
+            f"{result.checked_addresses} sampled addresses match the "
+            f"reference trie ({result.skipped_addresses} indeterminate "
+            f"skipped)",
+        ),
+        "replay-fingerprint": OracleVerdict(
+            "replay-fingerprint",
+            PASS if result.fingerprint_match else FAIL,
+            "survivor fingerprint equals clean replay of its journal"
+            if result.fingerprint_match
+            else "survivor fingerprint diverged from clean replay",
+        ),
+        "dred-exclusion": OracleVerdict("dred-exclusion", SKIP, sub_detail),
+        "chip-audit": OracleVerdict("chip-audit", SKIP, sub_detail),
+        "state-audit": OracleVerdict("state-audit", SKIP, sub_detail),
+        "storage-audit": OracleVerdict(
+            "storage-audit",
+            PASS,
+            "survivor's epoch journal restored cleanly (replay check)",
+        ),
+    }
+    evidence = CellEvidence(
+        cell=cell,
+        reference=ctx.reference,
+        acked_updates=result.acked_updates,
+        prechecked=prechecked,
+    )
+    evidence.shed_updates = 0
+    return evidence
+
+
+# -- campaign driver -----------------------------------------------------
+
+
+_EXECUTORS: Dict[str, Callable[[Cell, Path], CellEvidence]] = {
+    "inproc": _run_inproc,
+    "inproc-durable": _run_inproc,
+    "serve-1": lambda cell, workdir: _run_serve(cell, workdir, 1),
+    "serve-2": lambda cell, workdir: _run_serve(cell, workdir, 2),
+    "ha": _run_ha,
+}
+
+
+def execute_cell(
+    cell: Cell, workdir: Path, spec_path: Optional[str] = None
+) -> CellResult:
+    """Run one cell end to end; never raises — errors land in the result."""
+    started = time.monotonic()
+    result = CellResult(
+        cell_id=cell.id, ok=False, repro=cell.repro_command(spec_path)
+    )
+    cell_dir = workdir / cell.id.replace("/", "_")
+    cell_dir.mkdir(parents=True, exist_ok=True)
+    try:
+        evidence = _EXECUTORS[cell.topology](cell, cell_dir)
+        result.verdicts = judge(evidence)
+        result.acked_updates = evidence.acked_updates
+        result.shed_updates = evidence.shed_updates
+        result.packets = cell.budget.packets
+        result.ok = all(verdict.ok for verdict in result.verdicts)
+    except Exception as exc:  # noqa: BLE001 - campaign must not abort
+        result.error = f"{type(exc).__name__}: {exc}"
+        result.ok = False
+    result.duration_s = time.monotonic() - started
+    return result
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    spec_path: Optional[str] = None,
+    subset: Optional[str] = None,
+    cells: Optional[Sequence[str]] = None,
+    max_cells: Optional[int] = None,
+    workdir: Optional[Path] = None,
+    log: Callable[[str], None] = print,
+) -> CampaignResult:
+    """Expand the spec and execute every selected cell."""
+    import tempfile
+
+    selected, excluded = spec.expand(
+        subset=subset, cells=cells, max_cells=max_cells
+    )
+    owns_workdir = workdir is None
+    root = Path(
+        workdir
+        if workdir is not None
+        else tempfile.mkdtemp(prefix="repro-campaign-")
+    )
+    campaign = CampaignResult(
+        name=spec.name, spec_path=spec_path or "", excluded=excluded
+    )
+    started = time.monotonic()
+    try:
+        for index, cell in enumerate(selected, start=1):
+            log(f"campaign: [{index}/{len(selected)}] {cell.id} ...")
+            result = execute_cell(cell, root, spec_path)
+            verdict = "ok" if result.ok else "FAIL"
+            names = ", ".join(result.failed_oracles) or result.error
+            suffix = f" ({names})" if not result.ok else ""
+            log(
+                f"campaign: [{index}/{len(selected)}] {cell.id}: "
+                f"{verdict}{suffix} [{result.duration_s:.1f}s]"
+            )
+            campaign.results.append(result)
+    finally:
+        campaign.duration_s = time.monotonic() - started
+        if owns_workdir:
+            shutil.rmtree(root, ignore_errors=True)
+    return campaign

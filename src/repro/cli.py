@@ -631,6 +631,54 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Expand a declarative campaign spec and judge every cell."""
+    from pathlib import Path
+
+    from repro.campaign import (
+        load_spec,
+        render_markdown,
+        run_campaign,
+        write_json,
+        write_markdown,
+    )
+
+    spec = load_spec(args.spec)
+    if args.list:
+        cells, excluded = spec.expand(
+            subset=args.subset, cells=args.cells or None,
+            max_cells=args.max_cells,
+        )
+        for cell in cells:
+            print(cell.id)
+        for cell_id, reason in excluded:
+            print(f"# excluded {cell_id}: {reason}")
+        print(f"# {len(cells)} cells, {len(excluded)} excluded")
+        return 0
+    result = run_campaign(
+        spec,
+        spec_path=args.spec,
+        subset=args.subset,
+        cells=args.cells or None,
+        max_cells=args.max_cells,
+        workdir=Path(args.workdir) if args.workdir else None,
+    )
+    if args.output:
+        write_json(result, Path(args.output))
+        print(f"wrote {args.output}")
+    if args.markdown:
+        write_markdown(result, Path(args.markdown))
+        print(f"wrote {args.markdown}")
+    else:
+        print(render_markdown(result))
+    failed = result.failed
+    print(
+        f"campaign {result.name}: {len(result.results) - len(failed)}/"
+        f"{len(result.results)} cells ok, {len(result.excluded)} excluded"
+    )
+    return 1 if failed else 0
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     """Loopback throughput/latency of the serving plane (BENCH_serve)."""
     import contextlib
@@ -1087,6 +1135,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("-o", "--output", help="write the JSON verdicts")
     chaos.set_defaults(handler=_cmd_chaos)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="run a declarative workload × fault × backend × topology "
+        "campaign judged by the invariant oracles",
+    )
+    campaign.add_argument(
+        "--spec", required=True, help="campaign spec (.toml or .json)"
+    )
+    campaign.add_argument(
+        "--subset",
+        metavar="NAME",
+        help="run only the cells named by this [subsets] entry",
+    )
+    campaign.add_argument(
+        "--cells",
+        action="append",
+        metavar="PATTERN",
+        help="run only cells matching this glob over "
+        "workload/fault/backend/topology ids (repeatable)",
+    )
+    campaign.add_argument(
+        "--max-cells",
+        type=int,
+        help="hard cap on how many cells run (after filters)",
+    )
+    campaign.add_argument(
+        "--list",
+        action="store_true",
+        help="print the expanded cell ids and exclusions, run nothing",
+    )
+    campaign.add_argument(
+        "--workdir",
+        help="keep per-cell state under this directory (default: a "
+        "temporary directory, removed afterwards)",
+    )
+    campaign.add_argument("-o", "--output", help="write campaign.json here")
+    campaign.add_argument(
+        "--markdown", help="write the Markdown summary here instead of stdout"
+    )
+    campaign.set_defaults(handler=_cmd_campaign)
 
     bench_serve = commands.add_parser(
         "bench-serve",

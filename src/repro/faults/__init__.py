@@ -1,6 +1,11 @@
 """Fault injection and graceful degradation for the forwarding plane."""
 
 from repro.faults.injector import STORM_STALL_CYCLES, FaultInjector
+from repro.faults.profiles import (
+    FAULT_PROFILES,
+    FaultProfile,
+    fault_profile,
+)
 from repro.faults.schedule import (
     FaultEvent,
     FaultKind,
@@ -9,10 +14,13 @@ from repro.faults.schedule import (
 )
 
 __all__ = [
+    "FAULT_PROFILES",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
+    "FaultProfile",
     "FaultSchedule",
     "STORM_STALL_CYCLES",
+    "fault_profile",
     "merge_schedules",
 ]

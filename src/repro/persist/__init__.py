@@ -26,7 +26,11 @@ from repro.persist.audit import (
     InvariantViolationError,
 )
 from repro.persist.journal import Journal, JournalError, JournalRecord
-from repro.persist.manager import PersistenceManager, RecoveryReport
+from repro.persist.manager import (
+    PersistenceManager,
+    RecoveryReport,
+    StorageAudit,
+)
 from repro.persist.snapshot import (
     SnapshotError,
     SnapshotStore,
@@ -44,6 +48,7 @@ __all__ = [
     "JournalRecord",
     "PersistenceManager",
     "RecoveryReport",
+    "StorageAudit",
     "SnapshotError",
     "SnapshotStore",
     "load_snapshot",

@@ -73,6 +73,44 @@ class RecoveryReport:
         return "\n".join(lines)
 
 
+@dataclass
+class StorageAudit:
+    """What :meth:`PersistenceManager.verify_storage` found on disk.
+
+    The campaign runner's journal/snapshot oracle: after a cell drives a
+    durable topology, the state directory itself must still be a valid
+    recovery basis — every journal record readable with contiguous
+    sequences, at least one snapshot loading with a verified digest, and
+    the journal suffix actually covering the newest usable snapshot.
+    """
+
+    journal_records: int = 0
+    journal_first_seq: int = 0
+    journal_last_seq: int = 0
+    valid_snapshots: int = 0
+    #: ``path.name: reason`` for snapshots that failed digest/header checks.
+    corrupt_snapshots: List[str] = field(default_factory=list)
+    #: Human-readable violations; empty means the storage is sound.
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else "FAILED"
+        line = (
+            f"storage {verdict}: {self.journal_records} journal records "
+            f"(seq {self.journal_first_seq}..{self.journal_last_seq}), "
+            f"{self.valid_snapshots} valid snapshots"
+        )
+        if self.corrupt_snapshots:
+            line += f", {len(self.corrupt_snapshots)} corrupt"
+        for problem in self.problems:
+            line += f"\n  problem: {problem}"
+        return line
+
+
 class PersistenceManager:
     """Journal-before-apply wrapper plus checkpoint/restore for one system.
 
@@ -285,6 +323,57 @@ class PersistenceManager:
     def close(self) -> None:
         """Durable shutdown (no checkpoint; the journal is enough)."""
         self.journal.close()
+
+    # -- storage audit ---------------------------------------------------
+
+    def verify_storage(self) -> StorageAudit:
+        """Audit the on-disk journal + snapshots as a recovery basis.
+
+        Read-only apart from an initial :meth:`sync` (the buffered tail
+        must be on disk before it can be audited).  Walks every retained
+        journal record — the iterator itself enforces checksums and
+        sequence contiguity — and attempts to load every snapshot, then
+        cross-checks that the newest usable snapshot sits inside the
+        journal's retained window, i.e. that :meth:`restore` would
+        succeed from what is on disk right now.
+        """
+        audit = StorageAudit()
+        if self.journal._handle is not None:
+            self.sync()
+        first = last = 0
+        try:
+            for record in self.journal.records():
+                if not first:
+                    first = record.seq
+                last = record.seq
+                audit.journal_records += 1
+        except JournalError as exc:
+            audit.problems.append(f"journal unreadable: {exc}")
+        audit.journal_first_seq = first
+        audit.journal_last_seq = last
+        newest_valid = -1
+        for path in self.snapshots.paths():
+            try:
+                seq, _state = load_snapshot(path)
+            except SnapshotError as exc:
+                audit.corrupt_snapshots.append(f"{path.name}: {exc}")
+                continue
+            audit.valid_snapshots += 1
+            newest_valid = max(newest_valid, seq)
+        if newest_valid < 0:
+            audit.problems.append("no usable snapshot on disk")
+            return audit
+        if last and newest_valid > last:
+            audit.problems.append(
+                f"newest snapshot seq {newest_valid} beyond the "
+                f"journal's last record {last}"
+            )
+        if first and newest_valid + 1 < first:
+            audit.problems.append(
+                f"journal starts at seq {first}, leaving a replay gap "
+                f"after the newest snapshot (seq {newest_valid})"
+            )
+        return audit
 
     def crash(self, power_loss: bool = False) -> None:
         """Die ungracefully, for crash drills.

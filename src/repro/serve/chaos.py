@@ -144,11 +144,18 @@ class ServerProcess:
             text=True,
             env=env,
         )
-        self.lines: List[str] = []
-        self.port: Optional[int] = None
-        self._port_ready = threading.Event()
-        self._reader = threading.Thread(target=self._pump, daemon=True)
-        self._reader.start()
+        # Everything past the Popen must not leak the child: a failure
+        # here would leave a live server no teardown path knows about.
+        try:
+            self.lines: List[str] = []
+            self.port: Optional[int] = None
+            self._port_ready = threading.Event()
+            self._reader = threading.Thread(target=self._pump, daemon=True)
+            self._reader.start()
+        except BaseException:
+            self.proc.kill()
+            self.proc.wait()
+            raise
 
     def _pump(self) -> None:
         assert self.proc.stdout is not None
@@ -197,12 +204,31 @@ def apply_to_reference(trie: BinaryTrie, batch: Sequence[UpdateMessage]) -> None
             trie.remove_route(message.prefix)
 
 
-class _Cluster:
-    """Shared per-scenario state: workdir, RIB, stream, reference."""
+class Cluster:
+    """Shared per-cell state: workdir, RIB, stream, reference.
 
-    def __init__(self, config: ChaosConfig, name: str, root: Path) -> None:
+    Public since the campaign runner reuses it: one :class:`Cluster` is
+    one HA cell's worth of subprocess state — spawn helpers, the acked
+    update stream, the reference trie it is mirrored onto, and a
+    teardown that reaps every child even when individual kills fail.
+    Use it as a context manager so no code path can leak processes.
+
+    ``generator``/``backend`` parameterize what the chaos scenarios
+    hard-coded: the campaign drives profile-built update streams against
+    any lookup backend, the scenarios keep their original defaults.
+    """
+
+    def __init__(
+        self,
+        config: ChaosConfig,
+        name: str,
+        root: Path,
+        generator: Optional[UpdateGenerator] = None,
+        backend: str = "fast",
+    ) -> None:
         self.config = config
         self.name = name
+        self.backend = backend
         self.dir = root / name
         self.dir.mkdir(parents=True)
         self.routes: List[Route] = generate_rib(
@@ -210,11 +236,19 @@ class _Cluster:
         )
         self.table = self.dir / "table.txt"
         save_table(self.routes, self.table)
-        self.generator = UpdateGenerator(self.routes, seed=config.seed + 1)
+        self.generator = generator or UpdateGenerator(
+            self.routes, seed=config.seed + 1
+        )
         self.reference = BinaryTrie.from_routes(self.routes)
         self.acked_batches = 0
         self.acked_updates = 0
         self.procs: List[ServerProcess] = []
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
 
     # -- spawning -------------------------------------------------------
 
@@ -236,12 +270,13 @@ class _Cluster:
 
     def _engine_flags(self) -> List[str]:
         # The restore path rebuilds with an explicit config, so every
-        # spawn must agree on the engine geometry.
+        # spawn must agree on the engine geometry and lookup backend.
         return [
             "--chips", str(self.config.chips),
             "--dred", "128",
             "--queue", "128",
             "--update-queue", "1024",
+            "--backend", self.backend,
         ]
 
     def spawn_primary(
@@ -342,8 +377,22 @@ class _Cluster:
     # -- teardown -------------------------------------------------------
 
     def shutdown(self) -> None:
+        """Reap every spawned process; one bad kill never strands the rest."""
+        errors = []
         for proc in self.procs:
-            proc.kill()
+            try:
+                proc.kill()
+            except OSError as exc:  # pragma: no cover - kernel races only
+                errors.append(f"{proc.name}: {exc}")
+        if errors:
+            raise ChaosError(
+                "failed to reap subprocess(es): " + "; ".join(errors)
+            )
+
+
+#: Backwards-compatible alias (the class was private before the campaign
+#: runner started reusing it).
+_Cluster = Cluster
 
 
 # -- invariant verification ----------------------------------------------
@@ -427,29 +476,51 @@ def verify_survivor(
         client.close()
 
 
-# -- scenarios -----------------------------------------------------------
+# -- generic kill-primary cell -------------------------------------------
 
 
-def _scenario_kill_primary_mid_storm(
-    config: ChaosConfig, root: Path
+def run_cell(
+    config: ChaosConfig,
+    root: Path,
+    name: str,
+    schedule: FaultSchedule,
+    generator: Optional[UpdateGenerator] = None,
+    backend: str = "fast",
 ) -> ScenarioResult:
-    """SIGKILL the primary while an update storm (and chip faults) rage."""
-    cluster = _Cluster(config, "kill-primary-mid-storm", root)
-    try:
-        kill_at = max(2, config.batches // 2)
-        # Compose engine faults with the process kill in ONE schedule —
-        # the runner executes the kill, the primary arms the rest.
-        schedule = (
-            FaultSchedule(seed=config.seed)
-            .chip_down(40, 0)
-            .chip_up(300, 0)
-            .corrupt(120, config.chips - 1)
-            .stall(200, config.chips - 1, 16)
-            .kill_primary(kill_at)
+    """One generic kill-primary HA cell; the campaign runner's executor.
+
+    Spawns a backup + quorum-replicating primary, arms the schedule's
+    engine-level events on the primary, drives acked update batches
+    (``generator`` overrides the default stream — that is how campaign
+    workload profiles plug in), SIGKILLs the primary at the batch index
+    of the schedule's ``kill-primary`` event, rides the failover, and
+    asserts the three standing invariants against the backup survivor.
+
+    The schedule *must* contain a ``kill-primary`` event: only a backup
+    that never served lookups can pass the byte-identical replay check
+    (a primary's DRed LRU is legitimately mutated outside the journal),
+    so a no-kill HA cell would be structurally unverifiable.
+    """
+    kills = {e.cycle: e.kind for e in schedule.process_kills()}
+    if not kills:
+        raise ChaosError(
+            f"{name}: an HA cell needs a kill-primary event — the backup "
+            f"must be the survivor for replay verification to apply"
         )
-        faults_file = cluster.dir / "faults.txt"
-        save_faults(schedule.engine_only(), faults_file)
-        kills = {e.cycle: e.kind for e in schedule.process_kills()}
+    if any(kind.value == "kill-backup" for kind in kills.values()):
+        raise ChaosError(
+            f"{name}: kill-backup needs a bespoke scenario "
+            f"(re-bootstrap choreography); run_cell only kills primaries"
+        )
+    kill_at = min(kills)
+    with Cluster(
+        config, name, root, generator=generator, backend=backend
+    ) as cluster:
+        engine_events = schedule.engine_only()
+        faults_file: Optional[Path] = None
+        if engine_events.events:
+            faults_file = cluster.dir / "faults.txt"
+            save_faults(engine_events, faults_file)
 
         backup = cluster.spawn_backup("backup")
         primary = cluster.spawn_primary(
@@ -491,8 +562,27 @@ def _scenario_kill_primary_mid_storm(
             skipped_addresses=skipped,
             fingerprint_match=fp_ok,
         )
-    finally:
-        cluster.shutdown()
+
+
+# -- scenarios -----------------------------------------------------------
+
+
+def _scenario_kill_primary_mid_storm(
+    config: ChaosConfig, root: Path
+) -> ScenarioResult:
+    """SIGKILL the primary while an update storm (and chip faults) rage."""
+    kill_at = max(2, config.batches // 2)
+    # Compose engine faults with the process kill in ONE schedule —
+    # the runner executes the kill, the primary arms the rest.
+    schedule = (
+        FaultSchedule(seed=config.seed)
+        .chip_down(40, 0)
+        .chip_up(300, 0)
+        .corrupt(120, config.chips - 1)
+        .stall(200, config.chips - 1, 16)
+        .kill_primary(kill_at)
+    )
+    return run_cell(config, root, "kill-primary-mid-storm", schedule)
 
 
 def _scenario_kill_during_promotion(
@@ -501,7 +591,7 @@ def _scenario_kill_during_promotion(
     """Kill the primary, then kill the backup while it promotes; the
     backup's epoch journal must restore to a serving primary with every
     acked update intact."""
-    cluster = _Cluster(config, "kill-during-promotion", root)
+    cluster = Cluster(config, "kill-during-promotion", root)
     try:
         backup = cluster.spawn_backup("backup")
         primary = cluster.spawn_primary("primary", backup.port)
@@ -541,7 +631,7 @@ def _scenario_backup_death_during_catchup(
 ) -> ScenarioResult:
     """Kill the backup mid-stream, re-bootstrap a fresh one on the same
     port, wait for catch-up, then kill the primary and fail over."""
-    cluster = _Cluster(config, "backup-death-during-catchup", root)
+    cluster = Cluster(config, "backup-death-during-catchup", root)
     try:
         phase = max(2, config.batches // 4)
         backup1 = cluster.spawn_backup("backup1")

@@ -206,6 +206,10 @@ class ServeClient:
         """Tell a backup to promote itself right now (admin command)."""
         return self._admin(protocol.MSG_FAILOVER)
 
+    def flush(self) -> Dict:
+        """Quiesce every shard (apply all queued updates), keep serving."""
+        return self._admin(protocol.MSG_FLUSH)
+
     def drain(self) -> Dict:
         """Ask the server to drain gracefully (same path as SIGTERM)."""
         return self._admin(protocol.MSG_DRAIN)
@@ -382,6 +386,9 @@ class HAClient:
 
     def checkpoint(self) -> Dict:
         return self._with_failover(lambda c: c.checkpoint())
+
+    def flush(self) -> Dict:
+        return self._with_failover(lambda c: c.flush())
 
     # -- lifecycle ------------------------------------------------------
 

@@ -50,6 +50,7 @@ MSG_HEALTH = 0x11
 MSG_CHECKPOINT = 0x12
 MSG_FINGERPRINT = 0x13
 MSG_DRAIN = 0x14
+MSG_FLUSH = 0x15
 MSG_ADMIN_OK = 0x1F
 MSG_BUSY = 0x20
 MSG_ERROR = 0x21
@@ -67,6 +68,7 @@ REQUEST_TYPES = frozenset(
         MSG_CHECKPOINT,
         MSG_FINGERPRINT,
         MSG_DRAIN,
+        MSG_FLUSH,
         MSG_REPLICATE,
         MSG_FAILOVER,
     )

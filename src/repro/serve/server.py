@@ -391,6 +391,8 @@ class ClueServer:
                 return self._do_fingerprint(frame)
             if frame.type == protocol.MSG_FAILOVER:
                 return self._do_failover(frame)
+            if frame.type == protocol.MSG_FLUSH:
+                return self._do_flush(frame)
             if frame.type == protocol.MSG_DRAIN:
                 self._request_shutdown()
                 return self._admin_ok(frame, {"draining": True})
@@ -467,6 +469,21 @@ class ClueServer:
         except ReplicationError as exc:
             return self._error(frame, f"promotion refused: {exc}")
         return self._admin_ok(frame, {"promoted": True, **report})
+
+    def _do_flush(self, frame: Frame) -> bytes:
+        """Quiesce every shard without draining the server.
+
+        The campaign oracles call this before differential checks: after
+        the ack the engine state is a pure function of the acked update
+        stream, yet the server keeps serving — unlike MSG_DRAIN, which
+        is terminal.
+        """
+        if self.shards is None:
+            return self._error(frame, "no shards yet (backup is syncing)")
+        applied = self.shards.flush()
+        if self.shipper is not None:
+            self.shipper.ship()
+        return self._admin_ok(frame, {"flushed": applied})
 
     def _do_checkpoint(self, frame: Frame) -> bytes:
         if self.shards is None or not self.shards.durable:

@@ -91,6 +91,21 @@ class ShardWorker:
         report["durable"] = self.durable
         return report
 
+    def flush(self) -> int:
+        """Drain queued updates and deferred diffs, *keep serving*.
+
+        The quiesce point the campaign oracles need: after a flush the
+        engine state is a pure function of the acked update stream (no
+        update half-applied in the queue), but — unlike :meth:`drain` —
+        the shard stays open for more traffic.  Durable shards journal
+        the drain, so replay reproduces the same quiesce boundary.
+        """
+        if self.manager is not None:
+            applied = self.manager.drain_updates()
+            self.manager.sync()
+            return applied
+        return self.system.drain_updates()
+
     def drain(self) -> int:
         """Flush everything queued or deferred; durable shards also
         checkpoint and close (part of graceful shutdown)."""
@@ -287,6 +302,10 @@ class ShardSet:
 
     def stats(self) -> List[Dict[str, object]]:
         return [worker.report_dict() for worker in self.workers]
+
+    def flush(self) -> int:
+        """Quiesce every shard without closing it (see ShardWorker.flush)."""
+        return sum(worker.flush() for worker in self.workers)
 
     def drain(self) -> int:
         """Flush every shard (queued updates, deferred diffs, journals)."""

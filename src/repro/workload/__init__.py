@@ -25,6 +25,11 @@ from repro.workload.traces import (
     save_table,
     save_updates,
 )
+from repro.workload.profiles import (
+    WORKLOADS,
+    WorkloadProfile,
+    workload_profile,
+)
 from repro.workload.trafficgen import TrafficGenerator, TrafficParameters
 from repro.workload.updategen import (
     UpdateGenerator,
@@ -46,6 +51,8 @@ __all__ = [
     "UpdateKind",
     "UpdateMessage",
     "UpdateParameters",
+    "WORKLOADS",
+    "WorkloadProfile",
     "generate_rib",
     "length_histogram",
     "load_faults",
@@ -59,4 +66,5 @@ __all__ = [
     "save_packets",
     "save_table",
     "save_updates",
+    "workload_profile",
 ]

@@ -1,0 +1,122 @@
+"""Spec-addressable workload profiles for the campaign runner.
+
+A :class:`WorkloadProfile` names one (traffic, update) generator regime
+so a campaign spec can say ``workload = "storm"`` instead of spelling
+out a dozen generator parameters.  The registry deliberately spans the
+regimes the CRAM-lens argument (PAPERS.md) says a lookup system must be
+evaluated across, not just the single calibrated point of the paper's
+figures:
+
+* ``fig15`` — the paper's load-balance workload: Zipf 1.1 skew with the
+  default temporal locality, and the long-observed BGP update mix;
+* ``skewed`` — an adversarially hot trace (Zipf 1.6, 95% locality):
+  most packets hit a handful of prefixes, the regime where DRed load
+  diversion does all the work;
+* ``storm`` — update-dominated: bursty announce/withdraw churn (every
+  burst ~30x the mean rate) against mildly skewed traffic, the regime
+  where the bounded queue's shed/defer/flush backpressure engages;
+* ``uniform`` — no skew, no locality: the worst case for any cache, the
+  regime where raw per-chip lookup throughput is all that matters.
+
+Profiles are pure data; the generators they build are the existing
+:class:`~repro.workload.trafficgen.TrafficGenerator` and
+:class:`~repro.workload.updategen.UpdateGenerator`, so a profile name
+plus a seed fully determines the byte stream a campaign cell sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.prefix import Prefix
+from repro.workload.trafficgen import TrafficGenerator, TrafficParameters
+from repro.workload.updategen import (
+    UpdateGenerator,
+    UpdateMessage,
+    UpdateParameters,
+)
+
+Route = Tuple[Prefix, int]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One named (traffic, update) generator regime."""
+
+    name: str
+    description: str
+    traffic: TrafficParameters = field(default_factory=TrafficParameters)
+    updates: UpdateParameters = field(default_factory=UpdateParameters)
+    #: Multiplier a runner applies to its update budget — storm regimes
+    #: push proportionally more control-plane churn per cell.
+    update_weight: float = 1.0
+
+    def traffic_generator(
+        self, routes: Sequence[Route], seed: int
+    ) -> TrafficGenerator:
+        return TrafficGenerator(routes, seed=seed, parameters=self.traffic)
+
+    def update_generator(
+        self, routes: Sequence[Route], seed: int
+    ) -> UpdateGenerator:
+        return UpdateGenerator(routes, seed=seed, parameters=self.updates)
+
+    def take_updates(
+        self, routes: Sequence[Route], seed: int, count: int
+    ) -> List[UpdateMessage]:
+        """The cell's update stream, scaled by :attr:`update_weight`."""
+        scaled = max(1, int(count * self.update_weight))
+        return self.update_generator(routes, seed).take(scaled)
+
+
+WORKLOADS: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        WorkloadProfile(
+            name="fig15",
+            description="paper's load-balance point: Zipf 1.1, default mix",
+        ),
+        WorkloadProfile(
+            name="skewed",
+            description="hot-prefix regime: Zipf 1.6, 95% locality",
+            traffic=TrafficParameters(
+                zipf_exponent=1.6,
+                locality=0.95,
+                working_set_size=128,
+            ),
+        ),
+        WorkloadProfile(
+            name="storm",
+            description="update-dominated: heavy announce/withdraw bursts",
+            traffic=TrafficParameters(zipf_exponent=1.2),
+            updates=UpdateParameters(
+                burst_probability=0.35,
+                burst_rate_multiplier=30.0,
+                burst_length_mean=200.0,
+                flap_concentration=0.85,
+            ),
+            update_weight=2.0,
+        ),
+        WorkloadProfile(
+            name="uniform",
+            description="no skew, no locality: the cache's worst case",
+            traffic=TrafficParameters(
+                zipf_exponent=0.01,
+                locality=0.0,
+                working_set_size=1,
+            ),
+        ),
+    )
+}
+
+
+def workload_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by name; unknown names list the registry."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload profile {name!r}; "
+            f"known: {', '.join(sorted(WORKLOADS))}"
+        ) from None

@@ -1,0 +1,187 @@
+"""Spec parsing, validation, and matrix expansion."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    CellBudget,
+    SpecError,
+    _cell_seed,
+    _parse_toml_subset,
+    load_spec,
+    spec_from_dict,
+)
+
+FULL_TOML = """
+[campaign]
+name = "demo"
+seed = 13
+
+[budget]
+packets = 500
+updates = 48
+
+[matrix]
+workloads = ["fig15", "skewed"]
+faults = ["none", "chip-flap"]
+backends = ["fast"]
+topologies = ["inproc", "inproc-durable"]
+
+[filters]
+exclude = ["skewed/chip-flap/*"]
+
+[subsets]
+smoke = ["fig15/none/fast/inproc"]
+"""
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def test_toml_spec_round_trip(tmp_path):
+    spec = load_spec(_write(tmp_path, "demo.toml", FULL_TOML))
+    assert spec.name == "demo"
+    assert spec.seed == 13
+    assert spec.budget.packets == 500
+    assert spec.workloads == ["fig15", "skewed"]
+    cells, excluded = spec.expand()
+    ids = [cell.id for cell in cells]
+    # 2×2×1×2 = 8 combos, minus the 2 glob-excluded ones.
+    assert len(ids) == 6
+    assert not excluded
+    assert "skewed/chip-flap/fast/inproc" not in ids
+
+
+def test_json_spec_equivalent(tmp_path):
+    data = {
+        "campaign": {"name": "demo", "seed": 13},
+        "matrix": {"workloads": ["fig15"], "topologies": ["inproc"]},
+    }
+    spec = load_spec(_write(tmp_path, "demo.json", json.dumps(data)))
+    cells, _ = spec.expand()
+    assert [cell.id for cell in cells] == ["fig15/none/fast/inproc"]
+
+
+def test_fallback_parser_matches_tomllib():
+    tomllib = pytest.importorskip("tomllib")
+    assert _parse_toml_subset(FULL_TOML, "<mem>") == tomllib.loads(FULL_TOML)
+
+
+def test_fallback_parser_rejects_escapes():
+    with pytest.raises(SpecError, match="escapes in strings"):
+        _parse_toml_subset('[campaign]\nname = "a\\"b"', "<mem>")
+
+
+def test_fallback_parser_names_the_line():
+    with pytest.raises(SpecError, match="<mem>:3"):
+        _parse_toml_subset("[campaign]\nseed = 1\nbogus line", "<mem>")
+
+
+def test_unknown_axis_value_lists_known_ones():
+    with pytest.raises(SpecError, match=r"unknown value\(s\) 'warp'"):
+        spec_from_dict({"matrix": {"workloads": ["warp"]}})
+    with pytest.raises(SpecError, match="known: fast"):
+        spec_from_dict({"matrix": {"backends": ["gpu"]}})
+
+
+def test_unknown_section_rejected():
+    with pytest.raises(SpecError, match="unknown section"):
+        spec_from_dict({"matrics": {}})
+
+
+def test_bad_budget_key_rejected():
+    with pytest.raises(SpecError, match=r"bad \[budget\] key"):
+        spec_from_dict({"budget": {"pakkets": 3}})
+
+
+def test_budget_floor_enforced():
+    with pytest.raises(SpecError, match="budget.updates must be at least 1"):
+        spec_from_dict({"budget": {"updates": 0}})
+
+
+def test_duplicate_axis_value_rejected():
+    with pytest.raises(SpecError, match="repeats a value"):
+        spec_from_dict({"matrix": {"workloads": ["fig15", "fig15"]}})
+
+
+def test_unsupported_suffix(tmp_path):
+    path = _write(tmp_path, "spec.yaml", "campaign: {}")
+    with pytest.raises(SpecError, match="unsupported spec format"):
+        load_spec(path)
+
+
+def test_structural_exclusions_are_reported_not_dropped():
+    spec = spec_from_dict(
+        {
+            "matrix": {
+                "faults": ["none", "kill-primary", "storm"],
+                "topologies": ["inproc", "inproc-durable", "ha"],
+            }
+        }
+    )
+    cells, excluded = spec.expand()
+    ids = {cell.id for cell in cells}
+    reasons = dict(excluded)
+    # kill-primary runs only under ha; ha runs only with kill-primary.
+    assert "fig15/kill-primary/fast/ha" in ids
+    assert "process-kill" in reasons["fig15/kill-primary/fast/inproc"]
+    assert "kill-primary fault" in reasons["fig15/none/fast/ha"]
+    # storm faults bypass the journal: durable topologies refuse them.
+    assert "fig15/storm/fast/inproc" in ids
+    assert "journal" in reasons["fig15/storm/fast/inproc-durable"]
+
+
+def test_subset_selection_and_unknown_subset():
+    spec = spec_from_dict(
+        {
+            "matrix": {"workloads": ["fig15", "skewed"]},
+            "subsets": {"tiny": ["fig15/*"]},
+        }
+    )
+    cells, _ = spec.expand(subset="tiny")
+    assert [cell.id for cell in cells] == ["fig15/none/fast/inproc"]
+    with pytest.raises(SpecError, match="spec defines: tiny"):
+        spec.expand(subset="smoke")
+
+
+def test_cell_pattern_matching_nothing_is_an_error():
+    spec = CampaignSpec()
+    with pytest.raises(SpecError, match="match nothing"):
+        spec.expand(cells=["nope/*"])
+
+
+def test_max_cells_truncates_in_matrix_order():
+    spec = spec_from_dict({"matrix": {"workloads": ["fig15", "skewed"]}})
+    cells, _ = spec.expand(max_cells=1)
+    assert [cell.id for cell in cells] == ["fig15/none/fast/inproc"]
+
+
+def test_cell_seeds_are_deterministic_and_distinct():
+    spec = spec_from_dict({"matrix": {"workloads": ["fig15", "skewed"]}})
+    first, _ = spec.expand()
+    second, _ = spec.expand()
+    assert [cell.seed for cell in first] == [cell.seed for cell in second]
+    assert len({cell.seed for cell in first}) == len(first)
+    assert _cell_seed(7, "a/b/c/d") != _cell_seed(8, "a/b/c/d")
+
+
+def test_repro_command_names_the_cell():
+    spec = CampaignSpec()
+    cells, _ = spec.expand()
+    command = cells[0].repro_command("spec.toml")
+    assert "--spec spec.toml" in command
+    assert "'fig15/none/fast/inproc'" in command
+
+
+def test_budget_is_frozen_and_carried():
+    budget = CellBudget(packets=9, updates=9)
+    spec = CampaignSpec(budget=budget)
+    cells, _ = spec.expand()
+    assert cells[0].budget.packets == 9
+    with pytest.raises(AttributeError):
+        cells[0].budget.packets = 10

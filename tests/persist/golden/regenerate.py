@@ -1,0 +1,111 @@
+"""Regenerate the golden journal+snapshot corpus.
+
+Run from the repository root after an *intentional* on-disk format
+change::
+
+    PYTHONPATH=src python tests/persist/golden/regenerate.py
+
+Each fixture is a complete persistence state directory (journal segments
+plus snapshots) produced by a fully seeded run — generators use seeded
+RNG clocks, so regeneration is deterministic.  ``expected.json`` pins
+what the committed bytes must keep producing:
+
+* ``fingerprint`` — the restored system's state fingerprint;
+* ``state_sha256`` — digest of the restored state's canonical snapshot
+  encoding (catches codec drift that fingerprints might forgive);
+* ``journal_records`` / ``snapshots`` — the corpus shape, so a partial
+  checkout or overeager cleanup fails loudly.
+
+The regression test never runs this file; it only reads the committed
+corpus.  If the test fails after a deliberate format change, rerun this
+script and commit the new corpus *together with* the code change.
+"""
+
+import json
+import shutil
+import sys
+from pathlib import Path
+
+from repro.core.config import SystemConfig
+from repro.core.system import ClueSystem
+from repro.engine.simulator import EngineConfig
+from repro.persist.manager import PersistenceManager
+from repro.persist.snapshot import dumps_state, state_digest
+from repro.workload.ribgen import RibParameters, generate_rib
+from repro.workload.updategen import UpdateGenerator, UpdateParameters
+
+GOLDEN_ROOT = Path(__file__).resolve().parent
+
+CONFIG = SystemConfig(
+    engine=EngineConfig(chip_count=2, dred_capacity=64, queue_capacity=64),
+    update_queue_capacity=256,
+)
+
+
+def _build(name, seed, updates, checkpoint_every, parameters=None):
+    state_dir = GOLDEN_ROOT / name / "state"
+    if state_dir.parent.exists():
+        shutil.rmtree(state_dir.parent)
+    routes = generate_rib(seed, RibParameters(size=120))
+    system = ClueSystem(routes, CONFIG)
+    manager = PersistenceManager(
+        system,
+        state_dir,
+        checkpoint_every=checkpoint_every,
+        sync_interval=4,
+        segment_records=32,
+    )
+    stream = UpdateGenerator(
+        routes, seed=seed + 1, parameters=parameters
+    ).take(updates)
+    for message in stream:
+        if manager.offer_update(message):
+            manager.pump_updates(2)
+    manager.drain_updates()
+    fingerprint = system.state_fingerprint()
+    state = system.capture_state()
+    manager.sync()
+    manager.close()
+    audit = None
+    restored, _report = PersistenceManager.restore(state_dir, config=CONFIG)
+    try:
+        assert restored.system.state_fingerprint() == fingerprint
+        audit = restored.verify_storage()
+        assert audit.ok, audit.problems
+    finally:
+        restored.close()
+    expected = {
+        "fingerprint": fingerprint,
+        "state_sha256": state_digest(state),
+        "state_bytes": len(dumps_state(state)),
+        "journal_records": audit.journal_records,
+        "snapshots": audit.valid_snapshots,
+    }
+    (GOLDEN_ROOT / name / "expected.json").write_text(
+        json.dumps(expected, indent=2, sort_keys=True) + "\n",
+        encoding="ascii",
+    )
+    print(f"{name}: {audit.summary()}  fingerprint={fingerprint[:16]}…")
+
+
+def main():
+    # Announce-heavy churn, one final checkpoint: restore = snapshot only.
+    _build("announce-only", seed=31, updates=48, checkpoint_every=48)
+    # Frequent checkpoints: several snapshots plus a journal tail, so
+    # restore picks the newest snapshot and replays the remainder.
+    _build("churn-checkpoint", seed=32, updates=60, checkpoint_every=16)
+    # Flap-heavy stream (announce/withdraw of the same hot prefixes) and
+    # no checkpoint cadence: restore replays the whole journal from the
+    # bootstrap snapshot.
+    _build(
+        "flap-replay",
+        seed=33,
+        updates=40,
+        checkpoint_every=0,
+        parameters=UpdateParameters(flap_concentration=0.9),
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

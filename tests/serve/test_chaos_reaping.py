@@ -1,0 +1,115 @@
+"""No chaos code path may strand a live server subprocess.
+
+The historical bug: :class:`ServerProcess` started its stdout reader
+thread *after* the ``Popen``; if that setup raised (thread limit hit,
+allocation failure), the constructor propagated the exception with the
+child alive and unrecorded — no teardown path knew its PID.  These tests
+pin the fix: a failure anywhere between ``Popen`` and a registered
+process must reap the child before the exception escapes.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve import chaos
+from repro.serve.chaos import ChaosError, ServerProcess
+
+
+class _RecordingPopen:
+    """Stub child: records lifecycle calls, reports liveness honestly."""
+
+    spawned = []
+
+    def __init__(self, *args, **kwargs):
+        self.killed = False
+        self.waited = False
+        self.stdout = None
+        _RecordingPopen.spawned.append(self)
+
+    def poll(self):
+        return 1 if self.killed else None
+
+    def kill(self):
+        self.killed = True
+
+    def wait(self, timeout=None):
+        self.waited = True
+        return 1
+
+
+@pytest.fixture(autouse=True)
+def _fresh_spawn_log():
+    _RecordingPopen.spawned = []
+    yield
+
+
+def test_reader_thread_failure_reaps_the_child(monkeypatch):
+    monkeypatch.setattr(chaos.subprocess, "Popen", _RecordingPopen)
+
+    class ExplodingThread(threading.Thread):
+        def start(self):
+            raise RuntimeError("can't start new thread")
+
+    monkeypatch.setattr(chaos.threading, "Thread", ExplodingThread)
+    with pytest.raises(RuntimeError, match="can't start new thread"):
+        ServerProcess("doomed", ["serve", "--port", "0"])
+    assert len(_RecordingPopen.spawned) == 1
+    child = _RecordingPopen.spawned[0]
+    assert child.killed, "child left running after mid-setup failure"
+    assert child.waited, "child killed but never reaped (zombie)"
+
+
+def test_successful_setup_does_not_kill(monkeypatch):
+    monkeypatch.setattr(chaos.subprocess, "Popen", _RecordingPopen)
+
+    class InertThread(threading.Thread):
+        def start(self):  # never touches the stub's stdout
+            pass
+
+    monkeypatch.setattr(chaos.threading, "Thread", InertThread)
+    proc = ServerProcess("fine", ["serve", "--port", "0"])
+    assert proc.alive
+    assert not _RecordingPopen.spawned[0].killed
+
+
+def test_cluster_shutdown_reaps_every_process_despite_errors(tmp_path):
+    cluster = chaos.Cluster(
+        chaos.ChaosConfig(quick=True), "reap-test", tmp_path
+    )
+
+    class FlakyKill:
+        def __init__(self, name, fail):
+            self.name = name
+            self.fail = fail
+            self.killed = False
+
+        def kill(self):
+            if self.fail:
+                raise OSError("kill refused")
+            self.killed = True
+
+    good_a = FlakyKill("a", fail=False)
+    bad = FlakyKill("b", fail=True)
+    good_c = FlakyKill("c", fail=False)
+    cluster.procs[:] = [good_a, bad, good_c]
+    with pytest.raises(ChaosError, match="b: kill refused"):
+        cluster.shutdown()
+    # The failing middle process must not strand its successors.
+    assert good_a.killed and good_c.killed
+
+
+def test_cluster_is_a_context_manager(tmp_path):
+    killed = []
+
+    class Stub:
+        name = "stub"
+
+        def kill(self):
+            killed.append(self)
+
+    with chaos.Cluster(
+        chaos.ChaosConfig(quick=True), "ctx-test", tmp_path
+    ) as cluster:
+        cluster.procs.append(Stub())
+    assert len(killed) == 1

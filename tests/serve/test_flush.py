@@ -1,0 +1,88 @@
+"""MSG_FLUSH: the campaign runner's quiesce point, over the wire.
+
+Flush differs from drain — it applies every queued update and syncs the
+journal but leaves the server serving; drain checkpoints and closes.
+The campaign needs exactly that: a moment where the system is fully
+caught up and durable, *before* traffic, without ending the cell.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.engine.simulator import EngineConfig
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, ServerThread
+from repro.serve.shard import ShardSet
+from repro.workload.ribgen import RibParameters, generate_rib
+from repro.workload.updategen import UpdateGenerator
+
+CONFIG = SystemConfig(
+    engine=EngineConfig(chip_count=2, dred_capacity=64, queue_capacity=64),
+    update_queue_capacity=256,
+)
+
+
+@pytest.fixture
+def routes():
+    return generate_rib(5, RibParameters(size=150))
+
+
+def _serve(routes, tmp_path=None, shard_count=2):
+    shards = ShardSet.build(
+        routes,
+        shard_count=shard_count,
+        config=CONFIG,
+        journal_dir=tmp_path,
+    )
+    return shards, ServerThread(shards, ServeConfig())
+
+
+def test_flush_applies_queued_updates(routes, tmp_path):
+    shards, thread = _serve(routes, tmp_path / "state")
+    with thread:
+        with ServeClient("127.0.0.1", thread.server.port) as client:
+            batch = UpdateGenerator(routes, seed=9).take(40)
+            ack = client.update(batch)
+            assert ack.accepted == 40
+            result = client.flush()
+            fingerprint = client.fingerprint()
+    # Everything the flush applied must already be on disk: a clean
+    # restore of the journal reproduces the exact served state.
+    restored, _reports = ShardSet.restore(tmp_path / "state", config=CONFIG)
+    try:
+        assert restored.fingerprint() == fingerprint
+    finally:
+        for worker in restored.workers:
+            if worker.manager is not None:
+                worker.manager.close()
+    assert result["flushed"] >= 0
+
+
+def test_flush_without_journal_still_applies(routes):
+    shards, thread = _serve(routes, tmp_path=None, shard_count=1)
+    with thread:
+        with ServeClient("127.0.0.1", thread.server.port) as client:
+            batch = UpdateGenerator(routes, seed=9).take(24)
+            client.update(batch)
+            client.flush()
+            # The queue is empty: flushing again applies nothing.
+            assert client.flush()["flushed"] == 0
+
+
+def test_flush_keeps_serving(routes):
+    shards, thread = _serve(routes, tmp_path=None, shard_count=1)
+    with thread:
+        with ServeClient("127.0.0.1", thread.server.port) as client:
+            client.flush()
+            hops = client.lookup([routes[0][0].network])
+            assert len(hops) == 1
+
+
+def test_shardset_flush_sums_workers(routes):
+    shards = ShardSet.build(routes, shard_count=2, config=CONFIG)
+    stream = UpdateGenerator(routes, seed=11).take(30)
+    for message in stream:
+        shards.update([message])
+    assert shards.flush() >= 0
+    for worker in shards.workers:
+        assert worker.system.scheduler.queue.is_empty

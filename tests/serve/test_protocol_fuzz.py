@@ -1,0 +1,149 @@
+"""Property/fuzz tests for the wire-protocol frame codec.
+
+Hypothesis drives three hostile-stream properties the hand-written
+protocol tests cannot cover exhaustively:
+
+* any (type, request_id, payload) round-trips byte-identically through
+  ``encode_frame`` → ``read_frame_blocking``, alone and concatenated;
+* truncating an encoded frame at *any* byte boundary raises
+  :class:`ProtocolError` (peer died mid-send) — never a hang, never a
+  mangled frame;
+* a frame whose header advertises a payload beyond ``MAX_FRAME_BYTES``
+  is rejected from the header alone, before any payload is read.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    read_frame_blocking,
+)
+
+payloads = st.binary(max_size=2048)
+msg_types = st.integers(min_value=0, max_value=255)
+request_ids = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _roundtrip(wire: bytes):
+    """Feed raw bytes through a real socket pair, read frames back."""
+    left, right = socket.socketpair()
+    frames = []
+    error = []
+
+    def reader():
+        try:
+            while True:
+                frame = read_frame_blocking(right)
+                if frame is None:
+                    return
+                frames.append(frame)
+        except ProtocolError as exc:
+            error.append(exc)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        left.sendall(wire)
+    finally:
+        left.close()
+    thread.join(timeout=10)
+    assert not thread.is_alive(), "reader hung on hostile input"
+    right.close()
+    return frames, error
+
+
+@given(msg_type=msg_types, request_id=request_ids, payload=payloads)
+@settings(max_examples=150, deadline=None)
+def test_frame_roundtrip(msg_type, request_id, payload):
+    frames, error = _roundtrip(encode_frame(msg_type, request_id, payload))
+    assert not error
+    assert len(frames) == 1
+    frame = frames[0]
+    assert frame.type == msg_type
+    assert frame.request_id == request_id
+    assert frame.payload == payload
+
+
+@given(
+    parts=st.lists(
+        st.tuples(msg_types, request_ids, st.binary(max_size=256)),
+        min_size=2,
+        max_size=6,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_concatenated_frames_stay_delimited(parts):
+    wire = b"".join(encode_frame(*part) for part in parts)
+    frames, error = _roundtrip(wire)
+    assert not error
+    assert [(f.type, f.request_id, f.payload) for f in frames] == parts
+
+
+@given(
+    msg_type=msg_types,
+    request_id=request_ids,
+    payload=st.binary(min_size=0, max_size=512),
+    data=st.data(),
+)
+@settings(max_examples=150, deadline=None)
+def test_truncated_frame_raises(msg_type, request_id, payload, data):
+    wire = encode_frame(msg_type, request_id, payload)
+    cut = data.draw(st.integers(min_value=1, max_value=len(wire) - 1))
+    frames, error = _roundtrip(wire[:cut])
+    assert not frames
+    assert len(error) == 1
+    assert "closed mid-" in str(error[0])
+
+
+@given(
+    excess=st.integers(min_value=1, max_value=2**31 - MAX_FRAME_BYTES - 6),
+    msg_type=msg_types,
+    request_id=request_ids,
+)
+@settings(max_examples=80, deadline=None)
+def test_oversize_header_rejected_without_reading_payload(
+    excess, msg_type, request_id
+):
+    length = MAX_FRAME_BYTES + 5 + excess
+    header = struct.pack("!IBI", length, msg_type, request_id)
+    # Only the header goes over the wire: rejection must not wait for
+    # (gigabytes of) payload that will never arrive.
+    frames, error = _roundtrip(header)
+    assert not frames
+    assert len(error) == 1
+    assert "exceeds" in str(error[0])
+
+
+@given(length=st.integers(min_value=0, max_value=4))
+@settings(max_examples=10, deadline=None)
+def test_undersize_length_rejected(length):
+    header = struct.pack("!IBI", length, 0x01, 7)
+    frames, error = _roundtrip(header)
+    assert not frames
+    assert len(error) == 1
+    assert "below the 5-byte header" in str(error[0])
+
+
+def test_encode_rejects_oversize_payload():
+    with pytest.raises(ProtocolError, match="exceeds"):
+        encode_frame(0x01, 1, b"\x00" * (MAX_FRAME_BYTES + 1))
+
+
+@given(payload=st.binary(max_size=64))
+@settings(max_examples=30, deadline=None)
+def test_garbage_after_valid_frame_is_contained(payload):
+    wire = encode_frame(protocol.MSG_HEALTH, 1, payload) + b"\xff\xff"
+    frames, error = _roundtrip(wire)
+    # The valid frame decodes; the trailing garbage is a mid-header EOF.
+    assert len(frames) == 1
+    assert frames[0].payload == payload
+    assert len(error) == 1
