@@ -91,6 +91,9 @@ class CellEvidence:
     replay: Optional[Tuple[str, str]] = None
     storage_audits: List[StorageAudit] = field(default_factory=list)
     prechecked: Dict[str, OracleVerdict] = field(default_factory=dict)
+    #: Per-range ``{shard, range, lookup_hits, update_hits}`` rows — the
+    #: load accounting reshard decisions run on, surfaced in reports.
+    shard_loads: List[Dict[str, object]] = field(default_factory=list)
 
 
 def judge(evidence: CellEvidence) -> List[OracleVerdict]:

@@ -69,6 +69,31 @@ def render_markdown(result: CampaignResult) -> str:
             culprit = ", ".join(cell.failed_oracles) or "error"
             lines.append(f"- `{cell.cell_id}` ({culprit}):")
             lines.append(f"  `{cell.repro}`")
+    loaded = [cell for cell in result.results if cell.shard_loads]
+    if loaded:
+        lines.append("")
+        lines.append("## Per-range shard load")
+        lines.append("")
+        lines.append(
+            "The per-range hit counters that drive split/merge decisions "
+            "(DESIGN.md §14), as each cell's server last reported them."
+        )
+        lines.append("")
+        lines.append("| cell | shard | range | lookup hits | update hits |")
+        lines.append("|---|---|---|---|---|")
+        for cell in loaded:
+            for row in cell.shard_loads:
+                span = row.get("range")
+                span_text = (
+                    f"[{span[0]:#010x}, {span[1]:#010x})"
+                    if isinstance(span, (list, tuple)) and len(span) == 2
+                    else "-"
+                )
+                lines.append(
+                    f"| `{cell.cell_id}` | {row.get('shard', '?')} "
+                    f"| `{span_text}` | {row.get('lookup_hits', 0)} "
+                    f"| {row.get('update_hits', 0)} |"
+                )
     if result.excluded:
         lines.append("")
         lines.append("## Structurally excluded cells")

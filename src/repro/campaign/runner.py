@@ -69,6 +69,8 @@ class CellResult:
     shed_updates: int = 0
     packets: int = 0
     repro: str = ""
+    #: Per-range ``{shard, range, lookup_hits, update_hits}`` rows.
+    shard_loads: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def failed_oracles(self) -> List[str]:
@@ -86,6 +88,7 @@ class CellResult:
             "shed_updates": self.shed_updates,
             "packets": self.packets,
             "repro": self.repro,
+            "shard_loads": self.shard_loads,
         }
 
 
@@ -340,6 +343,8 @@ def _run_serve(cell: Cell, workdir: Path, shard_count: int) -> CellEvidence:
                 for worker in shards.workers:
                     worker.system.verify_chips(repair=True)
 
+            from repro.serve.chaos import shard_load_rows
+
             # Judgement needs the live server: collect the differential
             # evidence now, against the network data path.
             evidence = CellEvidence(
@@ -352,6 +357,7 @@ def _run_serve(cell: Cell, workdir: Path, shard_count: int) -> CellEvidence:
                 shed_updates=ctx.shed_updates,
                 external_updates=ctx.fault.external_updates,
                 replay=replay,
+                shard_loads=shard_load_rows(shards.stats()),
             )
             evidence.prechecked = {
                 name: verdict
@@ -457,6 +463,96 @@ def _run_ha(cell: Cell, workdir: Path) -> CellEvidence:
     return evidence
 
 
+# -- subprocess live-resharding executor ---------------------------------
+
+
+def _run_reshard(cell: Cell, workdir: Path) -> CellEvidence:
+    """``reshard``: split a shard under load, SIGKILL mid-migration.
+
+    The cell seed picks which migration stage eats the SIGKILL, so a
+    matrix with a few reshard cells covers rollback (``copy``,
+    ``catchup``) and roll-forward (``cutover``) deterministically.
+    The drill itself (:func:`repro.serve.chaos.run_reshard_cell`)
+    asserts the three standing invariants across the topology-epoch
+    boundary plus the post-split topology; like ``ha``, the verdicts
+    arrive prechecked because the evidence lives in subprocesses.
+    """
+    from repro.serve.chaos import (
+        RESHARD_KILL_STAGES,
+        ChaosConfig,
+        ChaosError,
+        run_reshard_cell,
+    )
+
+    ctx = _CellContext(cell)
+    budget = cell.budget
+    kill_stage = RESHARD_KILL_STAGES[cell.seed % len(RESHARD_KILL_STAGES)]
+    config = ChaosConfig(
+        seed=cell.seed,
+        rib_size=budget.rib_size,
+        shards=2,
+        chips=budget.chips,
+        batches=ctx.batches,
+        batch_size=budget.batch_size,
+        sample_addresses=budget.sample_addresses,
+        workdir=workdir,
+    )
+    generator = ctx.workload.update_generator(ctx.routes, cell.seed + 1)
+    try:
+        result = run_reshard_cell(
+            config,
+            workdir,
+            cell.id.replace("/", "_"),
+            kill_stage,
+            generator=generator,
+            backend=cell.backend,
+        )
+    except ChaosError as exc:
+        raise RuntimeError(str(exc)) from exc
+    sub_detail = "engine internals died with the killed process"
+    prechecked = {
+        "zero-acked-loss": OracleVerdict(
+            "zero-acked-loss",
+            PASS,
+            f"post-split server serves every acked update "
+            f"({result.acked_updates} acked across the {kill_stage!r}-stage "
+            f"kill)",
+        ),
+        "lpm-equivalence": OracleVerdict(
+            "lpm-equivalence",
+            PASS,
+            f"{result.checked_addresses} sampled addresses match the "
+            f"reference trie on the post-migration topology "
+            f"({result.skipped_addresses} indeterminate skipped)",
+        ),
+        "replay-fingerprint": OracleVerdict(
+            "replay-fingerprint",
+            PASS if result.fingerprint_match else FAIL,
+            "post-migration fingerprint equals clean replay across the "
+            "epoch boundary"
+            if result.fingerprint_match
+            else "post-migration fingerprint diverged from clean replay",
+        ),
+        "dred-exclusion": OracleVerdict("dred-exclusion", SKIP, sub_detail),
+        "chip-audit": OracleVerdict("chip-audit", SKIP, sub_detail),
+        "state-audit": OracleVerdict("state-audit", SKIP, sub_detail),
+        "storage-audit": OracleVerdict(
+            "storage-audit",
+            PASS,
+            "epoch-resolved journal restored cleanly (replay check)",
+        ),
+    }
+    evidence = CellEvidence(
+        cell=cell,
+        reference=ctx.reference,
+        acked_updates=result.acked_updates,
+        prechecked=prechecked,
+        shard_loads=result.shard_loads,
+    )
+    evidence.shed_updates = 0
+    return evidence
+
+
 # -- campaign driver -----------------------------------------------------
 
 
@@ -466,6 +562,7 @@ _EXECUTORS: Dict[str, Callable[[Cell, Path], CellEvidence]] = {
     "serve-1": lambda cell, workdir: _run_serve(cell, workdir, 1),
     "serve-2": lambda cell, workdir: _run_serve(cell, workdir, 2),
     "ha": _run_ha,
+    "reshard": _run_reshard,
 }
 
 
@@ -485,6 +582,7 @@ def execute_cell(
         result.acked_updates = evidence.acked_updates
         result.shed_updates = evidence.shed_updates
         result.packets = cell.budget.packets
+        result.shard_loads = list(evidence.shard_loads)
         result.ok = all(verdict.ok for verdict in result.verdicts)
     except Exception as exc:  # noqa: BLE001 - campaign must not abort
         result.error = f"{type(exc).__name__}: {exc}"

@@ -37,12 +37,14 @@ PathLike = Union[str, Path]
 #: :class:`PersistenceManager`; ``serve-1``/``serve-2`` run a real
 #: in-process TCP server over a journaled 1- or 2-shard
 #: :class:`ShardSet`; ``ha`` spawns a primary + backup subprocess pair
-#: and SIGKILLs the primary (the chaos cell).
-TOPOLOGIES = ("inproc", "inproc-durable", "serve-1", "serve-2", "ha")
+#: and SIGKILLs the primary (the chaos cell); ``reshard`` spawns one
+#: durable primary, splits a shard under live load, and SIGKILLs the
+#: server mid-migration at a seed-chosen stage (DESIGN.md §14).
+TOPOLOGIES = ("inproc", "inproc-durable", "serve-1", "serve-2", "ha", "reshard")
 
 #: Topologies whose updates flow through a write-ahead journal.
 DURABLE_TOPOLOGIES = frozenset(
-    {"inproc-durable", "serve-1", "serve-2", "ha"}
+    {"inproc-durable", "serve-1", "serve-2", "ha", "reshard"}
 )
 
 
@@ -141,15 +143,20 @@ class CampaignSpec:
     ) -> Optional[str]:
         """The rule removing this combination, or ``None`` if runnable."""
         profile = FAULT_PROFILES[fault]
-        if profile.process_level and topology != "ha":
+        if profile.process_level and topology not in ("ha", "reshard"):
             return (
                 "process-kill faults only exist at the process level; "
-                "they need the ha topology"
+                "they need the ha or reshard topology"
             )
         if topology == "ha" and not profile.process_level:
             return (
                 "ha cells need a kill-primary fault: only a backup that "
                 "never served lookups can pass byte-identical replay"
+            )
+        if topology == "reshard" and not profile.process_level:
+            return (
+                "the reshard drill's one fault is its staged mid-migration "
+                "SIGKILL; it needs a process-kill fault profile"
             )
         if not profile.journal_safe and topology in DURABLE_TOPOLOGIES:
             return (

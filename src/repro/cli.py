@@ -598,10 +598,66 @@ def _cmd_failover(args: argparse.Namespace) -> int:
     """Tell a backup replica to promote itself right now."""
     from repro.serve import ServeClient
 
-    with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+    with ServeClient(
+        args.host,
+        args.port,
+        timeout=args.timeout,
+        connect_attempts=args.connect_attempts,
+    ) as client:
         result = client.failover()
     print(json.dumps(result, indent=2, sort_keys=True))
     return 0 if result.get("promoted") or result.get("role") == "primary" else 1
+
+
+def _cmd_reshard(args: argparse.Namespace) -> int:
+    """Start, watch, or inspect a live shard split/merge."""
+    import time as _time
+
+    from repro.serve import ServeClient
+
+    request: dict
+    if args.status:
+        request = {"action": "status"}
+    elif args.auto:
+        request = {"action": "auto"}
+    elif args.split is not None:
+        request = {"action": "split", "shard": args.split}
+        if args.at is not None:
+            request["at"] = args.at
+    elif args.merge is not None:
+        request = {"action": "merge", "shard": args.merge}
+    else:
+        raise ValueError(
+            "pick one of --split N, --merge N, --auto or --status"
+        )
+    if not args.status:
+        request["stage_delay"] = args.stage_delay
+        request["cutover_pause"] = args.cutover_pause
+    with ServeClient(
+        args.host,
+        args.port,
+        timeout=args.timeout,
+        connect_attempts=args.connect_attempts,
+    ) as client:
+        result = client.reshard(request)
+        if args.status or not result.get("started"):
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+        if not args.wait:
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+        deadline = _time.monotonic() + args.wait_timeout
+        status = client.reshard({"action": "status"})
+        while status.get("in_progress") and _time.monotonic() < deadline:
+            _time.sleep(0.1)
+            status = client.reshard({"action": "status"})
+    print(json.dumps(status, indent=2, sort_keys=True))
+    stage = (status.get("reshard") or {}).get("stage")
+    if status.get("in_progress"):
+        print("error: reshard still running at --wait-timeout",
+              file=sys.stderr)
+        return 1
+    return 0 if stage == "done" else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -744,8 +800,22 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             serve_config = ServeConfig(inflight_window=max(args.window, 1))
         thread = stack.enter_context(ServerThread(shards, serve_config))
         report = run_load(
-            "127.0.0.1", thread.server.port, batches, window=args.window
+            "127.0.0.1",
+            thread.server.port,
+            batches,
+            window=args.window,
+            timeout=args.timeout,
+            connect_attempts=args.connect_attempts,
         )
+        from repro.serve import ServeClient
+
+        with ServeClient(
+            "127.0.0.1",
+            thread.server.port,
+            timeout=args.timeout,
+            connect_attempts=args.connect_attempts,
+        ) as admin:
+            shard_rows = admin.stats().get("shards", [])
         thread.stop()
     mode = (
         f"replicated ({args.ack_mode})" if args.replicate else "standalone"
@@ -765,6 +835,24 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             ],
         )
     )
+    if shard_rows:
+        # Per-range load accounting: the signal 'repro-clue reshard
+        # --auto' splits and merges on.
+        print(
+            format_table(
+                ["shard", "range", "lookup hits", "update hits"],
+                [
+                    (
+                        row.get("shard", i),
+                        "[{:#010x}, {:#010x})".format(*row["range"])
+                        if row.get("range") else "-",
+                        row.get("lookup_hits", 0),
+                        row.get("update_hits", 0),
+                    )
+                    for i, row in enumerate(shard_rows)
+                ],
+            )
+        )
     if args.output:
         with open(args.output, "w", encoding="ascii") as handle:
             json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
@@ -1110,7 +1198,67 @@ def build_parser() -> argparse.ArgumentParser:
     failover.add_argument("--host", default="127.0.0.1")
     failover.add_argument("--port", type=int, required=True)
     failover.add_argument("--timeout", type=float, default=30.0)
+    failover.add_argument(
+        "--connect-attempts",
+        type=int,
+        default=3,
+        help="dial retries (jittered exponential backoff) before failing",
+    )
     failover.set_defaults(handler=_cmd_failover)
+
+    reshard = commands.add_parser(
+        "reshard",
+        help="split or merge a live server's shards without stopping it",
+    )
+    reshard.add_argument("--host", default="127.0.0.1")
+    reshard.add_argument("--port", type=int, required=True)
+    reshard_action = reshard.add_mutually_exclusive_group(required=True)
+    reshard_action.add_argument(
+        "--split", type=int, metavar="SHARD",
+        help="split this shard's range in two",
+    )
+    reshard_action.add_argument(
+        "--merge", type=int, metavar="SHARD",
+        help="merge this shard with its right neighbour",
+    )
+    reshard_action.add_argument(
+        "--auto", action="store_true",
+        help="let the per-range load counters pick the migration",
+    )
+    reshard_action.add_argument(
+        "--status", action="store_true",
+        help="print the migration status and exit",
+    )
+    reshard.add_argument(
+        "--at", type=int, metavar="ADDR",
+        help="with --split: cut at this address instead of the "
+        "even-partition point",
+    )
+    reshard.add_argument(
+        "--stage-delay", type=float, default=0.0,
+        help="seconds to linger in each stage (drills widen kill windows)",
+    )
+    reshard.add_argument(
+        "--cutover-pause", type=float, default=0.0,
+        help="seconds to shed the data plane with MSG_REDIRECT before "
+        "the cutover commit",
+    )
+    reshard.add_argument(
+        "--wait", action="store_true",
+        help="poll until the migration reaches done/rolled-back",
+    )
+    reshard.add_argument(
+        "--wait-timeout", type=float, default=120.0,
+        help="with --wait: give up (exit 1) after this many seconds",
+    )
+    reshard.add_argument("--timeout", type=float, default=30.0)
+    reshard.add_argument(
+        "--connect-attempts",
+        type=int,
+        default=3,
+        help="dial retries (jittered exponential backoff) before failing",
+    )
+    reshard.set_defaults(handler=_cmd_reshard)
 
     chaos = commands.add_parser(
         "chaos",
@@ -1206,6 +1354,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("primary", "quorum"),
         default="primary",
         help="with --replicate: when the primary acks updates",
+    )
+    bench_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-read client timeout in seconds",
+    )
+    bench_serve.add_argument(
+        "--connect-attempts",
+        type=int,
+        default=3,
+        help="dial retries (jittered exponential backoff) before failing",
     )
     bench_serve.add_argument(
         "--floor",

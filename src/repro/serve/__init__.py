@@ -11,11 +11,17 @@ journal to a :class:`~repro.serve.replicate.BackupReplica`
 (``--replicate-to`` / ``--backup``); clients wrap a
 :class:`~repro.serve.router.ReplicaMap` in an :class:`HAClient` and
 survive a primary kill transparently.  ``repro-clue chaos`` proves it.
+
+Live resharding (DESIGN.md §14): a serving primary splits a hot shard
+or merges cold neighbours **without stopping**, through the journaled
+stage machine in :class:`~repro.serve.reshard.ReshardCoordinator`;
+clients ride the cutover via epoch-carrying ``MSG_REDIRECT`` responses.
 """
 
 from repro.serve.client import (
     FailoverError,
     HAClient,
+    ReshardRedirect,
     ServeClient,
     ServeClientError,
     ServeTimeoutError,
@@ -29,6 +35,15 @@ from repro.serve.replicate import (
     PromotionReport,
     ReplicationConfig,
     ReplicationError,
+)
+from repro.serve.reshard import (
+    MigrationState,
+    ReshardCoordinator,
+    ReshardError,
+    choose_reshard,
+    plan_merge,
+    plan_split,
+    resolve_reshard,
 )
 from repro.serve.router import (
     ReplicaEndpoint,
@@ -48,6 +63,7 @@ __all__ = [
     "HAClient",
     "JournalShipper",
     "LoadReport",
+    "MigrationState",
     "PromotionReport",
     "ProtocolError",
     "ReplicaEndpoint",
@@ -55,6 +71,9 @@ __all__ = [
     "ReplicateAck",
     "ReplicationConfig",
     "ReplicationError",
+    "ReshardCoordinator",
+    "ReshardError",
+    "ReshardRedirect",
     "ServeClient",
     "ServeClientError",
     "ServeConfig",
@@ -67,7 +86,11 @@ __all__ = [
     "ShardSet",
     "ShardWorker",
     "UpdateAck",
+    "choose_reshard",
     "generate_batches",
+    "plan_merge",
     "plan_shards",
+    "plan_split",
+    "resolve_reshard",
     "run_load",
 ]

@@ -27,8 +27,12 @@ survivor:
 
 The scenario matrix: SIGKILL the primary mid-storm (with chip faults
 armed), SIGKILL the backup during promotion (then restore it from its
-epoch journal), and backup death during catch-up (re-bootstrap a fresh
-backup, then fail over onto it).
+epoch journal), backup death during catch-up (re-bootstrap a fresh
+backup, then fail over onto it), and three live-resharding drills
+(DESIGN.md §14) that split a shard under load and SIGKILL the server
+mid-COPY, mid-CATCHUP, or mid-CUTOVER — restart must roll the journaled
+migration back (pre-commit) or forward (post-commit), and the same
+three invariants must hold across the topology-epoch boundary.
 """
 
 from __future__ import annotations
@@ -47,8 +51,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.schedule import FaultSchedule
 from repro.net.prefix import Prefix
-from repro.serve.client import FailoverError, HAClient, ServeClient
+from repro.serve.client import (
+    FailoverError,
+    HAClient,
+    ServeClient,
+    ServeClientError,
+    ServerBusyError,
+)
 from repro.serve.replicate import latest_epoch_dir
+from repro.serve.reshard import read_state
 from repro.serve.router import ReplicaMap
 from repro.serve.shard import ShardSet
 from repro.trie.trie import BinaryTrie
@@ -107,6 +118,9 @@ class ScenarioResult:
     skipped_addresses: int = 0
     fingerprint_match: bool = False
     detail: str = ""
+    #: Per-range ``{shard, range, lookup_hits, update_hits}`` rows from
+    #: the survivor — the load-accounting view reshard decisions run on.
+    shard_loads: List[Dict[str, object]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -119,6 +133,7 @@ class ScenarioResult:
             "skipped_addresses": self.skipped_addresses,
             "fingerprint_match": self.fingerprint_match,
             "detail": self.detail,
+            "shard_loads": self.shard_loads,
         }
 
 
@@ -301,6 +316,26 @@ class Cluster:
         if faults is not None:
             args += ["--faults", str(faults)]
         proc = ServerProcess(f"{self.name}/{label}", args)
+        self.procs.append(proc)
+        proc.wait_port(self.config.startup_timeout)
+        return proc
+
+    def spawn_solo(self, label: str, port: int = 0) -> ServerProcess:
+        """A standalone durable primary (no replication) — the reshard
+        drills' single server, journaling under ``dir/label``."""
+        proc = ServerProcess(
+            f"{self.name}/{label}",
+            [
+                "serve",
+                "--table", str(self.table),
+                "--host", "127.0.0.1",
+                "--port", str(port),
+                "--shards", str(self.config.shards),
+                *self._engine_flags(),
+                "--journal", str(self.dir / label),
+                "--sync-every", "4",
+            ],
+        )
         self.procs.append(proc)
         proc.wait_port(self.config.startup_timeout)
         return proc
@@ -564,6 +599,239 @@ def run_cell(
         )
 
 
+# -- reshard drills (DESIGN.md §14) --------------------------------------
+
+#: Stages a reshard drill may SIGKILL the server in.  ``copy`` and
+#: ``catchup`` land before the cutover commit (restart must roll back);
+#: ``cutover`` lands after it (restart must roll forward).
+RESHARD_KILL_STAGES = ("copy", "catchup", "cutover")
+
+
+def run_reshard_cell(
+    config: ChaosConfig,
+    root: Path,
+    name: str,
+    kill_stage: str,
+    generator: Optional[UpdateGenerator] = None,
+    backend: str = "fast",
+) -> ScenarioResult:
+    """Split a shard under live load, SIGKILL mid-``kill_stage``, restart.
+
+    One standalone durable primary splits shard 0 while acked update
+    traffic flows; a watcher thread polls the journaled ``reshard.json``
+    and SIGKILLs the server the moment it enters ``kill_stage``.  The
+    restarted server resolves the migration journal — rollback for
+    ``copy``/``catchup``, roll-forward for ``cutover`` — and a rolled
+    back drill re-issues the split, so **every** run ends in the
+    post-migration topology.  A batch whose ack died with the kill is
+    re-sent verbatim after restart (at-least-once; idempotent at the
+    route level), keeping the reference trie exactly the acked set.
+    Then the three standing invariants are asserted across the epoch
+    boundary, plus the topology itself (epoch bumped, one more shard).
+    """
+    if kill_stage not in RESHARD_KILL_STAGES:
+        raise ChaosError(
+            f"{name}: unknown reshard kill stage {kill_stage!r}; "
+            f"pick from {RESHARD_KILL_STAGES}"
+        )
+    with Cluster(
+        config, name, root, generator=generator, backend=backend
+    ) as cluster:
+        primary = cluster.spawn_solo("primary")
+        state_dir = cluster.dir / "primary"
+        old_shards = config.shards
+
+        killed = threading.Event()
+
+        def watch_and_kill() -> None:
+            deadline = time.monotonic() + config.startup_timeout
+            while time.monotonic() < deadline and primary.alive:
+                state = read_state(state_dir)
+                if state is not None and state.stage == kill_stage:
+                    primary.kill()
+                    killed.set()
+                    return
+                time.sleep(0.005)
+
+        # Enough failover budget to ride the 0.4s cutover pause via
+        # redirect-retry, little enough that a real kill surfaces fast.
+        client = HAClient(
+            ReplicaMap.parse(f"127.0.0.1:{primary.port}"),
+            timeout=15.0,
+            failover_attempts=6,
+            failover_backoff=0.05,
+        )
+        probe = TrafficGenerator(cluster.routes, seed=config.seed + 2)
+
+        def send_acked(target: HAClient, batch: List[UpdateMessage]) -> bool:
+            """Ack-and-mirror; False means the server died under us."""
+            try:
+                ack = target.update(batch)
+            except (ServeClientError, ServerBusyError, OSError):
+                return False
+            if ack.shed:
+                raise ChaosError(
+                    f"{cluster.name}: driver overran the update queue "
+                    f"({ack.shed} shed) — enlarge --update-queue"
+                )
+            apply_to_reference(cluster.reference, batch)
+            cluster.acked_batches += 1
+            cluster.acked_updates += len(batch)
+            return True
+
+        # Warm traffic before the migration starts, so the split has
+        # journaled history beneath it.
+        warm = max(2, config.batches // 4)
+        for _ in range(warm):
+            if not send_acked(client, cluster.generator.take(config.batch_size)):
+                raise ChaosError(f"{cluster.name}: server died during warmup")
+
+        admin = ServeClient("127.0.0.1", primary.port, timeout=15.0)
+        started = admin.reshard(
+            {
+                "action": "split",
+                "shard": 0,
+                # Linger in every stage so the watcher reliably observes
+                # the target one; force real catch-up rounds so traffic
+                # genuinely interleaves with the migration.
+                "stage_delay": 0.6,
+                "cutover_pause": 0.4,
+                "min_catchup_rounds": 4,
+            }
+        )
+        if not started.get("started"):
+            raise ChaosError(f"{cluster.name}: reshard refused: {started}")
+        admin.close()
+        watcher = threading.Thread(target=watch_and_kill, daemon=True)
+        watcher.start()
+
+        # Live load across the migration: updates are the acked contract,
+        # lookup probes keep DRed exercised (that state dies with the
+        # kill, so it cannot disturb the replay check).
+        unacked: Optional[List[UpdateMessage]] = None
+        deadline = time.monotonic() + config.startup_timeout
+        while not killed.is_set():
+            if time.monotonic() > deadline:
+                break
+            try:
+                client.lookup(probe.take(16))
+            except (ServeClientError, ServerBusyError, OSError):
+                pass
+            batch = cluster.generator.take(config.batch_size)
+            if not send_acked(client, batch):
+                # The kill landed with this batch in flight; its ack is
+                # unknown, so it must be re-sent after restart.
+                unacked = batch
+                break
+            time.sleep(0.01)
+        watcher.join(timeout=config.startup_timeout)
+        client.close()
+        if not killed.is_set():
+            raise ChaosError(
+                f"{cluster.name}: never observed reshard stage "
+                f"{kill_stage!r}; server output:\n{primary.tail()}"
+            )
+        if primary.alive:
+            raise ChaosError(f"{cluster.name}: primary survived its SIGKILL")
+
+        # Restart on the same state; ShardSet.restore resolves the
+        # migration journal (rollback or roll-forward).
+        restored = cluster.spawn_restored("restored", state_dir)
+        rclient = HAClient(
+            ReplicaMap.parse(f"127.0.0.1:{restored.port}"),
+            timeout=15.0,
+            failover_backoff=0.05,
+        )
+        if unacked is not None and not send_acked(rclient, unacked):
+            raise ChaosError(
+                f"{cluster.name}: restarted server refused the re-sent "
+                f"in-flight batch"
+            )
+
+        admin = ServeClient("127.0.0.1", restored.port, timeout=15.0)
+        epoch_after_restart = int(admin.health().get("epoch", 0))
+        rolled_back = epoch_after_restart == 1
+        if kill_stage == "cutover" and rolled_back:
+            raise ChaosError(
+                f"{cluster.name}: kill landed after the cutover commit "
+                f"but restart rolled the migration back"
+            )
+        if rolled_back:
+            # Pre-commit kill: the old topology serves; re-issue the
+            # split (no drill delays this time) and wait it out.
+            out = admin.reshard({"action": "split", "shard": 0})
+            if not out.get("started"):
+                raise ChaosError(
+                    f"{cluster.name}: re-issued reshard refused: {out}"
+                )
+            status: Dict[str, object] = {}
+            wait_deadline = time.monotonic() + config.startup_timeout
+            while time.monotonic() < wait_deadline:
+                status = admin.reshard({"action": "status"})
+                if not status.get("in_progress"):
+                    break
+                time.sleep(0.05)
+            stage = (status.get("reshard") or {}).get("stage")
+            if stage != "done":
+                raise ChaosError(
+                    f"{cluster.name}: re-issued reshard ended at stage "
+                    f"{stage!r}, not done"
+                )
+
+        # Post-migration traffic — updates only: every lookup from here
+        # would mutate the survivor's DRed outside the journal and
+        # (correctly) break the byte-identical replay check.
+        for _ in range(max(2, config.batches // 4)):
+            if not send_acked(rclient, cluster.generator.take(config.batch_size)):
+                raise ChaosError(
+                    f"{cluster.name}: restarted server died during "
+                    f"post-migration traffic"
+                )
+        rclient.close()
+
+        health = admin.health()
+        shard_loads = shard_load_rows(admin.stats().get("shards", []))
+        admin.close()
+        if int(health.get("epoch", 0)) != 2:
+            raise ChaosError(
+                f"{cluster.name}: expected topology epoch 2 after the "
+                f"drill, found {health.get('epoch')}"
+            )
+        if int(health.get("shards", 0)) != old_shards + 1:
+            raise ChaosError(
+                f"{cluster.name}: expected {old_shards + 1} shards after "
+                f"the split, found {health.get('shards')}"
+            )
+
+        checked, skipped, fp_ok = verify_survivor(
+            cluster, restored.port, state_dir
+        )
+        return ScenarioResult(
+            name=cluster.name,
+            ok=True,
+            acked_batches=cluster.acked_batches,
+            acked_updates=cluster.acked_updates,
+            failovers=1,  # the restart is the drill's one failover
+            checked_addresses=checked,
+            skipped_addresses=skipped,
+            fingerprint_match=fp_ok,
+            shard_loads=shard_loads,
+        )
+
+
+def shard_load_rows(rows: Sequence[Dict]) -> List[Dict[str, object]]:
+    """Prune full shard reports down to the per-range load view."""
+    return [
+        {
+            "shard": row.get("shard", index),
+            "range": row.get("range"),
+            "lookup_hits": row.get("lookup_hits", 0),
+            "update_hits": row.get("update_hits", 0),
+        }
+        for index, row in enumerate(rows)
+    ]
+
+
 # -- scenarios -----------------------------------------------------------
 
 
@@ -676,6 +944,34 @@ def _scenario_backup_death_during_catchup(
         cluster.shutdown()
 
 
+def _scenario_reshard_split_copy_kill(
+    config: ChaosConfig, root: Path
+) -> ScenarioResult:
+    """SIGKILL mid-COPY: restart must roll the migration back, then the
+    re-issued split completes on the recovered topology."""
+    return run_reshard_cell(config, root, "reshard-split-copy-kill", "copy")
+
+
+def _scenario_reshard_split_catchup_kill(
+    config: ChaosConfig, root: Path
+) -> ScenarioResult:
+    """SIGKILL mid-CATCHUP (live deltas streaming): still pre-commit, so
+    restart rolls back and the re-issued split completes."""
+    return run_reshard_cell(
+        config, root, "reshard-split-catchup-kill", "catchup"
+    )
+
+
+def _scenario_reshard_split_cutover_kill(
+    config: ChaosConfig, root: Path
+) -> ScenarioResult:
+    """SIGKILL after the cutover commit but before RETIRE: restart must
+    roll *forward* into the new epoch."""
+    return run_reshard_cell(
+        config, root, "reshard-split-cutover-kill", "cutover"
+    )
+
+
 def _await_replication(primary_port: int, timeout: float) -> None:
     """Poll the primary's health until its shipper is caught up."""
     deadline = time.monotonic() + timeout
@@ -696,6 +992,9 @@ SCENARIOS = {
     "kill-primary-mid-storm": _scenario_kill_primary_mid_storm,
     "kill-during-promotion": _scenario_kill_during_promotion,
     "backup-death-during-catchup": _scenario_backup_death_during_catchup,
+    "reshard-split-copy-kill": _scenario_reshard_split_copy_kill,
+    "reshard-split-catchup-kill": _scenario_reshard_split_catchup_kill,
+    "reshard-split-cutover-kill": _scenario_reshard_split_cutover_kill,
 }
 
 

@@ -26,12 +26,13 @@ Two failure-handling layers:
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 from repro.serve import protocol
-from repro.serve.protocol import Frame, ProtocolError, UpdateAck
+from repro.serve.protocol import Frame, ProtocolError, Redirect, UpdateAck
 from repro.serve.router import ReplicaEndpoint, ReplicaMap
 from repro.workload.updategen import UpdateMessage
 
@@ -52,6 +53,20 @@ class ServerBusyError(Exception):
     def __init__(self, reason: str) -> None:
         super().__init__(reason)
         self.reason = reason
+
+
+class ReshardRedirect(ServerBusyError):
+    """The server answered ``MSG_REDIRECT``: the topology is changing.
+
+    Carries the epoch the server is moving to and its replica rows so an
+    :class:`HAClient` can refresh its map before retrying — for the
+    in-place reshard the rows point back at the same endpoint, and the
+    retry lands once the cutover pause closes.
+    """
+
+    def __init__(self, redirect: Redirect) -> None:
+        super().__init__(redirect.reason)
+        self.redirect = redirect
 
 
 class FailoverError(ServeClientError):
@@ -94,7 +109,9 @@ class ServeClient:
         last_error: Optional[OSError] = None
         for attempt in range(self.connect_attempts):
             if attempt:
-                time.sleep(backoff)
+                # Jittered exponential backoff: a fleet of clients cut
+                # off by the same restart must not redial in lockstep.
+                time.sleep(backoff * (0.5 + random.random()))
                 backoff *= 2
             try:
                 sock = socket.create_connection(
@@ -152,12 +169,14 @@ class ServeClient:
             )
         if frame.type == protocol.MSG_BUSY:
             raise ServerBusyError(protocol.decode_text(frame.payload))
+        if frame.type == protocol.MSG_REDIRECT:
+            raise ReshardRedirect(protocol.decode_redirect(frame.payload))
         if frame.type == protocol.MSG_ERROR:
             raise ServeClientError(protocol.decode_text(frame.payload))
         return frame
 
-    def _admin(self, msg_type: int) -> Dict:
-        frame = self._call(msg_type)
+    def _admin(self, msg_type: int, payload: bytes = b"") -> Dict:
+        frame = self._call(msg_type, payload)
         if frame.type != protocol.MSG_ADMIN_OK:
             raise ProtocolError(f"unexpected response type {frame.type:#x}")
         data = protocol.decode_json(frame.payload)
@@ -210,6 +229,19 @@ class ServeClient:
         """Quiesce every shard (apply all queued updates), keep serving."""
         return self._admin(protocol.MSG_FLUSH)
 
+    def reshard(self, request: Dict) -> Dict:
+        """Start or inspect a live shard split/merge.
+
+        ``request`` mirrors the server's MSG_RESHARD contract:
+        ``{"action": "split"|"merge"|"auto"|"status", "shard": i, ...}``
+        with optional ``at``, ``stage_delay``, ``cutover_pause``.  A
+        start request returns immediately; poll ``action: "status"``
+        until the journaled stage reaches ``done`` or ``rolled-back``.
+        """
+        return self._admin(
+            protocol.MSG_RESHARD, protocol.encode_json(dict(request))
+        )
+
     def drain(self) -> Dict:
         """Ask the server to drain gracefully (same path as SIGTERM)."""
         return self._admin(protocol.MSG_DRAIN)
@@ -244,7 +276,10 @@ class ServeClient:
 #: BUSY reasons that mean "this endpoint will not serve you" — retry
 #: against another replica.  ``window`` is deliberately absent: the
 #: primary is healthy, the client is just pushing too hard.
-REDIRECT_REASONS = frozenset({"draining", "backup"})
+#: ``resharding`` arrives as MSG_REDIRECT rather than MSG_BUSY and is
+#: retriable for a different reason: the *same* endpoint serves again
+#: (under a new topology epoch) as soon as the cutover completes.
+REDIRECT_REASONS = frozenset({"draining", "backup", "resharding"})
 
 
 class HAClient:
@@ -339,10 +374,21 @@ class HAClient:
         last_error: Optional[Exception] = None
         for attempt in range(self.failover_attempts):
             if attempt:
-                time.sleep(backoff)
+                # Jitter for the same reason as ServeClient._connect:
+                # retries from many clients must spread out, not beat.
+                time.sleep(backoff * (0.5 + random.random()))
                 backoff = min(backoff * 1.5, 2.0)
             try:
                 return operation(self.connect())
+            except ReshardRedirect as exc:
+                # The endpoint is mid-cutover: refresh the map from the
+                # redirect payload and retry (usually the same address,
+                # one topology epoch later).
+                for host, port, role in exc.redirect.replicas:
+                    self.replicas.note_role(host, port, role)
+                last_error = exc
+                self.drop()
+                self.failovers += 1
             except ServerBusyError as exc:
                 if exc.reason not in REDIRECT_REASONS:
                     raise  # "window" is pacing, not placement
@@ -389,6 +435,9 @@ class HAClient:
 
     def flush(self) -> Dict:
         return self._with_failover(lambda c: c.flush())
+
+    def reshard(self, request: Dict) -> Dict:
+        return self._with_failover(lambda c: c.reshard(dict(request)))
 
     # -- lifecycle ------------------------------------------------------
 

@@ -53,6 +53,9 @@ class LoadReport:
     failovers: int = 0
     #: Requests replayed against a new primary after a redirect.
     retried: int = 0
+    #: MSG_REDIRECT answers (mid-reshard cutover); replayed like
+    #: redirect-class BUSYs when a replica map is available.
+    redirects: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -82,6 +85,8 @@ def run_load(
     batches: Sequence[Sequence[int]],
     window: int = 4,
     replicas: Optional[ReplicaMap] = None,
+    timeout: Optional[float] = 30.0,
+    connect_attempts: int = 3,
 ) -> LoadReport:
     """Send every batch through one pipelined connection and measure.
 
@@ -104,12 +109,18 @@ def run_load(
     outstanding: Dict[int, Tuple[int, float]] = {}
     completed = 0
 
+    redirects = 0
     ha: Optional[HAClient] = None
     if replicas is not None:
-        ha = HAClient(replicas)
+        ha = HAClient(replicas, timeout=timeout)
         client = ha.connect()
     else:
-        client = ServeClient(host, port)
+        client = ServeClient(
+            host,
+            port,
+            timeout=timeout,
+            connect_attempts=connect_attempts,
+        )
 
     def fail_over(requeue: bool) -> None:
         nonlocal client, failovers, retried
@@ -159,6 +170,18 @@ def run_load(
                         pending.appendleft(index)
                         retried += 1
                         fail_over(requeue=True)
+            elif frame.type == protocol.MSG_REDIRECT:
+                # Mid-reshard cutover pause: the same endpoint serves
+                # again (under a new epoch) moments later, so replay the
+                # batch when failover machinery is available.
+                redirects += 1
+                if ha is None:
+                    latencies.append(now - sent_at)
+                    completed += 1
+                else:
+                    pending.appendleft(index)
+                    retried += 1
+                    fail_over(requeue=True)
             elif frame.type == protocol.MSG_LOOKUP_OK:
                 latencies.append(now - sent_at)
                 lookups += len(frame.payload) // 4
@@ -190,4 +213,5 @@ def run_load(
         busy_backup=busy_backup,
         failovers=failovers,
         retried=retried,
+        redirects=redirects,
     )

@@ -51,9 +51,15 @@ MSG_CHECKPOINT = 0x12
 MSG_FINGERPRINT = 0x13
 MSG_DRAIN = 0x14
 MSG_FLUSH = 0x15
+MSG_RESHARD = 0x16
 MSG_ADMIN_OK = 0x1F
 MSG_BUSY = 0x20
 MSG_ERROR = 0x21
+#: Response-only: the request reached a server whose topology epoch is
+#: mid-cutover (or already moved on).  The JSON payload carries the new
+#: epoch and a replica map so the client can refresh its routing and
+#: retry instead of treating the refusal as an error.
+MSG_REDIRECT = 0x22
 MSG_REPLICATE = 0x30
 MSG_REPLICATE_OK = 0x31
 MSG_FAILOVER = 0x32
@@ -69,6 +75,7 @@ REQUEST_TYPES = frozenset(
         MSG_FINGERPRINT,
         MSG_DRAIN,
         MSG_FLUSH,
+        MSG_RESHARD,
         MSG_REPLICATE,
         MSG_FAILOVER,
     )
@@ -360,6 +367,51 @@ def decode_replicate_ack(payload: bytes) -> ReplicateAck:
         return ReplicateAck(int(data["shard"]), int(data["applied_seq"]))
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed replicate ack: {exc!r}") from exc
+
+
+# -- redirect payloads ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Redirect:
+    """MSG_REDIRECT: the topology moved under the client's feet.
+
+    ``reason`` names the window (currently always ``resharding``),
+    ``epoch`` is the topology epoch the server is moving to, and
+    ``replicas`` lists ``[host, port, role]`` rows the client can use to
+    refresh its route map before retrying.  Data-plane requests that
+    arrive inside a reshard cutover window get this instead of BUSY: the
+    refusal is about *placement*, not pacing, and carries the forwarding
+    information a bare BUSY cannot.
+    """
+
+    reason: str
+    epoch: int
+    replicas: Tuple[Tuple[str, int, str], ...] = ()
+
+
+def encode_redirect(redirect: Redirect) -> bytes:
+    return encode_json(
+        {
+            "reason": redirect.reason,
+            "epoch": redirect.epoch,
+            "replicas": [list(row) for row in redirect.replicas],
+        }
+    )
+
+
+def decode_redirect(payload: bytes) -> Redirect:
+    data = decode_json(payload)
+    if not isinstance(data, dict):
+        raise ProtocolError("redirect payload is not a JSON object")
+    try:
+        replicas = tuple(
+            (str(host), int(port), str(role))
+            for host, port, role in data.get("replicas", [])
+        )
+        return Redirect(str(data["reason"]), int(data["epoch"]), replicas)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed redirect: {exc!r}") from exc
 
 
 # -- admin payloads -----------------------------------------------------

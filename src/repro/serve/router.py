@@ -31,10 +31,19 @@ Route = Tuple[Prefix, int]
 
 
 class ShardRouter:
-    """Maps addresses and prefixes to shard indices."""
+    """Maps addresses and prefixes to shard indices.
 
-    def __init__(self, boundaries: Sequence[int]) -> None:
+    ``epoch`` versions the topology: every reshard (split/merge) installs
+    a new router under ``epoch + 1``, and a request that reaches a server
+    mid-cutover is answered with an epoch-carrying ``MSG_REDIRECT`` so
+    clients refresh their route map instead of failing.
+    """
+
+    def __init__(self, boundaries: Sequence[int], epoch: int = 1) -> None:
+        if epoch < 1:
+            raise ValueError(f"topology epochs start at 1, not {epoch}")
         self.index = RangeIndex(boundaries)
+        self.epoch = epoch
 
     @property
     def boundaries(self) -> List[int]:

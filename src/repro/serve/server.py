@@ -55,6 +55,7 @@ from repro.serve.replicate import (
     ReplicationConfig,
     ReplicationError,
 )
+from repro.serve.reshard import ReshardCoordinator, ReshardError, choose_reshard
 from repro.serve.shard import ShardSet
 from repro.serve.stats import ServeStats
 
@@ -116,6 +117,13 @@ class ClueServer:
         self.port: Optional[int] = None
         self.replica: Optional[BackupReplica] = None
         self.shipper: Optional[JournalShipper] = None
+        #: Live migration controller (one at a time), and the snapshot of
+        #: the last finished/aborted one for the status RPC.
+        self.coordinator: Optional[ReshardCoordinator] = None
+        self.last_reshard: Optional[Dict[str, object]] = None
+        #: True only inside the optional pre-cutover pause: data-plane
+        #: requests are answered MSG_REDIRECT instead of served.
+        self.redirecting = False
         if self.config.backup_dir is not None:
             if shards is not None:
                 raise ValueError("a backup bootstraps over the wire; "
@@ -317,6 +325,10 @@ class ClueServer:
                         # A backup owns no address range yet; shed with
                         # a reason the client can turn into failover.
                         busy_reason = "backup"
+                    elif self.redirecting:
+                        # Mid-cutover pause: shed with an epoch-carrying
+                        # redirect so the client refreshes and retries.
+                        busy_reason = "resharding"
                     elif state["inflight"] >= window:
                         busy_reason = "window"
                     else:
@@ -352,7 +364,14 @@ class ClueServer:
             frame, busy_reason = item
             if state["dead"]:
                 continue  # keep consuming so the reader never blocks
-            if busy_reason is not None:
+            if busy_reason == "resharding":
+                self.stats.redirect_responses += 1
+                response = protocol.encode_frame(
+                    protocol.MSG_REDIRECT,
+                    frame.request_id,
+                    protocol.encode_redirect(self._redirect()),
+                )
+            elif busy_reason is not None:
                 self.stats.busy_responses += 1
                 response = protocol.encode_frame(
                     protocol.MSG_BUSY,
@@ -393,6 +412,8 @@ class ClueServer:
                 return self._do_failover(frame)
             if frame.type == protocol.MSG_FLUSH:
                 return self._do_flush(frame)
+            if frame.type == protocol.MSG_RESHARD:
+                return self._do_reshard(frame)
             if frame.type == protocol.MSG_DRAIN:
                 self._request_shutdown()
                 return self._admin_ok(frame, {"draining": True})
@@ -485,6 +506,187 @@ class ClueServer:
             self.shipper.ship()
         return self._admin_ok(frame, {"flushed": applied})
 
+    # -- live resharding (DESIGN.md §14) --------------------------------
+
+    def _do_reshard(self, frame: Frame) -> bytes:
+        """Start (or inspect) an online shard split/merge.
+
+        The RPC only *launches* the migration: the staged state machine
+        runs as a background task interleaved with traffic, and the
+        client polls ``action: "status"`` until the stage reaches
+        ``done`` or ``rolled-back``.
+        """
+        request = protocol.decode_json(frame.payload)
+        if not isinstance(request, dict):
+            return self._error(frame, "reshard payload is not a JSON object")
+        action = str(request.get("action", "status"))
+        if action == "status":
+            return self._admin_ok(frame, self._reshard_snapshot())
+        if action not in ("split", "merge", "auto"):
+            return self._error(frame, f"unknown reshard action {action!r}")
+        if self.draining:
+            return self._error(frame, "draining")
+        if self.role != ROLE_PRIMARY or self.shards is None:
+            return self._error(frame, "only a serving primary can reshard")
+        if not self.shards.durable:
+            return self._error(
+                frame, "resharding needs journals (serve with --journal)"
+            )
+        if self.shipper is not None:
+            # Both replication and reshard COPY own the managers' single
+            # shipping buffer; running them together would corrupt the
+            # backup's feed.  Detach the backup first.
+            return self._error(
+                frame, "cannot reshard while replicating to a backup"
+            )
+        if self.coordinator is not None:
+            return self._error(frame, "a reshard is already in progress")
+        shard = int(request.get("shard", -1))
+        if action == "auto":
+            decision = choose_reshard(self.shards)
+            if decision is None:
+                return self._admin_ok(
+                    frame, {"started": False, "reason": "load is balanced"}
+                )
+            action, shard = decision
+        at = request.get("at")
+        try:
+            coordinator = ReshardCoordinator(
+                self.shards,
+                action,
+                shard,
+                at=None if at is None else int(at),
+                reason=str(request.get("reason", "admin request")),
+            )
+        except ReshardError as exc:
+            self.stats.reshard_errors += 1
+            return self._error(frame, str(exc))
+        self.coordinator = coordinator
+        self._spawn(
+            self._run_reshard(
+                coordinator,
+                stage_delay=float(request.get("stage_delay", 0.0)),
+                cutover_pause=float(request.get("cutover_pause", 0.0)),
+                min_catchup_rounds=int(request.get("min_catchup_rounds", 1)),
+                catchup_settle=int(request.get("catchup_settle", 256)),
+            )
+        )
+        return self._admin_ok(
+            frame,
+            {
+                "started": True,
+                "action": action,
+                "shard": shard,
+                "epoch_from": coordinator.state.epoch_from,
+                "epoch_to": coordinator.state.epoch_to,
+                "new_boundaries": list(coordinator.state.new_boundaries),
+            },
+        )
+
+    async def _run_reshard(
+        self,
+        coordinator: ReshardCoordinator,
+        stage_delay: float,
+        cutover_pause: float,
+        min_catchup_rounds: int,
+        catchup_settle: int,
+    ) -> None:
+        """Drive the migration stages, yielding to traffic between them.
+
+        ``stage_delay`` widens each stage so chaos drills can observe it
+        in ``reshard.json`` and kill the process inside a chosen window;
+        production runs use 0 and converge as fast as catch-up drains.
+        Every synchronous stretch (copy, a catch-up round, the cutover
+        block) runs without interleaving — the event loop guarantees it —
+        so the migration never sees a half-applied batch.
+        """
+        old_set = coordinator.shards
+        try:
+            coordinator.prepare()
+            if stage_delay:
+                await asyncio.sleep(stage_delay)
+            coordinator.copy()
+            if stage_delay:
+                await asyncio.sleep(stage_delay)
+            coordinator.begin_catchup()
+            rounds = 0
+            while True:
+                applied = coordinator.catchup_round()
+                rounds += 1
+                # Live traffic never quiesces, so waiting for an empty
+                # round would spin forever: cut over once the per-round
+                # backlog is small enough to absorb synchronously —
+                # cutover() drains the final delta without interleaving.
+                if rounds >= min_catchup_rounds and applied <= catchup_settle:
+                    break
+                await asyncio.sleep(max(0.005, stage_delay / 4))
+            if cutover_pause:
+                # Shed the data plane with redirects while the drill's
+                # kill window is open; cutover() still sweeps anything
+                # journaled before the pause began.
+                self.redirecting = True
+                await asyncio.sleep(cutover_pause)
+            new_set = coordinator.cutover()
+            self.shards = new_set
+            self.redirecting = False
+            if stage_delay:
+                # Stage file says "cutover", new epoch is serving, old
+                # managers still open: the roll-forward kill window.
+                await asyncio.sleep(stage_delay)
+            coordinator.retire()
+            self.stats.reshards += 1
+            self.last_reshard = coordinator.snapshot()
+            print(
+                f"resharded ({coordinator.action}): epoch "
+                f"{old_set.epoch} -> {new_set.epoch}, boundaries "
+                f"{new_set.router.boundaries}",
+                flush=True,
+            )
+        except asyncio.CancelledError:
+            # Server drain cancelled us pre-cutover; roll back cleanly.
+            self.redirecting = False
+            if self.shards is old_set:
+                coordinator.abort("cancelled by drain")
+                self.stats.reshard_errors += 1
+                self.last_reshard = coordinator.snapshot()
+            raise
+        except Exception as exc:  # noqa: BLE001 - must never kill the loop
+            self.stats.reshard_errors += 1
+            self.redirecting = False
+            try:
+                coordinator.abort(str(exc))
+            except Exception:  # noqa: BLE001 - best-effort rollback
+                pass
+            self.last_reshard = coordinator.snapshot()
+            print(f"reshard failed: {exc}", flush=True)
+        finally:
+            self.coordinator = None
+
+    def _reshard_snapshot(self) -> Dict[str, object]:
+        snapshot: Dict[str, object] = {
+            "epoch": self.shards.epoch if self.shards is not None else 0,
+            "in_progress": self.coordinator is not None,
+            "redirecting": self.redirecting,
+        }
+        if self.coordinator is not None:
+            snapshot["reshard"] = self.coordinator.snapshot()
+        elif self.last_reshard is not None:
+            snapshot["reshard"] = self.last_reshard
+        return snapshot
+
+    def _redirect(self) -> protocol.Redirect:
+        epoch = self.shards.epoch if self.shards is not None else 0
+        if self.coordinator is not None:
+            epoch = self.coordinator.state.epoch_to
+        return protocol.Redirect(
+            reason="resharding",
+            epoch=epoch,
+            replicas=tuple(
+                (str(host), int(port), str(role))
+                for host, port, role in self._replica_map()
+            ),
+        )
+
     def _do_checkpoint(self, frame: Frame) -> bytes:
         if self.shards is None or not self.shards.durable:
             return self._error(frame, "server runs without a journal")
@@ -514,9 +716,12 @@ class ClueServer:
             "role": self.role,
             "shards": len(self.shards.workers) if self.shards is not None else 0,
             "durable": self.shards.durable if self.shards is not None else False,
+            "epoch": self.shards.epoch if self.shards is not None else 0,
             "port": self.port,
             "replicas": self._replica_map(),
         }
+        if self.coordinator is not None or self.last_reshard is not None:
+            data["reshard"] = self._reshard_snapshot()
         if self.shipper is not None:
             data["replication"] = self.shipper.snapshot()
         elif self.replica is not None:

@@ -45,12 +45,19 @@ class ShardWorker:
         self.index = index
         self.system = system
         self.manager = manager
+        #: Per-range load accounting: how many lookup addresses and
+        #: update messages this shard's range has absorbed.  The reshard
+        #: controller's split/merge decisions read these, so they count
+        #: *deliveries to this range*, not wire requests.
+        self.lookup_hits = 0
+        self.update_hits = 0
 
     @property
     def durable(self) -> bool:
         return self.manager is not None
 
     def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        self.lookup_hits += len(addresses)
         return self.system.process_lookups(addresses)
 
     def update_batch(
@@ -67,6 +74,7 @@ class ShardWorker:
         the crash drill holds the scheduler in storm mode.
         """
         messages = list(messages)
+        self.update_hits += len(messages)
         if self.manager is not None:
             accepted, shed, applied = self.manager.commit_batch(
                 messages, budget=pump_budget
@@ -89,6 +97,8 @@ class ShardWorker:
         report = self.system.report().as_dict()
         report["shard"] = self.index
         report["durable"] = self.durable
+        report["lookup_hits"] = self.lookup_hits
+        report["update_hits"] = self.update_hits
         return report
 
     def flush(self) -> int:
@@ -166,12 +176,18 @@ class ShardSet:
             shard_set._write_meta(Path(journal_dir))
         return shard_set
 
+    @property
+    def epoch(self) -> int:
+        """The topology epoch this shard set serves (bumped by reshard)."""
+        return self.router.epoch
+
     def _write_meta(self, directory: Path) -> None:
         directory.mkdir(parents=True, exist_ok=True)
         meta = {
             "version": META_VERSION,
             "shards": len(self.workers),
             "boundaries": self.router.boundaries,
+            "epoch": self.router.epoch,
         }
         (directory / META_FILE).write_text(
             json.dumps(meta, sort_keys=True), encoding="ascii"
@@ -190,8 +206,16 @@ class ShardSet:
         Returns ``(shard_set, recovery_reports)``; shard topology comes
         from ``serve.json``, per-shard state from the usual snapshot +
         journal-replay recovery of :class:`PersistenceManager`.
+
+        A directory holding a ``reshard.json`` migration journal is
+        resolved first: a crash before the cutover commit rolls the
+        partial epoch back, a crash after it rolls forward into the new
+        epoch directory — either way restore lands on exactly one
+        committed topology.
         """
-        directory = Path(journal_dir)
+        from repro.serve.reshard import resolve_reshard
+
+        directory = resolve_reshard(Path(journal_dir))
         meta_path = directory / META_FILE
         if not meta_path.is_file():
             raise ValueError(f"no {META_FILE} under {directory}")
@@ -200,6 +224,7 @@ class ShardSet:
             version = int(meta["version"])
             shard_count = int(meta["shards"])
             boundaries = [int(b) for b in meta["boundaries"]]
+            epoch = int(meta.get("epoch", 1))
         except (KeyError, TypeError, json.JSONDecodeError) as exc:
             raise ValueError(f"malformed {meta_path}: {exc!r}") from exc
         if version != META_VERSION:
@@ -217,7 +242,7 @@ class ShardSet:
             )
             workers.append(ShardWorker(index, manager.system, manager))
             reports.append(report)
-        return cls(ShardRouter(boundaries), workers), reports
+        return cls(ShardRouter(boundaries, epoch), workers), reports
 
     # -- data plane -----------------------------------------------------
 
@@ -301,7 +326,19 @@ class ShardSet:
         return [worker.checkpoint() for worker in self.workers]
 
     def stats(self) -> List[Dict[str, object]]:
-        return [worker.report_dict() for worker in self.workers]
+        boundaries = self.router.boundaries
+        rows = []
+        for worker in self.workers:
+            row = worker.report_dict()
+            start = boundaries[worker.index]
+            end = (
+                boundaries[worker.index + 1]
+                if worker.index + 1 < len(boundaries)
+                else 1 << 32
+            )
+            row["range"] = [start, end]
+            rows.append(row)
+        return rows
 
     def flush(self) -> int:
         """Quiesce every shard without closing it (see ShardWorker.flush)."""

@@ -31,6 +31,9 @@ class ServeStats:
     replicate_requests: int = 0
     replication_errors: int = 0
     promotions: int = 0
+    redirect_responses: int = 0
+    reshards: int = 0
+    reshard_errors: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)

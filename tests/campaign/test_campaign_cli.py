@@ -156,7 +156,7 @@ def test_committed_smoke_spec_expands_enough_cells(capsys):
     assert excluded, "the matrix should demonstrate structural exclusion"
 
 
-def test_committed_smoke_subset_is_at_most_eight_cells(capsys):
+def test_committed_smoke_subset_is_at_most_nine_cells(capsys):
     code = main(
         [
             "campaign",
@@ -168,10 +168,11 @@ def test_committed_smoke_subset_is_at_most_eight_cells(capsys):
     out = capsys.readouterr().out
     assert code == 0
     cells = [line for line in out.splitlines() if not line.startswith("#")]
-    assert 0 < len(cells) <= 8
+    assert 0 < len(cells) <= 9
     topologies = {cell.rsplit("/", 1)[1] for cell in cells}
     assert "ha" in topologies, "smoke must exercise the subprocess cell"
     assert "serve-2" in topologies
+    assert "reshard" in topologies, "smoke must cover the migration drill"
 
 
 def test_committed_broken_spec_fails_on_chip_audit(capsys):

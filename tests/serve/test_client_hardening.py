@@ -22,9 +22,11 @@ from repro.serve import (
 from repro.serve.client import (
     REDIRECT_REASONS,
     FailoverError,
+    ReshardRedirect,
     ServeTimeoutError,
     ServerBusyError,
 )
+from repro.serve.protocol import Redirect
 
 
 def free_port():
@@ -98,7 +100,7 @@ class TestReadTimeout:
 class TestRedirectClassification:
     def test_window_is_not_a_redirect_reason(self):
         assert "window" not in REDIRECT_REASONS
-        assert REDIRECT_REASONS == {"draining", "backup"}
+        assert REDIRECT_REASONS == {"draining", "backup", "resharding"}
 
     def test_ha_client_reraises_window_busy(
         self, serve_rib, fast_config
@@ -145,6 +147,69 @@ class TestRedirectClassification:
             finally:
                 ha.close()
             thread.stop()
+
+
+    def test_reshard_redirect_refreshes_the_replica_map(
+        self, serve_rib, fast_config
+    ):
+        """MSG_REDIRECT carries the mid-cutover replica rows; the HA
+        wrapper folds them into its map before retrying."""
+        shards = ShardSet.build(serve_rib, config=fast_config)
+        with ServerThread(shards, ServeConfig()) as thread:
+            port = thread.server.port
+            ha = HAClient(
+                f"127.0.0.1:{port}",
+                failover_attempts=3,
+                failover_backoff=0.01,
+            )
+            try:
+                ha.connect()
+                redirect = Redirect(
+                    reason="resharding",
+                    epoch=2,
+                    replicas=[["127.0.0.1", port, "primary"]],
+                )
+                calls = []
+
+                def redirect_once(client):
+                    calls.append(1)
+                    if len(calls) == 1:
+                        raise ReshardRedirect(redirect)
+                    return client.lookup([0x01010101])
+
+                ha._with_failover(redirect_once)
+                assert len(calls) == 2
+                assert ha.failovers == 1
+                assert ha.replicas.primary() is not None
+            finally:
+                ha.close()
+            thread.stop()
+
+
+class TestConnectJitter:
+    def test_connect_backoff_is_jittered(self, monkeypatch):
+        """Fleet restarts must not dial back in lockstep: each backoff
+        sleep is scaled by a random factor in [0.5, 1.5)."""
+        import repro.serve.client as client_module
+
+        sleeps = []
+        monkeypatch.setattr(
+            client_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        monkeypatch.setattr(client_module.random, "random", lambda: 0.25)
+        port = free_port()  # nobody listens: every attempt fails
+        with pytest.raises(OSError):
+            ServeClient(
+                "127.0.0.1",
+                port,
+                connect_attempts=3,
+                connect_backoff=0.08,
+            )
+        # Two sleeps between three attempts, each scaled by 0.5 + 0.25.
+        assert sleeps == [
+            pytest.approx(0.08 * 0.75),
+            pytest.approx(0.16 * 0.75),
+        ]
 
 
 class TestReplicaMapResolution:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.prefix import Prefix
-from repro.serve.router import plan_shards
+from repro.serve.router import ReplicaMap, ShardRouter, plan_shards
 from repro.trie.trie import BinaryTrie
 from repro.workload.trafficgen import TrafficGenerator
 
@@ -53,3 +53,72 @@ class TestPlanShards:
             plan_shards([], 1)
         with pytest.raises(ValueError):
             plan_shards(serve_rib[:4], 10_000)
+
+
+class TestShardRouterEdges:
+    """Address-space extremes and degenerate plans."""
+
+    def test_address_zero_homes_in_shard_zero(self):
+        router = ShardRouter([0, 1 << 16, 1 << 24])
+        assert router.shard_of(0) == 0
+
+    def test_max_address_homes_in_last_shard(self):
+        router = ShardRouter([0, 1 << 16, 1 << 24])
+        assert router.shard_of((1 << 32) - 1) == router.shard_count - 1
+
+    def test_boundary_address_belongs_to_the_right_hand_shard(self):
+        router = ShardRouter([0, 1 << 16])
+        assert router.shard_of((1 << 16) - 1) == 0
+        assert router.shard_of(1 << 16) == 1
+
+    def test_single_shard_router_covers_everything(self):
+        router = ShardRouter([0])
+        assert router.shard_of(0) == 0
+        assert router.shard_of((1 << 32) - 1) == 0
+        everything = router.shards_covering(Prefix.parse("0.0.0.0/0"))
+        assert list(everything) == [0]
+
+    def test_default_route_spans_every_shard(self):
+        router = ShardRouter([0, 1 << 10, 1 << 20, 1 << 30])
+        spanned = router.shards_covering(Prefix.parse("0.0.0.0/0"))
+        assert list(spanned) == list(range(router.shard_count))
+
+    def test_host_prefix_spans_exactly_its_home_shard(self):
+        router = ShardRouter([0, 1 << 16])
+        prefix = Prefix.parse("0.0.0.7/32")
+        assert list(router.shards_covering(prefix)) == [router.shard_of(7)]
+
+    def test_epoch_defaults_to_one_and_rejects_zero(self):
+        assert ShardRouter([0]).epoch == 1
+        assert ShardRouter([0], epoch=5).epoch == 5
+        with pytest.raises(ValueError):
+            ShardRouter([0], epoch=0)
+        with pytest.raises(ValueError):
+            ShardRouter([0], epoch=-3)
+
+
+class TestReplicaMapParse:
+    def test_host_defaults_to_loopback(self):
+        parsed = ReplicaMap.parse("4000")
+        assert parsed.endpoints[0].host == "127.0.0.1"
+        assert parsed.endpoints[0].port == 4000
+
+    def test_parses_multiple_endpoints_and_skips_blanks(self):
+        parsed = ReplicaMap.parse("a:1, b:2, ,c:3")
+        assert [(e.host, e.port) for e in parsed.endpoints] == [
+            ("a", 1), ("b", 2), ("c", 3)
+        ]
+
+    @pytest.mark.parametrize(
+        "spec", ["", "   ", ",", ",,,"],
+    )
+    def test_rejects_empty_specs(self, spec):
+        with pytest.raises(ValueError):
+            ReplicaMap.parse(spec)
+
+    @pytest.mark.parametrize(
+        "spec", ["host:", "host:notaport", "a:1,b:", "a:1,:x", "1.2.3.4:7f"],
+    )
+    def test_rejects_malformed_ports(self, spec):
+        with pytest.raises(ValueError):
+            ReplicaMap.parse(spec)
