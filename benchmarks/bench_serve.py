@@ -1,21 +1,33 @@
 """Serving-plane throughput — batched lookups over loopback TCP.
 
 Measures what the ROADMAP's north star actually asks of the system: a
-network front end sustaining lookup traffic.  A :class:`ServerThread`
-runs the full serving plane (framing, shard routing, the turbo engine)
-in-process; the load generator drives one pipelined connection with
-pre-encoded batches and reports sustained lookups/sec plus p50/p99
-request latency.  Numbers are conservative: client and server share one
-interpreter, so the GIL taxes the server with the client's decode work.
+network front end sustaining lookup traffic.  Three topologies:
+
+* ``single`` / ``sharded2`` — a :class:`ServerThread` runs the full
+  serving plane in-process.  Numbers are conservative: client and
+  server share one interpreter, so the GIL taxes the server with the
+  client's decode work — which is exactly why ``sharded2`` barely beats
+  ``single``.
+* ``multiproc2`` / ``multiproc4`` — ``--workers processes``: one worker
+  process per shard, the load generator driving each worker directly on
+  its advertised port (the topology ``serve.json`` publishes).  This is
+  the configuration that can actually scale with cores.
+
+The multi-process scaling gates (≥1.8x at 2 workers, ≥3x at 4 over
+``single``) are enforced **only when the machine has enough cores** to
+express the parallelism — ``workers + 1`` (the extra one for the
+generator + parent).  On smaller boxes the ratios are still measured
+and recorded, but a 1-core container cannot fail a gate it physically
+cannot pass; the per-topology absolute floors still apply everywhere.
 
 Runs two ways:
 
-* ``python benchmarks/bench_serve.py`` — the full ≥100k lookups/sec gate
-  that produces the committed ``BENCH_serve.json``;
+* ``python benchmarks/bench_serve.py`` — the full gate run that
+  produces the committed ``BENCH_serve.json``;
 * ``python benchmarks/bench_serve.py --quick`` — CI's serve-smoke: a
-  small run checked against the ``floor_lookups_per_sec`` stored in the
-  committed JSON (a deliberate 10x-below-measured bound that trips on
-  real regressions, not runner jitter).
+  small run checked against the stored per-topology floors (each a
+  deliberate 10x-below-measured bound that trips on real regressions,
+  not runner jitter) plus a derated scaling check.
 
 Also collected by ``pytest benchmarks/`` as a quick-mode test.
 """
@@ -23,7 +35,9 @@ Also collected by ``pytest benchmarks/`` as a quick-mode test.
 import argparse
 import gc
 import json
+import os
 import sys
+import tempfile
 from pathlib import Path
 
 if __package__ is None and __name__ == "__main__":
@@ -33,9 +47,18 @@ if __package__ is None and __name__ == "__main__":
 from repro.analysis.summarize import format_table
 from repro.core.config import SystemConfig
 from repro.engine.simulator import EngineConfig
-from repro.serve import ServeConfig, ServerThread, ShardSet
-from repro.serve.loadgen import generate_batches, run_load
+from repro.serve import (
+    ProcessFront,
+    ProcessSupervisor,
+    ServeConfig,
+    ServerThread,
+    ShardSet,
+    WorkerSpec,
+    plan_shards,
+)
+from repro.serve.loadgen import generate_batches, run_load, run_load_processes
 from repro.workload.ribgen import RibParameters, generate_rib
+from repro.workload.traces import save_table
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 RESULT_FILE = RESULTS_DIR / "BENCH_serve.json"
@@ -50,8 +73,18 @@ BATCH_SIZE = 1_024
 WINDOW = 4
 FULL_BATCHES = 200
 QUICK_BATCHES = 40
-#: The acceptance gate for the full run.
+#: The absolute acceptance gate for the full run (single topology).
 REQUIRED_LOOKUPS_PER_SEC = 100_000
+#: Parallel-speedup gates over ``single``, enforced when cores allow.
+SCALING_FLOORS = {"multiproc2": 1.8, "multiproc4": 3.0}
+#: Quick mode derates the scaling gates (smaller runs, noisier ratios).
+QUICK_SCALING_DERATE = 2.0 / 3.0
+
+
+def cores_for(name):
+    """Cores needed to honestly measure a topology's scaling gate."""
+    workers = int(name.removeprefix("multiproc"))
+    return workers + 1  # + the generator/parent core
 
 
 def system_config():
@@ -68,7 +101,7 @@ def system_config():
 
 
 def run_configuration(rib, batches, shard_count):
-    """Serve the RIB with ``shard_count`` workers and measure one load."""
+    """Serve the RIB with ``shard_count`` in-process workers, measure."""
     shards = ShardSet.build(rib, shard_count=shard_count, config=system_config())
     gc_was_enabled = gc.isenabled()
     gc.collect()
@@ -82,6 +115,43 @@ def run_configuration(rib, batches, shard_count):
     finally:
         if gc_was_enabled:
             gc.enable()
+    return _check_report(report, batches, shard_count, "threads")
+
+
+def run_configuration_processes(rib, table_path, batches, worker_count):
+    """Serve with ``worker_count`` worker *processes*, drive them all.
+
+    The generator learns each worker's endpoint from the supervisor and
+    drives every worker in parallel on its own port — the same
+    direct-to-shard routing the advertised ``serve.json`` topology
+    offers sharding-aware clients.
+    """
+    plan = plan_shards(
+        rib, worker_count, mode=SystemConfig().compression_mode
+    )
+    spec = WorkerSpec(
+        shard_count=worker_count,
+        table=str(table_path),
+        chips=4,
+        dred=1_024,
+        queue=256,
+        backend="fast",
+        window=WINDOW * 4,
+    )
+    supervisor = ProcessSupervisor(spec, plan.router.boundaries)
+    front = ProcessFront(supervisor, ServeConfig(inflight_window=WINDOW))
+    with ServerThread(server=front) as thread:
+        report = run_load_processes(
+            supervisor.endpoints(),
+            supervisor.boundaries,
+            batches,
+            window=WINDOW,
+        )
+        thread.stop()
+    return _check_report(report, batches, worker_count, "processes")
+
+
+def _check_report(report, batches, shard_count, workers):
     if report.busy:
         raise AssertionError(
             f"{report.busy} BUSY responses under a window-matched load"
@@ -93,6 +163,7 @@ def run_configuration(rib, batches, shard_count):
         )
     return {
         "shards": shard_count,
+        "workers": workers,
         "requests": report.requests,
         "lookups": report.lookups,
         "duration_s": round(report.duration_s, 4),
@@ -102,14 +173,32 @@ def run_configuration(rib, batches, shard_count):
     }
 
 
-def run_bench(batch_count, rib=None):
-    """Measure the single-shard primary and a 2-shard secondary."""
+def run_bench(batch_count, rib=None, processes=()):
+    """Measure the in-process topologies plus ``processes`` worker counts."""
     if rib is None:
         rib = generate_rib(RIB_SEED, RibParameters(size=RIB_SIZE))
     rib = list(rib)
     batches = generate_batches(rib, batch_count, BATCH_SIZE, seed=TRAFFIC_SEED)
-    single = run_configuration(rib, batches, shard_count=1)
-    sharded = run_configuration(rib, batches, shard_count=2)
+    configurations = {
+        "single": run_configuration(rib, batches, shard_count=1),
+        "sharded2": run_configuration(rib, batches, shard_count=2),
+    }
+    if processes:
+        with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+            table_path = Path(tmp) / "table.txt"
+            save_table(rib, table_path)
+            for worker_count in processes:
+                configurations[f"multiproc{worker_count}"] = (
+                    run_configuration_processes(
+                        rib, table_path, batches, worker_count
+                    )
+                )
+    single_rate = configurations["single"]["lookups_per_sec"]
+    scaling = {
+        name: round(entry["lookups_per_sec"] / single_rate, 3)
+        for name, entry in configurations.items()
+        if name != "single" and single_rate
+    }
     return {
         "workload": {
             "rib_seed": RIB_SEED,
@@ -122,10 +211,14 @@ def run_bench(batch_count, rib=None):
         },
         # The single-shard numbers are the headline: the gate, the CI
         # floor and the README all read these keys.
-        "lookups_per_sec": single["lookups_per_sec"],
-        "p50_us": single["p50_us"],
-        "p99_us": single["p99_us"],
-        "configurations": {"single": single, "sharded2": sharded},
+        "lookups_per_sec": single_rate,
+        "p50_us": configurations["single"]["p50_us"],
+        "p99_us": configurations["single"]["p99_us"],
+        "cores": os.cpu_count(),
+        "configurations": configurations,
+        #: Each topology's speedup over ``single`` on the same workload.
+        "scaling": scaling,
+        "scaling_floors": SCALING_FLOORS,
     }
 
 
@@ -134,21 +227,70 @@ def render(payload):
         (
             name,
             entry["shards"],
+            entry.get("workers", "threads"),
             f"{entry['lookups_per_sec']:,.0f}",
+            f"{payload['scaling'].get(name, 1.0):.2f}x",
             f"{entry['p50_us']:,.0f}",
             f"{entry['p99_us']:,.0f}",
         )
         for name, entry in payload["configurations"].items()
     ]
     return format_table(
-        ["configuration", "shards", "lookups/sec", "p50 us", "p99 us"], rows
+        [
+            "configuration",
+            "shards",
+            "workers",
+            "lookups/sec",
+            "vs single",
+            "p50 us",
+            "p99 us",
+        ],
+        rows,
     )
 
 
-def stored_floor():
+def stored_floors():
+    """Per-topology floors from the committed result (legacy-tolerant)."""
     if not RESULT_FILE.exists():
-        return None
-    return json.loads(RESULT_FILE.read_text()).get("floor_lookups_per_sec")
+        return {}
+    stored = json.loads(RESULT_FILE.read_text())
+    floors = dict(stored.get("floors") or {})
+    if "single" not in floors and stored.get("floor_lookups_per_sec"):
+        floors["single"] = stored["floor_lookups_per_sec"]
+    return floors
+
+
+def check_scaling(payload, derate=1.0):
+    """Scaling-gate verdicts: (name, ratio, floor, enforced, ok)."""
+    cores = payload["cores"] or 1
+    verdicts = []
+    for name, floor in SCALING_FLOORS.items():
+        if name not in payload["scaling"]:
+            continue
+        ratio = payload["scaling"][name]
+        needed = floor * derate
+        enforced = cores >= cores_for(name)
+        verdicts.append((name, ratio, needed, enforced, ratio >= needed))
+    return verdicts
+
+
+def report_scaling(verdicts):
+    failed = False
+    for name, ratio, floor, enforced, ok in verdicts:
+        if not enforced:
+            print(
+                f"scaling gate {name} >= {floor:.2f}x skipped: "
+                f"{os.cpu_count()} core(s) cannot express the parallelism "
+                f"(measured {ratio:.2f}x, recorded)"
+            )
+        elif not ok:
+            failed = True
+            print(
+                f"parallel speedup regressed: {name} at {ratio:.2f}x "
+                f"over single (gate: {floor:.2f}x)",
+                file=sys.stderr,
+            )
+    return failed
 
 
 def main(argv=None):
@@ -161,8 +303,9 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     batch_count = QUICK_BATCHES if args.quick else FULL_BATCHES
+    processes = (2,) if args.quick else (2, 4)
     try:
-        payload = run_bench(batch_count)
+        payload = run_bench(batch_count, processes=processes)
     except AssertionError as exc:
         print(f"bench failed: {exc}", file=sys.stderr)
         return 1
@@ -170,37 +313,55 @@ def main(argv=None):
 
     RESULTS_DIR.mkdir(exist_ok=True)
     if args.quick:
-        floor = stored_floor()
-        payload["floor_lookups_per_sec"] = floor
+        floors = stored_floors()
+        payload["floors"] = floors
         QUICK_RESULT_FILE.write_text(
-            json.dumps(payload, indent=2) + "\n", encoding="ascii"
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="ascii",
         )
-        rate = payload["lookups_per_sec"]
-        if floor is not None and rate < floor:
-            print(
-                f"serving plane regressed: {rate:,.0f} lookups/sec below "
-                f"the stored floor {floor:,.0f}",
-                file=sys.stderr,
-            )
-            return 1
-        return 0
+        failed = False
+        for name, entry in payload["configurations"].items():
+            floor = floors.get(name)
+            if floor is not None and entry["lookups_per_sec"] < floor:
+                failed = True
+                print(
+                    f"serving plane regressed: {name} at "
+                    f"{entry['lookups_per_sec']:,.0f} lookups/sec below "
+                    f"the stored floor {floor:,.0f}",
+                    file=sys.stderr,
+                )
+        failed |= report_scaling(
+            check_scaling(payload, derate=QUICK_SCALING_DERATE)
+        )
+        return 1 if failed else 0
 
     rate = payload["lookups_per_sec"]
+    failed = False
     if rate < REQUIRED_LOOKUPS_PER_SEC:
+        failed = True
         print(
             f"serving plane only {rate:,.0f} lookups/sec "
             f"(gate: {REQUIRED_LOOKUPS_PER_SEC:,.0f})",
             file=sys.stderr,
         )
+    failed |= report_scaling(check_scaling(payload))
+    if failed:
         return 1
-    # The CI floor: deliberately far below the measured rate so it only
-    # trips on order-of-magnitude regressions, not runner variance.
-    previous = stored_floor()
-    payload["floor_lookups_per_sec"] = (
-        previous if previous is not None else round(rate / 10.0)
-    )
+    # The CI floors: deliberately far below the measured rates so they
+    # only trip on order-of-magnitude regressions, not runner variance.
+    previous = stored_floors()
+    payload["floors"] = {
+        name: previous.get(
+            name, round(entry["lookups_per_sec"] / 10.0)
+        )
+        for name, entry in payload["configurations"].items()
+    }
+    # Legacy scalar kept so older readers of the committed JSON keep
+    # working; it mirrors floors["single"].
+    payload["floor_lookups_per_sec"] = payload["floors"]["single"]
     RESULT_FILE.write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="ascii"
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="ascii",
     )
     print(f"wrote {RESULT_FILE}")
     return 0

@@ -386,6 +386,138 @@ def _precheck(evidence: CellEvidence, oracle_name: str) -> OracleVerdict:
     return oracle_module._ORACLES[oracle_name](evidence)
 
 
+# -- multi-process serve executor -----------------------------------------
+
+
+def _run_serve_procs(cell: Cell, workdir: Path) -> CellEvidence:
+    """``serve-2proc``: two shard worker *processes* behind a front.
+
+    The same phase discipline as ``serve-1``/``serve-2``, but every
+    engine lives in its own worker process (``serve --workers
+    processes``): updates and traffic travel client → parent front →
+    worker, the engine fault schedule rides in via ``--faults``, and the
+    drain fans out so each worker checkpoints and exits before the
+    parent does.  Engine-internal oracles (DRed exclusion, chip/state
+    audits) SKIP like the other subprocess topologies — the internals
+    are behind the wire — while replay-fingerprint and storage-audit
+    run for real against the shared journal directory the workers left
+    behind.
+    """
+    from repro.serve.procs import ProcessFront, ProcessSupervisor, WorkerSpec
+    from repro.serve.client import ServeClient
+    from repro.serve.router import plan_shards
+    from repro.serve.server import ServeConfig, ServerThread
+    from repro.serve.shard import ShardSet
+    from repro.workload.traces import save_faults, save_table
+
+    ctx = _CellContext(cell)
+    budget = cell.budget
+    state_dir = workdir / "state"
+    table_path = workdir / "table.txt"
+    save_table(ctx.routes, table_path)
+    faults_path: Optional[Path] = None
+    engine_schedule = ctx.schedule.engine_only()
+    if engine_schedule.events:
+        faults_path = workdir / "faults.json"
+        save_faults(engine_schedule, faults_path)
+    config = ctx.system_config()
+    plan = plan_shards(ctx.routes, 2, mode=config.compression_mode)
+    spec = WorkerSpec(
+        shard_count=2,
+        table=str(table_path),
+        journal=str(state_dir),
+        chips=budget.chips,
+        dred=config.engine.dred_capacity,
+        queue=config.engine.queue_capacity,
+        update_queue=config.update_queue_capacity,
+        backend=cell.backend,
+        faults=str(faults_path) if faults_path is not None else None,
+    )
+    supervisor = ProcessSupervisor(spec, plan.router.boundaries)
+    front = ProcessFront(supervisor, ServeConfig())
+    sub_detail = "engine internals live in the worker processes"
+    with ServerThread(server=front) as thread:
+        client = ServeClient("127.0.0.1", thread.server.port, timeout=30.0)
+        try:
+            # Phase 1: acked update batches over the wire, then MSG_FLUSH.
+            for batch in ctx.update_batches():
+                ack = client.update(batch)
+                if ack.shed:
+                    raise RuntimeError(
+                        f"update queue shed {ack.shed} of {len(batch)}; "
+                        f"shrink budget.batch_size or updates"
+                    )
+                for message in batch:
+                    ctx.mirror(message)
+            client.flush()
+
+            # Phase 2: replay checkpoint before any traffic — the live
+            # cross-process fingerprint must equal a clean single-process
+            # restore of a copy of the shared journal directory.
+            live = client.fingerprint()
+            scratch = workdir / "replay-copy"
+            if scratch.exists():
+                shutil.rmtree(scratch)
+            shutil.copytree(state_dir, scratch)
+            restored, _reports = ShardSet.restore(scratch)
+            try:
+                replayed = restored.fingerprint()
+            finally:
+                for worker in restored.workers:
+                    if worker.manager is not None:
+                        worker.manager.close()
+            replay = (live, replayed)
+
+            # Phase 3: traffic over the wire (worker faults fire here).
+            packets = ctx.traffic()
+            for start in range(0, len(packets), 256):
+                client.lookup(packets[start : start + 256])
+
+            from repro.serve.chaos import shard_load_rows
+
+            # Judgement needs the live cluster: collect the differential
+            # evidence now.  The per-range hit counters arrive merged
+            # from the worker STATS snapshots — the same rows the
+            # reshard policy reads.
+            evidence = CellEvidence(
+                cell=cell,
+                reference=ctx.reference,
+                lookup_fn=client.lookup,
+                acked_prefixes=ctx.acked_prefixes(),
+                acked_updates=ctx.acked_updates,
+                shed_updates=ctx.shed_updates,
+                external_updates=ctx.fault.external_updates,
+                replay=replay,
+                shard_loads=shard_load_rows(client.stats()["shards"]),
+            )
+            evidence.prechecked = {
+                "zero-acked-loss": _precheck(evidence, "zero-acked-loss"),
+                "lpm-equivalence": _precheck(evidence, "lpm-equivalence"),
+                "dred-exclusion": OracleVerdict(
+                    "dred-exclusion", SKIP, sub_detail
+                ),
+                "chip-audit": OracleVerdict("chip-audit", SKIP, sub_detail),
+                "state-audit": OracleVerdict("state-audit", SKIP, sub_detail),
+            }
+        finally:
+            client.close()
+    # The drain (ServerThread exit) fanned out to every worker: each
+    # flushed, checkpointed and closed its journal before exiting.
+    # Audit the final on-disk state the worker processes left behind.
+    audits = []
+    for index in range(2):
+        manager, _report = PersistenceManager.restore(
+            state_dir / f"shard-{index}"
+        )
+        try:
+            audits.append(manager.verify_storage())
+        finally:
+            manager.close()
+    evidence.storage_audits = audits
+    evidence.lookup_fn = None  # the cluster is gone; prechecks stand in
+    return evidence
+
+
 # -- subprocess HA executor ----------------------------------------------
 
 
@@ -561,6 +693,7 @@ _EXECUTORS: Dict[str, Callable[[Cell, Path], CellEvidence]] = {
     "inproc-durable": _run_inproc,
     "serve-1": lambda cell, workdir: _run_serve(cell, workdir, 1),
     "serve-2": lambda cell, workdir: _run_serve(cell, workdir, 2),
+    "serve-2proc": _run_serve_procs,
     "ha": _run_ha,
     "reshard": _run_reshard,
 }

@@ -40,11 +40,21 @@ PathLike = Union[str, Path]
 #: and SIGKILLs the primary (the chaos cell); ``reshard`` spawns one
 #: durable primary, splits a shard under live load, and SIGKILLs the
 #: server mid-migration at a seed-chosen stage (DESIGN.md §14).
-TOPOLOGIES = ("inproc", "inproc-durable", "serve-1", "serve-2", "ha", "reshard")
+#: ``serve-2proc`` is the multi-process serving plane: two shard worker
+#: *processes* behind a parent front (``serve --workers processes``).
+TOPOLOGIES = (
+    "inproc",
+    "inproc-durable",
+    "serve-1",
+    "serve-2",
+    "serve-2proc",
+    "ha",
+    "reshard",
+)
 
 #: Topologies whose updates flow through a write-ahead journal.
 DURABLE_TOPOLOGIES = frozenset(
-    {"inproc-durable", "serve-1", "serve-2", "ha", "reshard"}
+    {"inproc-durable", "serve-1", "serve-2", "serve-2proc", "ha", "reshard"}
 )
 
 
@@ -162,6 +172,12 @@ class CampaignSpec:
             return (
                 "storm faults inject updates behind the write-ahead "
                 "journal; durable topologies cannot replay them"
+            )
+        if topology == "serve-2proc" and fault in ("corrupt", "corrupt-silent"):
+            return (
+                "chip-corruption drills need in-process engine access "
+                "(the healing pass and the chip audit); worker processes "
+                "hide the engine behind the wire"
             )
         return None
 

@@ -486,21 +486,41 @@ def _build_shard_set(args: argparse.Namespace):
         ),
         update_queue_capacity=args.update_queue,
     )
+    shard_index = getattr(args, "shard_index", None)
     if getattr(args, "restore", False):
         if not args.journal:
             raise ValueError("--restore needs --journal DIR to recover from")
-        shards, reports = ShardSet.restore(
-            args.journal,
-            config=config,
-            checkpoint_every=args.checkpoint_every,
-            sync_interval=args.sync_every,
-        )
+        if shard_index is not None:
+            shards, reports = ShardSet.restore_worker(
+                args.journal,
+                shard_index,
+                config=config,
+                checkpoint_every=args.checkpoint_every,
+                sync_interval=args.sync_every,
+            )
+        else:
+            shards, reports = ShardSet.restore(
+                args.journal,
+                config=config,
+                checkpoint_every=args.checkpoint_every,
+                sync_interval=args.sync_every,
+            )
         for report in reports:
             print(report.summary())
         return shards
     if not args.table:
         raise ValueError("serve needs --table (or --journal with --restore)")
     routes = load_table(args.table)
+    if shard_index is not None:
+        return ShardSet.build_worker(
+            routes,
+            args.shards,
+            shard_index,
+            config=config,
+            journal_dir=args.journal,
+            checkpoint_every=args.checkpoint_every,
+            sync_interval=args.sync_every,
+        )
     return ShardSet.build(
         routes,
         shard_count=args.shards,
@@ -511,9 +531,120 @@ def _build_shard_set(args: argparse.Namespace):
     )
 
 
+def _cmd_serve_processes(args: argparse.Namespace) -> int:
+    """Parent front: one worker process per shard behind one port.
+
+    The parent re-derives the shard boundaries (or reads them back from
+    ``serve.json`` under ``--restore``), spawns ``repro serve
+    --shard-index i`` workers on ephemeral loopback ports, and serves
+    the unchanged client protocol by fanning requests out over the
+    worker control channels.  SIGTERM fans the drain out: every worker
+    flushes, writes its final checkpoint and exits before the parent
+    does.
+    """
+    from repro.serve import ServeConfig, ShardSet
+    from repro.serve.procs import ProcessFront, ProcessSupervisor, WorkerSpec
+    from repro.serve.router import plan_shards
+
+    if args.backup or args.replicate_to:
+        raise ValueError(
+            "--workers processes does not support replication yet; "
+            "run --workers threads for --backup/--replicate-to"
+        )
+    if args.faults:
+        # Fail fast in the parent; each worker re-validates on spawn.
+        schedule = load_faults(args.faults).validate(args.chips)
+        if schedule.has_process_kills:
+            raise ValueError(
+                "--faults schedules with kill-primary/kill-backup events "
+                "belong to 'repro-clue chaos'"
+            )
+        if args.journal and schedule.has_storms:
+            raise ValueError(
+                "--faults schedules with update storms bypass the "
+                "journal; drop --journal or remove the storm events"
+            )
+    journal = args.journal
+    if args.restore:
+        if not journal:
+            raise ValueError("--restore needs --journal DIR to recover from")
+        from repro.serve.reshard import resolve_reshard
+
+        # Resolve any pending reshard once, up front: workers racing the
+        # rollback concurrently would corrupt the shared directory.
+        directory = resolve_reshard(Path(journal))
+        meta = ShardSet.read_meta(directory)
+        journal = str(directory)
+        shard_count = int(meta["shards"])
+        boundaries = list(meta["boundaries"])
+        epoch = int(meta["epoch"])
+    else:
+        if not args.table:
+            raise ValueError(
+                "serve needs --table (or --journal with --restore)"
+            )
+        shard_count = args.shards
+        plan = plan_shards(
+            load_table(args.table),
+            shard_count,
+            mode=SystemConfig().compression_mode,
+        )
+        boundaries = plan.router.boundaries
+        epoch = plan.router.epoch
+    spec = WorkerSpec(
+        shard_count=shard_count,
+        table=args.table,
+        journal=journal,
+        restore=args.restore,
+        chips=args.chips,
+        dred=args.dred,
+        queue=args.queue,
+        update_queue=args.update_queue,
+        backend=args.backend,
+        window=max(64, args.window),
+        pump_budget=args.pump_budget,
+        checkpoint_every=args.checkpoint_every,
+        sync_every=args.sync_every,
+        drain_grace=args.drain_grace,
+        faults=args.faults,
+    )
+    supervisor = ProcessSupervisor(
+        spec, boundaries, epoch=epoch, restart_limit=args.worker_restarts
+    )
+    server = ProcessFront(
+        supervisor,
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            inflight_window=args.window,
+            drain_grace=args.drain_grace,
+            port_file=args.port_file,
+        ),
+    )
+
+    async def _run() -> int:
+        await server.start()
+        detail = (
+            f"{shard_count} worker process(es), "
+            f"{'durable' if spec.durable else 'in-memory'}"
+        )
+        print(
+            f"serving on {args.host}:{server.port} ({detail}); "
+            f"SIGTERM drains",
+            flush=True,
+        )
+        await server.wait_stopped()
+        return 0
+
+    return asyncio.run(_run())
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the network serving plane until SIGTERM drains it."""
     from repro.serve import ClueServer, ServeConfig
+
+    if args.workers == "processes" and args.shard_index is None:
+        return _cmd_serve_processes(args)
 
     ship_fingerprints = not args.no_ship_fingerprints
     if args.backup:
@@ -576,6 +707,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await server.start()
         if shards is None:
             detail = f"backup replica under {args.backup}"
+        elif args.shard_index is not None:
+            detail = (
+                f"worker shard {args.shard_index}/{args.shards}, "
+                f"{'durable' if shards.durable else 'in-memory'}"
+            )
         else:
             detail = (
                 f"{len(shards.workers)} shard(s), "
@@ -1101,6 +1237,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--shards", type=int, default=1, help="address-range shard workers"
+    )
+    serve.add_argument(
+        "--workers",
+        choices=("threads", "processes"),
+        default="threads",
+        help="threads: every shard in this process (GIL-bound); "
+        "processes: one worker process per shard behind a parent front",
+    )
+    serve.add_argument(
+        "--worker-restarts",
+        type=int,
+        default=1,
+        help="journal-restore respawns allowed per crashed worker "
+        "(--workers processes; 0 disables restart)",
+    )
+    serve.add_argument(
+        "--shard-index",
+        type=int,
+        help=argparse.SUPPRESS,  # internal: run as worker for one shard
     )
     serve.add_argument("--chips", type=int, default=4)
     serve.add_argument("--dred", type=int, default=1_024)

@@ -16,6 +16,12 @@ Live resharding (DESIGN.md §14): a serving primary splits a hot shard
 or merges cold neighbours **without stopping**, through the journaled
 stage machine in :class:`~repro.serve.reshard.ReshardCoordinator`;
 clients ride the cutover via epoch-carrying ``MSG_REDIRECT`` responses.
+
+Multi-process serving (DESIGN.md §15): ``serve --workers processes``
+runs one worker *process* per shard behind a
+:class:`~repro.serve.procs.ProcessFront`, breaking the GIL ceiling that
+caps in-process sharding; the client protocol is unchanged and the
+journal layout stays restorable by a single process.
 """
 
 from repro.serve.client import (
@@ -27,7 +33,19 @@ from repro.serve.client import (
     ServeTimeoutError,
     ServerBusyError,
 )
-from repro.serve.loadgen import LoadReport, generate_batches, run_load
+from repro.serve.loadgen import (
+    LoadReport,
+    generate_batches,
+    run_load,
+    run_load_processes,
+    split_batches,
+)
+from repro.serve.procs import (
+    ProcessFront,
+    ProcessSupervisor,
+    WorkerError,
+    WorkerSpec,
+)
 from repro.serve.protocol import ProtocolError, ReplicateAck, UpdateAck
 from repro.serve.replicate import (
     BackupReplica,
@@ -41,6 +59,7 @@ from repro.serve.reshard import (
     ReshardCoordinator,
     ReshardError,
     choose_reshard,
+    choose_reshard_from_loads,
     plan_merge,
     plan_split,
     resolve_reshard,
@@ -64,6 +83,8 @@ __all__ = [
     "JournalShipper",
     "LoadReport",
     "MigrationState",
+    "ProcessFront",
+    "ProcessSupervisor",
     "PromotionReport",
     "ProtocolError",
     "ReplicaEndpoint",
@@ -86,11 +107,16 @@ __all__ = [
     "ShardSet",
     "ShardWorker",
     "UpdateAck",
+    "WorkerError",
+    "WorkerSpec",
     "choose_reshard",
+    "choose_reshard_from_loads",
     "generate_batches",
     "plan_merge",
     "plan_shards",
     "plan_split",
     "resolve_reshard",
     "run_load",
+    "run_load_processes",
+    "split_batches",
 ]

@@ -72,8 +72,8 @@ Route = Tuple[Prefix, int]
 
 #: Every spawned server binds port 0; the bound port is read from this
 #: startup line — no fixed ports anywhere, so parallel campaigns never
-#: collide.
-STARTUP_RE = re.compile(r"serving on \S*?:(\d+)")
+#: collide.  The multi-process supervisor shares the same handshake.
+from repro.serve.procs import STARTUP_RE  # noqa: E402 (re-export)
 
 
 class ChaosError(Exception):

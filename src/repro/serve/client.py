@@ -221,6 +221,24 @@ class ServeClient:
     def fingerprint(self) -> str:
         return str(self._admin(protocol.MSG_FINGERPRINT)["fingerprint"])
 
+    def topology(self) -> Dict:
+        """Shard topology as advertised by the server's health snapshot.
+
+        Returns ``{"shards", "epoch", "boundaries", "workers"}``; the
+        last two are only present on a multi-process front, where
+        ``workers`` carries each shard's directly dialable endpoint
+        (host, port, alive, range) so a sharding-aware caller — the
+        bench's parallel load generator, for one — can drive worker
+        processes on their own ports.  Routing through this client
+        stays unchanged either way.
+        """
+        health = self.health()
+        return {
+            key: health[key]
+            for key in ("shards", "epoch", "boundaries", "workers")
+            if key in health
+        }
+
     def failover(self) -> Dict:
         """Tell a backup to promote itself right now (admin command)."""
         return self._admin(protocol.MSG_FAILOVER)

@@ -16,6 +16,7 @@ batches there instead of hammering a server that told it to go away.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import asdict, dataclass
@@ -49,6 +50,9 @@ class LoadReport:
     busy_draining: int = 0
     #: BUSY("backup") — landed on a replica that owns no range yet.
     busy_backup: int = 0
+    #: BUSY("worker") — a multi-process front whose shard worker is
+    #: down (crash window before the journal-restore respawn).
+    busy_worker: int = 0
     #: Times the generator re-resolved the primary and reconnected.
     failovers: int = 0
     #: Requests replayed against a new primary after a redirect.
@@ -87,6 +91,7 @@ def run_load(
     replicas: Optional[ReplicaMap] = None,
     timeout: Optional[float] = 30.0,
     connect_attempts: int = 3,
+    latencies_out: Optional[List[float]] = None,
 ) -> LoadReport:
     """Send every batch through one pipelined connection and measure.
 
@@ -96,13 +101,17 @@ def run_load(
     retried); with one, redirect-class BUSYs and connection failures
     trigger failover — the unanswered batches replay against whichever
     replica has become primary, so the run completes across a kill.
+
+    ``latencies_out`` receives the raw per-request latencies so callers
+    merging several connections (:func:`run_load_processes`) can compute
+    true percentiles over the union instead of averaging percentiles.
     """
     if window < 1:
         raise ValueError("window must be at least one request")
     payloads = [protocol.encode_addresses(batch) for batch in batches]
     latencies: List[float] = []
     lookups = 0
-    busy_window = busy_draining = busy_backup = 0
+    busy_window = busy_draining = busy_backup = busy_worker = 0
     failovers = 0
     retried = 0
     pending: Deque[int] = deque(range(len(payloads)))
@@ -158,6 +167,14 @@ def run_load(
                     busy_window += 1
                     latencies.append(now - sent_at)
                     completed += 1
+                elif reason == "worker":
+                    # A crashed shard worker: transient (the supervisor
+                    # restarts durable workers), but retrying against
+                    # the same endpoint mid-crash-window just spins, so
+                    # count it and move on like a pacing shed.
+                    busy_worker += 1
+                    latencies.append(now - sent_at)
+                    completed += 1
                 else:
                     if reason == "backup":
                         busy_backup += 1
@@ -197,7 +214,9 @@ def run_load(
         else:
             client.close()
     latencies.sort()
-    busy = busy_window + busy_draining + busy_backup
+    if latencies_out is not None:
+        latencies_out.extend(latencies)
+    busy = busy_window + busy_draining + busy_backup + busy_worker
     return LoadReport(
         requests=len(payloads),
         lookups=lookups,
@@ -211,7 +230,116 @@ def run_load(
         busy_window=busy_window,
         busy_draining=busy_draining,
         busy_backup=busy_backup,
+        busy_worker=busy_worker,
         failovers=failovers,
         retried=retried,
         redirects=redirects,
+    )
+
+
+def split_batches(
+    batches: Sequence[Sequence[int]], boundaries: Sequence[int]
+) -> List[List[List[int]]]:
+    """Split every batch by home shard, preserving in-batch order.
+
+    Returns one batch list per shard; empty sub-batches are dropped, so
+    a shard that owns none of a batch's addresses simply sees one fewer
+    request.  Used to drive worker processes directly on their
+    advertised per-shard ports — the topology ``serve.json`` publishes —
+    which is what lets the generator actually exercise the cores.
+    """
+    from repro.serve.router import ShardRouter
+
+    router = ShardRouter(boundaries)
+    per_shard: List[List[List[int]]] = [[] for _ in boundaries]
+    for batch in batches:
+        buckets: Dict[int, List[int]] = {}
+        for address in batch:
+            buckets.setdefault(router.shard_of(address), []).append(address)
+        for shard, sub in buckets.items():
+            per_shard[shard].append(sub)
+    return per_shard
+
+
+def run_load_processes(
+    endpoints: Sequence[Tuple[str, int]],
+    boundaries: Sequence[int],
+    batches: Sequence[Sequence[int]],
+    window: int = 4,
+    timeout: Optional[float] = 30.0,
+    connect_attempts: int = 3,
+) -> LoadReport:
+    """Drive every worker process in parallel and merge one report.
+
+    One generator thread per worker endpoint, each running
+    :func:`run_load` over that shard's sub-batches (the generator's own
+    threads release the GIL in socket I/O, so the *measured* CPU work —
+    LPM in the worker processes — runs genuinely in parallel).
+    Throughput is total lookups over the whole run's wall clock;
+    percentiles are computed over the merged per-request latencies.
+    """
+    if len(endpoints) != len(boundaries):
+        raise ValueError(
+            f"{len(endpoints)} endpoint(s) for {len(boundaries)} shard(s)"
+        )
+    per_shard = split_batches(batches, boundaries)
+    reports: List[Optional[LoadReport]] = [None] * len(endpoints)
+    merged_latencies: List[float] = []
+    lock = threading.Lock()
+    failures: List[BaseException] = []
+
+    def drive(shard: int) -> None:
+        host, port = endpoints[shard]
+        local: List[float] = []
+        try:
+            report = run_load(
+                host,
+                port,
+                per_shard[shard],
+                window=window,
+                timeout=timeout,
+                connect_attempts=connect_attempts,
+                latencies_out=local,
+            )
+        except BaseException as exc:  # surfaced to the caller below
+            with lock:
+                failures.append(exc)
+            return
+        with lock:
+            reports[shard] = report
+            merged_latencies.extend(local)
+
+    threads = [
+        threading.Thread(target=drive, args=(shard,), daemon=True)
+        for shard in range(len(endpoints))
+        if per_shard[shard]
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+    if failures:
+        raise failures[0]
+    done = [report for report in reports if report is not None]
+    merged_latencies.sort()
+    lookups = sum(report.lookups for report in done)
+    return LoadReport(
+        requests=sum(report.requests for report in done),
+        lookups=lookups,
+        busy=sum(report.busy for report in done),
+        duration_s=duration,
+        lookups_per_sec=lookups / duration if duration else 0.0,
+        p50_us=_percentile(merged_latencies, 0.50) * 1e6,
+        p99_us=_percentile(merged_latencies, 0.99) * 1e6,
+        batch_size=max(len(batch) for batch in batches) if batches else 0,
+        window=window,
+        busy_window=sum(report.busy_window for report in done),
+        busy_draining=sum(report.busy_draining for report in done),
+        busy_backup=sum(report.busy_backup for report in done),
+        busy_worker=sum(report.busy_worker for report in done),
+        failovers=sum(report.failovers for report in done),
+        retried=sum(report.retried for report in done),
+        redirects=sum(report.redirects for report in done),
     )

@@ -303,10 +303,28 @@ def choose_reshard(
     is at most ``cold_share``.  Deterministic (ties go to the lowest
     index), so campaign drills and the auto CLI agree on the decision.
     """
-    loads = [
-        worker.lookup_hits + worker.update_hits
-        for worker in shard_set.workers
-    ]
+    return choose_reshard_from_loads(
+        [
+            worker.lookup_hits + worker.update_hits
+            for worker in shard_set.workers
+        ],
+        hot_share=hot_share,
+        cold_share=cold_share,
+    )
+
+
+def choose_reshard_from_loads(
+    loads: Sequence[int],
+    hot_share: float = 0.6,
+    cold_share: float = 0.15,
+) -> Optional[Tuple[str, int]]:
+    """The :func:`choose_reshard` policy over bare per-range loads.
+
+    The multi-process front has no in-process workers to read counters
+    from — it aggregates ``lookup_hits + update_hits`` out of the
+    per-worker STATS rows and feeds the merged list here, so the policy
+    decision is identical to what the in-process topology would pick.
+    """
     total = sum(loads)
     if total <= 0:
         return None

@@ -97,79 +97,39 @@ class ServeConfig:
     backup_sync_interval: int = 64
 
 
-class ClueServer:
-    """Serves one :class:`ShardSet` until told to drain.
+class FrameServer:
+    """The connection/backpressure machinery every serving role shares.
 
-    ``shards`` may be ``None`` only for a backup (``backup_dir`` set):
-    the shard set then arrives over the wire with the bootstrap frame
-    and becomes servable at promotion.
+    Subclasses implement :meth:`_dispatch` — which may return encoded
+    response ``bytes`` directly *or* a coroutine resolving to them (the
+    multi-process front awaits worker RPCs mid-dispatch; responses still
+    leave each connection strictly in request order because the respond
+    loop awaits inline) — plus optional hooks:
+
+    * :meth:`_before_bind` / :meth:`_after_bind` — resources around the
+      listening socket (replication links, worker processes);
+    * :meth:`_busy_reason` — why a data-plane frame is shed right now;
+    * :meth:`_shed_response` — encode the shed verdict (BUSY/REDIRECT);
+    * :meth:`_connection_lost` — per-connection teardown bookkeeping;
+    * :meth:`_drain_resources` — flush owned state during shutdown.
     """
 
-    def __init__(
-        self,
-        shards: Optional[ShardSet],
-        config: Optional[ServeConfig] = None,
-    ):
+    def __init__(self, config: Optional[ServeConfig] = None):
         self.config = config or ServeConfig()
-        self.shards = shards
         self.stats = ServeStats()
         self.draining = False
         self.port: Optional[int] = None
-        self.replica: Optional[BackupReplica] = None
-        self.shipper: Optional[JournalShipper] = None
-        #: Live migration controller (one at a time), and the snapshot of
-        #: the last finished/aborted one for the status RPC.
-        self.coordinator: Optional[ReshardCoordinator] = None
-        self.last_reshard: Optional[Dict[str, object]] = None
-        #: True only inside the optional pre-cutover pause: data-plane
-        #: requests are answered MSG_REDIRECT instead of served.
-        self.redirecting = False
-        if self.config.backup_dir is not None:
-            if shards is not None:
-                raise ValueError("a backup bootstraps over the wire; "
-                                 "do not pass shards")
-            if self.config.replicate_to is not None:
-                raise ValueError("chained replication is not supported")
-            self.replica = BackupReplica(
-                Path(self.config.backup_dir),
-                checkpoint_every=self.config.backup_checkpoint_every,
-                sync_interval=self.config.backup_sync_interval,
-            )
-        elif shards is None:
-            raise ValueError("a server needs shards unless it is a backup")
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: Set[asyncio.Task] = set()
         self._stopped: Optional[asyncio.Event] = None
         self._shutdown_task: Optional[asyncio.Task] = None
         self._background: Set[asyncio.Task] = set()
-        self._live_feeds: Set[int] = set()
-
-    @property
-    def role(self) -> str:
-        """``primary`` | ``syncing`` | ``following`` | ``promoting``."""
-        if self.replica is not None and self.replica.role != ROLE_PRIMARY:
-            return self.replica.role
-        return ROLE_PRIMARY
 
     # -- lifecycle ------------------------------------------------------
 
     async def start(self, install_signal_handlers: bool = True) -> None:
         self._stopped = asyncio.Event()
-        if self.config.replicate_to is not None:
-            assert self.shards is not None
-            host, _, port = self.config.replicate_to.rpartition(":")
-            self.shipper = JournalShipper(
-                host or "127.0.0.1",
-                int(port),
-                self.shards,
-                ReplicationConfig(
-                    ack_mode=self.config.ack_mode,
-                    ship_fingerprints=self.config.ship_fingerprints,
-                ),
-            )
-            # The first connect must succeed: starting a "replicated"
-            # service with no backup listening is an operator error.
-            self.shipper.connect()
+        await self._before_bind()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -177,10 +137,7 @@ class ClueServer:
         if self.config.port_file:
             with open(self.config.port_file, "w", encoding="ascii") as handle:
                 handle.write(f"{self.port}\n")
-        if self.shipper is not None:
-            self._spawn(self._heartbeat_loop())
-        if self.replica is not None and self.config.auto_promote:
-            self._spawn(self._watchdog_loop())
+        self._after_bind()
         if install_signal_handlers:
             loop = asyncio.get_running_loop()
             for signum in (signal.SIGTERM, signal.SIGINT):
@@ -188,6 +145,12 @@ class ClueServer:
                     loop.add_signal_handler(signum, self._request_shutdown)
                 except NotImplementedError:  # pragma: no cover - non-POSIX
                     pass
+
+    async def _before_bind(self) -> None:
+        """Bring up resources that must exist before accepting clients."""
+
+    def _after_bind(self) -> None:
+        """Spawn background tasks once the port is bound."""
 
     def _spawn(self, coro) -> None:
         task = asyncio.get_running_loop().create_task(coro)
@@ -220,14 +183,11 @@ class ClueServer:
                 task.cancel()
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
-        if self.shards is not None:
-            self.shards.drain()
-        if self.shipper is not None:
-            # The drain wrote trailing records (queue flush, final
-            # checkpoint); hand the backup a fully caught-up journal.
-            self.shipper.ship()
-            self.shipper.close()
+        await self._drain_resources()
         self._stopped.set()
+
+    async def _drain_resources(self) -> None:
+        """Flush whatever the role owns (shards, workers, shippers)."""
 
     async def run(self, install_signal_handlers: bool = True) -> int:
         """Start, serve until drained, return the process exit code."""
@@ -239,6 +199,192 @@ class ClueServer:
     async def wait_stopped(self) -> None:
         assert self._stopped is not None
         await self._stopped.wait()
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        self.stats.connections_total += 1
+        self.stats.connections_active += 1
+        window = self.config.inflight_window
+        # The queue carries (frame, busy_reason) in arrival order; the
+        # writer coroutine answers strictly in that order.  Its bound is
+        # above the window so BUSY verdicts never stall the reader, yet
+        # a client that stops reading responses still hits TCP
+        # backpressure here instead of growing an unbounded buffer.
+        queue: asyncio.Queue = asyncio.Queue(maxsize=window * 4 + 8)
+        state = {"inflight": 0, "dead": False, "feed": False}
+        responder = asyncio.create_task(self._respond_loop(writer, queue, state))
+        try:
+            while not state["dead"]:
+                try:
+                    frame = await protocol.read_frame_async(reader)
+                except (ProtocolError, ConnectionError, OSError):
+                    self.stats.protocol_errors += 1
+                    break
+                if frame is None:
+                    break
+                busy_reason = None
+                if frame.type in (protocol.MSG_LOOKUP, protocol.MSG_UPDATE):
+                    busy_reason = self._busy_reason(frame, state)
+                    if busy_reason is None:
+                        if state["inflight"] >= window:
+                            busy_reason = "window"
+                        else:
+                            state["inflight"] += 1
+                await queue.put((frame, busy_reason))
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await queue.put(None)
+            try:
+                await responder
+            except asyncio.CancelledError:
+                pass
+            self.stats.connections_active -= 1
+            self._connections.discard(task)
+            self._connection_lost(state)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _busy_reason(self, frame: Frame, state: Dict) -> Optional[str]:
+        """Why a data-plane frame is shed before dispatch, or ``None``."""
+        return "draining" if self.draining else None
+
+    def _connection_lost(self, state: Dict) -> None:
+        """Bookkeeping when a connection's reader loop finishes."""
+
+    async def _respond_loop(self, writer, queue, state: Dict) -> None:
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            frame, busy_reason = item
+            if state["dead"]:
+                continue  # keep consuming so the reader never blocks
+            if busy_reason is not None:
+                response = self._shed_response(frame, busy_reason)
+            else:
+                response = self._dispatch(frame, state)
+                if asyncio.iscoroutine(response):
+                    response = await response
+                if frame.type in (protocol.MSG_LOOKUP, protocol.MSG_UPDATE):
+                    state["inflight"] -= 1
+            writer.write(response)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                state["dead"] = True
+
+    def _shed_response(self, frame: Frame, busy_reason: str) -> bytes:
+        self.stats.busy_responses += 1
+        return protocol.encode_frame(
+            protocol.MSG_BUSY,
+            frame.request_id,
+            protocol.encode_text(busy_reason),
+        )
+
+    def _dispatch(self, frame: Frame, state: Optional[Dict] = None):
+        """Answer one admitted frame; bytes or a coroutine of bytes."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _admin_ok(frame: Frame, data: Dict[str, object]) -> bytes:
+        return protocol.encode_frame(
+            protocol.MSG_ADMIN_OK, frame.request_id, protocol.encode_json(data)
+        )
+
+    @staticmethod
+    def _error(frame: Frame, message: str) -> bytes:
+        return protocol.encode_frame(
+            protocol.MSG_ERROR, frame.request_id, protocol.encode_text(message)
+        )
+
+
+class ClueServer(FrameServer):
+    """Serves one :class:`ShardSet` until told to drain.
+
+    ``shards`` may be ``None`` only for a backup (``backup_dir`` set):
+    the shard set then arrives over the wire with the bootstrap frame
+    and becomes servable at promotion.
+    """
+
+    def __init__(
+        self,
+        shards: Optional[ShardSet],
+        config: Optional[ServeConfig] = None,
+    ):
+        super().__init__(config)
+        self.shards = shards
+        self.replica: Optional[BackupReplica] = None
+        self.shipper: Optional[JournalShipper] = None
+        #: Live migration controller (one at a time), and the snapshot of
+        #: the last finished/aborted one for the status RPC.
+        self.coordinator: Optional[ReshardCoordinator] = None
+        self.last_reshard: Optional[Dict[str, object]] = None
+        #: True only inside the optional pre-cutover pause: data-plane
+        #: requests are answered MSG_REDIRECT instead of served.
+        self.redirecting = False
+        if self.config.backup_dir is not None:
+            if shards is not None:
+                raise ValueError("a backup bootstraps over the wire; "
+                                 "do not pass shards")
+            if self.config.replicate_to is not None:
+                raise ValueError("chained replication is not supported")
+            self.replica = BackupReplica(
+                Path(self.config.backup_dir),
+                checkpoint_every=self.config.backup_checkpoint_every,
+                sync_interval=self.config.backup_sync_interval,
+            )
+        elif shards is None:
+            raise ValueError("a server needs shards unless it is a backup")
+        self._live_feeds: Set[int] = set()
+
+    @property
+    def role(self) -> str:
+        """``primary`` | ``syncing`` | ``following`` | ``promoting``."""
+        if self.replica is not None and self.replica.role != ROLE_PRIMARY:
+            return self.replica.role
+        return ROLE_PRIMARY
+
+    # -- lifecycle hooks ------------------------------------------------
+
+    async def _before_bind(self) -> None:
+        if self.config.replicate_to is not None:
+            assert self.shards is not None
+            host, _, port = self.config.replicate_to.rpartition(":")
+            self.shipper = JournalShipper(
+                host or "127.0.0.1",
+                int(port),
+                self.shards,
+                ReplicationConfig(
+                    ack_mode=self.config.ack_mode,
+                    ship_fingerprints=self.config.ship_fingerprints,
+                ),
+            )
+            # The first connect must succeed: starting a "replicated"
+            # service with no backup listening is an operator error.
+            self.shipper.connect()
+
+    def _after_bind(self) -> None:
+        if self.shipper is not None:
+            self._spawn(self._heartbeat_loop())
+        if self.replica is not None and self.config.auto_promote:
+            self._spawn(self._watchdog_loop())
+
+    async def _drain_resources(self) -> None:
+        if self.shards is not None:
+            self.shards.drain()
+        if self.shipper is not None:
+            # The drain wrote trailing records (queue flush, final
+            # checkpoint); hand the backup a fully caught-up journal.
+            self.shipper.ship()
+            self.shipper.close()
 
     # -- replication background tasks -----------------------------------
 
@@ -291,102 +437,38 @@ class ClueServer:
         )
         return report.as_dict()
 
-    # -- connection handling --------------------------------------------
+    # -- connection hooks -----------------------------------------------
 
-    async def _handle_connection(self, reader, writer) -> None:
-        task = asyncio.current_task()
-        assert task is not None
-        self._connections.add(task)
-        self.stats.connections_total += 1
-        self.stats.connections_active += 1
-        window = self.config.inflight_window
-        # The queue carries (frame, busy_reason) in arrival order; the
-        # writer coroutine answers strictly in that order.  Its bound is
-        # above the window so BUSY verdicts never stall the reader, yet
-        # a client that stops reading responses still hits TCP
-        # backpressure here instead of growing an unbounded buffer.
-        queue: asyncio.Queue = asyncio.Queue(maxsize=window * 4 + 8)
-        state = {"inflight": 0, "dead": False, "feed": False}
-        responder = asyncio.create_task(self._respond_loop(writer, queue, state))
-        try:
-            while not state["dead"]:
-                try:
-                    frame = await protocol.read_frame_async(reader)
-                except (ProtocolError, ConnectionError, OSError):
-                    self.stats.protocol_errors += 1
-                    break
-                if frame is None:
-                    break
-                busy_reason = None
-                if frame.type in (protocol.MSG_LOOKUP, protocol.MSG_UPDATE):
-                    if self.draining:
-                        busy_reason = "draining"
-                    elif self.role != ROLE_PRIMARY:
-                        # A backup owns no address range yet; shed with
-                        # a reason the client can turn into failover.
-                        busy_reason = "backup"
-                    elif self.redirecting:
-                        # Mid-cutover pause: shed with an epoch-carrying
-                        # redirect so the client refreshes and retries.
-                        busy_reason = "resharding"
-                    elif state["inflight"] >= window:
-                        busy_reason = "window"
-                    else:
-                        state["inflight"] += 1
-                await queue.put((frame, busy_reason))
-        except asyncio.CancelledError:
-            pass
-        finally:
-            await queue.put(None)
-            try:
-                await responder
-            except asyncio.CancelledError:
-                pass
-            self.stats.connections_active -= 1
-            self._connections.discard(task)
-            if state["feed"]:
-                self._live_feeds.discard(id(state))
-                if not self._live_feeds and self.config.auto_promote:
-                    # The primary's replication connection died (SIGKILL
-                    # closes the socket); take over its address range.
-                    self._try_promote("replication feed lost")
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+    def _busy_reason(self, frame: Frame, state: Dict) -> Optional[str]:
+        if self.draining:
+            return "draining"
+        if self.role != ROLE_PRIMARY:
+            # A backup owns no address range yet; shed with a reason the
+            # client can turn into failover.
+            return "backup"
+        if self.redirecting:
+            # Mid-cutover pause: shed with an epoch-carrying redirect so
+            # the client refreshes and retries.
+            return "resharding"
+        return None
 
-    async def _respond_loop(self, writer, queue, state: Dict) -> None:
-        while True:
-            item = await queue.get()
-            if item is None:
-                return
-            frame, busy_reason = item
-            if state["dead"]:
-                continue  # keep consuming so the reader never blocks
-            if busy_reason == "resharding":
-                self.stats.redirect_responses += 1
-                response = protocol.encode_frame(
-                    protocol.MSG_REDIRECT,
-                    frame.request_id,
-                    protocol.encode_redirect(self._redirect()),
-                )
-            elif busy_reason is not None:
-                self.stats.busy_responses += 1
-                response = protocol.encode_frame(
-                    protocol.MSG_BUSY,
-                    frame.request_id,
-                    protocol.encode_text(busy_reason),
-                )
-            else:
-                response = self._dispatch(frame, state)
-                if frame.type in (protocol.MSG_LOOKUP, protocol.MSG_UPDATE):
-                    state["inflight"] -= 1
-            writer.write(response)
-            try:
-                await writer.drain()
-            except (ConnectionError, OSError):
-                state["dead"] = True
+    def _shed_response(self, frame: Frame, busy_reason: str) -> bytes:
+        if busy_reason == "resharding":
+            self.stats.redirect_responses += 1
+            return protocol.encode_frame(
+                protocol.MSG_REDIRECT,
+                frame.request_id,
+                protocol.encode_redirect(self._redirect()),
+            )
+        return super()._shed_response(frame, busy_reason)
+
+    def _connection_lost(self, state: Dict) -> None:
+        if state["feed"]:
+            self._live_feeds.discard(id(state))
+            if not self._live_feeds and self.config.auto_promote:
+                # The primary's replication connection died (SIGKILL
+                # closes the socket); take over its address range.
+                self._try_promote("replication feed lost")
 
     # -- request dispatch (synchronous on purpose) ----------------------
 
@@ -738,33 +820,25 @@ class ClueServer:
             )
         return entries
 
-    @staticmethod
-    def _admin_ok(frame: Frame, data: Dict[str, object]) -> bytes:
-        return protocol.encode_frame(
-            protocol.MSG_ADMIN_OK, frame.request_id, protocol.encode_json(data)
-        )
-
-    @staticmethod
-    def _error(frame: Frame, message: str) -> bytes:
-        return protocol.encode_frame(
-            protocol.MSG_ERROR, frame.request_id, protocol.encode_text(message)
-        )
-
 
 class ServerThread:
-    """A :class:`ClueServer` on a background thread (tests and benches).
+    """A :class:`FrameServer` on a background thread (tests and benches).
 
     The asyncio loop lives entirely on the thread; :meth:`start` blocks
     until the port is bound, :meth:`stop` runs the same graceful drain
-    SIGTERM would and joins the thread.
+    SIGTERM would and joins the thread.  By default it builds a
+    :class:`ClueServer` over ``shards``; pass ``server=`` to host any
+    prebuilt :class:`FrameServer` (the multi-process front, a backup).
     """
 
     def __init__(
         self,
-        shards: Optional[ShardSet],
+        shards: Optional[ShardSet] = None,
         config: Optional[ServeConfig] = None,
+        *,
+        server: Optional[FrameServer] = None,
     ):
-        self.server = ClueServer(shards, config)
+        self.server = server if server is not None else ClueServer(shards, config)
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None

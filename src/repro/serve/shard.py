@@ -32,19 +32,47 @@ PathLike = Union[str, Path]
 META_FILE = "serve.json"
 META_VERSION = 1
 
+#: One past the last IPv4 address: the open upper bound of the space.
+ADDRESS_SPACE = 1 << 32
+
+
+def combine_fingerprints(fingerprints: Sequence[str]) -> str:
+    """One digest over per-shard state fingerprints, in shard order.
+
+    This is *the* cross-process fingerprint contract: the parent front
+    combines fingerprints it gathered from worker processes with exactly
+    the bytes :meth:`ShardSet.fingerprint` hashes in-process, so a
+    single-process restore of the shared journal directory reproduces
+    the multi-process serving fingerprint byte for byte.
+    """
+    digest = hashlib.sha256()
+    for fingerprint in fingerprints:
+        digest.update(fingerprint.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
 
 class ShardWorker:
-    """One shard: a CLUE system plus its optional durability manager."""
+    """One shard: a CLUE system plus its optional durability manager.
+
+    ``span`` is the shard's global address range ``[start, end)``.  It
+    matters when the worker is hosted alone in its own process: the
+    local router only knows one shard, so the global range (and the
+    global ``index``) must travel with the worker for stats rows and
+    reshard policy to stay topology-accurate.
+    """
 
     def __init__(
         self,
         index: int,
         system: ClueSystem,
         manager: Optional[PersistenceManager] = None,
+        span: Optional[Tuple[int, int]] = None,
     ) -> None:
         self.index = index
         self.system = system
         self.manager = manager
+        self.span = span
         #: Per-range load accounting: how many lookup addresses and
         #: update messages this shard's range has absorbed.  The reshard
         #: controller's split/merge decisions read these, so they count
@@ -182,16 +210,63 @@ class ShardSet:
         return self.router.epoch
 
     def _write_meta(self, directory: Path) -> None:
+        self.write_meta(
+            directory,
+            shards=len(self.workers),
+            boundaries=self.router.boundaries,
+            epoch=self.router.epoch,
+        )
+
+    @staticmethod
+    def write_meta(
+        directory: PathLike,
+        shards: int,
+        boundaries: Sequence[int],
+        epoch: int = 1,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Write ``serve.json``; ``extra`` adds advisory keys.
+
+        :meth:`read_meta` only consumes the four required keys, so extra
+        keys (the multi-process front records its worker endpoints here)
+        never break an older reader.
+        """
+        directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        meta = {
+        meta: Dict[str, object] = {
             "version": META_VERSION,
-            "shards": len(self.workers),
-            "boundaries": self.router.boundaries,
-            "epoch": self.router.epoch,
+            "shards": shards,
+            "boundaries": list(boundaries),
+            "epoch": epoch,
         }
+        if extra:
+            meta.update(extra)
         (directory / META_FILE).write_text(
             json.dumps(meta, sort_keys=True), encoding="ascii"
         )
+
+    @staticmethod
+    def read_meta(directory: PathLike) -> Dict[str, object]:
+        """Parse ``serve.json``: the topology a journal directory holds."""
+        meta_path = Path(directory) / META_FILE
+        if not meta_path.is_file():
+            raise ValueError(f"no {META_FILE} under {directory}")
+        try:
+            meta = json.loads(meta_path.read_text(encoding="ascii"))
+            parsed: Dict[str, object] = {
+                "version": int(meta["version"]),
+                "shards": int(meta["shards"]),
+                "boundaries": [int(b) for b in meta["boundaries"]],
+                "epoch": int(meta.get("epoch", 1)),
+            }
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise ValueError(f"malformed {meta_path}: {exc!r}") from exc
+        if parsed["version"] != META_VERSION:
+            raise ValueError(
+                f"{meta_path} is v{parsed['version']}; "
+                f"this build reads v{META_VERSION}"
+            )
+        return parsed
 
     @classmethod
     def restore(
@@ -216,21 +291,10 @@ class ShardSet:
         from repro.serve.reshard import resolve_reshard
 
         directory = resolve_reshard(Path(journal_dir))
-        meta_path = directory / META_FILE
-        if not meta_path.is_file():
-            raise ValueError(f"no {META_FILE} under {directory}")
-        try:
-            meta = json.loads(meta_path.read_text(encoding="ascii"))
-            version = int(meta["version"])
-            shard_count = int(meta["shards"])
-            boundaries = [int(b) for b in meta["boundaries"]]
-            epoch = int(meta.get("epoch", 1))
-        except (KeyError, TypeError, json.JSONDecodeError) as exc:
-            raise ValueError(f"malformed {meta_path}: {exc!r}") from exc
-        if version != META_VERSION:
-            raise ValueError(
-                f"{meta_path} is v{version}; this build reads v{META_VERSION}"
-            )
+        meta = cls.read_meta(directory)
+        shard_count = int(meta["shards"])
+        boundaries = list(meta["boundaries"])  # type: ignore[arg-type]
+        epoch = int(meta["epoch"])
         workers = []
         reports = []
         for index in range(shard_count):
@@ -243,6 +307,106 @@ class ShardSet:
             workers.append(ShardWorker(index, manager.system, manager))
             reports.append(report)
         return cls(ShardRouter(boundaries, epoch), workers), reports
+
+    # -- single-shard worker processes ----------------------------------
+
+    @staticmethod
+    def _worker_span(boundaries: Sequence[int], index: int) -> Tuple[int, int]:
+        end = (
+            boundaries[index + 1]
+            if index + 1 < len(boundaries)
+            else ADDRESS_SPACE
+        )
+        return (boundaries[index], end)
+
+    @classmethod
+    def build_worker(
+        cls,
+        routes: Sequence[Route],
+        shard_count: int,
+        index: int,
+        config: Optional[SystemConfig] = None,
+        journal_dir: Optional[PathLike] = None,
+        checkpoint_every: int = 0,
+        sync_interval: int = 64,
+    ) -> "ShardSet":
+        """Build shard ``index`` of an ``shard_count``-way plan, alone.
+
+        The multi-process serving plane spawns one process per shard;
+        each re-derives the *identical* plan (:func:`plan_shards` is
+        deterministic over the same table), keeps only its own subset,
+        and journals into the shared directory's ``shard-<index>`` — the
+        exact layout :meth:`build` would have written, so a plain
+        single-process :meth:`restore` of the whole directory rebuilds
+        the same state.  The parent owns ``serve.json``; a worker never
+        writes it (two workers racing the metadata file would be the
+        only nondeterminism in the plan).
+        """
+        if not 0 <= index < shard_count:
+            raise ValueError(
+                f"shard index {index} out of range for {shard_count} shard(s)"
+            )
+        config = config or SystemConfig()
+        plan = plan_shards(routes, shard_count, mode=config.compression_mode)
+        system = ClueSystem(plan.routes_per_shard[index], config)
+        manager = None
+        if journal_dir is not None:
+            manager = PersistenceManager(
+                system,
+                Path(journal_dir) / f"shard-{index}",
+                checkpoint_every=checkpoint_every,
+                sync_interval=sync_interval,
+            )
+        worker = ShardWorker(
+            index,
+            system,
+            manager,
+            span=cls._worker_span(plan.router.boundaries, index),
+        )
+        return cls(ShardRouter([0], epoch=plan.router.epoch), [worker])
+
+    @classmethod
+    def restore_worker(
+        cls,
+        journal_dir: PathLike,
+        index: int,
+        config: Optional[SystemConfig] = None,
+        checkpoint_every: int = 0,
+        sync_interval: int = 64,
+    ) -> Tuple["ShardSet", List[object]]:
+        """Restore shard ``index`` alone from a shared journal directory.
+
+        Topology comes from ``serve.json`` exactly like :meth:`restore`,
+        but only this shard's journal is replayed.  Unlike
+        :meth:`restore` this does **not** resolve a pending reshard
+        journal: concurrent workers racing the rollback would corrupt
+        it, so the supervisor resolves once before spawning anyone.
+        """
+        directory = Path(journal_dir)
+        meta = cls.read_meta(directory)
+        shard_count = int(meta["shards"])
+        boundaries = list(meta["boundaries"])  # type: ignore[arg-type]
+        if not 0 <= index < shard_count:
+            raise ValueError(
+                f"shard index {index} out of range: {directory} holds "
+                f"{shard_count} shard(s)"
+            )
+        manager, report = PersistenceManager.restore(
+            directory / f"shard-{index}",
+            config=config,
+            checkpoint_every=checkpoint_every,
+            sync_interval=sync_interval,
+        )
+        worker = ShardWorker(
+            index,
+            manager.system,
+            manager,
+            span=cls._worker_span(boundaries, index),
+        )
+        return (
+            cls(ShardRouter([0], epoch=int(meta["epoch"])), [worker]),
+            [report],
+        )
 
     # -- data plane -----------------------------------------------------
 
@@ -316,11 +480,7 @@ class ShardSet:
 
     def fingerprint(self) -> str:
         """One digest over every shard's state fingerprint, in order."""
-        digest = hashlib.sha256()
-        for fingerprint in self.shard_fingerprints():
-            digest.update(fingerprint.encode("ascii"))
-            digest.update(b"\n")
-        return digest.hexdigest()
+        return combine_fingerprints(self.shard_fingerprints())
 
     def checkpoint(self) -> List[Optional[str]]:
         return [worker.checkpoint() for worker in self.workers]
@@ -330,12 +490,12 @@ class ShardSet:
         rows = []
         for worker in self.workers:
             row = worker.report_dict()
-            start = boundaries[worker.index]
-            end = (
-                boundaries[worker.index + 1]
-                if worker.index + 1 < len(boundaries)
-                else 1 << 32
-            )
+            if worker.span is not None:
+                # Worker-process mode: the local router is single-shard,
+                # so the global range travels on the worker itself.
+                start, end = worker.span
+            else:
+                start, end = self._worker_span(boundaries, worker.index)
             row["range"] = [start, end]
             rows.append(row)
         return rows

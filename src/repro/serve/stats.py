@@ -4,17 +4,23 @@ These count *requests*, not packets: the engine's own statistics keep
 accumulating inside each shard's :class:`ClueSystem` and travel in the
 same admin STATS snapshot, so a client can reconcile the two layers
 (``lookups_total`` here vs ``completions`` down in the engine).
+
+In the multi-process serving plane each worker process accumulates its
+own :class:`ServeStats`; the parent front collects the per-worker
+snapshots over the control channel and folds them with :meth:`merge`, so
+``serialize → ship → merge`` must round-trip exactly — that is what
+:meth:`from_dict` exists for, and what the aggregation tests pin down.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
-from typing import Dict
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Iterable, Mapping
 
 
 @dataclass
 class ServeStats:
-    """Counters accumulated by one :class:`~repro.serve.server.ClueServer`."""
+    """Counters accumulated by one serving process (front or worker)."""
 
     connections_total: int = 0
     connections_active: int = 0
@@ -34,6 +40,40 @@ class ServeStats:
     redirect_responses: int = 0
     reshards: int = 0
     reshard_errors: int = 0
+    #: Shard worker processes that died unexpectedly (parent front only).
+    worker_crashes: int = 0
+    #: Crashed workers respawned from their journal (parent front only).
+    worker_restarts: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ServeStats":
+        """Rebuild a snapshot shipped over the control channel.
+
+        Unknown keys are ignored and missing ones default to zero, so a
+        parent and worker from adjacent builds can still aggregate.
+        """
+        known = {field.name for field in fields(cls)}
+        return cls(
+            **{key: int(value) for key, value in data.items() if key in known}
+        )
+
+    def merge(self, other: "ServeStats") -> "ServeStats":
+        """Fold another snapshot into this one (all counters add)."""
+        for field in fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return self
+
+    @classmethod
+    def merged(cls, snapshots: Iterable[Mapping[str, object]]) -> "ServeStats":
+        """One aggregate over serialized per-worker snapshots."""
+        total = cls()
+        for snapshot in snapshots:
+            total.merge(cls.from_dict(snapshot))
+        return total

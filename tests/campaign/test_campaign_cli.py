@@ -151,12 +151,13 @@ def test_committed_smoke_spec_expands_enough_cells(capsys):
     out = capsys.readouterr().out
     assert code == 0
     cells = [line for line in out.splitlines() if not line.startswith("#")]
-    assert len(cells) >= 24, "acceptance: smoke spec must expand ≥24 cells"
+    assert len(cells) >= 70, "acceptance: smoke spec must expand ≥70 cells"
+    assert any(cell.endswith("/serve-2proc") for cell in cells)
     excluded = [line for line in out.splitlines() if "# excluded" in line]
     assert excluded, "the matrix should demonstrate structural exclusion"
 
 
-def test_committed_smoke_subset_is_at_most_nine_cells(capsys):
+def test_committed_smoke_subset_is_at_most_ten_cells(capsys):
     code = main(
         [
             "campaign",
@@ -168,10 +169,11 @@ def test_committed_smoke_subset_is_at_most_nine_cells(capsys):
     out = capsys.readouterr().out
     assert code == 0
     cells = [line for line in out.splitlines() if not line.startswith("#")]
-    assert 0 < len(cells) <= 9
+    assert 0 < len(cells) <= 10
     topologies = {cell.rsplit("/", 1)[1] for cell in cells}
     assert "ha" in topologies, "smoke must exercise the subprocess cell"
     assert "serve-2" in topologies
+    assert "serve-2proc" in topologies, "smoke must cover the process plane"
     assert "reshard" in topologies, "smoke must cover the migration drill"
 
 
