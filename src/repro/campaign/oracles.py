@@ -94,6 +94,9 @@ class CellEvidence:
     #: Per-range ``{shard, range, lookup_hits, update_hits}`` rows — the
     #: load accounting reshard decisions run on, surfaced in reports.
     shard_loads: List[Dict[str, object]] = field(default_factory=list)
+    #: Source path + SHA-256 per trace kind when the cell ran a
+    #: ``file:`` workload; ``None`` for synthetic workloads.
+    provenance: Optional[Dict[str, Dict[str, object]]] = None
 
 
 def judge(evidence: CellEvidence) -> List[OracleVerdict]:

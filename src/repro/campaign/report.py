@@ -94,6 +94,25 @@ def render_markdown(result: CampaignResult) -> str:
                     f"| `{span_text}` | {row.get('lookup_hits', 0)} "
                     f"| {row.get('update_hits', 0)} |"
                 )
+    sourced = [cell for cell in result.results if cell.workload_provenance]
+    if sourced:
+        lines.append("")
+        lines.append("## Workload provenance")
+        lines.append("")
+        lines.append(
+            "File-sourced workloads, pinned by content digest: a report "
+            "is only as reproducible as the bytes the cell actually ran."
+        )
+        lines.append("")
+        lines.append("| cell | trace | source | bytes | sha256 |")
+        lines.append("|---|---|---|---|---|")
+        for cell in sourced:
+            for kind, entry in sorted(cell.workload_provenance.items()):
+                lines.append(
+                    f"| `{cell.cell_id}` | {kind} | `{entry.get('path')}` "
+                    f"| {entry.get('bytes', '?')} "
+                    f"| `{entry.get('sha256', '?')}` |"
+                )
     if result.excluded:
         lines.append("")
         lines.append("## Structurally excluded cells")

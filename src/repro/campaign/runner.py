@@ -49,7 +49,13 @@ from repro.faults.profiles import FaultProfile, fault_profile
 from repro.net.prefix import Prefix
 from repro.persist.manager import PersistenceManager
 from repro.trie.trie import BinaryTrie
-from repro.workload.profiles import WorkloadProfile, workload_profile
+from repro.workload.profiles import (
+    FileWorkload,
+    WorkloadProfile,
+    file_workload,
+    is_file_workload,
+    workload_profile,
+)
 from repro.workload.ribgen import RibParameters, generate_rib
 from repro.workload.updategen import UpdateKind, UpdateMessage
 
@@ -71,6 +77,8 @@ class CellResult:
     repro: str = ""
     #: Per-range ``{shard, range, lookup_hits, update_hits}`` rows.
     shard_loads: List[Dict[str, object]] = field(default_factory=list)
+    #: Source path + SHA-256 per trace kind, for ``file:`` workloads.
+    workload_provenance: Optional[Dict[str, Dict[str, object]]] = None
 
     @property
     def failed_oracles(self) -> List[str]:
@@ -89,6 +97,7 @@ class CellResult:
             "packets": self.packets,
             "repro": self.repro,
             "shard_loads": self.shard_loads,
+            "workload_provenance": self.workload_provenance,
         }
 
 
@@ -134,15 +143,48 @@ class _CellContext:
 
     def __init__(self, cell: Cell) -> None:
         self.cell = cell
-        self.workload: WorkloadProfile = workload_profile(cell.workload)
         self.fault: FaultProfile = fault_profile(cell.fault)
-        self.routes: List[Route] = generate_rib(
-            cell.seed, RibParameters(size=cell.budget.rib_size)
-        )
+        self.provenance: Optional[Dict[str, Dict[str, object]]] = None
+        self._file_packets: Optional[List[int]] = None
+        if is_file_workload(cell.workload):
+            # File-sourced cell: the table (and whatever traces exist)
+            # come from ingested files; the ``fig15`` generators fill
+            # any gaps over the file-sourced table.  Updates pass
+            # through the consistency filter so an arbitrary real trace
+            # can never desync the reference trie.
+            source: FileWorkload = file_workload(cell.workload)
+            self.workload: WorkloadProfile = workload_profile("fig15")
+            self.routes: List[Route] = source.load_routes()
+            if not self.routes:
+                raise ValueError(
+                    f"{source.table_path}: file workload table is empty"
+                )
+            self.provenance = source.provenance()
+            file_updates = source.load_updates()
+            if file_updates is None:
+                self.updates: List[UpdateMessage] = (
+                    self.workload.take_updates(
+                        self.routes, cell.seed + 1, cell.budget.updates
+                    )
+                )
+            else:
+                from repro.ingest.normalize import filter_consistent_updates
+
+                self.updates = filter_consistent_updates(
+                    self.routes, file_updates
+                )[: cell.budget.updates]
+            file_packets = source.load_packets()
+            if file_packets:
+                self._file_packets = file_packets
+        else:
+            self.workload = workload_profile(cell.workload)
+            self.routes = generate_rib(
+                cell.seed, RibParameters(size=cell.budget.rib_size)
+            )
+            self.updates = self.workload.take_updates(
+                self.routes, cell.seed + 1, cell.budget.updates
+            )
         self.reference = BinaryTrie.from_routes(self.routes)
-        self.updates: List[UpdateMessage] = self.workload.take_updates(
-            self.routes, cell.seed + 1, cell.budget.updates
-        )
         self.batches = max(
             1, (len(self.updates) + cell.budget.batch_size - 1)
             // cell.budget.batch_size,
@@ -190,6 +232,10 @@ class _CellContext:
         return items[-cap:]
 
     def traffic(self) -> List[int]:
+        if self._file_packets is not None:
+            count = self.cell.budget.packets
+            trace = self._file_packets
+            return [trace[index % len(trace)] for index in range(count)]
         return self.workload.traffic_generator(
             self.routes, self.cell.seed + 2
         ).take(self.cell.budget.packets)
@@ -266,6 +312,7 @@ def _run_inproc(cell: Cell, workdir: Path) -> CellEvidence:
     return CellEvidence(
         cell=cell,
         reference=ctx.reference,
+        provenance=ctx.provenance,
         lookup_fn=system.process_lookups,
         systems=[system],
         acked_prefixes=ctx.acked_prefixes(),
@@ -350,6 +397,7 @@ def _run_serve(cell: Cell, workdir: Path, shard_count: int) -> CellEvidence:
             evidence = CellEvidence(
                 cell=cell,
                 reference=ctx.reference,
+                provenance=ctx.provenance,
                 lookup_fn=client.lookup,
                 systems=evidence_systems,
                 acked_prefixes=ctx.acked_prefixes(),
@@ -482,6 +530,7 @@ def _run_serve_procs(cell: Cell, workdir: Path) -> CellEvidence:
             evidence = CellEvidence(
                 cell=cell,
                 reference=ctx.reference,
+                provenance=ctx.provenance,
                 lookup_fn=client.lookup,
                 acked_prefixes=ctx.acked_prefixes(),
                 acked_updates=ctx.acked_updates,
@@ -588,6 +637,7 @@ def _run_ha(cell: Cell, workdir: Path) -> CellEvidence:
     evidence = CellEvidence(
         cell=cell,
         reference=ctx.reference,
+        provenance=ctx.provenance,
         acked_updates=result.acked_updates,
         prechecked=prechecked,
     )
@@ -677,6 +727,7 @@ def _run_reshard(cell: Cell, workdir: Path) -> CellEvidence:
     evidence = CellEvidence(
         cell=cell,
         reference=ctx.reference,
+        provenance=ctx.provenance,
         acked_updates=result.acked_updates,
         prechecked=prechecked,
         shard_loads=result.shard_loads,
@@ -716,6 +767,7 @@ def execute_cell(
         result.shed_updates = evidence.shed_updates
         result.packets = cell.budget.packets
         result.shard_loads = list(evidence.shard_loads)
+        result.workload_provenance = evidence.provenance
         result.ok = all(verdict.ok for verdict in result.verdicts)
     except Exception as exc:  # noqa: BLE001 - campaign must not abort
         result.error = f"{type(exc).__name__}: {exc}"

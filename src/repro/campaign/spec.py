@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.fastlpm import LOOKUP_BACKENDS
 from repro.faults.profiles import FAULT_PROFILES
-from repro.workload.profiles import WORKLOADS
+from repro.workload.profiles import WORKLOADS, file_workload, is_file_workload
 
 PathLike = Union[str, Path]
 
@@ -132,7 +132,23 @@ class CampaignSpec:
 
     def validate(self) -> "CampaignSpec":
         self.budget.validated()
-        _check_axis("workloads", self.workloads, sorted(WORKLOADS))
+        # ``file:DIR`` workloads are validated against the filesystem,
+        # everything else against the registry.
+        for name in self.workloads:
+            if is_file_workload(name):
+                try:
+                    file_workload(name).validate()
+                except ValueError as exc:
+                    raise SpecError(str(exc)) from exc
+        registry_workloads = [
+            name for name in self.workloads if not is_file_workload(name)
+        ]
+        if registry_workloads or not self.workloads:
+            _check_axis(
+                "workloads",
+                registry_workloads or self.workloads,
+                sorted(WORKLOADS),
+            )
         _check_axis("faults", self.faults, sorted(FAULT_PROFILES))
         _check_axis("backends", self.backends, sorted(LOOKUP_BACKENDS))
         _check_axis("topologies", self.topologies, sorted(TOPOLOGIES))
@@ -153,6 +169,12 @@ class CampaignSpec:
     ) -> Optional[str]:
         """The rule removing this combination, or ``None`` if runnable."""
         profile = FAULT_PROFILES[fault]
+        if is_file_workload(workload) and topology in ("ha", "reshard"):
+            return (
+                "ha/reshard drills boot a chaos cluster that regenerates "
+                "its RIB from the cell seed; file-sourced workloads "
+                "cannot cross that subprocess boundary yet"
+            )
         if profile.process_level and topology not in ("ha", "reshard"):
             return (
                 "process-kill faults only exist at the process level; "

@@ -883,6 +883,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         generate_batches,
         run_load,
     )
+    from repro.serve.loadgen import batches_from_packets
 
     routes = load_table(args.table)
     config = SystemConfig(
@@ -894,9 +895,14 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         ),
         update_queue_capacity=args.update_queue,
     )
-    batches = generate_batches(
-        routes, args.batches, args.batch_size, seed=args.seed
-    )
+    if args.packets:
+        batches = batches_from_packets(
+            load_packets(args.packets), args.batches, args.batch_size
+        )
+    else:
+        batches = generate_batches(
+            routes, args.batches, args.batch_size, seed=args.seed
+        )
     with contextlib.ExitStack() as stack:
         backup_port = None
         if args.replicate:
@@ -1001,6 +1007,139 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _ingest_policy(args: argparse.Namespace) -> "NormalizePolicy":
+    from repro.ingest import NormalizePolicy
+
+    return NormalizePolicy(
+        port_count=getattr(args, "ports", 24),
+        drop_martians=not args.keep_martians,
+        keep_default_route=not args.drop_default,
+        time_scale=getattr(args, "time_scale", 1.0),
+    )
+
+
+def _print_lines(lines: Sequence[str]) -> None:
+    for line in lines:
+        print(line)
+
+
+def _ensure_parent(path: str) -> None:
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+
+
+def _cmd_ingest_rib(args: argparse.Namespace) -> int:
+    from repro.ingest import load_rib, rib_to_table
+    from repro.workload.ribgen import length_histogram
+
+    dump = load_rib(args.input)
+    dump.counters.verify(dump.records)
+    _print_lines(dump.counters.summary_lines())
+    peer = None if args.peer == "auto" else int(args.peer)
+    routes, report = rib_to_table(dump, _ingest_policy(args), peer_index=peer)
+    _print_lines(report.summary_lines())
+    _ensure_parent(args.output)
+    save_table(routes, args.output)
+    print(f"wrote {len(routes)} routes to {args.output}")
+    if args.stats:
+        histogram = length_histogram(routes)
+        print(
+            format_table(
+                ["prefix length", "routes"],
+                [(f"/{length}", count) for length, count in histogram.items()],
+            )
+        )
+    return 0
+
+
+def _cmd_ingest_updates(args: argparse.Namespace) -> int:
+    from repro.ingest import load_updates as load_mrt_updates
+    from repro.ingest import update_rates, updates_to_trace
+    from repro.net.prefix import parse_address
+
+    dump = load_mrt_updates(args.input)
+    dump.counters.verify(dump.records)
+    _print_lines(dump.counters.summary_lines())
+    base_routes = load_table(args.table) if args.table else []
+    peer = None if args.peer == "auto" else parse_address(args.peer)
+    trace, report = updates_to_trace(
+        dump, base_routes, _ingest_policy(args), peer_ip=peer
+    )
+    _print_lines(report.summary_lines())
+    _ensure_parent(args.output)
+    save_updates(trace, args.output)
+    print(f"wrote {len(trace)} updates to {args.output}")
+    if args.stats:
+        rates = update_rates(trace)
+        print(
+            format_table(
+                ["metric", "value"],
+                [(key, value) for key, value in rates.items()],
+            )
+        )
+    return 0
+
+
+def _cmd_ingest_pcap(args: argparse.Namespace) -> int:
+    from repro.ingest import load_pcap, packets_to_trace
+
+    dump = load_pcap(args.input)
+    dump.counters.verify(dump.records)
+    _print_lines(dump.counters.summary_lines())
+    addresses, report = packets_to_trace(dump, _ingest_policy(args))
+    _print_lines(report.summary_lines())
+    _ensure_parent(args.output)
+    save_packets(addresses, args.output)
+    print(f"wrote {len(addresses)} packets to {args.output}")
+    if args.stats:
+        order = ">" if dump.big_endian else "<"
+        resolution = "ns" if dump.nanosecond else "us"
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ("byte order", order),
+                    ("timestamp resolution", resolution),
+                    ("unique destinations", len(set(addresses))),
+                ],
+            )
+        )
+    return 0
+
+
+def _cmd_ingest_fixtures(args: argparse.Namespace) -> int:
+    from repro.ingest import FixtureSpec, write_fixture_set
+
+    spec = FixtureSpec(
+        seed=args.seed,
+        routes=args.routes,
+        updates=args.updates,
+        packets=args.packets,
+    )
+    paths = write_fixture_set(args.output, spec)
+    for kind, path in sorted(paths.items()):
+        print(f"{kind}: {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+def _cmd_ingest_fetch(args: argparse.Namespace) -> int:
+    from repro.ingest import fetch as fetch_module
+
+    if args.source == "ris":
+        url = fetch_module.ris_url(args.collector, args.when, args.kind)
+    else:
+        url = fetch_module.routeviews_url(args.when, args.kind)
+    if args.url_only:
+        print(url)
+        return 0
+    if not args.output:
+        print("error: fetch needs -o/--output (or use --url-only)",
+              file=sys.stderr)
+        return 2
+    path = fetch_module.fetch(url, args.output)
+    print(f"fetched {url} -> {path} ({path.stat().st_size} bytes)")
     return 0
 
 
@@ -1480,11 +1619,123 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.set_defaults(handler=_cmd_campaign)
 
+    ingest = commands.add_parser(
+        "ingest",
+        help="turn real MRT/pcap traces into the plain-text formats",
+    )
+    ingest_commands = ingest.add_subparsers(dest="ingest_command", required=True)
+
+    def _policy_flags(sub: argparse.ArgumentParser, ports: bool = True) -> None:
+        if ports:
+            sub.add_argument(
+                "--ports",
+                type=int,
+                default=24,
+                help="egress port count the next-hop hash maps onto",
+            )
+        sub.add_argument(
+            "--keep-martians",
+            action="store_true",
+            help="keep bogon space (0/8, 127/8, multicast, class E)",
+        )
+        sub.add_argument(
+            "--drop-default",
+            action="store_true",
+            help="drop the 0.0.0.0/0 default route instead of keeping it",
+        )
+        sub.add_argument(
+            "--stats",
+            action="store_true",
+            help="print prefix-length histogram / rate statistics",
+        )
+
+    ingest_rib = ingest_commands.add_parser(
+        "rib",
+        help="MRT TABLE_DUMP_V2 RIB dump (bview/rib, .gz/.bz2 ok) -> table",
+    )
+    ingest_rib.add_argument("input")
+    ingest_rib.add_argument("-o", "--output", required=True)
+    ingest_rib.add_argument(
+        "--peer",
+        default="auto",
+        help="peer index for the single-peer view (default: most entries)",
+    )
+    _policy_flags(ingest_rib)
+    ingest_rib.set_defaults(handler=_cmd_ingest_rib)
+
+    ingest_updates = ingest_commands.add_parser(
+        "updates",
+        help="MRT BGP4MP update dump (.gz/.bz2 ok) -> update trace",
+    )
+    ingest_updates.add_argument("input")
+    ingest_updates.add_argument("-o", "--output", required=True)
+    ingest_updates.add_argument(
+        "--table",
+        help="base table (from 'ingest rib') seeding withdraw consistency",
+    )
+    ingest_updates.add_argument(
+        "--peer",
+        default="auto",
+        help="peer IP for the single-peer view (default: most updates)",
+    )
+    ingest_updates.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="multiply rebased timestamps (0.01 squeezes 1h into 36s)",
+    )
+    _policy_flags(ingest_updates)
+    ingest_updates.set_defaults(handler=_cmd_ingest_updates)
+
+    ingest_pcap = ingest_commands.add_parser(
+        "pcap",
+        help="classic libpcap Ethernet capture -> packet trace",
+    )
+    ingest_pcap.add_argument("input")
+    ingest_pcap.add_argument("-o", "--output", required=True)
+    _policy_flags(ingest_pcap, ports=False)
+    ingest_pcap.set_defaults(handler=_cmd_ingest_pcap)
+
+    ingest_fixtures = ingest_commands.add_parser(
+        "fixtures",
+        help="write deterministic synthetic MRT/pcap files (no network)",
+    )
+    ingest_fixtures.add_argument("-o", "--output", required=True)
+    ingest_fixtures.add_argument("--seed", type=int, default=7)
+    ingest_fixtures.add_argument("--routes", type=int, default=96)
+    ingest_fixtures.add_argument("--updates", type=int, default=160)
+    ingest_fixtures.add_argument("--packets", type=int, default=256)
+    ingest_fixtures.set_defaults(handler=_cmd_ingest_fixtures)
+
+    ingest_fetch = ingest_commands.add_parser(
+        "fetch",
+        help="download a real RIS/RouteViews archive (never used by CI)",
+    )
+    ingest_fetch.add_argument(
+        "--source", choices=("ris", "routeviews"), default="ris"
+    )
+    ingest_fetch.add_argument(
+        "--collector", default="rrc00", help="RIS collector (e.g. rrc01)"
+    )
+    ingest_fetch.add_argument(
+        "--when", required=True, help="archive timestamp, YYYYMMDD.HHMM"
+    )
+    ingest_fetch.add_argument("--kind", choices=("rib", "updates"), default="rib")
+    ingest_fetch.add_argument("-o", "--output")
+    ingest_fetch.add_argument(
+        "--url-only", action="store_true", help="print the URL, do not fetch"
+    )
+    ingest_fetch.set_defaults(handler=_cmd_ingest_fetch)
+
     bench_serve = commands.add_parser(
         "bench-serve",
         help="measure loopback serving throughput and latency",
     )
     bench_serve.add_argument("--table", required=True)
+    bench_serve.add_argument(
+        "--packets",
+        help="drive an ingested packet trace instead of synthetic traffic",
+    )
     bench_serve.add_argument("--batches", type=int, default=200)
     bench_serve.add_argument("--batch-size", type=int, default=1_024)
     bench_serve.add_argument(

@@ -1,0 +1,92 @@
+"""Real-trace ingestion plane: MRT RIB/update dumps and pcap captures.
+
+``repro.ingest`` turns the formats real measurement archives use —
+RFC 6396 MRT (``TABLE_DUMP_V2`` RIBs, ``BGP4MP`` update streams) and
+classic libpcap — into the plain-text traces the rest of the pipeline
+consumes (``repro.workload.traces``).  Three layers:
+
+* parsers (:mod:`repro.ingest.mrt`, :mod:`repro.ingest.pcap`) with
+  100%-accounted per-reason record counters,
+* normalization (:mod:`repro.ingest.normalize`): single-peer view,
+  deterministic next-hop → port hashing, timestamp rebasing, martian /
+  default-route policy,
+* fixtures (:mod:`repro.ingest.fixtures`): deterministic synthetic
+  MRT/pcap files so tests and CI never touch the network, with
+  :mod:`repro.ingest.fetch` documenting the real archive URLs.
+"""
+
+from repro.ingest.fixtures import (
+    FixtureSpec,
+    build_pcap,
+    build_rib_mrt,
+    build_updates_mrt,
+    fixture_routes,
+    write_fixture_set,
+)
+from repro.ingest.mrt import (
+    BgpUpdateRecord,
+    IngestCounters,
+    IngestFormatError,
+    MrtRecord,
+    PeerEntry,
+    RibDump,
+    RibEntry,
+    UpdateDump,
+    iter_records,
+    load_rib,
+    load_updates,
+    open_stream,
+)
+from repro.ingest.normalize import (
+    MARTIAN_PREFIXES,
+    NormalizePolicy,
+    NormalizeReport,
+    filter_consistent_updates,
+    is_martian,
+    is_martian_address,
+    packets_to_trace,
+    port_for_next_hop,
+    rib_to_table,
+    select_peer,
+    select_update_peer,
+    update_rates,
+    updates_to_trace,
+)
+from repro.ingest.pcap import PacketDump, PacketRecord, load_pcap
+
+__all__ = [
+    "BgpUpdateRecord",
+    "FixtureSpec",
+    "IngestCounters",
+    "IngestFormatError",
+    "MARTIAN_PREFIXES",
+    "MrtRecord",
+    "NormalizePolicy",
+    "NormalizeReport",
+    "PacketDump",
+    "PacketRecord",
+    "PeerEntry",
+    "RibDump",
+    "RibEntry",
+    "UpdateDump",
+    "build_pcap",
+    "build_rib_mrt",
+    "build_updates_mrt",
+    "filter_consistent_updates",
+    "fixture_routes",
+    "is_martian",
+    "is_martian_address",
+    "iter_records",
+    "load_pcap",
+    "load_rib",
+    "load_updates",
+    "open_stream",
+    "packets_to_trace",
+    "port_for_next_hop",
+    "rib_to_table",
+    "select_peer",
+    "select_update_peer",
+    "update_rates",
+    "updates_to_trace",
+    "write_fixture_set",
+]

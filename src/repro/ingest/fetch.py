@@ -1,0 +1,69 @@
+"""URL builders and a download helper for real MRT archives.
+
+RIPE RIS and RouteViews publish the archives the CLUE paper's era of
+measurement work ran on.  Nothing in the test suite or CI calls this
+module — fixtures cover those paths — but `repro ingest fetch` uses it
+so a user can pull a real dump with one command:
+
+    repro ingest fetch --source ris --collector rrc01 \
+        --when 20120119.0800 --kind rib -o bview.gz
+    repro ingest rib bview.gz -o table.txt --stats
+
+``--url-only`` prints the URL without downloading, for use with an
+external fetcher or a mirror.
+"""
+
+from __future__ import annotations
+
+import shutil
+import urllib.request
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+RIS_BASE = "https://data.ris.ripe.net"
+ROUTEVIEWS_BASE = "https://archive.routeviews.org/bgpdata"
+
+
+def _split_when(when: str) -> tuple:
+    """Validate and split ``YYYYMMDD.HHMM`` into (yyyy, mm, stamp)."""
+    date, _, clock = when.partition(".")
+    if len(date) != 8 or len(clock) != 4 or not (date + clock).isdigit():
+        raise ValueError(
+            f"timestamp {when!r} must look like YYYYMMDD.HHMM, "
+            f"e.g. 20120119.0800"
+        )
+    return date[:4], date[4:6], f"{date}.{clock}"
+
+
+def ris_url(collector: str, when: str, kind: str) -> str:
+    """RIPE RIS archive URL; ``kind`` is ``rib`` or ``updates``."""
+    yyyy, mm, stamp = _split_when(when)
+    if kind == "rib":
+        name = f"bview.{stamp}.gz"
+    elif kind == "updates":
+        name = f"updates.{stamp}.gz"
+    else:
+        raise ValueError(f"kind must be 'rib' or 'updates', not {kind!r}")
+    return f"{RIS_BASE}/{collector}/{yyyy}.{mm}/{name}"
+
+
+def routeviews_url(when: str, kind: str) -> str:
+    """RouteViews archive URL; ``kind`` is ``rib`` or ``updates``."""
+    yyyy, mm, stamp = _split_when(when)
+    if kind == "rib":
+        return f"{ROUTEVIEWS_BASE}/{yyyy}.{mm}/RIBS/rib.{stamp}.bz2"
+    if kind == "updates":
+        return f"{ROUTEVIEWS_BASE}/{yyyy}.{mm}/UPDATES/updates.{stamp}.bz2"
+    raise ValueError(f"kind must be 'rib' or 'updates', not {kind!r}")
+
+
+def fetch(url: str, destination: PathLike, timeout: float = 120.0) -> Path:
+    """Stream ``url`` to ``destination`` and return the path."""
+    destination = Path(destination)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        with open(destination, "wb") as sink:
+            shutil.copyfileobj(response, sink)
+    return destination

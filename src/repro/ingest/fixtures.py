@@ -1,0 +1,413 @@
+"""Deterministic synthetic MRT/pcap fixtures — tests never hit the net.
+
+Real RIS/RouteViews archives are hundreds of megabytes and live behind
+flaky mirrors; CI cannot depend on them.  Instead this module *writes*
+tiny but format-faithful MRT RIB dumps, BGP4MP update dumps, and
+classic-pcap captures, derived from the repo's own synthetic workload
+generators — so ingesting a fixture inverts the generators and the
+result is a table/trace the rest of the pipeline already understands.
+
+The fixtures deliberately exercise the parsers' corners: a
+``PEER_INDEX_TABLE`` with an IPv6 peer and mixed 2/4-byte AS numbers,
+multi-peer RIB rows (so single-peer selection matters), a plen-0
+default-route record, an extended-length path attribute,
+``MP_REACH``/``MP_UNREACH`` announce/withdraw, ``BGP4MP_ET``
+sub-second timestamps, and skip fodder (OSPF records, IPv6 RIBs,
+keepalives, state changes, ARP and IPv6 frames, VLAN tags) that must
+land in the skipped-with-reason counters — never vanish.
+
+Everything is a pure function of :class:`FixtureSpec`, so two runs
+write byte-identical files (asserted in tests).
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.ingest.mrt import (
+    BGP4MP_MESSAGE,
+    BGP4MP_MESSAGE_AS4,
+    BGP4MP_STATE_CHANGE_AS4,
+    MRT_BGP4MP,
+    MRT_BGP4MP_ET,
+    MRT_TABLE_DUMP_V2,
+    TDV2_PEER_INDEX_TABLE,
+    TDV2_RIB_GENERIC,
+    TDV2_RIB_IPV4_UNICAST,
+    TDV2_RIB_IPV6_UNICAST,
+    PathLike,
+)
+from repro.net.prefix import Prefix
+from repro.workload.ribgen import RibParameters, generate_rib
+from repro.workload.trafficgen import TrafficGenerator
+from repro.workload.updategen import UpdateGenerator, UpdateKind
+
+Route = Tuple[Prefix, int]
+
+#: Fixture peers: (IPv4 address, AS number).  Peer 0 is the dominant
+#: view; peer 1 contributes minority rows; peer 2 is IPv6-addressed.
+PEER_A_IP = 0xC0000201  # 192.0.2.1
+PEER_A_AS = 64500
+PEER_B_IP = 0xC0000202  # 192.0.2.2
+PEER_B_AS = 64501
+
+#: Fixture timestamps sit in early 2012 — the paper's era.
+BASE_TIMESTAMP = 1_327_000_000
+
+
+@dataclass(frozen=True)
+class FixtureSpec:
+    """Size and seed of one deterministic fixture set."""
+
+    seed: int = 7
+    routes: int = 96
+    updates: int = 160
+    packets: int = 256
+
+    def rib_parameters(self) -> RibParameters:
+        return RibParameters(size=self.routes, include_default_route=True)
+
+
+def fixture_routes(spec: FixtureSpec) -> List[Route]:
+    """The ground-truth table behind a fixture set: a small synthetic
+    RIB with a default route plus one /32 host route."""
+    routes = generate_rib(spec.seed, spec.rib_parameters())
+    host = Prefix.from_network(0x0A636363, 32)  # 10.99.99.99/32
+    if all(prefix != host for prefix, _ in routes):
+        routes.append((host, 3))
+    return routes
+
+
+def next_hop_ip(hop: int) -> int:
+    """Map a generator hop number into 198.18.0.0/15 (benchmark space)."""
+    return 0xC6120001 + hop
+
+
+# -- MRT encoding ---------------------------------------------------------
+
+
+def _mrt_record(
+    timestamp: int, mrt_type: int, subtype: int, body: bytes
+) -> bytes:
+    return struct.pack(">IHHI", timestamp, mrt_type, subtype, len(body)) + body
+
+
+def _encode_nlri(prefix: Prefix) -> bytes:
+    count = (prefix.length + 7) // 8
+    return bytes([prefix.length]) + prefix.network.to_bytes(4, "big")[:count]
+
+
+def _attr(code: int, value: bytes, extended: bool = False) -> bytes:
+    if extended:
+        return bytes([0x50, code]) + len(value).to_bytes(2, "big") + value
+    return bytes([0x40, code, len(value)]) + value
+
+
+def _peer_index_table() -> bytes:
+    view = b"fixture"
+    body = struct.pack(">I", 0x0A000001) + len(view).to_bytes(2, "big") + view
+    peers = [
+        # peer type 0x02: IPv4 address, 4-byte AS.
+        bytes([0x02])
+        + struct.pack(">II", 0x0A000001, PEER_A_IP)
+        + struct.pack(">I", PEER_A_AS),
+        # peer type 0x00: IPv4 address, 2-byte AS.
+        bytes([0x00])
+        + struct.pack(">II", 0x0A000002, PEER_B_IP)
+        + struct.pack(">H", PEER_B_AS),
+        # peer type 0x03: IPv6 address, 4-byte AS.
+        bytes([0x03])
+        + struct.pack(">I", 0x0A000003)
+        + b"\x20\x01\x0d\xb8" + b"\x00" * 12
+        + struct.pack(">I", 64502),
+    ]
+    body += len(peers).to_bytes(2, "big") + b"".join(peers)
+    return _mrt_record(
+        BASE_TIMESTAMP, MRT_TABLE_DUMP_V2, TDV2_PEER_INDEX_TABLE, body
+    )
+
+
+def _rib_entry(peer_index: int, originated: int, attrs: bytes) -> bytes:
+    return (
+        struct.pack(">HIH", peer_index, originated, len(attrs)) + attrs
+    )
+
+
+def _rib_record(
+    sequence: int, prefix: Prefix, entries: Sequence[bytes]
+) -> bytes:
+    body = (
+        struct.pack(">I", sequence)
+        + _encode_nlri(prefix)
+        + len(entries).to_bytes(2, "big")
+        + b"".join(entries)
+    )
+    return _mrt_record(
+        BASE_TIMESTAMP, MRT_TABLE_DUMP_V2, TDV2_RIB_IPV4_UNICAST, body
+    )
+
+
+def build_rib_mrt(spec: FixtureSpec) -> bytes:
+    """A TABLE_DUMP_V2 RIB dump whose dominant-peer view is exactly
+    ``fixture_routes(spec)`` (modulo next-hop → port hashing)."""
+    routes = fixture_routes(spec)
+    records = [_peer_index_table()]
+    for sequence, (prefix, hop) in enumerate(routes):
+        hop_bytes = struct.pack(">I", next_hop_ip(hop))
+        # Every 9th record uses an extended-length NEXT_HOP attribute.
+        attrs = _attr(3, hop_bytes, extended=sequence % 9 == 8)
+        entries = [_rib_entry(0, BASE_TIMESTAMP - 3600, attrs)]
+        if sequence % 4 == 1:
+            # Minority rows from peer 1 with a different next hop: the
+            # single-peer selection must not let these leak through.
+            other = _attr(3, struct.pack(">I", next_hop_ip(hop) ^ 0xFF))
+            entries.append(_rib_entry(1, BASE_TIMESTAMP - 1800, other))
+        records.append(_rib_record(sequence, prefix, entries))
+    # Skip fodder: an IPv6 RIB record, a generic RIB record, an OSPF
+    # record — all must surface in the skipped counters.
+    records.append(
+        _mrt_record(
+            BASE_TIMESTAMP,
+            MRT_TABLE_DUMP_V2,
+            TDV2_RIB_IPV6_UNICAST,
+            b"\x00" * 12,
+        )
+    )
+    records.append(
+        _mrt_record(
+            BASE_TIMESTAMP, MRT_TABLE_DUMP_V2, TDV2_RIB_GENERIC, b"\x00" * 8
+        )
+    )
+    records.append(_mrt_record(BASE_TIMESTAMP, 11, 0, b"\x00" * 16))
+    return b"".join(records)
+
+
+def _bgp_message(message_type: int, payload: bytes) -> bytes:
+    return (
+        b"\xff" * 16
+        + (19 + len(payload)).to_bytes(2, "big")
+        + bytes([message_type])
+    ) + payload
+
+
+def _bgp_update_payload(
+    withdraws: bytes, attrs: bytes, nlri: bytes
+) -> bytes:
+    return (
+        len(withdraws).to_bytes(2, "big")
+        + withdraws
+        + len(attrs).to_bytes(2, "big")
+        + attrs
+        + nlri
+    )
+
+
+def _bgp4mp_record(
+    timestamp: float,
+    peer_as: int,
+    peer_ip: int,
+    message: bytes,
+    as4: bool = True,
+) -> bytes:
+    if as4:
+        header = struct.pack(">II", peer_as, 65000)
+        subtype = BGP4MP_MESSAGE_AS4
+    else:
+        header = struct.pack(">HH", peer_as, 65000)
+        subtype = BGP4MP_MESSAGE
+    header += struct.pack(">HHII", 0, 1, peer_ip, 0x0A000001)
+    seconds = int(timestamp)
+    microseconds = int(round((timestamp - seconds) * 1e6))
+    if microseconds:
+        body = struct.pack(">I", microseconds) + header + message
+        return _mrt_record(seconds, MRT_BGP4MP_ET, subtype, body)
+    return _mrt_record(seconds, MRT_BGP4MP, subtype, header + message)
+
+
+def build_updates_mrt(spec: FixtureSpec) -> bytes:
+    """A BGP4MP update dump replaying ``UpdateGenerator`` over the
+    fixture routes, with MP_REACH/MP_UNREACH variants and skip fodder."""
+    routes = fixture_routes(spec)
+    messages = UpdateGenerator(routes, seed=spec.seed + 1).take(spec.updates)
+    records: List[bytes] = []
+    for index, message in enumerate(messages):
+        timestamp = BASE_TIMESTAMP + message.timestamp
+        # A sprinkle of records from a second peer: normalization must
+        # pick the dominant peer and account for the rest.
+        minority = index % 13 == 5
+        peer_ip = PEER_B_IP if minority else PEER_A_IP
+        peer_as = PEER_B_AS if minority else PEER_A_AS
+        as4 = index % 3 != 2  # mix MESSAGE_AS4 and 2-byte MESSAGE
+        if message.kind is UpdateKind.ANNOUNCE:
+            hop = struct.pack(">I", next_hop_ip(message.next_hop))
+            if index % 5 == 4:
+                value = (
+                    struct.pack(">HBB", 1, 1, 4)
+                    + hop
+                    + b"\x00"
+                    + _encode_nlri(message.prefix)
+                )
+                payload = _bgp_update_payload(b"", _attr(14, value), b"")
+            else:
+                payload = _bgp_update_payload(
+                    b"", _attr(3, hop), _encode_nlri(message.prefix)
+                )
+        else:
+            if index % 7 == 3:
+                value = struct.pack(">HB", 1, 1) + _encode_nlri(
+                    message.prefix
+                )
+                payload = _bgp_update_payload(b"", _attr(15, value), b"")
+            else:
+                payload = _bgp_update_payload(
+                    _encode_nlri(message.prefix), b"", b""
+                )
+        records.append(
+            _bgp4mp_record(
+                timestamp, peer_as, peer_ip, _bgp_message(2, payload), as4
+            )
+        )
+    # Skip fodder: keepalive, state change, an IPv6-only UPDATE, and a
+    # foreign record type.
+    records.append(
+        _bgp4mp_record(BASE_TIMESTAMP, PEER_A_AS, PEER_A_IP, _bgp_message(4, b""))
+    )
+    records.append(
+        _mrt_record(
+            BASE_TIMESTAMP,
+            MRT_BGP4MP,
+            BGP4MP_STATE_CHANGE_AS4,
+            struct.pack(">IIHHII", PEER_A_AS, 65000, 0, 1, PEER_A_IP, 0)
+            + struct.pack(">HH", 1, 6),
+        )
+    )
+    ipv6_value = (
+        struct.pack(">HBB", 2, 1, 16)
+        + b"\x20\x01\x0d\xb8" + b"\x00" * 12
+        + b"\x00"
+        + bytes([32, 0x20, 0x01, 0x0D, 0xB8])
+    )
+    records.append(
+        _bgp4mp_record(
+            BASE_TIMESTAMP,
+            PEER_A_AS,
+            PEER_A_IP,
+            _bgp_message(
+                2, _bgp_update_payload(b"", _attr(14, ipv6_value), b"")
+            ),
+        )
+    )
+    records.append(_mrt_record(BASE_TIMESTAMP, 11, 0, b"\x00" * 16))
+    return b"".join(records)
+
+
+# -- pcap encoding --------------------------------------------------------
+
+
+def _ethernet_frame(dst: int, vlan: bool) -> bytes:
+    header = b"\x02\x00\x00\x00\x00\x01" + b"\x02\x00\x00\x00\x00\x02"
+    if vlan:
+        header += struct.pack(">HH", 0x8100, 100)
+    header += struct.pack(">H", 0x0800)
+    ip = bytearray(20)
+    ip[0] = 0x45
+    struct.pack_into(">H", ip, 2, 28)  # total length: header + 8 bytes
+    ip[8] = 64  # TTL
+    ip[9] = 17  # UDP
+    struct.pack_into(">I", ip, 12, 0x0A000001)  # source
+    struct.pack_into(">I", ip, 16, dst)
+    return header + bytes(ip) + b"\x00" * 8
+
+
+def _arp_frame() -> bytes:
+    return (
+        b"\xff" * 6
+        + b"\x02\x00\x00\x00\x00\x01"
+        + struct.pack(">H", 0x0806)
+        + b"\x00" * 28
+    )
+
+
+def _ipv6_frame() -> bytes:
+    return (
+        b"\x02\x00\x00\x00\x00\x01"
+        + b"\x02\x00\x00\x00\x00\x02"
+        + struct.pack(">H", 0x86DD)
+        + b"\x60" + b"\x00" * 39
+    )
+
+
+def build_pcap(
+    spec: FixtureSpec,
+    byte_order: str = "<",
+    nanosecond: bool = False,
+) -> bytes:
+    """A classic-pcap Ethernet capture of ``TrafficGenerator`` output,
+    in either byte order, with VLAN/ARP/IPv6/runt skip fodder."""
+    if byte_order not in ("<", ">"):
+        raise ValueError("byte_order must be '<' or '>'")
+    magic = 0xA1B23C4D if nanosecond else 0xA1B2C3D4
+    out = [
+        struct.pack(byte_order + "IHHiIII", magic, 2, 4, 0, 0, 65535, 1)
+    ]
+    record = struct.Struct(byte_order + "IIII")
+    # Fractional ticks are microseconds scaled up for nanosecond files,
+    # so the usec and nsec fixtures describe the same instants.
+    scale = 1000 if nanosecond else 1
+    addresses = TrafficGenerator(
+        fixture_routes(spec), seed=spec.seed + 2
+    ).take(spec.packets)
+
+    def emit(seconds: int, frac: int, frame: bytes) -> None:
+        out.append(record.pack(seconds, frac, len(frame), len(frame)))
+        out.append(frame)
+
+    for index, dst in enumerate(addresses):
+        seconds = BASE_TIMESTAMP + index // 50
+        frac = ((index * 20000) % 1_000_000) * scale
+        emit(seconds, frac, _ethernet_frame(dst, vlan=index % 6 == 5))
+        if index == 10:
+            emit(seconds, frac, _arp_frame())
+        if index == 20:
+            emit(seconds, frac, _ipv6_frame())
+        if index == 30:
+            emit(seconds, frac, b"\x02\x00\x00")  # runt frame
+    return b"".join(out)
+
+
+# -- file writers ---------------------------------------------------------
+
+
+def _write(path: Path, payload: bytes) -> None:
+    if path.suffix == ".gz":
+        # mtime=0 keeps the gzip container deterministic.
+        payload = gzip.compress(payload, mtime=0)
+    path.write_bytes(payload)
+
+
+def write_fixture_set(
+    directory: PathLike, spec: FixtureSpec = FixtureSpec()
+) -> Dict[str, Path]:
+    """Write the full fixture set and return ``{kind: path}``.
+
+    The RIB is gzipped (exercising magic sniffing), the update dump is
+    plain, and two captures cover both byte orders plus the nanosecond
+    format.
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "rib": base / "rib.mrt.gz",
+        "updates": base / "updates.mrt",
+        "pcap": base / "trace.pcap",
+        "pcap_be": base / "trace-be.pcap",
+    }
+    _write(paths["rib"], build_rib_mrt(spec))
+    _write(paths["updates"], build_updates_mrt(spec))
+    _write(paths["pcap"], build_pcap(spec, byte_order="<"))
+    _write(paths["pcap_be"], build_pcap(spec, byte_order=">", nanosecond=True))
+    return paths

@@ -1,0 +1,622 @@
+"""Streaming MRT parser (RFC 6396) for RIB dumps and BGP update traces.
+
+Real routing data arrives as MRT files: TABLE_DUMP_V2 RIB snapshots
+(``bview`` files from RIPE RIS, ``rib`` files from RouteViews) and
+BGP4MP update dumps.  This module reads both, streaming record by
+record so a full-table dump never has to fit in memory twice:
+
+* ``load_rib`` — ``PEER_INDEX_TABLE`` + ``RIB_IPV4_UNICAST`` records,
+  yielding one :class:`RibEntry` per (prefix, peer) with the peer's
+  ``NEXT_HOP`` attribute extracted;
+* ``load_updates`` — ``BGP4MP``/``BGP4MP_ET`` ``MESSAGE``/
+  ``MESSAGE_AS4`` records carrying BGP UPDATEs, with both classic NLRI
+  fields and ``MP_REACH_NLRI``/``MP_UNREACH_NLRI`` (IPv4 unicast)
+  announce/withdraw extraction.
+
+Gzip and bz2 compression are transparent (sniffed by magic bytes, not
+suffix).  Every record the parser reads lands in exactly one counter
+bucket — parsed by kind, or skipped with a reason — so
+``IngestCounters.verify`` can insist the accounting covers 100% of the
+input; an unsupported subtype is a visible number, never silence.
+
+Structural impossibilities (truncated header, absurd record length)
+raise :class:`IngestFormatError`, which the CLI surfaces as an exit-2
+usage error; a record whose *body* does not parse is counted as
+``skipped: malformed`` and the stream continues, matching how real
+dumps with damaged records are handled in practice.
+"""
+
+from __future__ import annotations
+
+import bz2
+import gzip
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.net.prefix import Prefix
+
+PathLike = Union[str, Path]
+
+#: MRT record types (RFC 6396 §4).
+MRT_TABLE_DUMP = 12
+MRT_TABLE_DUMP_V2 = 13
+MRT_BGP4MP = 16
+MRT_BGP4MP_ET = 17
+
+#: TABLE_DUMP_V2 subtypes (RFC 6396 §4.3).
+TDV2_PEER_INDEX_TABLE = 1
+TDV2_RIB_IPV4_UNICAST = 2
+TDV2_RIB_IPV4_MULTICAST = 3
+TDV2_RIB_IPV6_UNICAST = 4
+TDV2_RIB_IPV6_MULTICAST = 5
+TDV2_RIB_GENERIC = 6
+
+#: BGP4MP subtypes (RFC 6396 §4.4).
+BGP4MP_STATE_CHANGE = 0
+BGP4MP_MESSAGE = 1
+BGP4MP_MESSAGE_AS4 = 4
+BGP4MP_STATE_CHANGE_AS4 = 5
+BGP4MP_MESSAGE_LOCAL = 6
+BGP4MP_MESSAGE_AS4_LOCAL = 7
+
+#: BGP message types (RFC 4271 §4.1).
+BGP_OPEN = 1
+BGP_UPDATE = 2
+BGP_NOTIFICATION = 3
+BGP_KEEPALIVE = 4
+
+#: BGP path attribute type codes.
+ATTR_NEXT_HOP = 3
+ATTR_MP_REACH_NLRI = 14
+ATTR_MP_UNREACH_NLRI = 15
+
+AFI_IPV4 = 1
+AFI_IPV6 = 2
+SAFI_UNICAST = 1
+
+#: Sanity cap: no real MRT record is this large; a longer "length"
+#: field means the stream is not MRT (or is corrupt beyond salvage).
+MAX_RECORD_LENGTH = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">IHHI")
+
+_TYPE_NAMES = {
+    11: "ospfv2",
+    MRT_TABLE_DUMP: "table-dump-v1",
+    32: "isis",
+    48: "ospfv3",
+}
+
+_TDV2_SUBTYPE_NAMES = {
+    TDV2_RIB_IPV4_MULTICAST: "rib-ipv4-multicast",
+    TDV2_RIB_IPV6_UNICAST: "rib-ipv6-unicast",
+    TDV2_RIB_IPV6_MULTICAST: "rib-ipv6-multicast",
+    TDV2_RIB_GENERIC: "rib-generic",
+}
+
+
+class IngestFormatError(ValueError):
+    """The input is not a readable file of the expected trace format."""
+
+
+class _Malformed(Exception):
+    """Internal: one record's body failed to parse (counted, not fatal)."""
+
+
+# -- record accounting ----------------------------------------------------
+
+
+@dataclass
+class IngestCounters:
+    """Per-reason record accounting: parsed + skipped == records read.
+
+    ``noted`` carries informational sub-record observations (e.g. an
+    IPv6 ``MP_REACH_NLRI`` inside an otherwise-useful update); notes do
+    not participate in the accounting identity.
+    """
+
+    parsed: Dict[str, int] = field(default_factory=dict)
+    skipped: Dict[str, int] = field(default_factory=dict)
+    noted: Dict[str, int] = field(default_factory=dict)
+
+    def count_parsed(self, reason: str) -> None:
+        self.parsed[reason] = self.parsed.get(reason, 0) + 1
+
+    def count_skipped(self, reason: str) -> None:
+        self.skipped[reason] = self.skipped.get(reason, 0) + 1
+
+    def note(self, reason: str) -> None:
+        self.noted[reason] = self.noted.get(reason, 0) + 1
+
+    @property
+    def parsed_total(self) -> int:
+        return sum(self.parsed.values())
+
+    @property
+    def skipped_total(self) -> int:
+        return sum(self.skipped.values())
+
+    @property
+    def total(self) -> int:
+        return self.parsed_total + self.skipped_total
+
+    def verify(self, records: int) -> None:
+        """Insist every input record is accounted for (parser invariant)."""
+        if self.total != records:
+            raise IngestFormatError(
+                f"record accounting broken: {records} records read but "
+                f"{self.parsed_total} parsed + {self.skipped_total} "
+                f"skipped = {self.total}"
+            )
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"records: {self.total} total = {self.parsed_total} parsed "
+            f"+ {self.skipped_total} skipped (100% accounted)"
+        ]
+        if self.parsed:
+            lines.append(
+                "parsed: "
+                + ", ".join(
+                    f"{name} {count}"
+                    for name, count in sorted(self.parsed.items())
+                )
+            )
+        if self.skipped:
+            lines.append(
+                "skipped: "
+                + ", ".join(
+                    f"{name} {count}"
+                    for name, count in sorted(self.skipped.items())
+                )
+            )
+        if self.noted:
+            lines.append(
+                "noted: "
+                + ", ".join(
+                    f"{name} {count}"
+                    for name, count in sorted(self.noted.items())
+                )
+            )
+        return lines
+
+
+# -- low-level record stream ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class MrtRecord:
+    """One raw MRT record: common header plus its undecoded body."""
+
+    timestamp: int
+    type: int
+    subtype: int
+    body: bytes
+    index: int
+    offset: int
+
+
+def open_stream(path: PathLike) -> BinaryIO:
+    """Open a trace file for binary reading, decompressing by magic.
+
+    Gzip (``\\x1f\\x8b``) and bz2 (``BZh``) are recognised whatever the
+    suffix says; anything else is read as-is.
+    """
+    with open(path, "rb") as probe:
+        magic = probe.read(3)
+    if magic[:2] == b"\x1f\x8b":
+        return gzip.open(path, "rb")
+    if magic == b"BZh":
+        return bz2.open(path, "rb")
+    return open(path, "rb")
+
+
+def iter_records(path: PathLike) -> Iterator[MrtRecord]:
+    """Stream the MRT records of ``path`` without loading the file whole."""
+    offset = 0
+    index = 0
+    with open_stream(path) as stream:
+        while True:
+            header = stream.read(_HEADER.size)
+            if not header:
+                return
+            if len(header) < _HEADER.size:
+                raise IngestFormatError(
+                    f"{path}: truncated MRT header for record {index} "
+                    f"at offset {offset}"
+                )
+            timestamp, mrt_type, subtype, length = _HEADER.unpack(header)
+            if length > MAX_RECORD_LENGTH:
+                raise IngestFormatError(
+                    f"{path}: record {index} claims {length} bytes "
+                    f"(cap {MAX_RECORD_LENGTH}); not an MRT stream?"
+                )
+            body = stream.read(length)
+            if len(body) < length:
+                raise IngestFormatError(
+                    f"{path}: record {index} truncated "
+                    f"({len(body)} of {length} body bytes)"
+                )
+            yield MrtRecord(timestamp, mrt_type, subtype, body, index, offset)
+            offset += _HEADER.size + length
+            index += 1
+
+
+# -- shared BGP wire helpers ----------------------------------------------
+
+
+def _need(data: bytes, pos: int, count: int) -> None:
+    if pos + count > len(data):
+        raise _Malformed(f"need {count} bytes at offset {pos}")
+
+
+def _u8(data: bytes, pos: int) -> int:
+    _need(data, pos, 1)
+    return data[pos]
+
+
+def _u16(data: bytes, pos: int) -> int:
+    _need(data, pos, 2)
+    return (data[pos] << 8) | data[pos + 1]
+
+
+def _u32(data: bytes, pos: int) -> int:
+    _need(data, pos, 4)
+    return int.from_bytes(data[pos : pos + 4], "big")
+
+
+def _read_prefix(data: bytes, pos: int) -> Tuple[Prefix, int]:
+    """Decode one NLRI element ``(length, packed prefix)``; returns
+    ``(prefix, next position)``.  Trailing host bits are masked off, as
+    RFC 4271 declares them irrelevant."""
+    length = _u8(data, pos)
+    if length > 32:
+        raise _Malformed(f"IPv4 prefix length {length} > 32")
+    count = (length + 7) // 8
+    _need(data, pos + 1, count)
+    packed = data[pos + 1 : pos + 1 + count] + b"\x00" * (4 - count)
+    network = int.from_bytes(packed, "big")
+    if length:
+        network &= (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+    else:
+        network = 0
+    return Prefix.from_network(network, length), pos + 1 + count
+
+
+def _parse_nlri(data: bytes, pos: int, end: int) -> List[Prefix]:
+    prefixes: List[Prefix] = []
+    while pos < end:
+        prefix, pos = _read_prefix(data, pos)
+        prefixes.append(prefix)
+    if pos != end:
+        raise _Malformed("NLRI field overruns its length")
+    return prefixes
+
+
+def _parse_attributes(data: bytes) -> Dict[int, bytes]:
+    """BGP path attributes as ``{type code: value}`` (last wins)."""
+    attrs: Dict[int, bytes] = {}
+    pos = 0
+    while pos < len(data):
+        flags = _u8(data, pos)
+        code = _u8(data, pos + 1)
+        if flags & 0x10:  # extended length
+            length = _u16(data, pos + 2)
+            pos += 4
+        else:
+            length = _u8(data, pos + 2)
+            pos += 3
+        _need(data, pos, length)
+        attrs[code] = data[pos : pos + length]
+        pos += length
+    return attrs
+
+
+# -- TABLE_DUMP_V2 RIB parsing --------------------------------------------
+
+
+@dataclass(frozen=True)
+class PeerEntry:
+    """One peer from the ``PEER_INDEX_TABLE``."""
+
+    index: int
+    bgp_id: int
+    asn: int
+    #: IPv4 peer address as an int; ``None`` for IPv6 peers.
+    ip: Optional[int]
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """One (prefix, peer) RIB row with its extracted next hop."""
+
+    prefix: Prefix
+    peer_index: int
+    originated: int
+    #: ``NEXT_HOP`` attribute as a 32-bit int; ``None`` when absent.
+    next_hop: Optional[int]
+
+
+@dataclass
+class RibDump:
+    """Everything ``load_rib`` extracted from one MRT RIB file."""
+
+    peers: List[PeerEntry]
+    entries: List[RibEntry]
+    counters: IngestCounters
+    records: int
+    source: str
+
+
+def _parse_peer_index_table(body: bytes) -> List[PeerEntry]:
+    pos = 4  # collector BGP id
+    name_length = _u16(body, pos)
+    pos += 2 + name_length
+    count = _u16(body, pos)
+    pos += 2
+    peers: List[PeerEntry] = []
+    for index in range(count):
+        peer_type = _u8(body, pos)
+        pos += 1
+        bgp_id = _u32(body, pos)
+        pos += 4
+        if peer_type & 0x01:  # IPv6 peer address
+            _need(body, pos, 16)
+            ip: Optional[int] = None
+            pos += 16
+        else:
+            ip = _u32(body, pos)
+            pos += 4
+        if peer_type & 0x02:  # 4-byte AS
+            asn = _u32(body, pos)
+            pos += 4
+        else:
+            asn = _u16(body, pos)
+            pos += 2
+        peers.append(PeerEntry(index=index, bgp_id=bgp_id, asn=asn, ip=ip))
+    if pos != len(body):
+        raise _Malformed("PEER_INDEX_TABLE has trailing bytes")
+    return peers
+
+
+def _parse_rib_ipv4_unicast(body: bytes) -> List[RibEntry]:
+    pos = 4  # sequence number
+    prefix, pos = _read_prefix(body, pos)
+    count = _u16(body, pos)
+    pos += 2
+    entries: List[RibEntry] = []
+    for _ in range(count):
+        peer_index = _u16(body, pos)
+        originated = _u32(body, pos + 2)
+        attr_length = _u16(body, pos + 6)
+        pos += 8
+        _need(body, pos, attr_length)
+        attrs = _parse_attributes(body[pos : pos + attr_length])
+        pos += attr_length
+        next_hop_raw = attrs.get(ATTR_NEXT_HOP)
+        next_hop = (
+            int.from_bytes(next_hop_raw[:4], "big")
+            if next_hop_raw is not None and len(next_hop_raw) >= 4
+            else None
+        )
+        entries.append(
+            RibEntry(
+                prefix=prefix,
+                peer_index=peer_index,
+                originated=originated,
+                next_hop=next_hop,
+            )
+        )
+    if pos != len(body):
+        raise _Malformed("RIB_IPV4_UNICAST has trailing bytes")
+    return entries
+
+
+def load_rib(path: PathLike) -> RibDump:
+    """Parse a TABLE_DUMP_V2 RIB dump; every record is accounted for."""
+    counters = IngestCounters()
+    peers: List[PeerEntry] = []
+    entries: List[RibEntry] = []
+    records = 0
+    for record in iter_records(path):
+        records += 1
+        if record.type != MRT_TABLE_DUMP_V2:
+            counters.count_skipped(_type_skip_reason(record.type))
+            continue
+        try:
+            if record.subtype == TDV2_PEER_INDEX_TABLE:
+                peers = _parse_peer_index_table(record.body)
+                counters.count_parsed("peer-index-table")
+            elif record.subtype == TDV2_RIB_IPV4_UNICAST:
+                entries.extend(_parse_rib_ipv4_unicast(record.body))
+                counters.count_parsed("rib-ipv4-unicast")
+            else:
+                counters.count_skipped(
+                    _TDV2_SUBTYPE_NAMES.get(
+                        record.subtype, f"tdv2-subtype-{record.subtype}"
+                    )
+                )
+        except _Malformed:
+            counters.count_skipped("malformed")
+    counters.verify(records)
+    return RibDump(
+        peers=peers,
+        entries=entries,
+        counters=counters,
+        records=records,
+        source=str(path),
+    )
+
+
+def _type_skip_reason(mrt_type: int) -> str:
+    return _TYPE_NAMES.get(mrt_type, f"mrt-type-{mrt_type}")
+
+
+# -- BGP4MP update parsing ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BgpUpdateRecord:
+    """The IPv4-unicast content of one BGP4MP UPDATE record."""
+
+    timestamp: float
+    peer_as: int
+    #: IPv4 peer address as an int; ``None`` for IPv6 peering sessions.
+    peer_ip: Optional[int]
+    #: ``(prefix, next hop)`` announcements; the hop may be ``None``
+    #: when the UPDATE carried no usable next-hop attribute.
+    announces: Tuple[Tuple[Prefix, Optional[int]], ...]
+    withdraws: Tuple[Prefix, ...]
+
+
+@dataclass
+class UpdateDump:
+    """Everything ``load_updates`` extracted from one MRT update file."""
+
+    updates: List[BgpUpdateRecord]
+    counters: IngestCounters
+    records: int
+    source: str
+
+
+def _parse_bgp4mp_update(
+    record: MrtRecord, counters: IngestCounters
+) -> Optional[BgpUpdateRecord]:
+    body = record.body
+    timestamp = float(record.timestamp)
+    pos = 0
+    if record.type == MRT_BGP4MP_ET:
+        timestamp += _u32(body, pos) / 1e6
+        pos += 4
+    as_size = (
+        4
+        if record.subtype in (BGP4MP_MESSAGE_AS4, BGP4MP_MESSAGE_AS4_LOCAL)
+        else 2
+    )
+    peer_as = _u32(body, pos) if as_size == 4 else _u16(body, pos)
+    pos += 2 * as_size  # peer AS + local AS
+    pos += 2  # interface index
+    afi = _u16(body, pos)
+    pos += 2
+    if afi == AFI_IPV4:
+        peer_ip: Optional[int] = _u32(body, pos)
+        pos += 8  # peer + local address
+    elif afi == AFI_IPV6:
+        _need(body, pos, 32)
+        peer_ip = None
+        pos += 32
+    else:
+        raise _Malformed(f"unknown BGP4MP address family {afi}")
+
+    # The embedded BGP message: 16-byte marker, length, type.
+    _need(body, pos, 19)
+    bgp_type = body[pos + 18]
+    if bgp_type != BGP_UPDATE:
+        counters.count_skipped(
+            {
+                BGP_OPEN: "bgp-open",
+                BGP_NOTIFICATION: "bgp-notification",
+                BGP_KEEPALIVE: "bgp-keepalive",
+            }.get(bgp_type, f"bgp-type-{bgp_type}")
+        )
+        return None
+    pos += 19
+
+    withdrawn_length = _u16(body, pos)
+    pos += 2
+    _need(body, pos, withdrawn_length)
+    withdraws = _parse_nlri(body, pos, pos + withdrawn_length)
+    pos += withdrawn_length
+    attr_length = _u16(body, pos)
+    pos += 2
+    _need(body, pos, attr_length)
+    attrs = _parse_attributes(body[pos : pos + attr_length])
+    pos += attr_length
+    announced = _parse_nlri(body, pos, len(body))
+
+    next_hop: Optional[int] = None
+    raw_hop = attrs.get(ATTR_NEXT_HOP)
+    if raw_hop is not None and len(raw_hop) >= 4:
+        next_hop = int.from_bytes(raw_hop[:4], "big")
+    announces: List[Tuple[Prefix, Optional[int]]] = [
+        (prefix, next_hop) for prefix in announced
+    ]
+
+    mp_reach = attrs.get(ATTR_MP_REACH_NLRI)
+    if mp_reach is not None:
+        afi = _u16(mp_reach, 0)
+        safi = _u8(mp_reach, 2)
+        if afi == AFI_IPV4 and safi == SAFI_UNICAST:
+            hop_length = _u8(mp_reach, 3)
+            _need(mp_reach, 4, hop_length + 1)
+            mp_hop = (
+                int.from_bytes(mp_reach[4:8], "big")
+                if hop_length >= 4
+                else None
+            )
+            nlri_start = 4 + hop_length + 1  # +1: reserved byte
+            announces.extend(
+                (prefix, mp_hop)
+                for prefix in _parse_nlri(
+                    mp_reach, nlri_start, len(mp_reach)
+                )
+            )
+        else:
+            counters.note(f"mp-reach-afi-{afi}-safi-{safi}")
+
+    mp_unreach = attrs.get(ATTR_MP_UNREACH_NLRI)
+    if mp_unreach is not None:
+        afi = _u16(mp_unreach, 0)
+        safi = _u8(mp_unreach, 2)
+        if afi == AFI_IPV4 and safi == SAFI_UNICAST:
+            withdraws.extend(_parse_nlri(mp_unreach, 3, len(mp_unreach)))
+        else:
+            counters.note(f"mp-unreach-afi-{afi}-safi-{safi}")
+
+    if not announces and not withdraws:
+        counters.count_skipped("no-ipv4-content")
+        return None
+    counters.count_parsed("bgp4mp-update")
+    return BgpUpdateRecord(
+        timestamp=timestamp,
+        peer_as=peer_as,
+        peer_ip=peer_ip,
+        announces=tuple(announces),
+        withdraws=tuple(withdraws),
+    )
+
+
+def load_updates(path: PathLike) -> UpdateDump:
+    """Parse a BGP4MP update dump; every record is accounted for."""
+    counters = IngestCounters()
+    updates: List[BgpUpdateRecord] = []
+    records = 0
+    for record in iter_records(path):
+        records += 1
+        if record.type not in (MRT_BGP4MP, MRT_BGP4MP_ET):
+            counters.count_skipped(_type_skip_reason(record.type))
+            continue
+        if record.subtype in (BGP4MP_STATE_CHANGE, BGP4MP_STATE_CHANGE_AS4):
+            counters.count_skipped("state-change")
+            continue
+        if record.subtype not in (
+            BGP4MP_MESSAGE,
+            BGP4MP_MESSAGE_AS4,
+            BGP4MP_MESSAGE_LOCAL,
+            BGP4MP_MESSAGE_AS4_LOCAL,
+        ):
+            counters.count_skipped(f"bgp4mp-subtype-{record.subtype}")
+            continue
+        try:
+            update = _parse_bgp4mp_update(record, counters)
+        except _Malformed:
+            counters.count_skipped("malformed")
+            continue
+        if update is not None:
+            updates.append(update)
+    counters.verify(records)
+    return UpdateDump(
+        updates=updates, counters=counters, records=records, source=str(path)
+    )

@@ -1,0 +1,334 @@
+"""Normalization: raw MRT/pcap content → the engine's trace formats.
+
+A collector dump is a *multi-peer* view with arbitrary next-hop
+addresses and wall-clock timestamps; the engine wants a single
+router's table with small integer egress ports and a trace clock that
+starts at zero.  This module bridges the two:
+
+* **single-peer view** — a RIB dump keeps one peer's rows (the peer
+  with the most entries by default, ties to the lowest index); an
+  update dump keeps the busiest peer's messages.  Mixing peers would
+  produce a table no real router holds.
+* **next-hop → port hashing** — SHA-256 of the 4-byte next-hop address
+  modulo ``port_count``.  Deterministic across runs and machines, so
+  fingerprint-based oracles stay byte-identical.
+* **timestamp rebasing** — the first surviving event becomes t=0 and
+  ``time_scale`` compresses hours of wall clock onto engine cycles.
+* **martian / default-route policy** — bogon blocks (0/8, 127/8,
+  169.254/16, multicast, class E) are dropped by default; the default
+  route is kept by default (it is a real edge case the engine must
+  handle).  RFC 1918 space is deliberately *kept*: lab captures and
+  our fixtures live there.
+
+Like the parsers, normalization accounts for every input item: each
+RIB entry / update event / packet is either emitted or dropped with a
+reason, and :class:`NormalizeReport` carries the ledger.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ingest.mrt import RibDump, UpdateDump
+from repro.ingest.pcap import PacketDump
+from repro.net.prefix import Prefix, format_address
+from repro.workload.updategen import UpdateKind, UpdateMessage
+
+Route = Tuple[Prefix, int]
+
+#: Blocks a backbone FIB never routes toward.  RFC 1918 space is
+#: intentionally absent — see the module docstring.
+MARTIAN_PREFIXES: Tuple[Prefix, ...] = (
+    Prefix.parse("0.0.0.0/8"),
+    Prefix.parse("127.0.0.0/8"),
+    Prefix.parse("169.254.0.0/16"),
+    Prefix.parse("224.0.0.0/4"),
+    Prefix.parse("240.0.0.0/4"),
+)
+
+
+def is_martian(prefix: Prefix) -> bool:
+    """True when ``prefix`` lies inside a martian block.  The default
+    route (which merely *overlaps* every block) is not a martian."""
+    return any(block.contains(prefix) for block in MARTIAN_PREFIXES)
+
+
+def is_martian_address(address: int) -> bool:
+    return any(block.contains_address(address) for block in MARTIAN_PREFIXES)
+
+
+@dataclass(frozen=True)
+class NormalizePolicy:
+    """Knobs of the raw-trace → engine-trace mapping."""
+
+    #: Egress ports on the modelled line card; hashed next hops land
+    #: in ``range(port_count)``.
+    port_count: int = 24
+    drop_martians: bool = True
+    keep_default_route: bool = True
+    #: Multiplied into rebased timestamps; 0.01 squeezes an hour of
+    #: wall clock into 36 engine seconds.
+    time_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.port_count < 1:
+            raise ValueError("port_count must be >= 1")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be > 0")
+
+
+@dataclass
+class NormalizeReport:
+    """Item accounting for one normalization pass."""
+
+    input: int = 0
+    emitted: int = 0
+    dropped: Dict[str, int] = field(default_factory=dict)
+    #: Free-form observations (chosen peer, rebased time span, ...).
+    info: Dict[str, object] = field(default_factory=dict)
+
+    def drop(self, reason: str, count: int = 1) -> None:
+        self.dropped[reason] = self.dropped.get(reason, 0) + count
+
+    @property
+    def dropped_total(self) -> int:
+        return sum(self.dropped.values())
+
+    def verify(self) -> None:
+        if self.emitted + self.dropped_total != self.input:
+            raise AssertionError(
+                f"normalization accounting broken: {self.input} in, "
+                f"{self.emitted} out + {self.dropped_total} dropped"
+            )
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"normalized: {self.input} in -> {self.emitted} emitted, "
+            f"{self.dropped_total} dropped"
+        ]
+        if self.dropped:
+            lines.append(
+                "dropped: "
+                + ", ".join(
+                    f"{name} {count}"
+                    for name, count in sorted(self.dropped.items())
+                )
+            )
+        for key, value in sorted(self.info.items()):
+            lines.append(f"{key}: {value}")
+        return lines
+
+
+def port_for_next_hop(next_hop: int, port_count: int) -> int:
+    """Deterministic egress port for a next-hop address.
+
+    SHA-256 rather than ``hash()`` so the mapping survives
+    ``PYTHONHASHSEED``, process restarts, and machine changes — the
+    replay-fingerprint oracle depends on that.
+    """
+    digest = hashlib.sha256(next_hop.to_bytes(4, "big")).digest()
+    return int.from_bytes(digest[:8], "big") % port_count
+
+
+def select_peer(dump: RibDump) -> Optional[int]:
+    """The peer index holding the most RIB rows (ties → lowest index)."""
+    tally: Dict[int, int] = {}
+    for entry in dump.entries:
+        tally[entry.peer_index] = tally.get(entry.peer_index, 0) + 1
+    if not tally:
+        return None
+    return min(tally, key=lambda index: (-tally[index], index))
+
+
+def _policy_drop(prefix: Prefix, policy: NormalizePolicy) -> Optional[str]:
+    """Reason to drop ``prefix`` under ``policy``, or ``None`` to keep."""
+    if prefix.length == 0:
+        return None if policy.keep_default_route else "default-route"
+    if policy.drop_martians and is_martian(prefix):
+        return "martian"
+    return None
+
+
+def rib_to_table(
+    dump: RibDump,
+    policy: NormalizePolicy = NormalizePolicy(),
+    peer_index: Optional[int] = None,
+) -> Tuple[List[Route], NormalizeReport]:
+    """Reduce a multi-peer RIB dump to one router's ``(prefix, port)``
+    table, sorted in the canonical trace order."""
+    report = NormalizeReport(input=len(dump.entries))
+    if peer_index is None:
+        peer_index = select_peer(dump)
+    report.info["peer"] = peer_index
+    table: Dict[Prefix, int] = {}
+    for entry in dump.entries:
+        if entry.peer_index != peer_index:
+            report.drop("other-peer")
+            continue
+        reason = _policy_drop(entry.prefix, policy)
+        if reason is not None:
+            report.drop(reason)
+            continue
+        if entry.next_hop is None:
+            report.drop("no-next-hop")
+            continue
+        if entry.prefix in table:
+            report.drop("duplicate-prefix")
+            continue
+        table[entry.prefix] = port_for_next_hop(
+            entry.next_hop, policy.port_count
+        )
+        report.emitted += 1
+    routes = sorted(table.items(), key=lambda route: route[0].sort_key())
+    report.verify()
+    return routes, report
+
+
+def select_update_peer(dump: UpdateDump) -> Optional[int]:
+    """The IPv4 peer address sending the most updates (ties → lowest)."""
+    tally: Dict[int, int] = {}
+    for update in dump.updates:
+        if update.peer_ip is not None:
+            tally[update.peer_ip] = tally.get(update.peer_ip, 0) + 1
+    if not tally:
+        return None
+    return min(tally, key=lambda ip: (-tally[ip], ip))
+
+
+def updates_to_trace(
+    dump: UpdateDump,
+    base_routes: Sequence[Route],
+    policy: NormalizePolicy = NormalizePolicy(),
+    peer_ip: Optional[int] = None,
+) -> Tuple[List[UpdateMessage], NormalizeReport]:
+    """Turn one peer's BGP UPDATE stream into an engine update trace.
+
+    Accounting is per announce/withdraw *event* (one UPDATE record can
+    carry many).  A shadow prefix set seeded from ``base_routes``
+    enforces the generator invariant the pipeline relies on: withdraws
+    of prefixes never announced are dropped, and re-announcements are
+    fine (they are next-hop changes).
+    """
+    if peer_ip is None:
+        peer_ip = select_update_peer(dump)
+    events = 0
+    for update in dump.updates:
+        events += len(update.announces) + len(update.withdraws)
+    report = NormalizeReport(input=events)
+    report.info["peer"] = (
+        format_address(peer_ip) if peer_ip is not None else None
+    )
+
+    known = {prefix for prefix, _ in base_routes}
+    base_timestamp: Optional[float] = None
+    trace: List[UpdateMessage] = []
+    for update in dump.updates:
+        if update.peer_ip != peer_ip:
+            report.drop(
+                "other-peer", len(update.announces) + len(update.withdraws)
+            )
+            continue
+        if base_timestamp is None:
+            base_timestamp = update.timestamp
+        timestamp = max(
+            0.0, (update.timestamp - base_timestamp) * policy.time_scale
+        )
+        for prefix in update.withdraws:
+            reason = _policy_drop(prefix, policy)
+            if reason is not None:
+                report.drop(reason)
+                continue
+            if prefix not in known:
+                report.drop("withdraw-unknown")
+                continue
+            known.discard(prefix)
+            trace.append(
+                UpdateMessage(
+                    kind=UpdateKind.WITHDRAW,
+                    prefix=prefix,
+                    next_hop=None,
+                    timestamp=timestamp,
+                )
+            )
+            report.emitted += 1
+        for prefix, next_hop in update.announces:
+            reason = _policy_drop(prefix, policy)
+            if reason is not None:
+                report.drop(reason)
+                continue
+            if next_hop is None:
+                report.drop("no-next-hop")
+                continue
+            known.add(prefix)
+            trace.append(
+                UpdateMessage(
+                    kind=UpdateKind.ANNOUNCE,
+                    prefix=prefix,
+                    next_hop=port_for_next_hop(next_hop, policy.port_count),
+                    timestamp=timestamp,
+                )
+            )
+            report.emitted += 1
+    if trace:
+        report.info["span_seconds"] = round(
+            trace[-1].timestamp - trace[0].timestamp, 6
+        )
+    report.verify()
+    return trace, report
+
+
+def packets_to_trace(
+    dump: PacketDump, policy: NormalizePolicy = NormalizePolicy()
+) -> Tuple[List[int], NormalizeReport]:
+    """Reduce a packet dump to the destination-address trace format."""
+    report = NormalizeReport(input=len(dump.packets))
+    addresses: List[int] = []
+    for packet in dump.packets:
+        if policy.drop_martians and is_martian_address(packet.dst):
+            report.drop("martian")
+            continue
+        addresses.append(packet.dst)
+        report.emitted += 1
+    report.verify()
+    return addresses, report
+
+
+def filter_consistent_updates(
+    routes: Sequence[Route], updates: Sequence[UpdateMessage]
+) -> List[UpdateMessage]:
+    """Drop updates that violate the pipeline's consistency invariant
+    (withdrawing a prefix that is not currently present).
+
+    File-sourced workloads pass through here before entering a
+    campaign cell, so an arbitrary real trace can never desync the
+    reference trie the oracles compare against.
+    """
+    known = {prefix for prefix, _ in routes}
+    kept: List[UpdateMessage] = []
+    for update in updates:
+        if update.kind is UpdateKind.WITHDRAW:
+            if update.prefix not in known:
+                continue
+            known.discard(update.prefix)
+        else:
+            known.add(update.prefix)
+        kept.append(update)
+    return kept
+
+
+def update_rates(trace: Sequence[UpdateMessage]) -> Dict[str, float]:
+    """Announce/withdraw counts and rates for ``--stats`` output."""
+    announces = sum(
+        1 for update in trace if update.kind is UpdateKind.ANNOUNCE
+    )
+    withdraws = len(trace) - announces
+    span = trace[-1].timestamp - trace[0].timestamp if len(trace) > 1 else 0.0
+    rate = len(trace) / span if span > 0 else 0.0
+    return {
+        "announces": announces,
+        "withdraws": withdraws,
+        "span_seconds": round(span, 6),
+        "updates_per_second": round(rate, 3),
+    }

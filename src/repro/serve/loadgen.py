@@ -83,6 +83,26 @@ def generate_batches(
     return [generator.take(batch_size) for _ in range(batch_count)]
 
 
+def batches_from_packets(
+    addresses: Sequence[int],
+    batch_count: int,
+    batch_size: int,
+) -> List[List[int]]:
+    """An ingested packet trace pre-split into batches, cycling when the
+    trace is shorter than the bench demands — same shape as
+    :func:`generate_batches`, but real captured destinations."""
+    if not addresses:
+        raise ValueError("packet trace is empty")
+    total = len(addresses)
+    return [
+        [
+            addresses[(batch * batch_size + offset) % total]
+            for offset in range(batch_size)
+        ]
+        for batch in range(batch_count)
+    ]
+
+
 def run_load(
     host: str,
     port: int,

@@ -26,8 +26,13 @@ from repro.workload.traces import (
     save_updates,
 )
 from repro.workload.profiles import (
+    FILE_WORKLOAD_PREFIX,
     WORKLOADS,
+    FileWorkload,
     WorkloadProfile,
+    file_workload,
+    is_file_workload,
+    resolve_workload,
     workload_profile,
 )
 from repro.workload.trafficgen import TrafficGenerator, TrafficParameters
@@ -41,6 +46,8 @@ from repro.workload.updategen import (
 __all__ = [
     "DEFAULT_LENGTH_DISTRIBUTION",
     "DEFAULT_SIZE_SCALE",
+    "FILE_WORKLOAD_PREFIX",
+    "FileWorkload",
     "ROUTERS",
     "RibParameters",
     "RouterDataset",
@@ -53,12 +60,15 @@ __all__ = [
     "UpdateParameters",
     "WORKLOADS",
     "WorkloadProfile",
+    "file_workload",
     "generate_rib",
+    "is_file_workload",
     "length_histogram",
     "load_faults",
     "load_packets",
     "load_table",
     "load_updates",
+    "resolve_workload",
     "rib_trie",
     "router_by_id",
     "router_rib",

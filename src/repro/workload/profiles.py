@@ -22,15 +22,26 @@ Profiles are pure data; the generators they build are the existing
 :class:`~repro.workload.trafficgen.TrafficGenerator` and
 :class:`~repro.workload.updategen.UpdateGenerator`, so a profile name
 plus a seed fully determines the byte stream a campaign cell sees.
+
+Beyond the synthetic registry, ``file:DIR`` names a
+:class:`FileWorkload`: a directory of ingested traces (``table.txt``
+required, ``updates.txt``/``packets.txt`` optional, ``.gz`` accepted)
+produced by ``repro ingest``.  That is how real MRT/pcap data enters
+campaign cells and the serve bench; :meth:`FileWorkload.provenance`
+records each source file's path and SHA-256 so a report can say
+exactly which bytes a cell ran on.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.net.prefix import Prefix
 from repro.workload.trafficgen import TrafficGenerator, TrafficParameters
+from repro.workload.traces import load_packets, load_table, load_updates
 from repro.workload.updategen import (
     UpdateGenerator,
     UpdateMessage,
@@ -38,6 +49,9 @@ from repro.workload.updategen import (
 )
 
 Route = Tuple[Prefix, int]
+
+#: Workload names with this prefix are file-sourced, not synthetic.
+FILE_WORKLOAD_PREFIX = "file:"
 
 
 @dataclass(frozen=True)
@@ -120,3 +134,115 @@ def workload_profile(name: str) -> WorkloadProfile:
             f"unknown workload profile {name!r}; "
             f"known: {', '.join(sorted(WORKLOADS))}"
         ) from None
+
+
+# -- file-sourced workloads ----------------------------------------------
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class FileWorkload:
+    """A workload whose traces come from files, not generators.
+
+    The directory layout is what ``repro ingest`` writes: ``table.txt``
+    (required), ``updates.txt`` and ``packets.txt`` (optional), each
+    also accepted with a ``.gz`` suffix.  Missing pieces fall back to
+    the synthetic generators over the file-sourced table, so a RIB-only
+    ingest is already a runnable workload.
+    """
+
+    name: str
+    directory: Path
+
+    @property
+    def description(self) -> str:
+        return f"file-sourced traces from {self.directory}"
+
+    def _find(self, stem: str) -> Optional[Path]:
+        for suffix in ("", ".gz"):
+            candidate = self.directory / f"{stem}{suffix}"
+            if candidate.is_file():
+                return candidate
+        return None
+
+    @property
+    def table_path(self) -> Optional[Path]:
+        return self._find("table.txt")
+
+    @property
+    def updates_path(self) -> Optional[Path]:
+        return self._find("updates.txt")
+
+    @property
+    def packets_path(self) -> Optional[Path]:
+        return self._find("packets.txt")
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless the directory is usable."""
+        if not self.directory.is_dir():
+            raise ValueError(
+                f"workload {self.name!r}: {self.directory} is not a directory"
+            )
+        if self.table_path is None:
+            raise ValueError(
+                f"workload {self.name!r}: no table.txt(.gz) in "
+                f"{self.directory} (run 'repro ingest rib' first)"
+            )
+
+    def load_routes(self) -> List[Route]:
+        self.validate()
+        return load_table(self.table_path)
+
+    def load_updates(self) -> Optional[List[UpdateMessage]]:
+        path = self.updates_path
+        return None if path is None else load_updates(path)
+
+    def load_packets(self) -> Optional[List[int]]:
+        path = self.packets_path
+        return None if path is None else load_packets(path)
+
+    def provenance(self) -> Dict[str, Dict[str, object]]:
+        """``{trace kind: {path, sha256, bytes}}`` for every present file."""
+        record: Dict[str, Dict[str, object]] = {}
+        for kind, path in (
+            ("table", self.table_path),
+            ("updates", self.updates_path),
+            ("packets", self.packets_path),
+        ):
+            if path is not None:
+                record[kind] = {
+                    "path": str(path),
+                    "sha256": _sha256(path),
+                    "bytes": path.stat().st_size,
+                }
+        return record
+
+
+def is_file_workload(name: str) -> bool:
+    return name.startswith(FILE_WORKLOAD_PREFIX)
+
+
+def file_workload(name: str) -> FileWorkload:
+    """Build a :class:`FileWorkload` from a ``file:DIR`` name."""
+    if not is_file_workload(name):
+        raise ValueError(f"not a file workload name: {name!r}")
+    raw = name[len(FILE_WORKLOAD_PREFIX) :]
+    if not raw:
+        raise ValueError("file workload needs a directory: file:DIR")
+    return FileWorkload(name=name, directory=Path(raw))
+
+
+def resolve_workload(
+    name: str,
+) -> Union[WorkloadProfile, FileWorkload]:
+    """Either a registry profile or a :class:`FileWorkload`."""
+    if is_file_workload(name):
+        return file_workload(name)
+    return workload_profile(name)

@@ -14,12 +14,18 @@ formats are deliberately trivial:
   ``<cycle> kill-backup``.
 
 Lines starting with ``#`` are comments everywhere.
+
+Gzip is transparent in both directions: loaders sniff the two magic
+bytes (so a ``.txt`` that is secretly gzipped still reads), and savers
+compress when the path ends in ``.gz`` — matching the ingest plane,
+whose outputs these loaders consume.
 """
 
 from __future__ import annotations
 
+import gzip
 from pathlib import Path
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import IO, Iterable, List, Sequence, Tuple, Union
 
 from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
 from repro.net.prefix import Prefix, format_address, parse_address
@@ -33,8 +39,24 @@ class TraceFormatError(ValueError):
     """A trace file line did not parse."""
 
 
+def _open_read(path: PathLike) -> IO[str]:
+    """Open a trace for reading, decompressing gzip by magic bytes."""
+    with open(path, "rb") as probe:
+        magic = probe.read(2)
+    if magic == b"\x1f\x8b":
+        return gzip.open(path, "rt", encoding="ascii")
+    return open(path, "r", encoding="ascii")
+
+
+def _open_write(path: PathLike) -> IO[str]:
+    """Open a trace for writing, compressing when the suffix is .gz."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, "wt", encoding="ascii")
+    return open(path, "w", encoding="ascii")
+
+
 def _lines(path: PathLike) -> Iterable[Tuple[int, str]]:
-    with open(path, "r", encoding="ascii") as handle:
+    with _open_read(path) as handle:
         for number, raw in enumerate(handle, start=1):
             line = raw.strip()
             if line and not line.startswith("#"):
@@ -46,7 +68,7 @@ def _lines(path: PathLike) -> Iterable[Tuple[int, str]]:
 
 def save_table(routes: Sequence[Route], path: PathLike) -> None:
     """Write a routing table, one ``prefix hop`` per line."""
-    with open(path, "w", encoding="ascii") as handle:
+    with _open_write(path) as handle:
         handle.write("# repro routing table v1\n")
         for prefix, hop in routes:
             handle.write(f"{prefix} {hop}\n")
@@ -59,7 +81,10 @@ def load_table(path: PathLike) -> List[Route]:
         parts = line.split()
         if len(parts) != 2:
             raise TraceFormatError(f"{path}:{number}: expected 'prefix hop'")
-        routes.append((Prefix.parse(parts[0]), int(parts[1])))
+        try:
+            routes.append((Prefix.parse(parts[0]), int(parts[1])))
+        except ValueError as exc:
+            raise TraceFormatError(f"{path}:{number}: {exc}") from exc
     return routes
 
 
@@ -68,7 +93,7 @@ def load_table(path: PathLike) -> List[Route]:
 
 def save_updates(messages: Sequence[UpdateMessage], path: PathLike) -> None:
     """Write an update trace."""
-    with open(path, "w", encoding="ascii") as handle:
+    with _open_write(path) as handle:
         handle.write("# repro update trace v1\n")
         for message in messages:
             if message.kind is UpdateKind.ANNOUNCE:
@@ -120,7 +145,7 @@ def load_updates(path: PathLike) -> List[UpdateMessage]:
 
 def save_packets(addresses: Sequence[int], path: PathLike) -> None:
     """Write a destination-address trace."""
-    with open(path, "w", encoding="ascii") as handle:
+    with _open_write(path) as handle:
         handle.write("# repro packet trace v1\n")
         for address in addresses:
             handle.write(format_address(address) + "\n")
@@ -142,7 +167,7 @@ def load_packets(path: PathLike) -> List[int]:
 
 def save_faults(schedule: FaultSchedule, path: PathLike) -> None:
     """Write a fault schedule (see :mod:`repro.faults.schedule`)."""
-    with open(path, "w", encoding="ascii") as handle:
+    with _open_write(path) as handle:
         handle.write("# repro fault schedule v1\n")
         handle.write(f"seed {schedule.seed}\n")
         for event in schedule.events:

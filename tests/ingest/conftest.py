@@ -1,0 +1,16 @@
+"""Shared fixture set for the ingest tests: one deterministic write."""
+
+import pytest
+
+from repro.ingest import FixtureSpec, write_fixture_set
+
+
+@pytest.fixture(scope="session")
+def fixture_spec():
+    return FixtureSpec()
+
+
+@pytest.fixture(scope="session")
+def fixture_paths(tmp_path_factory, fixture_spec):
+    directory = tmp_path_factory.mktemp("mrt-fixtures")
+    return write_fixture_set(directory, fixture_spec)

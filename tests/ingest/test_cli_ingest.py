@@ -1,0 +1,192 @@
+"""End-to-end `repro ingest` CLI: fixtures -> rib/updates/pcap -> simulate."""
+
+import gzip
+
+import pytest
+
+from repro.cli import main
+from repro.workload.traces import (
+    TraceFormatError,
+    load_packets,
+    load_table,
+    load_updates,
+)
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("ingest-cli")
+    assert main(["ingest", "fixtures", "-o", str(directory / "raw")]) == 0
+    return directory
+
+
+class TestIngestChain:
+    def test_rib_to_table(self, workdir, capsys):
+        table = workdir / "wl" / "table.txt"
+        code = main(
+            [
+                "ingest",
+                "rib",
+                str(workdir / "raw" / "rib.mrt.gz"),
+                "-o",
+                str(table),
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "100% accounted" in out
+        routes = load_table(table)
+        assert routes
+        assert all(0 <= hop < 24 for _, hop in routes)
+
+    def test_updates_to_trace(self, workdir, capsys):
+        self.test_rib_to_table(workdir, capsys)
+        trace = workdir / "wl" / "updates.txt"
+        code = main(
+            [
+                "ingest",
+                "updates",
+                str(workdir / "raw" / "updates.mrt"),
+                "--table",
+                str(workdir / "wl" / "table.txt"),
+                "-o",
+                str(trace),
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "100% accounted" in out
+        assert "updates_per_second" in out or "updates/s" in out
+        assert load_updates(trace)
+
+    def test_pcap_to_packets(self, workdir, capsys):
+        packets = workdir / "wl" / "packets.txt"
+        code = main(
+            [
+                "ingest",
+                "pcap",
+                str(workdir / "raw" / "trace.pcap"),
+                "-o",
+                str(packets),
+                "--stats",
+            ]
+        )
+        assert code == 0
+        assert "100% accounted" in capsys.readouterr().out
+        assert load_packets(packets)
+
+    def test_simulate_over_ingested_workload(self, workdir, capsys):
+        self.test_updates_to_trace(workdir, capsys)
+        self.test_pcap_to_packets(workdir, capsys)
+        code = main(
+            [
+                "simulate",
+                "--table",
+                str(workdir / "wl" / "table.txt"),
+                "--updates",
+                str(workdir / "wl" / "updates.txt"),
+                "--packets",
+                str(workdir / "wl" / "packets.txt"),
+                "--count",
+                "500",
+                "--chips",
+                "2",
+            ]
+        )
+        assert code == 0
+
+    def test_gzip_output_suffix(self, workdir, tmp_path):
+        table = tmp_path / "table.txt.gz"
+        code = main(
+            [
+                "ingest",
+                "rib",
+                str(workdir / "raw" / "rib.mrt.gz"),
+                "-o",
+                str(table),
+            ]
+        )
+        assert code == 0
+        with gzip.open(table, "rt") as handle:
+            assert handle.readline().strip()
+        plain = load_table(workdir / "wl" / "table.txt")
+        assert load_table(table) == plain
+
+
+class TestIngestErrors:
+    def test_corrupt_mrt_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mrt"
+        bad.write_bytes(b"not an mrt stream at all, sorry")
+        code = main(
+            ["ingest", "rib", str(bad), "-o", str(tmp_path / "t.txt")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_pcap_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pcap"
+        bad.write_bytes(b"\x00" * 64)
+        code = main(
+            ["ingest", "pcap", str(bad), "-o", str(tmp_path / "p.txt")]
+        )
+        assert code == 2
+        assert "magic" in capsys.readouterr().err
+
+    def test_missing_input_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "ingest",
+                "rib",
+                str(tmp_path / "nope.mrt"),
+                "-o",
+                str(tmp_path / "t.txt"),
+            ]
+        )
+        assert code == 2
+
+    def test_fetch_without_output_or_url_only_exits_2(self, capsys):
+        code = main(
+            ["ingest", "fetch", "--when", "20260107.0800"]
+        )
+        assert code == 2
+
+    def test_fetch_url_only(self, capsys):
+        code = main(
+            [
+                "ingest",
+                "fetch",
+                "--when",
+                "20260107.0800",
+                "--kind",
+                "rib",
+                "--url-only",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bview.20260107.0800.gz" in out
+
+
+class TestTraceLineNumbers:
+    def test_bad_table_line_reports_path_and_line(self, tmp_path):
+        path = tmp_path / "table.txt"
+        path.write_text("10.0.0.0/8 3\n192.168.0.0/16 nope\n")
+        with pytest.raises(TraceFormatError, match=r"table\.txt:2"):
+            load_table(path)
+
+    def test_cli_surfaces_line_number(self, tmp_path, capsys):
+        path = tmp_path / "table.txt"
+        path.write_text("10.0.0.0/8 3\nbogus line here\n")
+        code = main(["compress", "--table", str(path), "--mode", "dontcare"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "table.txt:2" in err
+
+    def test_gzip_table_loads(self, tmp_path):
+        path = tmp_path / "table.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("10.0.0.0/8 3\n0.0.0.0/0 1\n")
+        routes = load_table(path)
+        assert len(routes) == 2

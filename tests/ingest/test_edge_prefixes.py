@@ -1,0 +1,96 @@
+"""Edge prefixes (0.0.0.0/0 and /32) flowing ingest -> table -> engine.
+
+The fixture RIB deliberately carries both a default route and a /32
+host route; this module proves they survive every hop of the pipeline:
+MRT parse, normalization, trace round-trip, ONRTC compression, and the
+parallel lookup engine.
+"""
+
+import pytest
+
+from repro.compress.labels import CompressionMode
+from repro.compress.onrtc import compress
+from repro.core.system import ClueSystem
+from repro.engine.builders import build_clue_engine
+from repro.engine.simulator import EngineConfig
+from repro.ingest import load_rib, rib_to_table
+from repro.net.prefix import Prefix, parse_address
+from repro.trie.trie import BinaryTrie
+from repro.workload.traces import load_table, save_table
+
+
+@pytest.fixture(scope="module")
+def ingested_routes(tmp_path_factory):
+    from repro.ingest import FixtureSpec, write_fixture_set
+
+    directory = tmp_path_factory.mktemp("edge-fixtures")
+    paths = write_fixture_set(directory, FixtureSpec())
+    routes, _ = rib_to_table(load_rib(paths["rib"]))
+    return routes
+
+
+PROBES = [
+    parse_address("0.0.0.0"),
+    parse_address("255.255.255.255"),
+    parse_address("10.99.99.99"),  # the fixture /32 host route
+    parse_address("10.99.99.98"),  # one off the host route
+    parse_address("8.8.8.8"),  # default-route territory
+    parse_address("192.0.2.77"),
+]
+
+
+class TestIngestedEdgeRoutes:
+    def test_edge_prefixes_survive_normalization(self, ingested_routes):
+        lengths = {prefix.length for prefix, _ in ingested_routes}
+        assert 0 in lengths
+        assert 32 in lengths
+
+    def test_table_roundtrip_preserves_edges(self, ingested_routes, tmp_path):
+        path = tmp_path / "table.txt"
+        save_table(ingested_routes, path)
+        assert load_table(path) == list(ingested_routes)
+
+    def test_onrtc_preserves_edge_semantics(self, ingested_routes):
+        reference = BinaryTrie.from_routes(ingested_routes)
+        compressed = compress(reference, CompressionMode.DONT_CARE)
+        table = BinaryTrie.from_routes(sorted(
+            compressed.items(), key=lambda r: r[0].sort_key()
+        ))
+        for address in PROBES:
+            assert table.lookup(address) == reference.lookup(address)
+
+    def test_engine_completes_all_probes(self, ingested_routes):
+        built = build_clue_engine(
+            ingested_routes, EngineConfig(chip_count=2)
+        )
+        stats = built.engine.run(iter(PROBES), len(PROBES))
+        assert stats.completions == len(PROBES)
+
+    def test_system_lookups_match_reference(self, ingested_routes):
+        reference = BinaryTrie.from_routes(ingested_routes)
+        system = ClueSystem(ingested_routes)
+        answers = system.process_lookups(PROBES)
+        assert answers == [reference.lookup(a) for a in PROBES]
+
+
+class TestMinimalEdgeTable:
+    """The pathological two-route table: just /0 and a /32."""
+
+    ROUTES = [
+        (Prefix.parse("0.0.0.0/0"), 1),
+        (Prefix.parse("10.99.99.99/32"), 2),
+    ]
+
+    def test_system_over_minimal_table(self):
+        system = ClueSystem(self.ROUTES)
+        host = parse_address("10.99.99.99")
+        assert system.process_lookups([host]) == [2]
+        assert system.process_lookups([host - 1, host + 1]) == [1, 1]
+        assert system.process_lookups(
+            [parse_address("0.0.0.0"), parse_address("255.255.255.255")]
+        ) == [1, 1]
+
+    def test_trace_roundtrip_of_minimal_table(self, tmp_path):
+        path = tmp_path / "edge.txt"
+        save_table(self.ROUTES, path)
+        assert load_table(path) == self.ROUTES

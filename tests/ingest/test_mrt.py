@@ -1,0 +1,163 @@
+"""MRT parser: record accounting, wire-format corners, failure modes."""
+
+import bz2
+import struct
+
+import pytest
+
+from repro.ingest import (
+    FixtureSpec,
+    IngestFormatError,
+    build_rib_mrt,
+    build_updates_mrt,
+    fixture_routes,
+    iter_records,
+    load_rib,
+    load_updates,
+)
+from repro.ingest.fixtures import next_hop_ip
+
+
+class TestRibDump:
+    def test_every_record_accounted(self, fixture_paths):
+        dump = load_rib(fixture_paths["rib"])
+        counters = dump.counters
+        assert counters.total == dump.records
+        assert counters.parsed_total + counters.skipped_total == dump.records
+        counters.verify(dump.records)  # must not raise
+
+    def test_skip_reasons_are_named(self, fixture_paths):
+        dump = load_rib(fixture_paths["rib"])
+        assert dump.counters.skipped == {
+            "rib-ipv6-unicast": 1,
+            "rib-generic": 1,
+            "ospfv2": 1,
+        }
+
+    def test_peer_index_table(self, fixture_paths):
+        dump = load_rib(fixture_paths["rib"])
+        assert len(dump.peers) == 3
+        # Peer 2 is IPv6-addressed: parsed, with no IPv4 address.
+        assert dump.peers[2].ip is None
+        assert dump.peers[0].asn == 64500
+        assert dump.peers[1].asn == 64501  # 2-byte AS form
+
+    def test_entries_carry_next_hops(self, fixture_paths, fixture_spec):
+        dump = load_rib(fixture_paths["rib"])
+        routes = dict(fixture_routes(fixture_spec))
+        peer0 = {
+            e.prefix: e.next_hop for e in dump.entries if e.peer_index == 0
+        }
+        assert set(peer0) == set(routes)
+        for prefix, hop in routes.items():
+            assert peer0[prefix] == next_hop_ip(hop)
+
+    def test_edge_prefixes_present(self, fixture_paths):
+        dump = load_rib(fixture_paths["rib"])
+        lengths = {e.prefix.length for e in dump.entries}
+        assert 0 in lengths  # default route record (plen 0)
+        assert 32 in lengths  # host route
+
+    def test_gzip_is_sniffed_not_suffix_matched(self, tmp_path):
+        # A gzipped file with a lying suffix must still load.
+        import gzip
+
+        payload = build_rib_mrt(FixtureSpec(routes=8))
+        path = tmp_path / "rib.mrt"  # no .gz suffix
+        path.write_bytes(gzip.compress(payload))
+        assert load_rib(path).records == load_rib_bytes_records(payload)
+
+    def test_bz2_transparent(self, tmp_path):
+        payload = build_rib_mrt(FixtureSpec(routes=8))
+        path = tmp_path / "rib.mrt.bz2"
+        path.write_bytes(bz2.compress(payload))
+        assert load_rib(path).records == load_rib_bytes_records(payload)
+
+    def test_malformed_record_body_is_counted_not_fatal(self, tmp_path):
+        # Valid MRT header, subtype RIB_IPV4_UNICAST, nonsense body.
+        record = struct.pack(">IHHI", 0, 13, 2, 1) + b"\xff"
+        path = tmp_path / "bad.mrt"
+        path.write_bytes(record)
+        dump = load_rib(path)
+        assert dump.counters.skipped == {"malformed": 1}
+        assert dump.entries == []
+
+    def test_truncated_header_raises(self, tmp_path):
+        path = tmp_path / "trunc.mrt"
+        path.write_bytes(b"\x00" * 7)
+        with pytest.raises(IngestFormatError, match="truncated MRT header"):
+            load_rib(path)
+
+    def test_truncated_body_raises(self, tmp_path):
+        path = tmp_path / "trunc.mrt"
+        path.write_bytes(struct.pack(">IHHI", 0, 13, 2, 100) + b"\x00" * 10)
+        with pytest.raises(IngestFormatError, match="truncated"):
+            load_rib(path)
+
+    def test_absurd_length_raises(self, tmp_path):
+        path = tmp_path / "junk.mrt"
+        path.write_bytes(b"This is not an MRT file, not even close.")
+        with pytest.raises(IngestFormatError):
+            load_rib(path)
+
+
+def load_rib_bytes_records(payload):
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / "plain.mrt"
+        path.write_bytes(payload)
+        return load_rib(path).records
+
+
+class TestUpdateDump:
+    def test_every_record_accounted(self, fixture_paths):
+        dump = load_updates(fixture_paths["updates"])
+        assert dump.counters.total == dump.records
+        assert dump.counters.parsed == {"bgp4mp-update": 160}
+
+    def test_skip_fodder_reasons(self, fixture_paths):
+        dump = load_updates(fixture_paths["updates"])
+        assert dump.counters.skipped == {
+            "bgp-keepalive": 1,
+            "state-change": 1,
+            "no-ipv4-content": 1,
+            "ospfv2": 1,
+        }
+        # The IPv6 MP_REACH inside the skipped update is noted.
+        assert dump.counters.noted == {"mp-reach-afi-2-safi-1": 1}
+
+    def test_all_generated_updates_survive(self, fixture_paths, fixture_spec):
+        dump = load_updates(fixture_paths["updates"])
+        assert len(dump.updates) == fixture_spec.updates
+
+    def test_et_records_carry_subsecond_timestamps(self, fixture_paths):
+        dump = load_updates(fixture_paths["updates"])
+        fractional = [
+            u.timestamp for u in dump.updates if u.timestamp % 1.0 != 0.0
+        ]
+        assert fractional  # BGP4MP_ET microseconds decoded
+
+    def test_withdraws_and_announces_both_present(self, fixture_paths):
+        dump = load_updates(fixture_paths["updates"])
+        assert any(u.announces for u in dump.updates)
+        assert any(u.withdraws for u in dump.updates)
+
+    def test_two_peers_visible(self, fixture_paths):
+        dump = load_updates(fixture_paths["updates"])
+        peers = {u.peer_ip for u in dump.updates}
+        assert peers == {0xC0000201, 0xC0000202}
+
+
+class TestRecordStream:
+    def test_iter_records_offsets_are_monotonic(self, fixture_paths):
+        offsets = [r.offset for r in iter_records(fixture_paths["updates"])]
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == len(offsets)
+
+    def test_fixtures_are_deterministic(self, fixture_spec):
+        assert build_rib_mrt(fixture_spec) == build_rib_mrt(fixture_spec)
+        assert build_updates_mrt(fixture_spec) == build_updates_mrt(
+            fixture_spec
+        )

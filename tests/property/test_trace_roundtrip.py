@@ -1,0 +1,86 @@
+"""Round-trip properties of the trace (de)serialisers.
+
+Hypothesis generates arbitrary tables, update streams and packet traces
+— including the edge prefixes 0.0.0.0/0 and /32 host routes — and
+proves ``load(save(x)) == x`` for both plain and gzip-compressed files.
+Timestamps are drawn on a microsecond grid because the update format
+serialises with six decimals.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.prefix import ADDRESS_WIDTH, Prefix
+from repro.workload.traces import (
+    load_packets,
+    load_table,
+    load_updates,
+    save_packets,
+    save_table,
+    save_updates,
+)
+from repro.workload.updategen import UpdateKind, UpdateMessage
+
+prefixes = st.integers(0, ADDRESS_WIDTH).flatmap(
+    lambda length: st.builds(
+        Prefix,
+        st.integers(0, (1 << length) - 1) if length else st.just(0),
+        st.just(length),
+    )
+)
+
+# Always include the two edge prefixes so every run exercises them.
+edgy_prefixes = st.one_of(
+    st.sampled_from(
+        [Prefix(0, 0), Prefix((10 << 24) | 99, 32), Prefix((1 << 32) - 1, 32)]
+    ),
+    prefixes,
+)
+
+hops = st.integers(0, 255)
+addresses = st.integers(0, (1 << ADDRESS_WIDTH) - 1)
+# Microsecond grid: exact under the %.6f serialisation.
+timestamps = st.integers(0, 10**12).map(lambda us: us / 1e6)
+
+updates = st.one_of(
+    st.builds(
+        UpdateMessage,
+        st.just(UpdateKind.ANNOUNCE),
+        edgy_prefixes,
+        hops,
+        timestamps,
+    ),
+    st.builds(
+        UpdateMessage,
+        st.just(UpdateKind.WITHDRAW),
+        edgy_prefixes,
+        st.none(),
+        timestamps,
+    ),
+)
+
+suffixes = st.sampled_from(["txt", "txt.gz"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(edgy_prefixes, hops), max_size=40), suffixes)
+def test_table_roundtrip(tmp_path_factory, routes, suffix):
+    path = tmp_path_factory.mktemp("rt") / f"table.{suffix}"
+    save_table(routes, path)
+    assert load_table(path) == routes
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(updates, max_size=40), suffixes)
+def test_updates_roundtrip(tmp_path_factory, messages, suffix):
+    path = tmp_path_factory.mktemp("rt") / f"updates.{suffix}"
+    save_updates(messages, path)
+    assert load_updates(path) == messages
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(addresses, max_size=60), suffixes)
+def test_packets_roundtrip(tmp_path_factory, trace, suffix):
+    path = tmp_path_factory.mktemp("rt") / f"packets.{suffix}"
+    save_packets(trace, path)
+    assert load_packets(path) == trace
